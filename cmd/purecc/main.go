@@ -1,0 +1,167 @@
+// Command purecc is the compiler driver of the purec tool chain: it runs
+// a mini-C file through the paper's full pipeline (Fig. 1) and executes
+// the result.
+//
+// Usage:
+//
+//	purecc [flags] file.c
+//
+//	-mode pure|pluto      parallelizer mode (default pure)
+//	-backend gcc|icc      execution backend analog (default gcc)
+//	-cores N              worker count for parallel regions (default 1)
+//	-seq                  disable parallelization (sequential baseline)
+//	-tile                 enable rectangular tiling (PluTo-SICA analog)
+//	-vectorize            enable fused reduction kernels (SICA SIMD analog)
+//	-skew                 enable loop shearing when it enables parallelism
+//	-schedule S           OpenMP schedule clause (e.g. dynamic,1)
+//	-D NAME=VALUE         define an object-like macro (repeatable)
+//	-emit stage           print a stage instead of running:
+//	                      stripped|expanded|marked|transformed|final|report|pure
+//	-time                 print the wall time of main()
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"purec/internal/comp"
+	"purec/internal/core"
+	"purec/internal/transform"
+)
+
+type defineFlags map[string]string
+
+func (d defineFlags) String() string { return "" }
+
+func (d defineFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		d[name] = "1"
+		return nil
+	}
+	d[name] = val
+	return nil
+}
+
+func main() {
+	mode := flag.String("mode", "pure", "parallelizer mode: pure or pluto")
+	backend := flag.String("backend", "gcc", "execution backend: gcc or icc")
+	cores := flag.Int("cores", 1, "worker count")
+	seq := flag.Bool("seq", false, "disable parallelization")
+	tile := flag.Bool("tile", false, "enable rectangular tiling")
+	vectorize := flag.Bool("vectorize", false, "enable fused reduction kernels")
+	skew := flag.Bool("skew", false, "enable loop shearing")
+	schedule := flag.String("schedule", "", "OpenMP schedule clause")
+	emit := flag.String("emit", "", "print a pipeline stage instead of running")
+	timed := flag.Bool("time", false, "print wall time of main()")
+	defines := defineFlags{}
+	flag.Var(defines, "D", "define NAME=VALUE (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: purecc [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg := core.Config{
+		FileName:    flag.Arg(0),
+		Defines:     defines,
+		Parallelize: !*seq,
+		TeamSize:    *cores,
+		Transform: transform.Options{
+			Tile:     *tile,
+			Skew:     *skew,
+			Schedule: *schedule,
+		},
+		Vectorize: *vectorize,
+		Stdout:    os.Stdout,
+	}
+	switch *mode {
+	case "pure":
+		cfg.Mode = core.ModePure
+	case "pluto":
+		cfg.Mode = core.ModePluTo
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+	switch *backend {
+	case "gcc":
+		cfg.Backend = comp.BackendGCC
+	case "icc":
+		cfg.Backend = comp.BackendICC
+	default:
+		fatalf("unknown backend %q", *backend)
+	}
+
+	res, err := core.Build(string(src), cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	switch *emit {
+	case "":
+		// run below
+	case "stripped":
+		fmt.Print(res.Stages.Stripped)
+		return
+	case "expanded":
+		fmt.Print(res.Stages.Expanded)
+		return
+	case "marked":
+		fmt.Print(res.Stages.Marked)
+		return
+	case "transformed":
+		fmt.Print(res.Stages.Transformed)
+		return
+	case "final":
+		fmt.Print(res.Stages.Final)
+		return
+	case "report":
+		fmt.Printf("verified pure functions: %s\n", strings.Join(sortedNames(res.Pure), ", "))
+		fmt.Printf("SCoPs: %d\n", res.SCoPs)
+		if res.Report != nil {
+			fmt.Print(res.Report.String())
+		}
+		for _, r := range res.Rejections {
+			fmt.Printf("rejected: %s\n", r)
+		}
+		return
+	case "pure":
+		fmt.Println(strings.Join(sortedNames(res.Pure), "\n"))
+		return
+	default:
+		fatalf("unknown -emit stage %q", *emit)
+	}
+
+	start := time.Now()
+	ret, err := res.Machine.RunMain()
+	dur := time.Since(start)
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	if *timed {
+		fmt.Fprintf(os.Stderr, "main returned %d in %s (%d cores, %s backend)\n",
+			ret, dur, *cores, *backend)
+	}
+	os.Exit(int(ret & 0xff))
+}
+
+func sortedNames(ns []string) []string {
+	out := append([]string{}, ns...)
+	sort.Strings(out)
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "purecc: "+format+"\n", args...)
+	os.Exit(1)
+}

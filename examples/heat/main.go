@@ -1,0 +1,95 @@
+// Heat example: the point-heated plate stencil (the paper's second
+// application). Shows the pure-function build against the manually
+// inlined PluTo-style build and verifies both against the reference.
+//
+//	go run ./examples/heat [-n 96] [-steps 20] [-cores 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"purec"
+	"purec/internal/apps"
+	"purec/internal/core"
+)
+
+func main() {
+	n := flag.Int("n", 96, "plate size")
+	steps := flag.Int("steps", 20, "time steps")
+	cores := flag.Int("cores", 8, "workers")
+	flag.Parse()
+
+	defs := apps.HeatDefines(*n, *steps)
+	want := apps.HeatRef(*n, *steps)
+
+	for _, c := range []struct {
+		name string
+		src  string
+		cfg  purec.Config
+	}{
+		{"pure", apps.HeatSrc, purec.Config{Parallelize: true, TeamSize: *cores}},
+		{"PluTo (inlined)", apps.HeatInlinedSrc,
+			purec.Config{Parallelize: true, Mode: core.ModePluTo, TeamSize: *cores}},
+	} {
+		c.cfg.Defines = defs
+		c.cfg.Stdout = io.Discard
+		res, err := purec.Build(c.src, c.cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		start := time.Now()
+		if _, err := res.Machine.RunMain(); err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		dur := time.Since(start)
+		ptr, _ := res.Machine.GlobalPtr("cur")
+		got := apps.ReadMatrix(ptr, *n)
+		exact := true
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					exact = false
+				}
+			}
+		}
+		fmt.Printf("%-18s %10v   bit-exact vs reference: %v\n",
+			c.name, dur.Round(time.Microsecond), exact)
+	}
+
+	// Show the heat front after the run.
+	res, err := purec.Build(apps.HeatSrc, purec.Config{
+		Parallelize: true, TeamSize: *cores, Defines: defs, Stdout: io.Discard,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := res.Machine.RunMain(); err != nil {
+		log.Fatal(err)
+	}
+	ptr, _ := res.Machine.GlobalPtr("cur")
+	plate := apps.ReadMatrix(ptr, *n)
+	fmt.Println("\nheat front (rows 0..7 around the heated boundary point):")
+	for i := 0; i < 8 && i < *n; i++ {
+		for j := *n/2 - 8; j < *n/2+8 && j >= 0 && j < *n; j++ {
+			fmt.Print(shade(plate[i][j]))
+		}
+		fmt.Println()
+	}
+}
+
+func shade(v float32) string {
+	switch {
+	case v > 50:
+		return "#"
+	case v > 10:
+		return "+"
+	case v > 1:
+		return "."
+	default:
+		return " "
+	}
+}

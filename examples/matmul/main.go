@@ -1,0 +1,87 @@
+// Matmul example: the paper's Listing 7 run through every tool-chain
+// configuration the evaluation compares, with results verified against a
+// native reference.
+//
+//	go run ./examples/matmul [-n 96] [-cores 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"time"
+
+	"purec"
+	"purec/internal/apps"
+	"purec/internal/core"
+)
+
+func main() {
+	n := flag.Int("n", 96, "matrix size")
+	cores := flag.Int("cores", 8, "workers for the parallel build")
+	flag.Parse()
+
+	configs := []struct {
+		name string
+		src  string
+		cfg  purec.Config
+	}{
+		{"sequential", apps.MatmulSrc, purec.Config{}},
+		{"PluTo (inlined source)", apps.MatmulInlinedSrc,
+			purec.Config{Parallelize: true, Mode: core.ModePluTo, TeamSize: *cores}},
+		{"pure (gcc backend)", apps.MatmulSrc,
+			purec.Config{Parallelize: true, TeamSize: *cores}},
+		{"pure (icc backend)", apps.MatmulSrc,
+			purec.Config{Parallelize: true, TeamSize: *cores, Backend: purec.BackendICC}},
+	}
+
+	want := apps.MatmulRef(*n)
+	for _, c := range configs {
+		c.cfg.Defines = apps.MatmulDefines(*n)
+		c.cfg.Stdout = io.Discard
+		res, err := purec.Build(c.src, c.cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		start := time.Now()
+		if _, err := res.Machine.RunMain(); err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		dur := time.Since(start)
+		ptr, err := res.Machine.GlobalPtr("C")
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := apps.ReadMatrix(ptr, *n)
+		fmt.Printf("%-24s %10v   max-err %.2e   parallel-loops %d\n",
+			c.name, dur.Round(time.Microsecond), maxErr(got, want), parallelLoops(res))
+	}
+}
+
+func maxErr(got, want [][]float32) float64 {
+	worst := 0.0
+	for i := range want {
+		for j := range want[i] {
+			d := math.Abs(float64(got[i][j]) - float64(want[i][j]))
+			if s := math.Max(math.Abs(float64(want[i][j])), 1); d/s > worst {
+				worst = d / s
+			}
+		}
+	}
+	return worst
+}
+
+func parallelLoops(res *purec.Result) int {
+	if res.Report == nil {
+		return 0
+	}
+	count := 0
+	for _, l := range res.Report.Loops {
+		if l.ParallelLevel >= 0 {
+			count++
+		}
+	}
+	return count
+}

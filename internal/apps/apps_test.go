@@ -1,0 +1,312 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"purec/internal/comp"
+	"purec/internal/core"
+	"purec/internal/rt"
+	"purec/internal/transform"
+)
+
+// build runs the full pipeline and executes main.
+func build(t *testing.T, src string, defines map[string]string, cfg core.Config) *core.Result {
+	t.Helper()
+	cfg.Defines = defines
+	if cfg.Transform.MinParallelTrip == 0 {
+		// Test workloads are tiny; disable the profitability threshold.
+		cfg.Transform.MinParallelTrip = -1
+	}
+	res, err := core.Build(src, cfg)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := res.Machine.RunMain(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func maxRelDiff(a, b []float32) float64 {
+	var worst float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		scale := math.Max(math.Abs(float64(a[i])), 1)
+		if r := d / scale; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func flat(m [][]float32) []float32 {
+	var out []float32
+	for _, r := range m {
+		out = append(out, r...)
+	}
+	return out
+}
+
+const tol = 1e-4
+
+// --- Matrix multiplication ---
+
+func TestMatmulPureMatchesReference(t *testing.T) {
+	n := 20
+	res := build(t, MatmulSrc, MatmulDefines(n), core.Config{Parallelize: true, TeamSize: 3})
+	ptr, err := res.Machine.GlobalPtr("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ReadMatrix(ptr, n)
+	want := MatmulRef(n)
+	if d := maxRelDiff(flat(got), flat(want)); d > tol {
+		t.Fatalf("matmul diff %g", d)
+	}
+}
+
+func TestMatmulPureIsParallelized(t *testing.T) {
+	res := build(t, MatmulSrc, MatmulDefines(12), core.Config{Parallelize: true, TeamSize: 2})
+	foundMain := false
+	for _, l := range res.Report.Loops {
+		if l.Func == "main" && l.ParallelLevel == 0 {
+			foundMain = true
+		}
+	}
+	if !foundMain {
+		t.Fatalf("main nest must be parallel:\n%s", res.Report)
+	}
+}
+
+func TestMatmulInlinedMatchesReference(t *testing.T) {
+	n := 20
+	res := build(t, MatmulInlinedSrc, MatmulDefines(n), core.Config{
+		Parallelize: true, TeamSize: 3, Mode: core.ModePluTo,
+	})
+	ptr, err := res.Machine.GlobalPtr("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ReadMatrix(ptr, n)
+	want := MatmulRef(n)
+	if d := maxRelDiff(flat(got), flat(want)); d > tol {
+		t.Fatalf("inlined matmul diff %g", d)
+	}
+}
+
+func TestMatmulPureVariantsBitIdenticalAcrossBackends(t *testing.T) {
+	n := 16
+	g := build(t, MatmulSrc, MatmulDefines(n), core.Config{Parallelize: true, TeamSize: 2, Backend: comp.BackendGCC})
+	i := build(t, MatmulSrc, MatmulDefines(n), core.Config{Parallelize: true, TeamSize: 2, Backend: comp.BackendICC})
+	pg, _ := g.Machine.GlobalPtr("C")
+	pi, _ := i.Machine.GlobalPtr("C")
+	mg := flat(ReadMatrix(pg, n))
+	mi := flat(ReadMatrix(pi, n))
+	for k := range mg {
+		if mg[k] != mi[k] {
+			t.Fatalf("element %d: gcc %v icc %v (kernels must be bit-identical)", k, mg[k], mi[k])
+		}
+	}
+}
+
+func TestMatmulNoInitVariantStillCorrect(t *testing.T) {
+	n := 16
+	res := build(t, MatmulNoInitParSrc, MatmulDefines(n), core.Config{Parallelize: true, TeamSize: 2})
+	// The malloc loop (the only depth-1 nest in initmat) must stay
+	// serial in this variant; the element-init nest may parallelize.
+	for _, l := range res.Report.Loops {
+		if l.Func == "initmat" && l.Depth == 1 {
+			t.Fatalf("malloc loop must not be a SCoP in the no-init variant: %+v", l)
+		}
+	}
+	ptr, _ := res.Machine.GlobalPtr("C")
+	if d := maxRelDiff(flat(ReadMatrix(ptr, n)), flat(MatmulRef(n))); d > tol {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+func TestMatmulMallocLoopParallelizedOnlyWithPure(t *testing.T) {
+	pure := build(t, MatmulSrc, MatmulDefines(12), core.Config{Parallelize: true, TeamSize: 2})
+	initPar := false
+	for _, l := range pure.Report.Loops {
+		if l.Func == "initmat" && l.Depth == 1 && l.ParallelLevel >= 0 {
+			initPar = true
+		}
+	}
+	if !initPar {
+		t.Errorf("pure chain must parallelize the malloc loop (Fig. 3):\n%s", pure.Report)
+	}
+	pluto := build(t, MatmulInlinedSrc, MatmulDefines(12), core.Config{
+		Parallelize: true, TeamSize: 2, Mode: core.ModePluTo,
+	})
+	for _, l := range pluto.Report.Loops {
+		if l.Func == "initmat" && l.Depth == 1 {
+			t.Errorf("classic PluTo must NOT touch the malloc loop: %+v", l)
+		}
+	}
+}
+
+func TestMatmulMKLMatchesReference(t *testing.T) {
+	n := 24
+	a, bt := MatmulInputs(n)
+	got := MatmulMKL(a, bt, rt.NewTeam(4))
+	want := MatmulRef(n)
+	if d := maxRelDiff(flat(got), flat(want)); d > tol {
+		t.Fatalf("MKL-analog diff %g", d)
+	}
+}
+
+// --- Heat ---
+
+func TestHeatPureMatchesReference(t *testing.T) {
+	n, steps := 18, 7
+	res := build(t, HeatSrc, HeatDefines(n, steps), core.Config{Parallelize: true, TeamSize: 3})
+	ptr, err := res.Machine.GlobalPtr("cur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ReadMatrix(ptr, n)
+	want := HeatRef(n, steps)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("cell (%d,%d): got %v want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestHeatInlinedMatchesPure(t *testing.T) {
+	n, steps := 18, 7
+	p := build(t, HeatSrc, HeatDefines(n, steps), core.Config{Parallelize: true, TeamSize: 2})
+	q := build(t, HeatInlinedSrc, HeatDefines(n, steps), core.Config{
+		Parallelize: true, TeamSize: 2, Mode: core.ModePluTo,
+	})
+	pp, _ := p.Machine.GlobalPtr("cur")
+	pq, _ := q.Machine.GlobalPtr("cur")
+	a, b := flat(ReadMatrix(pp, n)), flat(ReadMatrix(pq, n))
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("heat variants diverge at %d: %v vs %v", k, a[k], b[k])
+		}
+	}
+}
+
+func TestHeatBothNestsParallelized(t *testing.T) {
+	res := build(t, HeatSrc, HeatDefines(12, 2), core.Config{Parallelize: true, TeamSize: 2})
+	count := 0
+	for _, l := range res.Report.Loops {
+		if l.Func == "main" && l.ParallelLevel == 0 {
+			count++
+		}
+	}
+	if count < 2 {
+		t.Fatalf("stencil and copy-back nests must both be parallel:\n%s", res.Report)
+	}
+}
+
+// --- Satellite ---
+
+func TestSatelliteMatchesReference(t *testing.T) {
+	npix, bands, iters := 60, 12, 40
+	res := build(t, SatelliteSrc, SatelliteDefines(npix, bands, iters),
+		core.Config{Parallelize: true, TeamSize: 3})
+	ptr, err := res.Machine.GlobalPtr("aod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ReadFloats(ptr, npix)
+	want := SatelliteRef(npix, bands, iters)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pixel %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSatelliteDynamicScheduleCorrect(t *testing.T) {
+	npix, bands, iters := 60, 12, 40
+	res := build(t, SatelliteSrc, SatelliteDefines(npix, bands, iters), core.Config{
+		Parallelize: true, TeamSize: 4,
+		Transform: transform.Options{Schedule: "dynamic,1"},
+	})
+	ptr, _ := res.Machine.GlobalPtr("aod")
+	got := ReadFloats(ptr, npix)
+	want := SatelliteRef(npix, bands, iters)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pixel %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSatelliteOnlyParallelizableWithPure(t *testing.T) {
+	res := build(t, SatelliteSrc, SatelliteDefines(20, 4, 10), core.Config{
+		Parallelize: true, TeamSize: 2, Mode: core.ModePluTo,
+	})
+	for _, l := range res.Report.Loops {
+		if l.Func == "run" || l.Func == "main" {
+			t.Fatalf("classic polyhedral mode must reject the filter loop: %+v", l)
+		}
+	}
+}
+
+// --- LAMA ---
+
+func TestLamaMatchesReference(t *testing.T) {
+	rows, nnz := 64, 6
+	res := build(t, LamaSrc, LamaDefines(rows, nnz), core.Config{Parallelize: true, TeamSize: 3})
+	ptr, err := res.Machine.GlobalPtr("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ReadFloats(ptr, rows)
+	want := LamaRef(rows, nnz)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLamaManualMatchesAuto(t *testing.T) {
+	rows, nnz := 64, 6
+	auto := build(t, LamaSrc, LamaDefines(rows, nnz), core.Config{Parallelize: true, TeamSize: 4})
+	man := build(t, LamaManualSrc, LamaDefines(rows, nnz), core.Config{TeamSize: 4})
+	pa, _ := auto.Machine.GlobalPtr("y")
+	pm, _ := man.Machine.GlobalPtr("y")
+	a, b := ReadFloats(pa, rows), ReadFloats(pm, rows)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: auto %v manual %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLamaRowLoopParallelized(t *testing.T) {
+	res := build(t, LamaSrc, LamaDefines(32, 4), core.Config{Parallelize: true, TeamSize: 2})
+	found := false
+	for _, l := range res.Report.Loops {
+		if l.Func == "run" && l.ParallelLevel == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("row loop must be parallel:\n%s", res.Report)
+	}
+}
+
+func TestLamaICCGatherKernelBitIdentical(t *testing.T) {
+	rows, nnz := 48, 5
+	g := build(t, LamaSrc, LamaDefines(rows, nnz), core.Config{Parallelize: true, TeamSize: 2, Backend: comp.BackendGCC})
+	i := build(t, LamaSrc, LamaDefines(rows, nnz), core.Config{Parallelize: true, TeamSize: 2, Backend: comp.BackendICC})
+	pg, _ := g.Machine.GlobalPtr("y")
+	pi, _ := i.Machine.GlobalPtr("y")
+	a, b := ReadFloats(pg, rows), ReadFloats(pi, rows)
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("row %d: gcc %v icc %v", k, a[k], b[k])
+		}
+	}
+}

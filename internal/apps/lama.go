@@ -1,0 +1,169 @@
+package apps
+
+import (
+	"fmt"
+
+	"purec/internal/mem"
+)
+
+// LamaSrc is the stand-in for the paper's fourth application: the ELL
+// sparse matrix–vector multiplication from the LAMA library (Sect. 4.1).
+// The paper's input, the Boeing/pwtk stiffness matrix (217k rows, 11.5M
+// non-zeros), is an external dataset; the synthetic generator below
+// produces a symmetric banded matrix in (row-major, padded) ELL format
+// with the same structural features that matter:
+//
+//   - indirect addressing x[cols[...]] that defeats polyhedral analysis
+//     unless the per-row kernel is an opaque pure function;
+//   - a skewed tail: the last rows carry more non-zeros, so the paper's
+//     schedule(static) expectation of balanced threads is only mostly
+//     true (Sect. 4.3.4, Figs. 10 and 11).
+//
+// values/cols are ROWS×MAXNNZ row-major with zero padding.
+const LamaSrc = `
+float *values, *x, *y;
+int *cols;
+
+pure float ellrow(pure float* vals, pure int* idx, pure float* vec, int row, int nnz) {
+    float res = 0.0f;
+    for (int k = 0; k < nnz; ++k)
+        res += vals[row * nnz + k] * vec[idx[row * nnz + k]];
+    return res;
+}
+
+void initell(void) {
+    values = (float*)malloc(ROWS * MAXNNZ * sizeof(float));
+    cols = (int*)malloc(ROWS * MAXNNZ * sizeof(int));
+    x = (float*)malloc(ROWS * sizeof(float));
+    y = (float*)malloc(ROWS * sizeof(float));
+    for (int r = 0; r < ROWS; r++) {
+        x[r] = 1.0f + (float)(r % 19) * 0.125f;
+        int nnz = 2 + (r * 13) % (MAXNNZ - 2);
+        if (r > ROWS - ROWS / 8)
+            nnz = MAXNNZ;
+        for (int k = 0; k < MAXNNZ; k++) {
+            int pos = r * MAXNNZ + k;
+            if (k < nnz) {
+                int c = (r + k * 3) % ROWS;
+                cols[pos] = c;
+                values[pos] = 0.5f + (float)((r + c) % 11) * 0.0625f;
+            } else {
+                cols[pos] = 0;
+                values[pos] = 0.0f;
+            }
+        }
+    }
+}
+
+int run(void) {
+    for (int r = 0; r < ROWS; r++)
+        y[r] = ellrow((pure float*)values, (pure int*)cols, (pure float*)x, r, MAXNNZ);
+    return 0;
+}
+
+int main(void) {
+    initell();
+    return run();
+}
+`
+
+// LamaManualSrc is the hand-parallelized comparator: the kernel is
+// written inline under an explicit
+// "#pragma omp parallel for schedule(static)" exactly as the paper's
+// manual version (Sect. 4.3.4). Classic polyhedral tools cannot produce
+// this (indirect addressing), so it exists only as a hand-written
+// program.
+const LamaManualSrc = `
+float *values, *x, *y;
+int *cols;
+
+void initell(void) {
+    values = (float*)malloc(ROWS * MAXNNZ * sizeof(float));
+    cols = (int*)malloc(ROWS * MAXNNZ * sizeof(int));
+    x = (float*)malloc(ROWS * sizeof(float));
+    y = (float*)malloc(ROWS * sizeof(float));
+    for (int r = 0; r < ROWS; r++) {
+        x[r] = 1.0f + (float)(r % 19) * 0.125f;
+        int nnz = 2 + (r * 13) % (MAXNNZ - 2);
+        if (r > ROWS - ROWS / 8)
+            nnz = MAXNNZ;
+        for (int k = 0; k < MAXNNZ; k++) {
+            int pos = r * MAXNNZ + k;
+            if (k < nnz) {
+                int c = (r + k * 3) % ROWS;
+                cols[pos] = c;
+                values[pos] = 0.5f + (float)((r + c) % 11) * 0.0625f;
+            } else {
+                cols[pos] = 0;
+                values[pos] = 0.0f;
+            }
+        }
+    }
+}
+
+int run(void) {
+#pragma omp parallel for schedule(static)
+    for (int r = 0; r < ROWS; r++) {
+        float res = 0.0f;
+        for (int k = 0; k < MAXNNZ; ++k)
+            res += values[r * MAXNNZ + k] * x[cols[r * MAXNNZ + k]];
+        y[r] = res;
+    }
+    return 0;
+}
+
+int main(void) {
+    initell();
+    return run();
+}
+`
+
+// LamaDefines injects matrix shape parameters.
+func LamaDefines(rows, maxnnz int) map[string]string {
+	return map[string]string{
+		"ROWS":   fmt.Sprintf("%d", rows),
+		"MAXNNZ": fmt.Sprintf("%d", maxnnz),
+	}
+}
+
+// LamaRef computes the expected y vector with the execution model's
+// float semantics.
+func LamaRef(rows, maxnnz int) []float32 {
+	values := make([]float32, rows*maxnnz)
+	cols := make([]int, rows*maxnnz)
+	x := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		x[r] = float32(1.0 + float64(r%19)*0.125)
+		nnz := 2 + (r*13)%(maxnnz-2)
+		if r > rows-rows/8 {
+			nnz = maxnnz
+		}
+		for k := 0; k < maxnnz; k++ {
+			pos := r*maxnnz + k
+			if k < nnz {
+				c := (r + k*3) % rows
+				cols[pos] = c
+				values[pos] = float32(0.5 + float64((r+c)%11)*0.0625)
+			}
+		}
+	}
+	y := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		var res float32
+		for k := 0; k < maxnnz; k++ {
+			pos := r*maxnnz + k
+			res = float32(float64(res) + float64(values[pos])*float64(x[cols[pos]]))
+		}
+		y[r] = res
+	}
+	return y
+}
+
+// ReadFloats reads n float cells starting at p.
+func ReadFloats(p mem.Pointer, n int) []float32 {
+	out := make([]float32, n)
+	for i := 0; i < n; i++ {
+		out[i] = float32(p.Add(int64(i)).LoadFloat())
+	}
+	return out
+}

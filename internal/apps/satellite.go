@@ -1,0 +1,154 @@
+package apps
+
+import "fmt"
+
+// SatelliteSrc is the stand-in for the paper's third application: the
+// aerosol-optical-depth (AOD) retrieval filter over hyperspectral MODIS
+// data (Sect. 4.1). The original data is proprietary; this synthetic
+// equivalent preserves what matters for the evaluation:
+//
+//   - a per-pixel filter function of several dozen lines with
+//     data-dependent conditional control flow ("dynamic conditional
+//     jumps") that no polyhedral analyzer can process — only the pure
+//     keyword makes the pixel loop parallelizable;
+//   - strongly pixel-dependent cost: the retrieval iteration count ramps
+//     up across the image (hazy pixels cluster in later rows), producing
+//     the "unbalanced behavior in the later program phases" that made
+//     the paper switch the OpenMP schedule to dynamic,1 (Sect. 4.3.3,
+//     Figs. 8 and 9).
+//
+// The cube is stored pixel-major: cube[p] is the BANDS-long spectrum of
+// pixel p; lut is a wavelength-dependent calibration table.
+const SatelliteSrc = `
+float **cube, *lut, *aod;
+
+pure float retrieve(pure float* px, pure float* table, int bands, int pixel) {
+    float ref = 0.0f;
+    for (int b = 0; b < bands; b++)
+        ref += px[b] * table[b];
+    ref = ref / (float)bands;
+    float tau = 0.1f;
+    int iters = 2 + (pixel * MAXITERS) / NPIX + (pixel * 7919) % 8;
+    if (ref > 0.35f)
+        iters = iters + MAXITERS / 4;
+    for (int it = 0; it < iters; it++) {
+        float err = 0.0f;
+        for (int b = 0; b < bands; b++) {
+            float model = tau * table[b] + (1.0f - tau) * 0.2f;
+            float d = px[b] - model;
+            if (d < 0.0f)
+                d = -d;
+            err += d;
+        }
+        err = err / (float)bands;
+        if (err < 0.01f)
+            return tau;
+        if (ref > tau)
+            tau = tau + err * 0.05f;
+        else
+            tau = tau - err * 0.05f;
+        if (tau < 0.0f)
+            tau = 0.0f;
+        if (tau > 5.0f)
+            tau = 5.0f;
+    }
+    return tau;
+}
+
+void initcube(void) {
+    cube = (float**)malloc(NPIX * sizeof(float*));
+    lut = (float*)malloc(BANDS * sizeof(float));
+    aod = (float*)malloc(NPIX * sizeof(float));
+    for (int b = 0; b < BANDS; b++)
+        lut[b] = 0.3f + 0.4f * (float)(b % 5) / 5.0f;
+    for (int p = 0; p < NPIX; p++) {
+        cube[p] = (float*)malloc(BANDS * sizeof(float));
+        for (int b = 0; b < BANDS; b++)
+            cube[p][b] = 0.1f + (float)((p * 31 + b * 17) % 97) / 97.0f * (0.2f + 0.6f * (float)p / (float)NPIX);
+    }
+}
+
+int run(void) {
+    for (int p = 0; p < NPIX; p++)
+        aod[p] = retrieve((pure float*)cube[p], (pure float*)lut, BANDS, p);
+    return 0;
+}
+
+int main(void) {
+    initcube();
+    return run();
+}
+`
+
+// SatelliteDefines injects pixel count, band count and the iteration
+// bound controlling per-pixel cost skew.
+func SatelliteDefines(npix, bands, maxiters int) map[string]string {
+	return map[string]string{
+		"NPIX":     fmt.Sprintf("%d", npix),
+		"BANDS":    fmt.Sprintf("%d", bands),
+		"MAXITERS": fmt.Sprintf("%d", maxiters),
+	}
+}
+
+// SatelliteRef mirrors the retrieval with the execution model's float
+// semantics for verification.
+func SatelliteRef(npix, bands, maxiters int) []float32 {
+	lut := make([]float32, bands)
+	for b := 0; b < bands; b++ {
+		lut[b] = float32(0.3 + 0.4*float64(b%5)/5.0)
+	}
+	cube := make([][]float32, npix)
+	for p := 0; p < npix; p++ {
+		cube[p] = make([]float32, bands)
+		for b := 0; b < bands; b++ {
+			cube[p][b] = float32(0.1 + float64((p*31+b*17)%97)/97.0*(0.2+0.6*float64(p)/float64(npix)))
+		}
+	}
+	out := make([]float32, npix)
+	for p := 0; p < npix; p++ {
+		out[p] = satRetrieveRef(cube[p], lut, bands, p, maxiters, npix)
+	}
+	return out
+}
+
+func satRetrieveRef(px, table []float32, bands, pixel, maxiters, npix int) float32 {
+	var ref float32
+	for b := 0; b < bands; b++ {
+		// Model semantics: the compound assignment computes in float64
+		// and rounds once at the float store.
+		ref = float32(float64(ref) + float64(px[b])*float64(table[b]))
+	}
+	ref = float32(float64(ref) / float64(bands))
+	tau := float32(0.1)
+	iters := 2 + (pixel*maxiters)/npix + (pixel*7919)%8
+	if ref > 0.35 {
+		iters += maxiters / 4
+	}
+	for it := 0; it < iters; it++ {
+		var err float32
+		for b := 0; b < bands; b++ {
+			model := float32(float64(tau)*float64(table[b]) + (1.0-float64(tau))*0.2)
+			d := float32(float64(px[b]) - float64(model))
+			if d < 0 {
+				d = -d
+			}
+			err = float32(float64(err) + float64(d))
+		}
+		err = float32(float64(err) / float64(bands))
+		if err < 0.01 {
+			return tau
+		}
+		if ref > tau {
+			tau = float32(float64(tau) + float64(err)*0.05)
+		} else {
+			tau = float32(float64(tau) - float64(err)*0.05)
+		}
+		if tau < 0 {
+			tau = 0
+		}
+		if tau > 5 {
+			tau = 5
+		}
+	}
+	return tau
+}

@@ -1,0 +1,281 @@
+package ast
+
+// Visitor is invoked by Walk for each node; if the result is false the
+// children of the node are not visited.
+type Visitor func(Node) bool
+
+// Walk traverses the tree rooted at n in depth-first order, calling v for
+// every node before its children. Nil nodes are skipped.
+func Walk(n Node, v Visitor) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	if !v(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			Walk(d, v)
+		}
+	case *FuncDecl:
+		for i := range x.Params {
+			Walk(x.Params[i].Type, v)
+		}
+		Walk(x.Ret, v)
+		if x.Body != nil {
+			Walk(x.Body, v)
+		}
+	case *VarDeclGroup:
+		for _, d := range x.Decls {
+			Walk(d, v)
+		}
+	case *VarDecl:
+		Walk(x.Type, v)
+		for _, l := range x.ArrayLens {
+			Walk(l, v)
+		}
+		Walk(x.Init, v)
+	case *StructDecl:
+		for i := range x.Fields {
+			Walk(x.Fields[i].Type, v)
+			for _, l := range x.Fields[i].ArrayLens {
+				Walk(l, v)
+			}
+		}
+	case *PragmaDecl, *PragmaStmt, *TypeExpr:
+		// leaves
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			Walk(d, v)
+		}
+	case *ExprStmt:
+		Walk(x.X, v)
+	case *BlockStmt:
+		for _, s := range x.List {
+			Walk(s, v)
+		}
+	case *IfStmt:
+		Walk(x.Cond, v)
+		Walk(x.Then, v)
+		Walk(x.Else, v)
+	case *ForStmt:
+		Walk(x.Init, v)
+		Walk(x.Cond, v)
+		Walk(x.Post, v)
+		Walk(x.Body, v)
+	case *WhileStmt:
+		Walk(x.Cond, v)
+		Walk(x.Body, v)
+	case *DoStmt:
+		Walk(x.Body, v)
+		Walk(x.Cond, v)
+	case *ReturnStmt:
+		Walk(x.X, v)
+	case *SwitchStmt:
+		Walk(x.Tag, v)
+		for _, c := range x.Cases {
+			Walk(c, v)
+		}
+	case *CaseClause:
+		Walk(x.Value, v)
+		for _, s := range x.Body {
+			Walk(s, v)
+		}
+	case *BinaryExpr:
+		Walk(x.X, v)
+		Walk(x.Y, v)
+	case *UnaryExpr:
+		Walk(x.X, v)
+	case *PostfixExpr:
+		Walk(x.X, v)
+	case *AssignExpr:
+		Walk(x.LHS, v)
+		Walk(x.RHS, v)
+	case *CondExpr:
+		Walk(x.Cond, v)
+		Walk(x.Then, v)
+		Walk(x.Else, v)
+	case *CallExpr:
+		Walk(x.Fun, v)
+		for _, a := range x.Args {
+			Walk(a, v)
+		}
+	case *IndexExpr:
+		Walk(x.X, v)
+		Walk(x.Index, v)
+	case *MemberExpr:
+		Walk(x.X, v)
+	case *CastExpr:
+		Walk(x.Type, v)
+		Walk(x.X, v)
+	case *SizeofExpr:
+		Walk(x.Type, v)
+		Walk(x.X, v)
+	case *ParenExpr:
+		Walk(x.X, v)
+	}
+}
+
+// isNilNode reports whether n is a typed nil inside the Node interface.
+func isNilNode(n Node) bool {
+	switch x := n.(type) {
+	case *TypeExpr:
+		return x == nil
+	case *BlockStmt:
+		return x == nil
+	case *Ident:
+		return x == nil
+	case *VarDecl:
+		return x == nil
+	}
+	// Expr/Stmt interface values holding nil pointers of other concrete
+	// types do not occur: the parser never stores them.
+	return false
+}
+
+// Calls returns every call expression under n in source order.
+func Calls(n Node) []*CallExpr {
+	var out []*CallExpr
+	Walk(n, func(m Node) bool {
+		if c, ok := m.(*CallExpr); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// Idents returns every identifier use under n in source order.
+func Idents(n Node) []*Ident {
+	var out []*Ident
+	Walk(n, func(m Node) bool {
+		if id, ok := m.(*Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// Assignments returns every assignment expression under n, including
+// compound assignments; ++/-- are reported separately by IncDecs.
+func Assignments(n Node) []*AssignExpr {
+	var out []*AssignExpr
+	Walk(n, func(m Node) bool {
+		if a, ok := m.(*AssignExpr); ok {
+			out = append(out, a)
+		}
+		return true
+	})
+	return out
+}
+
+// RewriteExpr applies f to every expression under n bottom-up, replacing
+// each expression by f's result. It covers the expression positions of all
+// statement and declaration forms.
+func RewriteExpr(n Node, f func(Expr) Expr) {
+	var rw func(e Expr) Expr
+	rw = func(e Expr) Expr {
+		if e == nil {
+			return nil
+		}
+		switch x := e.(type) {
+		case *BinaryExpr:
+			x.X, x.Y = rw(x.X), rw(x.Y)
+		case *UnaryExpr:
+			x.X = rw(x.X)
+		case *PostfixExpr:
+			x.X = rw(x.X)
+		case *AssignExpr:
+			x.LHS, x.RHS = rw(x.LHS), rw(x.RHS)
+		case *CondExpr:
+			x.Cond, x.Then, x.Else = rw(x.Cond), rw(x.Then), rw(x.Else)
+		case *CallExpr:
+			for i := range x.Args {
+				x.Args[i] = rw(x.Args[i])
+			}
+		case *IndexExpr:
+			x.X, x.Index = rw(x.X), rw(x.Index)
+		case *MemberExpr:
+			x.X = rw(x.X)
+		case *CastExpr:
+			x.X = rw(x.X)
+		case *SizeofExpr:
+			x.X = rw(x.X)
+		case *ParenExpr:
+			x.X = rw(x.X)
+		}
+		return f(e)
+	}
+	var ws func(s Stmt)
+	ws = func(s Stmt) {
+		switch x := s.(type) {
+		case *DeclStmt:
+			for _, d := range x.Decls {
+				d.Init = rw(d.Init)
+				for i := range d.ArrayLens {
+					d.ArrayLens[i] = rw(d.ArrayLens[i])
+				}
+			}
+		case *ExprStmt:
+			x.X = rw(x.X)
+		case *BlockStmt:
+			for _, s2 := range x.List {
+				ws(s2)
+			}
+		case *IfStmt:
+			x.Cond = rw(x.Cond)
+			ws(x.Then)
+			if x.Else != nil {
+				ws(x.Else)
+			}
+		case *ForStmt:
+			if x.Init != nil {
+				ws(x.Init)
+			}
+			x.Cond = rw(x.Cond)
+			x.Post = rw(x.Post)
+			ws(x.Body)
+		case *WhileStmt:
+			x.Cond = rw(x.Cond)
+			ws(x.Body)
+		case *DoStmt:
+			ws(x.Body)
+			x.Cond = rw(x.Cond)
+		case *ReturnStmt:
+			x.X = rw(x.X)
+		case *SwitchStmt:
+			x.Tag = rw(x.Tag)
+			for _, c := range x.Cases {
+				c.Value = rw(c.Value)
+				for _, s2 := range c.Body {
+					ws(s2)
+				}
+			}
+		}
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			RewriteExpr(d, f)
+		}
+	case *FuncDecl:
+		if x.Body != nil {
+			ws(x.Body)
+		}
+	case *VarDeclGroup:
+		for _, d := range x.Decls {
+			d.Init = rw(d.Init)
+			for i := range d.ArrayLens {
+				d.ArrayLens[i] = rw(d.ArrayLens[i])
+			}
+		}
+	default:
+		if s, ok := n.(Stmt); ok {
+			ws(s)
+		} else if e, ok := n.(Expr); ok {
+			rw(e)
+		}
+	}
+}

@@ -1,0 +1,528 @@
+package comp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"purec/internal/ast"
+	"purec/internal/mem"
+	"purec/internal/sema"
+	"purec/internal/token"
+	"purec/internal/types"
+)
+
+// mathBuiltins maps unary float builtins to Go implementations.
+var mathUnary = map[string]func(float64) float64{
+	"sin": math.Sin, "cos": math.Cos, "tan": math.Tan,
+	"asin": math.Asin, "acos": math.Acos, "atan": math.Atan,
+	"exp": math.Exp, "log": math.Log, "log10": math.Log10,
+	"sqrt": math.Sqrt, "fabs": math.Abs, "floor": math.Floor,
+	"ceil": math.Ceil, "expf": math.Exp, "sqrtf": math.Sqrt,
+	"fabsf": math.Abs,
+}
+
+var mathBinary = map[string]func(float64, float64) float64{
+	"pow": math.Pow, "atan2": math.Atan2, "fmod": math.Mod,
+	"fmin": math.Min, "fmax": math.Max,
+}
+
+// tryInline inlines a call of a trivial pure function: single return
+// statement, scalar parameters only, each used at most twice, body built
+// from parameters, globals, literals and pure math builtins. This mirrors
+// the -O2 inlining both GCC and ICC perform on helpers like the matmul
+// mult(a,b); functions taking pointer parameters (the heat stencil's avg)
+// are deliberately NOT inlined, matching the paper's observation that the
+// extracted stencil call survives in the pure build (Sect. 4.3.2).
+func (fc *funcCompiler) tryInline(x *ast.CallExpr) (valueFns, bool) {
+	if fc.inlineDepth >= 4 {
+		return valueFns{}, false
+	}
+	callee, ok := fc.m.funcs[x.Fun.Name]
+	if !ok || !callee.pure || callee.decl.Body == nil || len(callee.decl.Body.List) != 1 {
+		return valueFns{}, false
+	}
+	ret, ok := callee.decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || ret.X == nil {
+		return valueFns{}, false
+	}
+	sig := fc.m.info.Funcs[x.Fun.Name]
+	if sig == nil || len(sig.Params) != len(x.Args) {
+		return valueFns{}, false
+	}
+	for _, pt := range sig.Params {
+		if pt.Kind != types.Int && pt.Kind != types.Float {
+			return valueFns{}, false
+		}
+	}
+	if sig.Ret.Kind != types.Int && sig.Ret.Kind != types.Float {
+		return valueFns{}, false
+	}
+	// Map parameter symbols and count their uses; reject unknown locals
+	// and calls to anything but pure math builtins.
+	paramSyms := map[*sema.Symbol]int{}
+	ok = true
+	ast.Walk(ret.X, func(n ast.Node) bool {
+		switch y := n.(type) {
+		case *ast.CallExpr:
+			if _, isMath := mathUnary[y.Fun.Name]; !isMath {
+				if _, isMath2 := mathBinary[y.Fun.Name]; !isMath2 {
+					ok = false
+				}
+			}
+		case *ast.Ident:
+			sym := fc.m.info.Ref[y]
+			if sym == nil {
+				ok = false
+				return false
+			}
+			switch sym.Kind {
+			case sema.SymParam:
+				paramSyms[sym]++
+				if paramSyms[sym] > 2 {
+					ok = false
+				}
+			case sema.SymGlobal, sema.SymBuiltin, sema.SymFunc:
+				// fine
+			default:
+				ok = false
+			}
+		case *ast.AssignExpr, *ast.PostfixExpr:
+			ok = false
+		case *ast.UnaryExpr:
+			if y.Op == token.INC || y.Op == token.DEC {
+				ok = false
+			}
+		}
+		return ok
+	})
+	if !ok {
+		return valueFns{}, false
+	}
+	// Arguments must be side-effect free since a parameter may be
+	// evaluated twice.
+	for _, a := range x.Args {
+		if hasSideEffects(fc, a) {
+			return valueFns{}, false
+		}
+	}
+	// Bind parameters: compile each argument by the parameter type.
+	binds := map[*sema.Symbol]valueFns{}
+	locals := fc.m.info.FuncLocals[x.Fun.Name]
+	pi := 0
+	for _, sym := range locals {
+		if sym.Kind != sema.SymParam {
+			continue
+		}
+		if pi >= len(x.Args) {
+			return valueFns{}, false
+		}
+		arg := x.Args[pi]
+		pt := sig.Params[pi]
+		pi++
+		if _, used := paramSyms[sym]; !used {
+			// Parameter unused in the body; still type-check the arg by
+			// compiling it for effectless evaluation at bind time.
+		}
+		switch pt.Kind {
+		case types.Int:
+			binds[sym] = valueFns{kind: slotInt, i: fc.integer(arg)}
+		case types.Float:
+			af := fc.num(arg)
+			if pt.CSize == 4 {
+				inner := af
+				af = func(e *env) float64 { return float64(float32(inner(e))) }
+			}
+			binds[sym] = valueFns{kind: slotFloat, f: af}
+		}
+	}
+	// Compile the callee's return expression in this compiler with the
+	// bindings active.
+	savedBind := fc.paramBind
+	fc.paramBind = binds
+	if savedBind != nil {
+		merged := map[*sema.Symbol]valueFns{}
+		for k, v := range savedBind {
+			merged[k] = v
+		}
+		for k, v := range binds {
+			merged[k] = v
+		}
+		fc.paramBind = merged
+	}
+	fc.inlineDepth++
+	defer func() {
+		fc.paramBind = savedBind
+		fc.inlineDepth--
+	}()
+	out := valueFns{}
+	if sig.Ret.Kind == types.Float {
+		body := fc.num(ret.X)
+		if sig.Ret.CSize == 4 {
+			inner := body
+			body = func(e *env) float64 { return float64(float32(inner(e))) }
+		}
+		out.kind = slotFloat
+		out.f = body
+	} else {
+		out.kind = slotInt
+		out.i = fc.integer(ret.X)
+	}
+	return out, true
+}
+
+// hasSideEffects conservatively reports whether evaluating e twice could
+// change program behaviour.
+func hasSideEffects(fc *funcCompiler, e ast.Expr) bool {
+	effect := false
+	ast.Walk(e, func(n ast.Node) bool {
+		switch y := n.(type) {
+		case *ast.AssignExpr, *ast.PostfixExpr:
+			effect = true
+		case *ast.UnaryExpr:
+			if y.Op == token.INC || y.Op == token.DEC {
+				effect = true
+			}
+		case *ast.CallExpr:
+			if !sema.IsPureBuiltin(y.Fun.Name) || y.Fun.Name == "malloc" || y.Fun.Name == "free" {
+				if cf, ok := fc.m.funcs[y.Fun.Name]; !ok || !cf.pure {
+					effect = true
+				}
+			}
+		}
+		return !effect
+	})
+	return effect
+}
+
+// callFlt compiles a float-returning call.
+func (fc *funcCompiler) callFlt(x *ast.CallExpr) fltFn {
+	name := x.Fun.Name
+	if f1, ok := mathUnary[name]; ok {
+		if len(x.Args) != 1 {
+			fc.errorf(x, "%s takes one argument", name)
+		}
+		a := fc.num(x.Args[0])
+		return func(e *env) float64 { return f1(a(e)) }
+	}
+	if f2, ok := mathBinary[name]; ok {
+		if len(x.Args) != 2 {
+			fc.errorf(x, "%s takes two arguments", name)
+		}
+		a, b := fc.num(x.Args[0]), fc.num(x.Args[1])
+		return func(e *env) float64 { return f2(a(e), b(e)) }
+	}
+	if inl, ok := fc.tryInline(x); ok && inl.kind == slotFloat {
+		return inl.f
+	}
+	exec := fc.userCall(x)
+	return func(e *env) float64 { return exec(e).retF }
+}
+
+// callInt compiles an int-returning call.
+func (fc *funcCompiler) callInt(x *ast.CallExpr) intFn {
+	name := x.Fun.Name
+	switch name {
+	case "abs":
+		a := fc.integer(x.Args[0])
+		return func(e *env) int64 {
+			v := a(e)
+			if v < 0 {
+				return -v
+			}
+			return v
+		}
+	case "floord":
+		a, b := fc.integer(x.Args[0]), fc.integer(x.Args[1])
+		return func(e *env) int64 { return floorDiv(a(e), b(e)) }
+	case "ceild":
+		a, b := fc.integer(x.Args[0]), fc.integer(x.Args[1])
+		return func(e *env) int64 { return ceilDiv(a(e), b(e)) }
+	case "imin":
+		a, b := fc.integer(x.Args[0]), fc.integer(x.Args[1])
+		return func(e *env) int64 {
+			va, vb := a(e), b(e)
+			if va < vb {
+				return va
+			}
+			return vb
+		}
+	case "imax":
+		a, b := fc.integer(x.Args[0]), fc.integer(x.Args[1])
+		return func(e *env) int64 {
+			va, vb := a(e), b(e)
+			if va > vb {
+				return va
+			}
+			return vb
+		}
+	case "rand":
+		m := fc.m
+		return func(*env) int64 {
+			// Deterministic LCG so runs are reproducible.
+			m.randState = m.randState*6364136223846793005 + 1442695040888963407
+			return int64((m.randState >> 33) & 0x7fffffff)
+		}
+	case "printf":
+		eff := fc.printfCall(x)
+		return func(e *env) int64 {
+			eff(e)
+			return 0
+		}
+	case "clock":
+		return func(*env) int64 { return 0 }
+	}
+	if _, ok := mathUnary[name]; ok {
+		f := fc.callFlt(x)
+		return func(e *env) int64 { return int64(f(e)) }
+	}
+	if inl, ok := fc.tryInline(x); ok && inl.kind == slotInt {
+		return inl.i
+	}
+	exec := fc.userCall(x)
+	return func(e *env) int64 { return exec(e).retI }
+}
+
+// callPtr compiles a pointer-returning user call.
+func (fc *funcCompiler) callPtr(x *ast.CallExpr) ptrFn {
+	exec := fc.userCall(x)
+	return func(e *env) mem.Pointer { return exec(e).retP }
+}
+
+// callEffect compiles a call in statement position.
+func (fc *funcCompiler) callEffect(x *ast.CallExpr) func(*env) {
+	name := x.Fun.Name
+	switch name {
+	case "free":
+		if len(x.Args) != 1 {
+			fc.errorf(x, "free takes one argument")
+		}
+		p := fc.ptr(x.Args[0])
+		m := fc.m
+		return func(e *env) {
+			if err := m.heap.Free(p(e)); err != nil {
+				rtPanic("%v", err)
+			}
+		}
+	case "printf":
+		return fc.printfCall(x)
+	case "srand":
+		a := fc.integer(x.Args[0])
+		m := fc.m
+		return func(e *env) { m.randState = uint64(a(e)) }
+	case "malloc":
+		fc.errorf(x, "malloc result must be used (cast and assign it)")
+	}
+	if _, ok := mathUnary[name]; ok {
+		f := fc.callFlt(x)
+		return func(e *env) { f(e) }
+	}
+	if _, ok := mathBinary[name]; ok {
+		f := fc.callFlt(x)
+		return func(e *env) { f(e) }
+	}
+	exec := fc.userCall(x)
+	return func(e *env) { exec(e) }
+}
+
+// userCall compiles a call of a user-defined function into a closure
+// producing the callee's finished environment.
+func (fc *funcCompiler) userCall(x *ast.CallExpr) func(*env) *env {
+	name := x.Fun.Name
+	callee, ok := fc.m.funcs[name]
+	if !ok {
+		fc.errorf(x, "call of unknown function %s", name)
+	}
+	if len(x.Args) != len(callee.decl.Params) {
+		fc.errorf(x, "function %s expects %d arguments, got %d", name, len(callee.decl.Params), len(x.Args))
+	}
+	// Compile argument closures by the parameter's slot kind. Parameter
+	// slot layout is params-first, mirroring funcCompiler.compile.
+	type argSetter func(caller *env, ne *env)
+	var setters []argSetter
+	for i, arg := range x.Args {
+		pt, err := types.FromAST(callee.decl.Params[i].Type, func(tag string) (*types.Type, error) {
+			if st, ok := fc.m.info.Structs[tag]; ok {
+				return st, nil
+			}
+			return nil, fmt.Errorf("unknown struct %s", tag)
+		})
+		if err != nil {
+			fc.errorf(x, "%v", err)
+		}
+		k, err := slotForType(pt)
+		if err != nil {
+			fc.errorf(x, "%v", err)
+		}
+		idx := i
+		switch k {
+		case slotInt:
+			a := fc.integer(arg)
+			setters = append(setters, func(c *env, ne *env) { ne.I[callee.params[idx].idx] = a(c) })
+		case slotFloat:
+			a := fc.num(arg)
+			setters = append(setters, func(c *env, ne *env) { ne.F[callee.params[idx].idx] = a(c) })
+		case slotPtr:
+			a := fc.ptr(arg)
+			setters = append(setters, func(c *env, ne *env) { ne.P[callee.params[idx].idx] = a(c) })
+		}
+	}
+	m := fc.m
+	return func(e *env) *env {
+		ne := m.newEnv(callee)
+		ne.team = e.team
+		ne.inParallel = e.inParallel
+		for _, s := range setters {
+			s(e, ne)
+		}
+		callee.body(ne)
+		return ne
+	}
+}
+
+// printfCall compiles a printf with a constant format string.
+func (fc *funcCompiler) printfCall(x *ast.CallExpr) func(*env) {
+	if len(x.Args) == 0 {
+		fc.errorf(x, "printf needs a format string")
+	}
+	lit, ok := stripParens(x.Args[0]).(*ast.StringLit)
+	if !ok {
+		fc.errorf(x, "printf format must be a string literal")
+	}
+	format := lit.Value
+	type piece struct {
+		text string
+		verb byte // 0 for plain text
+		long bool
+	}
+	var pieces []piece
+	i := 0
+	for i < len(format) {
+		j := strings.IndexByte(format[i:], '%')
+		if j < 0 {
+			pieces = append(pieces, piece{text: format[i:]})
+			break
+		}
+		if j > 0 {
+			pieces = append(pieces, piece{text: format[i : i+j]})
+		}
+		i += j + 1
+		// skip flags/width/precision
+		long := false
+		for i < len(format) && (format[i] == '-' || format[i] == '+' || format[i] == ' ' ||
+			format[i] == '0' || format[i] == '.' || (format[i] >= '0' && format[i] <= '9')) {
+			i++
+		}
+		for i < len(format) && format[i] == 'l' {
+			long = true
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		v := format[i]
+		i++
+		if v == '%' {
+			pieces = append(pieces, piece{text: "%"})
+			continue
+		}
+		pieces = append(pieces, piece{verb: v, long: long})
+	}
+	// Compile value closures for each verb in order.
+	ai := 1
+	type valFn struct {
+		verb byte
+		i    intFn
+		f    fltFn
+		p    ptrFn
+	}
+	var vals []valFn
+	for _, pc := range pieces {
+		if pc.verb == 0 {
+			continue
+		}
+		if ai >= len(x.Args) {
+			fc.errorf(x, "printf: not enough arguments for format %q", format)
+		}
+		arg := x.Args[ai]
+		ai++
+		switch pc.verb {
+		case 'd', 'i', 'u', 'x', 'c':
+			vals = append(vals, valFn{verb: pc.verb, i: fc.integer(arg)})
+		case 'f', 'g', 'e':
+			vals = append(vals, valFn{verb: pc.verb, f: fc.num(arg)})
+		case 's':
+			vals = append(vals, valFn{verb: pc.verb, p: fc.ptr(arg)})
+		default:
+			fc.errorf(x, "printf: unsupported verb %%%c", pc.verb)
+		}
+	}
+	m := fc.m
+	return func(e *env) {
+		var b strings.Builder
+		vi := 0
+		for _, pc := range pieces {
+			if pc.verb == 0 {
+				b.WriteString(pc.text)
+				continue
+			}
+			v := vals[vi]
+			vi++
+			switch pc.verb {
+			case 'd', 'i', 'u':
+				fmt.Fprintf(&b, "%d", v.i(e))
+			case 'x':
+				fmt.Fprintf(&b, "%x", v.i(e))
+			case 'c':
+				fmt.Fprintf(&b, "%c", rune(v.i(e)))
+			case 'f':
+				fmt.Fprintf(&b, "%f", v.f(e))
+			case 'g':
+				fmt.Fprintf(&b, "%g", v.f(e))
+			case 'e':
+				fmt.Fprintf(&b, "%e", v.f(e))
+			case 's':
+				b.WriteString(cString(v.p(e)))
+			}
+		}
+		fmt.Fprint(m.stdout, b.String())
+	}
+}
+
+// cString reads a NUL-terminated string from an int segment.
+func cString(p mem.Pointer) string {
+	if p.IsNull() {
+		return "(null)"
+	}
+	var b strings.Builder
+	for off := p.Off; off < len(p.Seg.I); off++ {
+		c := p.Seg.I[off]
+		if c == 0 {
+			break
+		}
+		b.WriteByte(byte(c))
+	}
+	return b.String()
+}
+
+func floorDiv(a, b int64) int64 {
+	if b == 0 {
+		rtPanic("floord division by zero")
+	}
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b == 0 {
+		rtPanic("ceild division by zero")
+	}
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}

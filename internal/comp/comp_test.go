@@ -1,0 +1,517 @@
+package comp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"purec/internal/interp"
+	"purec/internal/mem"
+	"purec/internal/parser"
+	"purec/internal/rt"
+	"purec/internal/sema"
+)
+
+// newFloatSeg builds a float segment pointer for direct function calls.
+func newFloatSeg(vals []float64) mem.Pointer {
+	seg := mem.NewSegment(mem.CellFloat, len(vals), "test")
+	copy(seg.F, vals)
+	return mem.Pointer{Seg: seg}
+}
+
+func compile(t *testing.T, src string, opts Options) *Machine {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	m, err := Compile(info, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+// runBoth executes main via the compiler and the interpreter and checks
+// both agree on the return value.
+func runBoth(t *testing.T, src string) int64 {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	m, err := Compile(info, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	got, err := m.RunMain()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	in, err := interp.New(info, nil)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	want, err := in.RunMain()
+	if err != nil {
+		t.Fatalf("interp run: %v", err)
+	}
+	if got != want {
+		t.Fatalf("compiler returned %d, interpreter %d\nsource:\n%s", got, want, src)
+	}
+	return got
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"int main(void) { return 2 + 3 * 4; }", 14},
+		{"int main(void) { return (2 + 3) * 4; }", 20},
+		{"int main(void) { return 17 / 5; }", 3},
+		{"int main(void) { return 17 % 5; }", 2},
+		{"int main(void) { return -7 + 3; }", -4},
+		{"int main(void) { return 1 << 10; }", 1024},
+		{"int main(void) { return 255 >> 4; }", 15},
+		{"int main(void) { return 12 & 10; }", 8},
+		{"int main(void) { return 12 | 10; }", 14},
+		{"int main(void) { return 12 ^ 10; }", 6},
+		{"int main(void) { return ~0; }", -1},
+		{"int main(void) { return !0 + !5; }", 1},
+		{"int main(void) { return 3 < 5 && 5 < 3 || 1; }", 1},
+		{"int main(void) { return 1 ? 42 : 7; }", 42},
+		{"int main(void) { return (int)3.99; }", 3},
+		{"int main(void) { return (int)(3.5 + 0.75); }", 4},
+	}
+	for _, c := range cases {
+		if got := runBoth(t, c.src); got != c.want {
+			t.Errorf("%q: got %d want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{`int main(void) { int s = 0; for (int i = 0; i < 10; i++) s += i; return s; }`, 45},
+		{`int main(void) { int s = 0; int i = 0; while (i < 5) { s += i; i++; } return s; }`, 10},
+		{`int main(void) { int s = 0; int i = 0; do { s += i; i++; } while (i < 3); return s; }`, 3},
+		{`int main(void) { int s = 0; for (int i = 0; i < 10; i++) { if (i == 5) break; s += i; } return s; }`, 10},
+		{`int main(void) { int s = 0; for (int i = 0; i < 10; i++) { if (i % 2) continue; s += i; } return s; }`, 20},
+		{`int main(void) { int x = 2; switch (x) { case 1: return 10; case 2: return 20; default: return 30; } }`, 20},
+		{`int main(void) { int x = 2; int s = 0; switch (x) { case 2: s += 1; case 3: s += 2; break; case 4: s += 4; } return s; }`, 3},
+		{`int main(void) { int x = 9; switch (x) { case 1: return 10; default: return 99; } }`, 99},
+	}
+	for _, c := range cases {
+		if got := runBoth(t, c.src); got != c.want {
+			t.Errorf("got %d want %d for:\n%s", got, c.want, c.src)
+		}
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+pure int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int twice(int x) { return x * 2; }
+int main(void) { return fib(12) + twice(3); }
+`
+	if got := runBoth(t, src); got != 144+6 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	src := `
+int main(void) {
+    int a[10];
+    for (int i = 0; i < 10; i++) a[i] = i * i;
+    int m[3][4];
+    for (int i = 0; i < 3; i++)
+        for (int j = 0; j < 4; j++)
+            m[i][j] = i * 10 + j;
+    return a[7] + m[2][3];
+}
+`
+	if got := runBoth(t, src); got != 49+23 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestGlobalArraysAndScalars(t *testing.T) {
+	src := `
+int total;
+float weights[8];
+int main(void) {
+    for (int i = 0; i < 8; i++) weights[i] = (float)i * 0.5f;
+    total = 0;
+    for (int i = 0; i < 8; i++) total += (int)weights[i];
+    return total;
+}
+`
+	if got := runBoth(t, src); got != 0+0+1+1+2+2+3+3 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestMallocFreePointers(t *testing.T) {
+	src := `
+int main(void) {
+    int* p = (int*)malloc(10 * sizeof(int));
+    for (int i = 0; i < 10; i++) p[i] = i + 1;
+    int* q = p + 3;
+    int v = *q + q[1];
+    free(p);
+    return v;
+}
+`
+	if got := runBoth(t, src); got != 4+5 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestPointerToPointer(t *testing.T) {
+	src := `
+int main(void) {
+    float** rows = (float**)malloc(3 * sizeof(float*));
+    for (int i = 0; i < 3; i++) {
+        rows[i] = (float*)malloc(4 * sizeof(float));
+        for (int j = 0; j < 4; j++) rows[i][j] = (float)(i * 4 + j);
+    }
+    int v = (int)rows[2][3];
+    for (int i = 0; i < 3; i++) free(rows[i]);
+    free(rows);
+    return v;
+}
+`
+	if got := runBoth(t, src); got != 11 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestStructs(t *testing.T) {
+	src := `
+struct point {
+    int x;
+    int y;
+    float w[2];
+};
+int main(void) {
+    struct point p;
+    p.x = 3;
+    p.y = 4;
+    p.w[0] = 1.5f;
+    p.w[1] = 2.5f;
+    struct point* q = (struct point*)malloc(2 * sizeof(struct point));
+    q[0].x = 10;
+    q[1].x = 20;
+    struct point* r = q + 1;
+    int v = p.x + p.y + (int)(p.w[0] + p.w[1]) + q[0].x + r->x;
+    free(q);
+    return v;
+}
+`
+	if got := runBoth(t, src); got != 3+4+4+10+20 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	src := `
+int main(void) {
+    double a = sqrt(16.0) + fabs(-3.0) + floor(2.9) + ceil(0.1);
+    double b = pow(2.0, 10.0) + fmin(1.0, 2.0) + fmax(1.0, 2.0);
+    return (int)(a + b);
+}
+`
+	if got := runBoth(t, src); got != 4+3+2+1+1024+1+2 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestFloatRounding(t *testing.T) {
+	// float (4-byte) stores must round like C floats.
+	src := `
+int main(void) {
+    float f = 16777216.0f;
+    f = f + 1.0f;
+    if (f == 16777216.0f) return 1;
+    return 0;
+}
+`
+	if got := runBoth(t, src); got != 1 {
+		t.Fatalf("float32 rounding not modeled, got %d", got)
+	}
+}
+
+func TestPrintf(t *testing.T) {
+	var buf bytes.Buffer
+	m := compile(t, `
+int main(void) {
+    printf("n=%d f=%f s=%s c=%c\n", 42, 1.5, "hi", 'x');
+    return 0;
+}
+`, Options{Stdout: &buf})
+	if _, err := m.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	want := "n=42 f=1.500000 s=hi c=x\n"
+	if buf.String() != want {
+		t.Fatalf("printf: %q want %q", buf.String(), want)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"int main(void) { int a = 0; return 5 / a; }", "division by zero"},
+		{`int main(void) { int a[3]; return a[5]; }`, "out of range"},
+		{`int main(void) { int* p = (int*)malloc(8); free(p); free(p); return 0; }`, "double free"},
+		{`int main(void) { int* p; return *p; }`, "nil"},
+	}
+	for _, c := range cases {
+		m := compile(t, c.src, Options{})
+		_, err := m.RunMain()
+		if err == nil {
+			t.Errorf("%q: expected runtime error", c.src)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), c.frag) {
+			t.Errorf("%q: error %q missing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+const parallelMatmul = `
+float **A, **Bt, **C;
+int n;
+
+pure float mult(float a, float b) {
+    return a * b;
+}
+
+pure float dot(pure float* a, pure float* b, int size) {
+    float res = 0.0f;
+    for (int i = 0; i < size; ++i)
+        res += mult(a[i], b[i]);
+    return res;
+}
+
+void init(void) {
+    n = 24;
+    A = (float**)malloc(n * sizeof(float*));
+    Bt = (float**)malloc(n * sizeof(float*));
+    C = (float**)malloc(n * sizeof(float*));
+    for (int i = 0; i < n; i++) {
+        A[i] = (float*)malloc(n * sizeof(float));
+        Bt[i] = (float*)malloc(n * sizeof(float));
+        C[i] = (float*)malloc(n * sizeof(float));
+        for (int j = 0; j < n; j++) {
+            A[i][j] = (float)(i + j) * 0.25f;
+            Bt[i][j] = (float)(i - j) * 0.5f;
+        }
+    }
+}
+
+int checksum(void) {
+    float s = 0.0f;
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+            s += C[i][j];
+    return (int)s;
+}
+
+int main(void) {
+    init();
+#pragma omp parallel for private(j)
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+            C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], n);
+    return checksum();
+}
+`
+
+func TestParallelForMatchesSequential(t *testing.T) {
+	mSeq := compile(t, parallelMatmul, Options{Team: rt.NewTeam(1)})
+	want, err := mSeq.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		m := compile(t, parallelMatmul, Options{Team: rt.NewTeam(workers)})
+		got, err := m.RunMain()
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if got != want {
+			t.Fatalf("%d workers: checksum %d, sequential %d", workers, got, want)
+		}
+	}
+}
+
+func TestICCBackendMatchesGCC(t *testing.T) {
+	g := compile(t, parallelMatmul, Options{Backend: BackendGCC, Team: rt.NewTeam(2)})
+	i := compile(t, parallelMatmul, Options{Backend: BackendICC, Team: rt.NewTeam(2)})
+	a, err := g.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := i.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("backends disagree: gcc=%d icc=%d", a, b)
+	}
+}
+
+func TestVectorizedKernelIsUsed(t *testing.T) {
+	// Compile dot with ICC and verify the kernel computes the same value
+	// as the scalar path on a direct call.
+	src := `
+pure float dot(pure float* a, pure float* b, int size) {
+    float res = 0.0f;
+    for (int i = 0; i < size; ++i)
+        res += a[i] * b[i];
+    return res;
+}
+int main(void) { return 0; }
+`
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcc, err := Compile(info, Options{Backend: BackendGCC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	icc, err := Compile(info, Options{Backend: BackendICC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 257
+	av := make([]float64, n)
+	bv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		av[i] = float64(float32(0.5 * float64(i)))
+		bv[i] = float64(float32(0.25 * float64(n-i)))
+	}
+	pa := newFloatSeg(av)
+	pb := newFloatSeg(bv)
+	rg, err := gcc.CallFloat("dot", pa, pb, int64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := icc.CallFloat("dot", pa, pb, int64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg != ri {
+		t.Fatalf("vectorized kernel differs: gcc=%v icc=%v", rg, ri)
+	}
+	if rg == 0 {
+		t.Fatal("dot returned zero, inputs ignored")
+	}
+}
+
+func TestDynamicScheduleCorrect(t *testing.T) {
+	src := strings.Replace(parallelMatmul,
+		"#pragma omp parallel for private(j)",
+		"#pragma omp parallel for private(j) schedule(dynamic,1)", 1)
+	mSeq := compile(t, parallelMatmul, Options{Team: rt.NewTeam(1)})
+	want, err := mSeq.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := compile(t, src, Options{Team: rt.NewTeam(4)})
+	got, err := m.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("dynamic schedule: %d want %d", got, want)
+	}
+}
+
+// Property: random straight-line integer programs agree between compiler
+// and interpreter.
+func TestCompilerInterpreterAgreeProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		src := genIntProgram(seed)
+		fAst, err := parser.Parse("p.c", src)
+		if err != nil {
+			return false
+		}
+		info, err := sema.Check(fAst)
+		if err != nil {
+			return false
+		}
+		m, err := Compile(info, Options{})
+		if err != nil {
+			return false
+		}
+		got, err := m.RunMain()
+		if err != nil {
+			return true // runtime fault (e.g. div by zero): both would fault
+		}
+		in, err := interp.New(info, nil)
+		if err != nil {
+			return false
+		}
+		want, err := in.RunMain()
+		if err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// genIntProgram builds a deterministic random arithmetic program.
+func genIntProgram(seed uint32) string {
+	s := seed
+	next := func(n int) int {
+		s = s*1664525 + 1013904223
+		return int(s>>16) % n
+	}
+	ops := []string{"+", "-", "*", "%", "/", "&", "|", "^"}
+	var b strings.Builder
+	b.WriteString("int main(void) {\n int a = ")
+	fmt.Fprintf(&b, "%d; int v = 1;\n", next(100)+1)
+	for i := 0; i < 12; i++ {
+		op := ops[next(len(ops))]
+		c := next(37) + 1
+		fmt.Fprintf(&b, " a = (a %s %d) + v;\n", op, c)
+		if next(3) == 0 {
+			fmt.Fprintf(&b, " if (a > %d) v = v + 1; else v = v - 1;\n", next(500))
+		}
+		if next(4) == 0 {
+			fmt.Fprintf(&b, " for (int k = 0; k < %d; k++) a = a + k;\n", next(6))
+		}
+	}
+	b.WriteString(" return a;\n}\n")
+	return b.String()
+}

@@ -1,0 +1,458 @@
+package comp
+
+import (
+	"strings"
+
+	"purec/internal/ast"
+	"purec/internal/rt"
+	"purec/internal/sema"
+	"purec/internal/token"
+	"purec/internal/types"
+)
+
+// block compiles a statement block, honoring #pragma omp parallel for
+// annotations on the following loop.
+func (fc *funcCompiler) block(b *ast.BlockStmt) stmtFn {
+	return fc.stmtList(b.List)
+}
+
+func (fc *funcCompiler) stmtList(list []ast.Stmt) stmtFn {
+	var fns []stmtFn
+	for i := 0; i < len(list); i++ {
+		s := list[i]
+		if pr, ok := s.(*ast.PragmaStmt); ok {
+			if isOmpParallelFor(pr.Text) && i+1 < len(list) {
+				if f, ok := list[i+1].(*ast.ForStmt); ok {
+					fns = append(fns, fc.parallelFor(f, pr.Text))
+					i++
+					continue
+				}
+			}
+			// scop/endscop/simd markers have no runtime effect.
+			continue
+		}
+		fns = append(fns, fc.stmt(s))
+	}
+	switch len(fns) {
+	case 0:
+		return func(*env) ctrl { return ctrlNext }
+	case 1:
+		return fns[0]
+	}
+	return func(e *env) ctrl {
+		for _, f := range fns {
+			if c := f(e); c != ctrlNext {
+				return c
+			}
+		}
+		return ctrlNext
+	}
+}
+
+func isOmpParallelFor(text string) bool {
+	return strings.Contains(text, "omp") && strings.Contains(text, "parallel") &&
+		strings.Contains(text, "for")
+}
+
+func (fc *funcCompiler) stmt(s ast.Stmt) stmtFn {
+	switch x := s.(type) {
+	case *ast.DeclStmt:
+		return fc.declStmt(x)
+	case *ast.ExprStmt:
+		eff := fc.effect(x.X)
+		return func(e *env) ctrl {
+			eff(e)
+			return ctrlNext
+		}
+	case *ast.EmptyStmt:
+		return func(*env) ctrl { return ctrlNext }
+	case *ast.BlockStmt:
+		return fc.block(x)
+	case *ast.IfStmt:
+		c := fc.cond(x.Cond)
+		then := fc.stmt(x.Then)
+		if x.Else == nil {
+			return func(e *env) ctrl {
+				if c(e) {
+					return then(e)
+				}
+				return ctrlNext
+			}
+		}
+		els := fc.stmt(x.Else)
+		return func(e *env) ctrl {
+			if c(e) {
+				return then(e)
+			}
+			return els(e)
+		}
+	case *ast.ForStmt:
+		return fc.forStmt(x)
+	case *ast.WhileStmt:
+		c := fc.cond(x.Cond)
+		body := fc.stmt(x.Body)
+		return func(e *env) ctrl {
+			for c(e) {
+				switch body(e) {
+				case ctrlBreak:
+					return ctrlNext
+				case ctrlReturn:
+					return ctrlReturn
+				}
+			}
+			return ctrlNext
+		}
+	case *ast.DoStmt:
+		c := fc.cond(x.Cond)
+		body := fc.stmt(x.Body)
+		return func(e *env) ctrl {
+			for {
+				switch body(e) {
+				case ctrlBreak:
+					return ctrlNext
+				case ctrlReturn:
+					return ctrlReturn
+				}
+				if !c(e) {
+					return ctrlNext
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		return fc.returnStmt(x)
+	case *ast.BreakStmt:
+		return func(*env) ctrl { return ctrlBreak }
+	case *ast.ContinueStmt:
+		return func(*env) ctrl { return ctrlContinue }
+	case *ast.SwitchStmt:
+		return fc.switchStmt(x)
+	case *ast.PragmaStmt:
+		return func(*env) ctrl { return ctrlNext }
+	}
+	fc.errorf(s, "unsupported statement %T", s)
+	return nil
+}
+
+func (fc *funcCompiler) declStmt(x *ast.DeclStmt) stmtFn {
+	var fns []func(*env)
+	for _, d := range x.Decls {
+		sym := fc.declSym[d]
+		if sym == nil {
+			fc.errorf(d, "declaration of %s has no symbol", d.Name)
+		}
+		if d.Init == nil {
+			continue
+		}
+		sl := fc.slots[sym]
+		switch sl.kind {
+		case slotInt:
+			v := fc.integer(d.Init)
+			idx := sl.idx
+			fns = append(fns, func(e *env) { e.I[idx] = v(e) })
+		case slotFloat:
+			v := fc.num(d.Init)
+			idx := sl.idx
+			if sym.Type.CSize == 4 {
+				inner := v
+				v = func(e *env) float64 { return float64(float32(inner(e))) }
+			}
+			fns = append(fns, func(e *env) { e.F[idx] = v(e) })
+		case slotPtr:
+			if sym.IsArray() || sym.Type.Kind == types.Struct {
+				fc.errorf(d, "array/struct initializers are not supported")
+			}
+			v := fc.ptr(d.Init)
+			idx := sl.idx
+			fns = append(fns, func(e *env) { e.P[idx] = v(e) })
+		}
+	}
+	return func(e *env) ctrl {
+		for _, f := range fns {
+			f(e)
+		}
+		return ctrlNext
+	}
+}
+
+func (fc *funcCompiler) returnStmt(x *ast.ReturnStmt) stmtFn {
+	if x.X == nil {
+		return func(*env) ctrl { return ctrlReturn }
+	}
+	if fc.cf.retVoid {
+		fc.errorf(x, "value returned from void function")
+	}
+	switch fc.cf.retKind {
+	case slotInt:
+		v := fc.integer(x.X)
+		return func(e *env) ctrl {
+			e.retI = v(e)
+			return ctrlReturn
+		}
+	case slotFloat:
+		v := fc.num(x.X)
+		if fc.sig != nil && fc.sig.Ret.CSize == 4 {
+			inner := v
+			v = func(e *env) float64 { return float64(float32(inner(e))) }
+		}
+		return func(e *env) ctrl {
+			e.retF = v(e)
+			return ctrlReturn
+		}
+	default:
+		v := fc.ptr(x.X)
+		return func(e *env) ctrl {
+			e.retP = v(e)
+			return ctrlReturn
+		}
+	}
+}
+
+func (fc *funcCompiler) switchStmt(x *ast.SwitchStmt) stmtFn {
+	tag := fc.integer(x.Tag)
+	type ccase struct {
+		val   int64
+		deflt bool
+		body  stmtFn
+	}
+	var cases []ccase
+	for _, c := range x.Cases {
+		cc := ccase{body: fc.stmtList(c.Body)}
+		if c.Value == nil {
+			cc.deflt = true
+		} else {
+			v, ok := sema.ConstInt(c.Value)
+			if !ok {
+				fc.errorf(c, "case label must be constant")
+			}
+			cc.val = v
+		}
+		cases = append(cases, cc)
+	}
+	// C fall-through: execution continues into following cases until a
+	// break. We execute from the matching case through the rest.
+	return func(e *env) ctrl {
+		v := tag(e)
+		start := -1
+		for i, c := range cases {
+			if !c.deflt && c.val == v {
+				start = i
+				break
+			}
+		}
+		if start < 0 {
+			for i, c := range cases {
+				if c.deflt {
+					start = i
+					break
+				}
+			}
+		}
+		if start < 0 {
+			return ctrlNext
+		}
+		for i := start; i < len(cases); i++ {
+			switch cases[i].body(e) {
+			case ctrlBreak:
+				return ctrlNext
+			case ctrlReturn:
+				return ctrlReturn
+			case ctrlContinue:
+				return ctrlContinue
+			}
+		}
+		return ctrlNext
+	}
+}
+
+// forStmt compiles a sequential for loop. Inside pure functions the ICC
+// backend first tries to replace canonical reduction loops by fused
+// kernels (the vectorization analog).
+func (fc *funcCompiler) forStmt(x *ast.ForStmt) stmtFn {
+	if (fc.m.opts.Backend == BackendICC && fc.cf.pure) || fc.m.opts.Vectorize {
+		if k := fc.tryVectorize(x); k != nil {
+			return k
+		}
+	}
+	var init stmtFn
+	if x.Init != nil {
+		init = fc.stmt(x.Init)
+	}
+	var cond func(*env) bool
+	if x.Cond != nil {
+		cond = fc.cond(x.Cond)
+	} else {
+		cond = func(*env) bool { return true }
+	}
+	var post func(*env)
+	if x.Post != nil {
+		post = fc.effect(x.Post)
+	}
+	body := fc.stmt(x.Body)
+	return func(e *env) ctrl {
+		if init != nil {
+			init(e)
+		}
+		for cond(e) {
+			switch body(e) {
+			case ctrlBreak:
+				return ctrlNext
+			case ctrlReturn:
+				return ctrlReturn
+			}
+			if post != nil {
+				post(e)
+			}
+		}
+		return ctrlNext
+	}
+}
+
+// canonicalLoop extracts (iterSlot, lower, upperInclusive, body) from a
+// canonical loop "for (int i = LB; i < UB; i++) ...".
+type canonicalLoop struct {
+	iterSlot int
+	lower    intFn
+	upper    intFn // inclusive
+	body     ast.Stmt
+	iterSym  *sema.Symbol
+}
+
+func (fc *funcCompiler) canonical(x *ast.ForStmt) (canonicalLoop, bool) {
+	var cl canonicalLoop
+	var iterName string
+	switch init := x.Init.(type) {
+	case *ast.DeclStmt:
+		if len(init.Decls) != 1 || init.Decls[0].Init == nil {
+			return cl, false
+		}
+		sym := fc.declSym[init.Decls[0]]
+		if sym == nil {
+			return cl, false
+		}
+		sl := fc.slots[sym]
+		if sl.kind != slotInt {
+			return cl, false
+		}
+		cl.iterSlot = sl.idx
+		cl.iterSym = sym
+		cl.lower = fc.integer(init.Decls[0].Init)
+		iterName = init.Decls[0].Name
+	case *ast.ExprStmt:
+		as, ok := init.X.(*ast.AssignExpr)
+		if !ok || as.Op != token.ASSIGN {
+			return cl, false
+		}
+		id, ok := as.LHS.(*ast.Ident)
+		if !ok {
+			return cl, false
+		}
+		sym := fc.symOf(id)
+		sl, global := fc.slotOf(sym, id)
+		if global || sl.kind != slotInt {
+			return cl, false
+		}
+		cl.iterSlot = sl.idx
+		cl.iterSym = sym
+		cl.lower = fc.integer(as.RHS)
+		iterName = id.Name
+	default:
+		return cl, false
+	}
+	condBin, ok := x.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return cl, false
+	}
+	condID, ok := condBin.X.(*ast.Ident)
+	if !ok || condID.Name != iterName {
+		return cl, false
+	}
+	ub := fc.integer(condBin.Y)
+	switch condBin.Op {
+	case token.LSS:
+		cl.upper = func(e *env) int64 { return ub(e) - 1 }
+	case token.LEQ:
+		cl.upper = ub
+	default:
+		return cl, false
+	}
+	switch post := x.Post.(type) {
+	case *ast.PostfixExpr:
+		id, ok := post.X.(*ast.Ident)
+		if !ok || id.Name != iterName || post.Op != token.INC {
+			return cl, false
+		}
+	case *ast.UnaryExpr:
+		id, ok := post.X.(*ast.Ident)
+		if !ok || id.Name != iterName || post.Op != token.INC {
+			return cl, false
+		}
+	case *ast.AssignExpr:
+		id, ok := post.LHS.(*ast.Ident)
+		if !ok || id.Name != iterName || post.Op != token.ADDASSIGN {
+			return cl, false
+		}
+		if v, ok := sema.ConstInt(post.RHS); !ok || v != 1 {
+			return cl, false
+		}
+	default:
+		return cl, false
+	}
+	cl.body = x.Body
+	return cl, true
+}
+
+// parallelFor compiles a loop annotated with #pragma omp parallel for.
+// Iterations are distributed over the team; each worker executes on a
+// cloned environment (private scalars, shared segments), the OpenMP
+// private-variable analog.
+func (fc *funcCompiler) parallelFor(x *ast.ForStmt, pragma string) stmtFn {
+	cl, ok := fc.canonical(x)
+	if !ok {
+		fc.errorf(x, "#pragma omp parallel for requires a canonical loop (int i = lb; i < ub; i++)")
+	}
+	sched, chunk := parseOmpSchedule(pragma)
+	body := fc.stmt(cl.body)
+	iterSlot := cl.iterSlot
+	return func(e *env) ctrl {
+		lo := cl.lower(e)
+		hi := cl.upper(e)
+		if e.inParallel || e.team == nil || e.team.Size() == 1 {
+			// Nested parallelism is disabled (OpenMP default); run inline.
+			for i := lo; i <= hi; i++ {
+				e.I[iterSlot] = i
+				if c := body(e); c == ctrlBreak {
+					break
+				} else if c == ctrlReturn {
+					return ctrlReturn
+				}
+			}
+			return ctrlNext
+		}
+		e.team.ParallelFor(lo, hi, sched, chunk, func(w int, clo, chi int64) {
+			we := e.clone()
+			for i := clo; i <= chi; i++ {
+				we.I[iterSlot] = i
+				body(we)
+			}
+		})
+		return ctrlNext
+	}
+}
+
+// parseOmpSchedule extracts the schedule clause of an omp pragma.
+func parseOmpSchedule(pragma string) (rt.Schedule, int) {
+	i := strings.Index(pragma, "schedule(")
+	if i < 0 {
+		return rt.Static, 0
+	}
+	rest := pragma[i+len("schedule("):]
+	j := strings.IndexByte(rest, ')')
+	if j < 0 {
+		return rt.Static, 0
+	}
+	s, c, err := rt.ParseSchedule(strings.TrimSpace(rest[:j]))
+	if err != nil {
+		return rt.Static, 0
+	}
+	return s, c
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"purec/internal/interp"
+	"purec/internal/parser"
+	"purec/internal/purity"
+	"purec/internal/sema"
+)
+
+// TestPuritySoundnessOracle is the dynamic side-effect oracle promised in
+// DESIGN.md: for generated programs, whenever the static purity checker
+// ACCEPTS a pure-marked function, actually executing that function must
+// not change any observable global state. (The converse does not hold —
+// the checker is deliberately conservative.)
+func TestPuritySoundnessOracle(t *testing.T) {
+	f := func(seed uint32) bool {
+		src := genOracleProgram(seed)
+		file, err := parser.Parse("o.c", src)
+		if err != nil {
+			return true // generator produced an invalid program: skip
+		}
+		info, err := sema.Check(file)
+		if err != nil {
+			return true
+		}
+		pres := purity.Check(info)
+		if pres.Err() != nil {
+			return true // rejected: nothing to verify dynamically
+		}
+		if !pres.PureFuncs["probe"] {
+			return true
+		}
+		// probe was verified pure: executing main (which calls probe)
+		// must leave the globals exactly as direct initialization would.
+		in, err := interp.New(info, nil)
+		if err != nil {
+			return true
+		}
+		before := snapshotGlobals(t, in)
+		if _, err := in.Call("probe", interp.IntV(3)); err != nil {
+			return true // runtime fault is fine; side-effects are not
+		}
+		after := snapshotGlobals(t, in)
+		if before != after {
+			t.Logf("purity checker accepted a function with side-effects!\nsource:\n%s\nbefore: %s\nafter:  %s",
+				src, before, after)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshotGlobals renders the observable global scalar and array state.
+func snapshotGlobals(t *testing.T, in *interp.Interp) string {
+	t.Helper()
+	var b strings.Builder
+	p, err := in.GlobalPtr("garr")
+	if err == nil && !p.IsNull() {
+		for i := 0; i < 4; i++ {
+			fmt.Fprintf(&b, "%v,", p.Add(int64(i)).LoadInt())
+		}
+	}
+	if v, err := in.GlobalValue("gscalar"); err == nil {
+		fmt.Fprintf(&b, "g=%d", v.AsInt())
+	}
+	return b.String()
+}
+
+// genOracleProgram builds a small program with a pure-marked probe
+// function whose body is drawn from a mix of genuinely pure and
+// side-effecting snippets. The checker must accept only the pure ones;
+// the oracle verifies the accepted ones dynamically.
+func genOracleProgram(seed uint32) string {
+	s := seed
+	pick := func(list []string) string {
+		s = s*1664525 + 1013904223
+		return list[int(s>>16)%len(list)]
+	}
+	bodies := []string{
+		// pure bodies
+		"int a = x + 1; return a * 2;",
+		"int r = 0; for (int i = 0; i < x; i++) r += i; return r;",
+		"int* p = (int*)malloc(4 * sizeof(int)); p[0] = x; int r = p[0]; free(p); return r;",
+		"int buf[4]; buf[0] = x; buf[1] = buf[0] * 2; return buf[1];",
+		"return garr[0] + x;", // reading globals is allowed
+		"pure int* v = (pure int*)garr; return v[1] + x;",
+		"return probe2(x) + 1;",
+		// impure bodies — must be rejected statically
+		"garr[0] = x; return x;",
+		"garr[1] = garr[1] + 1; return x;",
+		"gscalar = x; return x;",
+		"gscalar++; return gscalar;",
+		"int* p = garr; p[2] = x; return x;",
+		"leak(); return x;",
+	}
+	body := pick(bodies)
+	return fmt.Sprintf(`
+int garr[4];
+int gscalar;
+
+void leak(void) { gscalar = 99; }
+
+pure int probe2(int y) { return y * y; }
+
+pure int probe(int x) {
+    %s
+}
+
+int main(void) {
+    return probe(3);
+}
+`, body)
+}

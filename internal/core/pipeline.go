@@ -1,0 +1,253 @@
+// Package core drives the paper's complete compiler chain (Fig. 1):
+//
+//	C source
+//	  → PC-PrePro   strip #include <...>            (internal/preproc)
+//	  → GCC-E       expand macros and local includes (internal/preproc)
+//	  → PC-CC       parse, type check, verify pure functions, mark SCoPs,
+//	                substitute pure calls by tmpConst_* placeholders
+//	                (internal/{parser,sema,purity,scop})
+//	  → polycc      polyhedral transformation, OpenMP/simd pragma
+//	                insertion (internal/{poly,transform})
+//	  → restore     re-insert the substituted calls
+//	  → PC-PosPro   re-insert system includes, lower pure to plain C
+//	                (pure pointers become const, function purity is
+//	                erased), exactly as described in Sect. 3.2
+//	  → "GCC/ICC"   restart the front end on the generated source and
+//	                compile to an executable machine (internal/comp)
+//
+// Per the paper, the chain restarts from the beginning on the transformed
+// source ("we start the GCC toolchain from the beginning with the program
+// file built at the end of our compiler pass"), which also guarantees the
+// executed program is exactly the printed artifact.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"purec/internal/ast"
+	"purec/internal/comp"
+	"purec/internal/parser"
+	"purec/internal/preproc"
+	"purec/internal/purity"
+	"purec/internal/rt"
+	"purec/internal/scop"
+	"purec/internal/sema"
+	"purec/internal/transform"
+)
+
+// Mode selects which parallelizer the chain models.
+type Mode int
+
+// Parallelizer modes.
+const (
+	// ModePure is the paper's chain: loop bodies may call verified pure
+	// functions (and malloc/free).
+	ModePure Mode = iota
+	// ModePluTo models the classic polyhedral tool on its own: any
+	// function call in a loop body disqualifies the nest, so only
+	// manually inlined code is transformed (Sect. 4.2).
+	ModePluTo
+)
+
+// Config controls one pipeline run.
+type Config struct {
+	// Mode selects pure-aware (default) or classic polyhedral
+	// parallelization.
+	Mode Mode
+	// FileName labels diagnostics.
+	FileName string
+	// Defines are injected object-like macros (like -DN=4096).
+	Defines map[string]string
+	// Files resolves local #include "..." directives.
+	Files map[string]string
+	// Parallelize enables the SCoP/polyhedral stages; when false the
+	// pipeline produces the sequential baseline build.
+	Parallelize bool
+	// Transform configures the polyhedral stage (tiling, skewing,
+	// schedule clause).
+	Transform transform.Options
+	// Backend selects the GCC or ICC compile analog.
+	Backend comp.Backend
+	// Vectorize enables the PluTo-SICA SIMD analog: fused-kernel
+	// compilation of canonical reduction loops anywhere in the program.
+	Vectorize bool
+	// TeamSize is the OpenMP thread-count analog (cores in the paper's
+	// figures).
+	TeamSize int
+	// Stdout receives printf output of the compiled program.
+	Stdout io.Writer
+}
+
+// Stages holds the source snapshots after each chain stage of Fig. 1.
+type Stages struct {
+	Original    string
+	Stripped    string // after PC-PrePro
+	Expanded    string // after GCC-E
+	Marked      string // after PC-CC (scop pragmas + tmpConst_ substitution)
+	Transformed string // after polycc + call restoration
+	Final       string // after PC-PosPro (includes back, pure lowered)
+}
+
+// Result is a finished build.
+type Result struct {
+	Stages Stages
+	// Pure lists the verified pure functions.
+	Pure []string
+	// SCoPs is the number of loop nests handed to the polyhedral stage.
+	SCoPs int
+	// Rejections explains loops that were considered but not marked.
+	Rejections []string
+	// Report describes the polyhedral transformations applied.
+	Report *transform.Report
+	// Machine is the executable program.
+	Machine *comp.Machine
+	// Info is the semantic model of the final source.
+	Info *sema.Info
+}
+
+// Build runs the full chain on src.
+func Build(src string, cfg Config) (*Result, error) {
+	if cfg.FileName == "" {
+		cfg.FileName = "program.c"
+	}
+	res := &Result{}
+	res.Stages.Original = src
+
+	// PC-PrePro: remove system includes.
+	stripped, includes := preproc.StripSystemIncludes(src)
+	res.Stages.Stripped = stripped
+
+	// GCC-E: expand macros and local includes.
+	ex := &preproc.Expander{Files: cfg.Files}
+	for k, v := range cfg.Defines {
+		ex.Define(k, v)
+	}
+	expanded, err := ex.Expand(stripped)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess: %v", err)
+	}
+	res.Stages.Expanded = expanded
+
+	// PC-CC: parse, check, verify purity.
+	file, err := parser.Parse(cfg.FileName, expanded)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %v", err)
+	}
+	info, err := sema.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("check: %v", err)
+	}
+	pres := purity.Check(info)
+	if err := pres.Err(); err != nil {
+		return nil, fmt.Errorf("purity check: %v", err)
+	}
+	for name := range pres.PureFuncs {
+		res.Pure = append(res.Pure, name)
+	}
+
+	if cfg.Parallelize {
+		sres := scop.DetectWith(info, pres, scop.Options{AllowPureCalls: cfg.Mode == ModePure})
+		if len(sres.Errors) > 0 {
+			// Listing-5 violations are hard errors in the paper's pass.
+			return nil, fmt.Errorf("scop: %v", sres.Errors[0])
+		}
+		res.SCoPs = len(sres.SCoPs)
+		res.Rejections = sres.Rejections
+		scop.MarkPragmas(sres.SCoPs)
+		// Temporarily hide the pure calls from the polyhedral stage.
+		subs := make([][]scop.Substitution, len(sres.SCoPs))
+		for i, sc := range sres.SCoPs {
+			subs[i] = scop.SubstituteCalls(sc)
+		}
+		res.Stages.Marked = ast.Print(file)
+		rep, err := transform.Parallelize(sres.SCoPs, cfg.Transform)
+		if err != nil {
+			return nil, fmt.Errorf("polyhedral transform: %v", err)
+		}
+		res.Report = rep
+		for i, sc := range sres.SCoPs {
+			scop.RestoreCalls(sc, subs[i])
+		}
+		res.Stages.Transformed = ast.Print(file)
+	} else {
+		res.Stages.Marked = ast.Print(file)
+		res.Stages.Transformed = res.Stages.Marked
+	}
+
+	// PC-PosPro: lower pure to plain C and re-insert system includes.
+	lowered, err := parser.Parse(cfg.FileName, res.Stages.Transformed)
+	if err != nil {
+		return nil, fmt.Errorf("internal: transformed source does not reparse: %v", err)
+	}
+	StripPure(lowered)
+	res.Stages.Final = preproc.ReinsertSystemIncludes(ast.Print(lowered), includes)
+
+	// Restart the chain on the generated file and compile it. The
+	// executable build keeps the pure markers (they carry the inlining
+	// and vectorization facts GCC/ICC would rediscover from the const
+	// lowering plus static analysis); Stages.Final is the plain-C
+	// artifact the paper's chain hands to GCC.
+	finalFile, err := parser.Parse(cfg.FileName, res.Stages.Transformed)
+	if err != nil {
+		return nil, fmt.Errorf("internal: final source does not reparse: %v", err)
+	}
+	finalInfo, err := sema.Check(finalFile)
+	if err != nil {
+		return nil, fmt.Errorf("internal: final source does not re-check: %v", err)
+	}
+	team := rt.NewTeam(cfg.TeamSize)
+	machine, err := comp.Compile(finalInfo, comp.Options{
+		Backend:   cfg.Backend,
+		Team:      team,
+		Stdout:    cfg.Stdout,
+		Vectorize: cfg.Vectorize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("compile: %v", err)
+	}
+	res.Machine = machine
+	res.Info = finalInfo
+	return res, nil
+}
+
+// StripPure lowers the pure extension to plain C in place: pure pointer
+// qualifiers become const and the pure function modifier is removed —
+// the exact lowering of Sect. 3.2 ("The pointer prefixes are replaced
+// with the const keyword ... we remove the function prefix completely").
+func StripPure(f *ast.File) {
+	strip := func(t *ast.TypeExpr) {
+		if t == nil {
+			return
+		}
+		if t.Pure {
+			// "pure T*" was normalized to both a type-level and an
+			// outermost-pointer-level qualifier; lower it to a single
+			// leading const ("const T*").
+			t.Pure = false
+			t.Const = true
+			if n := len(t.Ptrs); n > 0 && t.Ptrs[n-1].Pure {
+				t.Ptrs[n-1].Pure = false
+			}
+		}
+		for i := range t.Ptrs {
+			if t.Ptrs[i].Pure {
+				t.Ptrs[i].Pure = false
+				t.Ptrs[i].Const = true
+			}
+		}
+	}
+	ast.Walk(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			x.Pure = false
+			strip(x.Ret)
+			for i := range x.Params {
+				strip(x.Params[i].Type)
+			}
+		case *ast.TypeExpr:
+			strip(x)
+		}
+		return true
+	})
+}

@@ -1,0 +1,253 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"purec/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	l := New("test.c", src)
+	var ks []token.Kind
+	for _, tok := range l.ScanAll() {
+		ks = append(ks, tok.Kind)
+	}
+	if err := l.Errors().Err(); err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return ks
+}
+
+func TestKeywords(t *testing.T) {
+	got := kinds(t, "pure int for while if else return const struct")
+	want := []token.Kind{token.PURE, token.INT, token.FOR, token.WHILE,
+		token.IF, token.ELSE, token.RETURN, token.CONST, token.STRUCT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPureIsKeywordNotIdent(t *testing.T) {
+	l := New("t.c", "pure purex xpure")
+	toks := l.ScanAll()
+	if toks[0].Kind != token.PURE {
+		t.Errorf("pure: got %v", toks[0])
+	}
+	if toks[1].Kind != token.IDENT || toks[1].Lit != "purex" {
+		t.Errorf("purex: got %v", toks[1])
+	}
+	if toks[2].Kind != token.IDENT || toks[2].Lit != "xpure" {
+		t.Errorf("xpure: got %v", toks[2])
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "+ - * / % ++ -- += -= *= /= %= == != < <= > >= && || & | ^ << >> <<= >>= ! ~ -> . ? : ; , ( ) [ ] { }"
+	got := kinds(t, src)
+	want := []token.Kind{
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.INC, token.DEC,
+		token.ADDASSIGN, token.SUBASSIGN, token.MULASSIGN, token.QUOASSIGN, token.REMASSIGN,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.LAND, token.LOR, token.AND, token.OR, token.XOR,
+		token.SHL, token.SHR, token.SHLASSIGN, token.SHRASSIGN,
+		token.NOT, token.TILDE, token.ARROW, token.DOT,
+		token.QUESTION, token.COLON, token.SEMI, token.COMMA,
+		token.LPAREN, token.RPAREN, token.LBRACK, token.RBRACK,
+		token.LBRACE, token.RBRACE, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("count: got %d want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+	}{
+		{"0", token.INTLIT},
+		{"42", token.INTLIT},
+		{"0x1F", token.INTLIT},
+		{"077", token.INTLIT},
+		{"42u", token.INTLIT},
+		{"42UL", token.INTLIT},
+		{"3.14", token.FLOATLIT},
+		{"0.0f", token.FLOATLIT},
+		{".5", token.FLOATLIT},
+		{"1e9", token.FLOATLIT},
+		{"1.5e-3", token.FLOATLIT},
+		{"2.E+4", token.FLOATLIT},
+	}
+	for _, c := range cases {
+		l := New("t.c", c.src)
+		tok := l.Scan()
+		if tok.Kind != c.kind || tok.Lit != c.src {
+			t.Errorf("%q: got %v (lit %q), want kind %v", c.src, tok.Kind, tok.Lit, c.kind)
+		}
+	}
+}
+
+func TestCommentsSkippedByDefault(t *testing.T) {
+	got := kinds(t, "a /* block \n comment */ b // line\nc")
+	want := []token.Kind{token.IDENT, token.IDENT, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCommentsKept(t *testing.T) {
+	l := New("t.c", "a // hi\nb", KeepComments())
+	toks := l.ScanAll()
+	if len(toks) != 4 || toks[1].Kind != token.COMMENT || toks[1].Lit != "// hi" {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestPragmaToken(t *testing.T) {
+	l := New("t.c", "#pragma scop\nint x;\n#pragma endscop\n")
+	toks := l.ScanAll()
+	if toks[0].Kind != token.PRAGMA || toks[0].Lit != "#pragma scop" {
+		t.Fatalf("first: %v", toks[0])
+	}
+	if toks[4].Kind != token.PRAGMA || toks[4].Lit != "#pragma endscop" {
+		t.Fatalf("fifth: %v", toks[4])
+	}
+}
+
+func TestOmpPragmaWithContinuation(t *testing.T) {
+	l := New("t.c", "#pragma omp parallel for \\\n    private(i)\nint x;")
+	toks := l.ScanAll()
+	if toks[0].Kind != token.PRAGMA {
+		t.Fatalf("got %v", toks[0])
+	}
+	if !strings.Contains(toks[0].Lit, "private(i)") {
+		t.Errorf("continuation lost: %q", toks[0].Lit)
+	}
+}
+
+func TestNonPragmaDirectiveIsError(t *testing.T) {
+	l := New("t.c", "#include <stdio.h>\nint x;")
+	l.ScanAll()
+	if l.Errors().Err() == nil {
+		t.Fatal("expected error for raw #include (preprocessor must run first)")
+	}
+}
+
+func TestStringAndCharLiterals(t *testing.T) {
+	l := New("t.c", `"hello \"x\"" 'a' '\n' '\\'`)
+	toks := l.ScanAll()
+	if toks[0].Kind != token.STRINGLIT {
+		t.Errorf("string: %v", toks[0])
+	}
+	for i := 1; i <= 3; i++ {
+		if toks[i].Kind != token.CHARLIT {
+			t.Errorf("char %d: %v", i, toks[i])
+		}
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	l := New("t.c", "\"abc\nint")
+	l.ScanAll()
+	if l.Errors().Err() == nil {
+		t.Fatal("expected unterminated string error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("f.c", "int\n  x;")
+	toks := l.ScanAll()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v", toks[1].Pos)
+	}
+	if toks[1].Pos.File != "f.c" {
+		t.Errorf("file %q", toks[1].Pos.File)
+	}
+}
+
+func TestIllegalChar(t *testing.T) {
+	l := New("t.c", "int @ x;")
+	toks := l.ScanAll()
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found || l.Errors().Err() == nil {
+		t.Fatal("expected ILLEGAL token and error")
+	}
+}
+
+// TestRescanFixedPoint property: joining token texts and re-lexing yields
+// the same token kinds (idempotence of lex∘print on token streams).
+func TestRescanFixedPoint(t *testing.T) {
+	f := func(seed uint32) bool {
+		src := genSource(seed)
+		l1 := New("a.c", src)
+		t1 := l1.ScanAll()
+		if l1.Errors().Err() != nil {
+			return true // invalid random input: nothing to check
+		}
+		var b strings.Builder
+		for _, tok := range t1 {
+			if tok.Kind == token.EOF {
+				break
+			}
+			b.WriteString(tok.Text())
+			b.WriteByte(' ')
+		}
+		l2 := New("b.c", b.String())
+		t2 := l2.ScanAll()
+		if l2.Errors().Err() != nil {
+			return false
+		}
+		if len(t1) != len(t2) {
+			return false
+		}
+		for i := range t1 {
+			if t1[i].Kind != t2[i].Kind {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// genSource builds a pseudo-random but lexically valid token soup.
+func genSource(seed uint32) string {
+	words := []string{
+		"int", "float", "pure", "x", "y1", "_z", "42", "3.14", "0x1f",
+		"+", "-", "*", "/", "%", "==", "!=", "<=", ">=", "<<", ">>",
+		"(", ")", "[", "]", "{", "}", ";", ",", "->", "++", "--",
+		"for", "while", "if", "else", "return", "'c'", "\"s\"",
+	}
+	var b strings.Builder
+	s := seed
+	for i := 0; i < 40; i++ {
+		s = s*1664525 + 1013904223
+		b.WriteString(words[int(s>>16)%len(words)])
+		b.WriteByte(' ')
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+// Package mem provides the runtime memory model for executing mini-C
+// programs: typed segments addressed by (segment, offset) pointers with
+// C-style pointer arithmetic in element units.
+//
+// Segments are the unit of allocation: every global array, local array,
+// struct object and malloc block is one segment. Pointer values reference
+// a segment plus an element offset, so out-of-bounds accesses surface as
+// Go slice bounds panics, which the machine converts into runtime errors
+// — a stricter behaviour than C that makes the test suite trustworthy.
+package mem
+
+import "fmt"
+
+// CellKind is the element type of a segment.
+type CellKind int
+
+// Segment element kinds. Mixed segments (structs) carry all three
+// backing slices so each field offset uses the slice its type requires.
+const (
+	CellInt CellKind = iota
+	CellFloat
+	CellPtr
+	CellMixed
+)
+
+var cellKindNames = [...]string{"int", "float", "ptr", "mixed"}
+
+// String returns the kind name.
+func (k CellKind) String() string { return cellKindNames[k] }
+
+// Segment is one allocation.
+type Segment struct {
+	Kind CellKind
+	I    []int64
+	F    []float64
+	P    []Pointer
+	// Name is a diagnostic label ("global A", "malloc@main").
+	Name string
+	// Freed marks segments released by free(); further access is an
+	// error surfaced by the machine.
+	Freed bool
+}
+
+// NewSegment allocates a segment of n cells of kind k.
+func NewSegment(k CellKind, n int, name string) *Segment {
+	s := &Segment{Kind: k, Name: name}
+	switch k {
+	case CellInt:
+		s.I = make([]int64, n)
+	case CellFloat:
+		s.F = make([]float64, n)
+	case CellPtr:
+		s.P = make([]Pointer, n)
+	case CellMixed:
+		s.I = make([]int64, n)
+		s.F = make([]float64, n)
+		s.P = make([]Pointer, n)
+	}
+	return s
+}
+
+// Len returns the cell count.
+func (s *Segment) Len() int {
+	switch s.Kind {
+	case CellInt:
+		return len(s.I)
+	case CellFloat:
+		return len(s.F)
+	case CellPtr:
+		return len(s.P)
+	default:
+		return len(s.F)
+	}
+}
+
+// Pointer is a C pointer value: a segment and an element offset.
+// The zero Pointer is the NULL pointer.
+type Pointer struct {
+	Seg *Segment
+	Off int
+}
+
+// IsNull reports whether p is the null pointer.
+func (p Pointer) IsNull() bool { return p.Seg == nil }
+
+// Add returns p advanced by n elements.
+func (p Pointer) Add(n int64) Pointer { return Pointer{Seg: p.Seg, Off: p.Off + int(n)} }
+
+// Diff returns the element distance p−q; both must reference the same
+// segment (checked by the caller when it matters).
+func (p Pointer) Diff(q Pointer) int64 { return int64(p.Off - q.Off) }
+
+// String renders the pointer for diagnostics.
+func (p Pointer) String() string {
+	if p.IsNull() {
+		return "NULL"
+	}
+	return fmt.Sprintf("&%s[%d]", p.Seg.Name, p.Off)
+}
+
+// LoadInt reads an integer cell.
+func (p Pointer) LoadInt() int64 { return p.Seg.I[p.Off] }
+
+// LoadFloat reads a float cell.
+func (p Pointer) LoadFloat() float64 { return p.Seg.F[p.Off] }
+
+// LoadPtr reads a pointer cell.
+func (p Pointer) LoadPtr() Pointer { return p.Seg.P[p.Off] }
+
+// StoreInt writes an integer cell.
+func (p Pointer) StoreInt(v int64) { p.Seg.I[p.Off] = v }
+
+// StoreFloat writes a float cell.
+func (p Pointer) StoreFloat(v float64) { p.Seg.F[p.Off] = v }
+
+// StorePtr writes a pointer cell.
+func (p Pointer) StorePtr(v Pointer) { p.Seg.P[p.Off] = v }
+
+// Heap tracks malloc/free allocations for leak/double-free diagnostics.
+type Heap struct {
+	Allocs int
+	Frees  int
+}
+
+// Malloc allocates a segment of n cells of kind k.
+func (h *Heap) Malloc(k CellKind, n int, name string) Pointer {
+	h.Allocs++
+	return Pointer{Seg: NewSegment(k, n, name)}
+}
+
+// Free releases the segment referenced by p. Double frees and frees of
+// interior pointers report an error.
+func (h *Heap) Free(p Pointer) error {
+	if p.IsNull() {
+		return nil // free(NULL) is a no-op in C
+	}
+	if p.Off != 0 {
+		return fmt.Errorf("free of interior pointer %s", p)
+	}
+	if p.Seg.Freed {
+		return fmt.Errorf("double free of %s", p.Seg.Name)
+	}
+	p.Seg.Freed = true
+	h.Frees++
+	return nil
+}

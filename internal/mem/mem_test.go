@@ -1,0 +1,109 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentKinds(t *testing.T) {
+	f := NewSegment(CellFloat, 8, "f")
+	if f.Len() != 8 || f.F == nil || f.I != nil {
+		t.Fatalf("float segment: %+v", f)
+	}
+	i := NewSegment(CellInt, 4, "i")
+	if i.Len() != 4 || i.I == nil {
+		t.Fatalf("int segment: %+v", i)
+	}
+	p := NewSegment(CellPtr, 2, "p")
+	if p.Len() != 2 || p.P == nil {
+		t.Fatalf("ptr segment: %+v", p)
+	}
+	m := NewSegment(CellMixed, 3, "m")
+	if m.I == nil || m.F == nil || m.P == nil {
+		t.Fatalf("mixed segment: %+v", m)
+	}
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	s := NewSegment(CellFloat, 10, "s")
+	p := Pointer{Seg: s}
+	q := p.Add(3)
+	q.StoreFloat(1.5)
+	if s.F[3] != 1.5 {
+		t.Fatal("store through offset pointer")
+	}
+	if q.LoadFloat() != 1.5 {
+		t.Fatal("load")
+	}
+	if q.Diff(p) != 3 || p.Diff(q) != -3 {
+		t.Fatal("diff")
+	}
+	r := q.Add(-1)
+	if r.Off != 2 {
+		t.Fatal("negative add")
+	}
+}
+
+func TestNullPointer(t *testing.T) {
+	var p Pointer
+	if !p.IsNull() {
+		t.Fatal("zero pointer must be null")
+	}
+	if p.String() != "NULL" {
+		t.Fatalf("string: %s", p.String())
+	}
+}
+
+func TestHeapMallocFree(t *testing.T) {
+	var h Heap
+	p := h.Malloc(CellInt, 4, "x")
+	if p.IsNull() || p.Seg.Len() != 4 {
+		t.Fatal("malloc")
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err == nil {
+		t.Fatal("double free must error")
+	}
+	if h.Allocs != 1 || h.Frees != 1 {
+		t.Fatalf("stats: %+v", h)
+	}
+}
+
+func TestFreeInteriorPointer(t *testing.T) {
+	var h Heap
+	p := h.Malloc(CellInt, 4, "x")
+	if err := h.Free(p.Add(1)); err == nil {
+		t.Fatal("interior free must error")
+	}
+}
+
+func TestFreeNull(t *testing.T) {
+	var h Heap
+	if err := h.Free(Pointer{}); err != nil {
+		t.Fatalf("free(NULL) must be a no-op: %v", err)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected bounds panic")
+		}
+	}()
+	s := NewSegment(CellInt, 2, "s")
+	Pointer{Seg: s, Off: 5}.LoadInt()
+}
+
+// Property: pointer arithmetic is associative with integer offsets.
+func TestAddAssociativityProperty(t *testing.T) {
+	s := NewSegment(CellFloat, 1, "s")
+	f := func(a, b int16) bool {
+		p := Pointer{Seg: s}
+		return p.Add(int64(a)).Add(int64(b)) == p.Add(int64(a)+int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+package poly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Access is one array access with affine subscripts in the iterators and
+// parameters of the enclosing nest.
+type Access struct {
+	Array string
+	Subs  []Affine
+	Write bool
+}
+
+// String renders the access like "A[i][j+1]".
+func (a Access) String() string {
+	var b strings.Builder
+	b.WriteString(a.Array)
+	for _, s := range a.Subs {
+		fmt.Fprintf(&b, "[%s]", s.String())
+	}
+	if a.Write {
+		b.WriteString(" (write)")
+	}
+	return b.String()
+}
+
+// Statement is one polyhedral statement: a body statement of a loop nest
+// together with its array accesses. Seq is its textual position within
+// the innermost body, used for loop-independent ordering.
+type Statement struct {
+	ID     int
+	Seq    int
+	Reads  []Access
+	Writes []Access
+	Label  string // diagnostic label, e.g. printed source
+}
+
+// Accesses returns reads and writes combined.
+func (s *Statement) Accesses() []Access {
+	out := make([]Access, 0, len(s.Reads)+len(s.Writes))
+	out = append(out, s.Writes...)
+	out = append(out, s.Reads...)
+	return out
+}
+
+// Nest is a perfect affine loop nest: an ordered iterator list, the
+// iteration domain as a constraint system over iterators and parameters,
+// and the statements of the innermost body.
+type Nest struct {
+	Iters  []string
+	Params []string
+	Domain *System
+	Stmts  []*Statement
+}
+
+// Depth returns the number of loops.
+func (n *Nest) Depth() int { return len(n.Iters) }
+
+// isIter reports whether v is one of the nest iterators.
+func (n *Nest) isIter(v string) bool {
+	for _, it := range n.Iters {
+		if it == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Points enumerates all integer points of the domain under the given
+// parameter values (tests only; exponential in depth).
+func (n *Nest) Points(params map[string]int64) [][]int64 {
+	sys := n.Domain.Clone()
+	for p, v := range params {
+		sys.AddEQ(Var(p).Sub(NewAffine(v)))
+	}
+	var out [][]int64
+	var rec func(level int, env map[string]int64)
+	rec = func(level int, env map[string]int64) {
+		if level == len(n.Iters) {
+			pt := make([]int64, len(n.Iters))
+			for i, it := range n.Iters {
+				pt[i] = env[it]
+			}
+			out = append(out, pt)
+			return
+		}
+		// Bound the current iterator given the fixed outer values.
+		cur := sys.Clone()
+		for i := 0; i < level; i++ {
+			cur.AddEQ(Var(n.Iters[i]).Sub(NewAffine(env[n.Iters[i]])))
+		}
+		inner := append([]string{}, n.Iters[level+1:]...)
+		cur = cur.EliminateAll(inner)
+		lo, hasLo, hi, hasHi := cur.Bounds(n.Iters[level])
+		if !hasLo || !hasHi {
+			return
+		}
+		for v := lo; v <= hi; v++ {
+			env[n.Iters[level]] = v
+			// Validate against the full system restricted to known vars.
+			rec(level+1, env)
+		}
+		delete(env, n.Iters[level])
+	}
+	rec(0, map[string]int64{})
+	// Filter points that do not satisfy the full domain (FM projection
+	// may over-approximate).
+	valid := out[:0]
+	for _, pt := range out {
+		env := map[string]int64{}
+		for p, v := range params {
+			env[p] = v
+		}
+		for i, it := range n.Iters {
+			env[it] = pt[i]
+		}
+		if n.Domain.Satisfies(env) {
+			valid = append(valid, pt)
+		}
+	}
+	return valid
+}
+
+// ----------------------------------------------------------------------------
+// Dependence analysis
+
+// DistEntry is one component of a dependence distance vector.
+type DistEntry struct {
+	Known          bool  // the component is a compile-time constant
+	Val            int64 // value when Known
+	Min            int64 // rational bounds when not exactly known
+	Max            int64
+	HasMin, HasMax bool
+}
+
+// String renders the entry; unknown components print as ranges or '*'.
+func (d DistEntry) String() string {
+	if d.Known {
+		return fmt.Sprintf("%d", d.Val)
+	}
+	if d.HasMin && d.HasMax {
+		return fmt.Sprintf("[%d..%d]", d.Min, d.Max)
+	}
+	return "*"
+}
+
+// Dep is a data dependence between two statement instances.
+type Dep struct {
+	Src, Dst *Statement
+	Array    string
+	// Level is the loop level carrying the dependence (1-based);
+	// 0 means loop-independent (same iteration, statement order).
+	Level int
+	// Dist is the distance vector over the common loops.
+	Dist []DistEntry
+	// Kind is flow (write→read), anti (read→write) or output
+	// (write→write).
+	Kind DepKind
+}
+
+// DepKind classifies a dependence.
+type DepKind int
+
+// Dependence kinds.
+const (
+	Flow DepKind = iota
+	Anti
+	Output
+)
+
+var depKindNames = [...]string{"flow", "anti", "output"}
+
+// String returns the dependence kind name.
+func (k DepKind) String() string { return depKindNames[k] }
+
+// String renders the dependence.
+func (d *Dep) String() string {
+	parts := make([]string, len(d.Dist))
+	for i, e := range d.Dist {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("%s dep on %s S%d->S%d level %d dist (%s)",
+		d.Kind, d.Array, d.Src.ID, d.Dst.ID, d.Level, strings.Join(parts, ","))
+}
+
+const srcSuffix = "$s"
+const dstSuffix = "$t"
+
+// AnalyzeDeps computes all dependences of the nest: for every pair of
+// accesses to the same array with at least one write, and every carrying
+// level, it builds the dependence polyhedron (both instances in the
+// domain, equal subscripts, source lexicographically before target) and
+// tests emptiness with Fourier–Motzkin. Non-empty systems yield a Dep
+// with its distance vector bounds.
+func AnalyzeDeps(n *Nest) []*Dep {
+	var deps []*Dep
+	for _, s1 := range n.Stmts {
+		for _, s2 := range n.Stmts {
+			for _, a1 := range s1.Accesses() {
+				for _, a2 := range s2.Accesses() {
+					if a1.Array != a2.Array || (!a1.Write && !a2.Write) {
+						continue
+					}
+					if len(a1.Subs) != len(a2.Subs) {
+						continue
+					}
+					deps = append(deps, depsForPair(n, s1, s2, a1, a2)...)
+				}
+			}
+		}
+	}
+	return deps
+}
+
+// depsForPair finds the dependences with source access a1 in s1 and
+// target access a2 in s2.
+func depsForPair(n *Nest, s1, s2 *Statement, a1, a2 Access) []*Dep {
+	base := NewSystem()
+	rename := func(suffix string) func(string) string {
+		return func(v string) string {
+			if n.isIter(v) {
+				return v + suffix
+			}
+			return v // parameters shared
+		}
+	}
+	for _, c := range n.Domain.Cons {
+		base.Add(Constraint{Expr: c.Expr.Rename(rename(srcSuffix)), Rel: c.Rel})
+		base.Add(Constraint{Expr: c.Expr.Rename(rename(dstSuffix)), Rel: c.Rel})
+	}
+	for k := range a1.Subs {
+		eq := a1.Subs[k].Rename(rename(srcSuffix)).Sub(a2.Subs[k].Rename(rename(dstSuffix)))
+		base.AddEQ(eq)
+	}
+	kind := classifyDep(a1, a2)
+	var out []*Dep
+	// Carried at level l: outer iterators equal, level-l source < target.
+	for l := 1; l <= n.Depth(); l++ {
+		sys := base.Clone()
+		for k := 0; k < l-1; k++ {
+			it := n.Iters[k]
+			sys.AddEQ(Var(it + srcSuffix).Sub(Var(it + dstSuffix)))
+		}
+		it := n.Iters[l-1]
+		// dst - src >= 1
+		sys.AddGE(Var(it + dstSuffix).Sub(Var(it + srcSuffix)).Sub(NewAffine(1)))
+		if sys.IsEmpty() {
+			continue
+		}
+		out = append(out, &Dep{
+			Src: s1, Dst: s2, Array: a1.Array, Level: l, Kind: kind,
+			Dist: distVector(n, sys),
+		})
+	}
+	// Loop-independent dependence: same iteration, s1 textually before s2
+	// (or a write/read pair within one statement).
+	if s1.Seq < s2.Seq || (s1 == s2 && a1.Write != a2.Write) {
+		sys := base.Clone()
+		for _, it := range n.Iters {
+			sys.AddEQ(Var(it + srcSuffix).Sub(Var(it + dstSuffix)))
+		}
+		if !sys.IsEmpty() && s1.Seq < s2.Seq {
+			out = append(out, &Dep{
+				Src: s1, Dst: s2, Array: a1.Array, Level: 0, Kind: kind,
+				Dist: zeroDist(n.Depth()),
+			})
+		}
+	}
+	return out
+}
+
+func classifyDep(a1, a2 Access) DepKind {
+	switch {
+	case a1.Write && a2.Write:
+		return Output
+	case a1.Write:
+		return Flow
+	default:
+		return Anti
+	}
+}
+
+func zeroDist(d int) []DistEntry {
+	out := make([]DistEntry, d)
+	for i := range out {
+		out[i] = DistEntry{Known: true}
+	}
+	return out
+}
+
+// distVector computes per-level bounds of dst−src over the dependence
+// polyhedron sys.
+func distVector(n *Nest, sys *System) []DistEntry {
+	out := make([]DistEntry, n.Depth())
+	for k, it := range n.Iters {
+		cur := sys.Clone()
+		delta := "delta$" + it
+		cur.AddEQ(Var(delta).Sub(Var(it + dstSuffix)).Add(Var(it + srcSuffix)))
+		lo, hasLo, hi, hasHi := cur.Bounds(delta)
+		e := DistEntry{Min: lo, Max: hi, HasMin: hasLo, HasMax: hasHi}
+		if hasLo && hasHi && lo == hi {
+			e.Known = true
+			e.Val = lo
+		}
+		out[k] = e
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package poly
+
+import (
+	"fmt"
+)
+
+// ParallelLevels reports, per loop level (0-based), whether the loop can
+// run its iterations in parallel: no dependence is carried at that level.
+func ParallelLevels(n *Nest, deps []*Dep) []bool {
+	out := make([]bool, n.Depth())
+	for i := range out {
+		out[i] = true
+	}
+	for _, d := range deps {
+		if d.Level >= 1 {
+			out[d.Level-1] = false
+		}
+	}
+	return out
+}
+
+// OutermostParallel returns the 0-based outermost parallel level, or -1.
+func OutermostParallel(parallel []bool) int {
+	for i, p := range parallel {
+		if p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Permutable reports whether the loop band [0..depth) is fully
+// permutable, i.e. every dependence has non-negative distance in every
+// band dimension — the legality condition for rectangular tiling
+// (paper Fig. 2: the valid tiling exists exactly when all arrows point
+// forward in every dimension).
+func Permutable(n *Nest, deps []*Dep) bool {
+	for _, d := range deps {
+		if d.Level == 0 {
+			continue
+		}
+		for _, e := range d.Dist {
+			if e.Known && e.Val < 0 {
+				return false
+			}
+			if !e.Known && (!e.HasMin || e.Min < 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LegalSkew computes the smallest skew factor f ≥ 0 such that replacing
+// the level-(l+1) iterator j by j' = j + f·i (i the level-l iterator)
+// makes every dependence distance non-negative in dimension l+1. This is
+// the shearing transformation of the paper's Fig. 2. It requires the
+// negative components to be compensated by a strictly positive component
+// at level l; otherwise ok is false.
+func LegalSkew(deps []*Dep, l int) (f int64, ok bool) {
+	for _, d := range deps {
+		if d.Level == 0 || l+1 >= len(d.Dist) {
+			continue
+		}
+		outer, inner := d.Dist[l], d.Dist[l+1]
+		var innerMin int64
+		switch {
+		case inner.Known:
+			innerMin = inner.Val
+		case inner.HasMin:
+			innerMin = inner.Min
+		default:
+			return 0, false
+		}
+		if innerMin >= 0 {
+			continue
+		}
+		var outerMin int64
+		switch {
+		case outer.Known:
+			outerMin = outer.Val
+		case outer.HasMin:
+			outerMin = outer.Min
+		default:
+			return 0, false
+		}
+		if outerMin <= 0 {
+			return 0, false // cannot compensate
+		}
+		need := ceilDiv(-innerMin, outerMin)
+		if need > f {
+			f = need
+		}
+	}
+	return f, true
+}
+
+// ApplySkew returns a new nest with iterator level l+1 skewed by factor f
+// against level l: the new iterator j' satisfies j' = j + f·i, so the
+// domain and all accesses substitute j = j' − f·i.
+func ApplySkew(n *Nest, l int, f int64) *Nest {
+	if f == 0 {
+		return n
+	}
+	i := n.Iters[l]
+	j := n.Iters[l+1]
+	jNew := j + "'"
+	subst := func(a Affine) Affine {
+		cj := a.CoefOf(j)
+		if cj == 0 {
+			return a.Clone()
+		}
+		r := a.Clone()
+		delete(r.Coef, j)
+		// j = j' - f*i
+		r = r.Add(Var(jNew).Scale(cj)).Add(Var(i).Scale(-f * cj))
+		return r
+	}
+	out := &Nest{
+		Iters:  append([]string{}, n.Iters...),
+		Params: append([]string{}, n.Params...),
+		Domain: NewSystem(),
+	}
+	out.Iters[l+1] = jNew
+	for _, c := range n.Domain.Cons {
+		out.Domain.Add(Constraint{Expr: subst(c.Expr), Rel: c.Rel})
+	}
+	for _, s := range n.Stmts {
+		ns := &Statement{ID: s.ID, Seq: s.Seq, Label: s.Label}
+		for _, a := range s.Reads {
+			ns.Reads = append(ns.Reads, substAccess(a, subst))
+		}
+		for _, a := range s.Writes {
+			ns.Writes = append(ns.Writes, substAccess(a, subst))
+		}
+		out.Stmts = append(out.Stmts, ns)
+	}
+	return out
+}
+
+func substAccess(a Access, subst func(Affine) Affine) Access {
+	na := Access{Array: a.Array, Write: a.Write}
+	for _, s := range a.Subs {
+		na.Subs = append(na.Subs, subst(s))
+	}
+	return na
+}
+
+// ----------------------------------------------------------------------------
+// Loop generation (CLooG's role)
+
+// Loop is one generated loop of a transformed nest: iterate Iter from
+// max(Lowers) to min(Uppers), optionally in parallel, with an optional
+// vectorization hint on the innermost loop (the SICA analog).
+type Loop struct {
+	Iter     string
+	Lowers   []Bound
+	Uppers   []Bound
+	Parallel bool
+	Vector   bool
+	Tile     bool // tile (block) loop introduced by tiling
+}
+
+// LowerEnv / UpperEnv evaluate the effective integer bounds under env.
+func (l Loop) LowerEnv(env map[string]int64) int64 {
+	v := l.Lowers[0].Eval(env)
+	for _, b := range l.Lowers[1:] {
+		if w := b.Eval(env); w > v {
+			v = w
+		}
+	}
+	return v
+}
+
+// UpperEnv evaluates min over the upper bounds.
+func (l Loop) UpperEnv(env map[string]int64) int64 {
+	v := l.Uppers[0].Eval(env)
+	for _, b := range l.Uppers[1:] {
+		if w := b.Eval(env); w < v {
+			v = w
+		}
+	}
+	return v
+}
+
+// GenNest is a generated loop structure for a transformed nest.
+type GenNest struct {
+	Loops []Loop
+	// Nest is the (possibly transformed) source nest the loops scan.
+	Nest *Nest
+}
+
+// Generate computes loop bounds for the nest's iterators in order: the
+// bounds of iterator k may reference iterators 0..k−1 and parameters,
+// obtained by Fourier–Motzkin elimination of the inner iterators.
+// parallel marks the per-level parallel flags (may be nil).
+func Generate(n *Nest, parallel []bool) (*GenNest, error) {
+	g := &GenNest{Nest: n}
+	for k, it := range n.Iters {
+		elim := append([]string{}, n.Iters[k+1:]...)
+		lowers, uppers := n.Domain.SymbolicBounds(it, elim)
+		if len(lowers) == 0 || len(uppers) == 0 {
+			return nil, fmt.Errorf("iterator %s has no finite bounds", it)
+		}
+		lp := Loop{Iter: it, Lowers: dedupBounds(lowers), Uppers: dedupBounds(uppers)}
+		if parallel != nil && k < len(parallel) {
+			lp.Parallel = parallel[k]
+		}
+		if k == len(n.Iters)-1 {
+			lp.Vector = true
+		}
+		g.Loops = append(g.Loops, lp)
+	}
+	return g, nil
+}
+
+func dedupBounds(bs []Bound) []Bound {
+	var out []Bound
+	for _, b := range bs {
+		dup := false
+		for _, o := range out {
+			if o.Div == b.Div && o.Ceil == b.Ceil && o.Expr.Equal(b.Expr) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Tile applies rectangular tiling with the given sizes to the nest's
+// loops (size 0 or 1 leaves a level untiled) and returns the generated
+// tiled loop structure: tile loops first, then point loops constrained to
+// their tile. Tiling must have been proven legal via Permutable (possibly
+// after ApplySkew), exactly like PluTo's tiling phase.
+func Tile(n *Nest, sizes []int, parallel []bool) (*GenNest, error) {
+	tiled := &Nest{
+		Params: append([]string{}, n.Params...),
+		Domain: n.Domain.Clone(),
+		Stmts:  n.Stmts,
+	}
+	var tileIters []string
+	var pointIters []string
+	tileFlags := map[string]bool{}
+	for k, it := range n.Iters {
+		size := 0
+		if k < len(sizes) {
+			size = sizes[k]
+		}
+		if size <= 1 {
+			pointIters = append(pointIters, it)
+			continue
+		}
+		tit := it + "T"
+		tileIters = append(tileIters, tit)
+		pointIters = append(pointIters, it)
+		tileFlags[tit] = true
+		b := int64(size)
+		// tit*b <= it <= tit*b + b-1
+		tv := Var(tit).Scale(b)
+		tiled.Domain.AddGE(Var(it).Sub(tv))
+		tiled.Domain.AddGE(tv.Add(NewAffine(b - 1)).Sub(Var(it)))
+	}
+	tiled.Iters = append(append([]string{}, tileIters...), pointIters...)
+	var par []bool
+	for _, it := range tiled.Iters {
+		if tileFlags[it] {
+			// A tile loop is parallel when its point loop level is.
+			base := it[:len(it)-1]
+			par = append(par, levelParallel(n, parallel, base))
+		} else {
+			par = append(par, levelParallel(n, parallel, it))
+		}
+	}
+	g, err := Generate(tiled, par)
+	if err != nil {
+		return nil, err
+	}
+	for i := range g.Loops {
+		g.Loops[i].Tile = tileFlags[g.Loops[i].Iter]
+		g.Loops[i].Vector = i == len(g.Loops)-1
+	}
+	return g, nil
+}
+
+func levelParallel(n *Nest, parallel []bool, iter string) bool {
+	if parallel == nil {
+		return false
+	}
+	for k, it := range n.Iters {
+		if it == iter && k < len(parallel) {
+			return parallel[k]
+		}
+	}
+	return false
+}

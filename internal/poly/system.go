@@ -1,0 +1,328 @@
+package poly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rel is the relation of a constraint to zero.
+type Rel int
+
+// Constraint relations: expr >= 0 or expr == 0.
+const (
+	GE Rel = iota // Expr >= 0
+	EQ            // Expr == 0
+)
+
+// Constraint is one affine constraint.
+type Constraint struct {
+	Expr Affine
+	Rel  Rel
+}
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	if c.Rel == EQ {
+		return c.Expr.String() + " == 0"
+	}
+	return c.Expr.String() + " >= 0"
+}
+
+// System is a conjunction of affine constraints over named variables.
+// It supports Fourier–Motzkin elimination, satisfiability testing (over
+// the rationals, a sound over-approximation for integer emptiness as used
+// in dependence testing) and bound extraction.
+type System struct {
+	Cons []Constraint
+}
+
+// NewSystem returns an empty (universally true) system.
+func NewSystem() *System { return &System{} }
+
+// Clone deep-copies the system.
+func (s *System) Clone() *System {
+	c := &System{Cons: make([]Constraint, len(s.Cons))}
+	for i, cn := range s.Cons {
+		c.Cons[i] = Constraint{Expr: cn.Expr.Clone(), Rel: cn.Rel}
+	}
+	return c
+}
+
+// Add appends a constraint.
+func (s *System) Add(c Constraint) { s.Cons = append(s.Cons, c) }
+
+// AddGE adds expr >= 0.
+func (s *System) AddGE(expr Affine) { s.Add(Constraint{Expr: expr, Rel: GE}) }
+
+// AddEQ adds expr == 0.
+func (s *System) AddEQ(expr Affine) { s.Add(Constraint{Expr: expr, Rel: EQ}) }
+
+// AddLowerBound adds v >= bound.
+func (s *System) AddLowerBound(v string, bound Affine) {
+	s.AddGE(Var(v).Sub(bound))
+}
+
+// AddUpperBound adds v <= bound.
+func (s *System) AddUpperBound(v string, bound Affine) {
+	s.AddGE(bound.Sub(Var(v)))
+}
+
+// Vars returns all variables referenced by the system, sorted.
+func (s *System) Vars() []string {
+	set := map[string]bool{}
+	for _, c := range s.Cons {
+		for v := range c.Expr.Coef {
+			set[v] = true
+		}
+	}
+	vs := make([]string, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// String renders the conjunction.
+func (s *System) String() string {
+	parts := make([]string, len(s.Cons))
+	for i, c := range s.Cons {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Satisfies reports whether the assignment satisfies all constraints.
+func (s *System) Satisfies(env map[string]int64) bool {
+	for _, c := range s.Cons {
+		v := c.Expr.Eval(env)
+		if c.Rel == EQ && v != 0 {
+			return false
+		}
+		if c.Rel == GE && v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeEqs rewrites EQ constraints as two GE constraints, returning a
+// GE-only system.
+func (s *System) normalizeEqs() *System {
+	out := NewSystem()
+	for _, c := range s.Cons {
+		if c.Rel == EQ {
+			out.AddGE(c.Expr.Clone())
+			out.AddGE(c.Expr.Scale(-1))
+			continue
+		}
+		out.AddGE(c.Expr.Clone())
+	}
+	return out
+}
+
+// gcd returns the (non-negative) greatest common divisor.
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// normalizeRow divides a GE row by the gcd of its coefficients, tightening
+// the constant with integer floor division (a valid integer tightening).
+func normalizeRow(e Affine) Affine {
+	var g int64
+	for _, c := range e.Coef {
+		g = gcd(g, c)
+	}
+	if g <= 1 {
+		return e
+	}
+	r := NewAffine(floorDiv(e.Const, g))
+	for k, c := range e.Coef {
+		r.Coef[k] = c / g
+	}
+	return r
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// Eliminate projects out variable v using Fourier–Motzkin elimination and
+// returns the projected system. The projection is exact over the
+// rationals and an over-approximation over the integers.
+func (s *System) Eliminate(v string) *System {
+	ge := s.normalizeEqs()
+	var lowers, uppers, rest []Affine
+	for _, c := range ge.Cons {
+		coef := c.Expr.CoefOf(v)
+		switch {
+		case coef > 0:
+			lowers = append(lowers, c.Expr) // c·v + r >= 0  →  v >= -r/c
+		case coef < 0:
+			uppers = append(uppers, c.Expr) // -c·v + r >= 0 →  v <= r/c
+		default:
+			rest = append(rest, c.Expr)
+		}
+	}
+	out := NewSystem()
+	for _, r := range rest {
+		out.AddGE(normalizeRow(r))
+	}
+	for _, lo := range lowers {
+		cl := lo.CoefOf(v)
+		for _, up := range uppers {
+			cu := -up.CoefOf(v)
+			// combine: cu*lo + cl*up eliminates v
+			comb := lo.Scale(cu).Add(up.Scale(cl))
+			delete(comb.Coef, v)
+			out.AddGE(normalizeRow(comb))
+		}
+	}
+	return out
+}
+
+// EliminateAll projects out every variable in vs, in order.
+func (s *System) EliminateAll(vs []string) *System {
+	cur := s
+	for _, v := range vs {
+		cur = cur.Eliminate(v)
+	}
+	return cur
+}
+
+// IsEmpty reports whether the system has no rational solution: after
+// eliminating every variable, some constant constraint is violated.
+// Empty here is definitive; "not empty" may still be integer-empty, which
+// is a safe over-approximation for dependence analysis (a spurious
+// dependence can only suppress a parallelization, never break one).
+func (s *System) IsEmpty() bool {
+	cur := s.normalizeEqs()
+	for {
+		vars := cur.Vars()
+		// Check constant rows as soon as they appear.
+		for _, c := range cur.Cons {
+			if c.Expr.IsConst() && c.Expr.Const < 0 {
+				return true
+			}
+		}
+		if len(vars) == 0 {
+			return false
+		}
+		cur = cur.Eliminate(vars[0])
+	}
+}
+
+// Bounds computes the rational lower and upper bounds of variable v over
+// the system by eliminating all other variables. Unbounded directions
+// report ok=false for the respective side.
+func (s *System) Bounds(v string) (lo int64, hasLo bool, hi int64, hasHi bool) {
+	cur := s.normalizeEqs()
+	for _, other := range cur.Vars() {
+		if other != v {
+			cur = cur.Eliminate(other)
+		}
+	}
+	hasLo, hasHi = false, false
+	for _, c := range cur.Cons {
+		coef := c.Expr.CoefOf(v)
+		if coef == 0 {
+			continue
+		}
+		// coef·v + const >= 0
+		if coef > 0 {
+			// v >= ceil(-const/coef)
+			b := ceilDiv(-c.Expr.Const, coef)
+			if !hasLo || b > lo {
+				lo, hasLo = b, true
+			}
+		} else {
+			// v <= floor(const/(-coef))
+			b := floorDiv(c.Expr.Const, -coef)
+			if !hasHi || b < hi {
+				hi, hasHi = b, true
+			}
+		}
+	}
+	return lo, hasLo, hi, hasHi
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}
+
+// SymbolicBounds extracts, for variable v, the set of affine lower and
+// upper bound expressions implied by the system in terms of the remaining
+// variables (after eliminating the variables listed in elim). Each
+// returned bound is the affine rhs of v >= lb or v <= ub, with the
+// convention that integer division is rounded toward the feasible side.
+// This is the code-generation step (CLooG's role): loop bounds for
+// transformed iterators are max(lowers) .. min(uppers).
+func (s *System) SymbolicBounds(v string, elim []string) (lowers, uppers []Bound) {
+	cur := s.normalizeEqs().EliminateAll(elim)
+	for _, c := range cur.Cons {
+		coef := c.Expr.CoefOf(v)
+		if coef == 0 {
+			continue
+		}
+		rest := c.Expr.Clone()
+		delete(rest.Coef, v)
+		if coef > 0 {
+			// coef·v >= -rest  →  v >= ceil(-rest/coef)
+			lowers = append(lowers, Bound{Expr: rest.Scale(-1), Div: coef, Ceil: true})
+		} else {
+			// -coef·v <= rest  →  v <= floor(rest/-coef)
+			uppers = append(uppers, Bound{Expr: rest, Div: -coef, Ceil: false})
+		}
+	}
+	return lowers, uppers
+}
+
+// Bound is an affine expression divided by a positive constant, with
+// ceiling or floor rounding: Expr/Div rounded up (Ceil) or down.
+type Bound struct {
+	Expr Affine
+	Div  int64
+	Ceil bool
+}
+
+// String renders the bound.
+func (b Bound) String() string {
+	if b.Div == 1 {
+		return b.Expr.String()
+	}
+	mode := "floord"
+	if b.Ceil {
+		mode = "ceild"
+	}
+	return fmt.Sprintf("%s(%s, %d)", mode, b.Expr.String(), b.Div)
+}
+
+// Eval evaluates the bound under an assignment.
+func (b Bound) Eval(env map[string]int64) int64 {
+	v := b.Expr.Eval(env)
+	if b.Div == 1 {
+		return v
+	}
+	if b.Ceil {
+		return ceilDiv(v, b.Div)
+	}
+	return floorDiv(v, b.Div)
+}

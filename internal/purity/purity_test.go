@@ -1,0 +1,450 @@
+package purity
+
+import (
+	"strings"
+	"testing"
+
+	"purec/internal/parser"
+	"purec/internal/sema"
+)
+
+// run parses+checks src and returns the purity result. Semantic errors
+// fail the test; purity violations are returned for inspection.
+func run(t *testing.T, src string) *Result {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return Check(info)
+}
+
+func wantOK(t *testing.T, src string) *Result {
+	t.Helper()
+	r := run(t, src)
+	if err := r.Err(); err != nil {
+		t.Fatalf("unexpected purity errors:\n%v", err)
+	}
+	return r
+}
+
+func wantErr(t *testing.T, src, fragment string) {
+	t.Helper()
+	r := run(t, src)
+	err := r.Err()
+	if err == nil {
+		t.Fatalf("expected purity error containing %q, got none", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("expected error containing %q, got:\n%v", fragment, err)
+	}
+}
+
+// --- The paper's listings ---
+
+// Listing 2: the valid subset.
+func TestListing2ValidOperations(t *testing.T) {
+	r := wantOK(t, `
+int* globalPtr;
+
+pure int* func2(pure int* p1, int p2) {
+    int a = p2;
+    int b = a + 42;
+    int* c = (int*)malloc(3 * sizeof(int));
+    pure int* ptr = p1;
+    pure int* extPtr2;
+    extPtr2 = (pure int*)globalPtr;
+    pure int* extPtr3;
+    extPtr3 = (pure int*)func2(p1, p2);
+    return c;
+}
+`)
+	if !r.PureFuncs["func2"] {
+		t.Error("func2 must verify as pure")
+	}
+}
+
+// Listing 2 line 11: int* extPtr1 = globalPtr; // invalid
+func TestListing2ExternalPointerWithoutCast(t *testing.T) {
+	wantErr(t, `
+int* globalPtr;
+pure int* f(pure int* p1, int p2) {
+    int* extPtr1 = globalPtr;
+    return extPtr1;
+}
+`, "external data")
+}
+
+// Listing 2 line 14: func1(); // invalid — calling an impure function.
+func TestListing2CallImpure(t *testing.T) {
+	wantErr(t, `
+void func1(void) { }
+pure int f(int x) {
+    func1();
+    return x;
+}
+`, "calls impure function func1")
+}
+
+// Listing 4: intPtr = extPtr; // invalid
+func TestListing4AssignExternalToPlainPointer(t *testing.T) {
+	wantErr(t, `
+pure int g(pure int* extPtr) {
+    pure int* intPtr = (pure int*)extPtr;
+    int* bad;
+    bad = (int*)extPtr;
+    return intPtr[0];
+}
+`, "pure")
+}
+
+// Listing 3: valid pure-cast assignment.
+func TestListing3PureCast(t *testing.T) {
+	wantOK(t, `
+float* external;
+pure float f(int i) {
+    pure float* internal = (pure float*)external;
+    return internal[i];
+}
+`)
+}
+
+// Listing 7: the matmul kernel functions must verify.
+func TestListing7MatmulPure(t *testing.T) {
+	r := wantOK(t, `
+float **A, **Bt, **C;
+
+pure float mult(float a, float b) {
+    return a * b;
+}
+
+pure float dot(pure float* a, pure float* b, int size) {
+    float res = 0.0f;
+    for (int i = 0; i < size; ++i)
+        res += mult(a[i], b[i]);
+    return res;
+}
+
+int main(void) {
+    for (int i = 0; i < 64; ++i)
+        for (int j = 0; j < 64; ++j)
+            C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], 64);
+    return 0;
+}
+`)
+	if !r.PureFuncs["mult"] || !r.PureFuncs["dot"] {
+		t.Error("mult and dot must verify as pure")
+	}
+	if r.PureFuncs["main"] {
+		t.Error("main must not be pure")
+	}
+}
+
+// --- Hashset behaviour ---
+
+func TestPureMayCallPureBuiltins(t *testing.T) {
+	wantOK(t, `
+pure double f(double x) {
+    return sin(x) + cos(x) + log(x) + sqrt(x) + fabs(x);
+}
+`)
+}
+
+func TestPureMayCallItselfRecursively(t *testing.T) {
+	wantOK(t, `
+pure int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+`)
+}
+
+func TestMutualRecursionBetweenPureFunctions(t *testing.T) {
+	wantOK(t, `
+pure int isOdd(int n);
+pure int isEven(int n) {
+    if (n == 0) return 1;
+    return isOdd(n - 1);
+}
+pure int isOdd(int n) {
+    if (n == 0) return 0;
+    return isEven(n - 1);
+}
+`)
+}
+
+func TestPureCallsPrintfRejected(t *testing.T) {
+	wantErr(t, `
+pure int f(int x) {
+    printf("%d", x);
+    return x;
+}
+`, "unknown function printf")
+}
+
+func TestFailedPureRemovedFromHashset(t *testing.T) {
+	r := run(t, `
+int g;
+pure int bad(int x) {
+    g = x;
+    return x;
+}
+pure int good(int x) {
+    return bad(x);
+}
+`)
+	if r.Err() == nil {
+		t.Fatal("expected violation")
+	}
+	if r.PureFuncs["bad"] {
+		t.Error("bad must be removed from the pure set")
+	}
+	if r.IsPure("bad") {
+		t.Error("IsPure(bad) must be false")
+	}
+}
+
+// --- Side-effect rules ---
+
+func TestGlobalWriteRejected(t *testing.T) {
+	wantErr(t, `
+int counter;
+pure int f(int x) {
+    counter = counter + 1;
+    return x;
+}
+`, "modifies global counter")
+}
+
+func TestGlobalIncrementRejected(t *testing.T) {
+	wantErr(t, `
+int counter;
+pure int f(int x) {
+    counter++;
+    return x;
+}
+`, "modifies global")
+}
+
+func TestParameterWriteRejected(t *testing.T) {
+	wantErr(t, `
+pure int f(int x) {
+    x = 3;
+    return x;
+}
+`, "modifies parameter x")
+}
+
+func TestStoreThroughParamPointerRejected(t *testing.T) {
+	wantErr(t, `
+pure int f(pure int* p) {
+    p[0] = 1;
+    return 0;
+}
+`, "stores through parameter p")
+}
+
+func TestStoreThroughGlobalPointerRejected(t *testing.T) {
+	wantErr(t, `
+int* gp;
+pure int f(int x) {
+    gp[0] = x;
+    return x;
+}
+`, "stores through global gp")
+}
+
+func TestStoreThroughDerefGlobalRejected(t *testing.T) {
+	wantErr(t, `
+int* gp;
+pure int f(int x) {
+    *gp = x;
+    return x;
+}
+`, "stores through global gp")
+}
+
+func TestLocalArrayWriteAllowed(t *testing.T) {
+	wantOK(t, `
+pure int f(int n) {
+    int a[16];
+    for (int i = 0; i < 16; i++)
+        a[i] = i * n;
+    return a[3];
+}
+`)
+}
+
+func TestLocalMallocWriteAllowed(t *testing.T) {
+	wantOK(t, `
+pure int f(int n) {
+    int* p = (int*)malloc(16 * sizeof(int));
+    p[0] = n;
+    int r = p[0];
+    free(p);
+    return r;
+}
+`)
+}
+
+func TestLocalScalarMutationAllowed(t *testing.T) {
+	wantOK(t, `
+pure int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s += i;
+        s++;
+    }
+    return s;
+}
+`)
+}
+
+// --- free rules (Sect. 3.2) ---
+
+func TestFreeOfParameterRejected(t *testing.T) {
+	wantErr(t, `
+pure int f(pure int* p) {
+    free((int*)p);
+    return 0;
+}
+`, "free may only release memory allocated with malloc in the same function")
+}
+
+func TestFreeOfGlobalRejected(t *testing.T) {
+	wantErr(t, `
+int* gp;
+pure int f(int x) {
+    free(gp);
+    return x;
+}
+`, "free may only release")
+}
+
+func TestFreeOfLocalMallocAllowed(t *testing.T) {
+	wantOK(t, `
+pure int f(int n) {
+    int* p = (int*)malloc(8);
+    free(p);
+    return n;
+}
+`)
+}
+
+// --- pure pointer rules (Sect. 3.1) ---
+
+func TestPurePointerSingleAssignment(t *testing.T) {
+	wantErr(t, `
+int* gp;
+pure int f(int x) {
+    pure int* p;
+    p = (pure int*)gp;
+    p = (pure int*)gp;
+    return p[0];
+}
+`, "assigned more than once")
+}
+
+func TestPurePointerInitCountsAsAssignment(t *testing.T) {
+	wantErr(t, `
+int* gp;
+pure int f(pure int* q) {
+    pure int* p = q;
+    p = (pure int*)gp;
+    return p[0];
+}
+`, "assigned more than once")
+}
+
+func TestPurePointerContentNotWritable(t *testing.T) {
+	wantErr(t, `
+pure int f(pure int* q) {
+    pure int* p = q;
+    p[1] = 3;
+    return 0;
+}
+`, "stores through pure pointer p")
+}
+
+func TestPureReturnNeedsCast(t *testing.T) {
+	// extPtr3 = (pure int*)func2(...) is valid; without the cast the
+	// assignment is rejected.
+	wantErr(t, `
+pure int* id(pure int* p, int n) { return (int*)malloc(4); }
+pure int f(pure int* p) {
+    pure int* q;
+    q = id(p, 1);
+    return q[0];
+}
+`, "must be assigned pure data")
+}
+
+func TestPureCastToPlainPointerRejected(t *testing.T) {
+	wantErr(t, `
+int* gp;
+pure int f(int x) {
+    int* p;
+    p = (pure int*)gp;
+    return p[0];
+}
+`, "cannot assign pure data to non-pure pointer")
+}
+
+// Pure-pointer write protection also applies outside pure functions.
+func TestImpureFunctionCannotWriteThroughPurePointer(t *testing.T) {
+	wantErr(t, `
+int main(void) {
+    int buf[4];
+    pure int* p = (pure int*)buf;
+    p[0] = 1;
+    return 0;
+}
+`, "stores through pure pointer p")
+}
+
+func TestPointerParamOfPureFunctionMustBePure(t *testing.T) {
+	wantErr(t, `
+pure int f(int* p) {
+    return p[0];
+}
+`, "pointer parameter p must be declared pure")
+}
+
+// Reading globals is allowed (pure functions may depend on globals like
+// GCC's __attribute__((pure)) semantics — only writes are side-effects).
+func TestReadingGlobalAllowed(t *testing.T) {
+	wantOK(t, `
+int scale;
+pure int f(int x) {
+    return x * scale;
+}
+`)
+}
+
+func TestHeatKernelVerifies(t *testing.T) {
+	wantOK(t, `
+pure float avg(pure float* up, pure float* mid, pure float* down, int j) {
+    return 0.25f * (up[j] + mid[j - 1] + mid[j + 1] + down[j]);
+}
+`)
+}
+
+func TestNestedLoopLocalBufferVerifies(t *testing.T) {
+	wantOK(t, `
+pure float filter(pure float* px, int bands) {
+    float acc[8];
+    for (int b = 0; b < 8; b++)
+        acc[b] = 0.0f;
+    for (int b = 0; b < bands; b++)
+        acc[b % 8] += px[b] * 0.5f;
+    float r = 0.0f;
+    for (int b = 0; b < 8; b++)
+        r += acc[b];
+    return r;
+}
+`)
+}

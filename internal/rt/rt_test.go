@@ -1,0 +1,198 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// coverage checks that a schedule visits every iteration exactly once.
+func coverage(t *testing.T, team *Team, sched Schedule, chunk int, lo, hi int64) {
+	t.Helper()
+	n := hi - lo + 1
+	var mu sync.Mutex
+	seen := make(map[int64]int)
+	team.ParallelFor(lo, hi, sched, chunk, func(_ int, clo, chi int64) {
+		mu.Lock()
+		for i := clo; i <= chi; i++ {
+			seen[i]++
+		}
+		mu.Unlock()
+	})
+	if int64(len(seen)) != n {
+		t.Fatalf("visited %d iterations, want %d", len(seen), n)
+	}
+	for i := lo; i <= hi; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("iteration %d visited %d times", i, seen[i])
+		}
+	}
+}
+
+func TestStaticCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		coverage(t, NewTeam(workers), Static, 0, 0, 99)
+		coverage(t, NewTeam(workers), Static, 0, 5, 5)
+		coverage(t, NewTeam(workers), Static, 0, -3, 12)
+	}
+}
+
+func TestDynamicCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, chunk := range []int{1, 3, 100} {
+			coverage(t, NewTeam(workers), Dynamic, chunk, 0, 57)
+		}
+	}
+}
+
+func TestGuidedCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		coverage(t, NewTeam(workers), Guided, 0, 0, 200)
+	}
+}
+
+func TestSimCoverage(t *testing.T) {
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		coverage(t, NewSimTeam(8), sched, 1, 0, 63)
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	ran := false
+	NewTeam(4).ParallelFor(5, 4, Static, 0, func(_ int, _, _ int64) { ran = true })
+	if ran {
+		t.Fatal("empty range must not execute")
+	}
+}
+
+func TestMoreWorkersThanIterations(t *testing.T) {
+	coverage(t, NewTeam(64), Static, 0, 0, 9)
+	coverage(t, NewTeam(64), Dynamic, 1, 0, 9)
+}
+
+func TestRealParallelSum(t *testing.T) {
+	var sum atomic.Int64
+	NewTeam(4).ParallelFor(1, 1000, Static, 0, func(_ int, lo, hi int64) {
+		var local int64
+		for i := lo; i <= hi; i++ {
+			local += i
+		}
+		sum.Add(local)
+	})
+	if got := sum.Load(); got != 500500 {
+		t.Fatalf("sum: %d", got)
+	}
+}
+
+func TestSimAccounting(t *testing.T) {
+	team := NewSimTeam(4)
+	team.ParallelFor(0, 7, Static, 0, func(_ int, lo, hi int64) {
+		time.Sleep(time.Millisecond)
+	})
+	real, virt := team.TakeSim()
+	if real <= 0 || virt <= 0 {
+		t.Fatalf("accounting: real=%v virt=%v", real, virt)
+	}
+	// 4 sequential blocks of ~1ms should simulate to ~1ms + overhead,
+	// well below the ~4ms real time.
+	if virt >= real {
+		t.Fatalf("simulated time %v must be below real %v", virt, real)
+	}
+	// second take must be zero
+	r2, v2 := team.TakeSim()
+	if r2 != 0 || v2 != 0 {
+		t.Fatal("TakeSim must reset")
+	}
+}
+
+func TestSimDynamicBalancesSkewedLoad(t *testing.T) {
+	// Heavy tail: last iterations cost ~10x. Static blocks pin the tail
+	// to one worker; dynamic spreads it.
+	work := func(i int64) {
+		n := 200
+		if i >= 90 {
+			n = 4000
+		}
+		x := 0.0
+		for k := 0; k < n; k++ {
+			x += float64(k)
+		}
+		_ = x
+	}
+	run := func(sched Schedule) time.Duration {
+		team := NewSimTeam(8)
+		team.ParallelFor(0, 99, sched, 1, func(_ int, lo, hi int64) {
+			for i := lo; i <= hi; i++ {
+				work(i)
+			}
+		})
+		_, virt := team.TakeSim()
+		return virt
+	}
+	static := run(Static)
+	dynamic := run(Dynamic)
+	if dynamic >= static {
+		t.Fatalf("dynamic (%v) must beat static (%v) on a skewed tail", dynamic, static)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	cases := []struct {
+		in    string
+		sched Schedule
+		chunk int
+		err   bool
+	}{
+		{"", Static, 0, false},
+		{"static", Static, 0, false},
+		{"dynamic", Dynamic, 1, false},
+		{"dynamic,1", Dynamic, 1, false},
+		{"dynamic,8", Dynamic, 8, false},
+		{"guided", Guided, 1, false},
+		{"bogus", Static, 0, true},
+		{"dynamic,x", Dynamic, 1, true},
+	}
+	for _, c := range cases {
+		s, ch, err := ParseSchedule(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("%q: err=%v", c.in, err)
+			continue
+		}
+		if err == nil && (s != c.sched || ch != c.chunk) {
+			t.Errorf("%q: got %v,%d want %v,%d", c.in, s, ch, c.sched, c.chunk)
+		}
+	}
+}
+
+// Property: static partitioning is a partition for arbitrary ranges and
+// team sizes.
+func TestStaticPartitionProperty(t *testing.T) {
+	f := func(loRaw int16, span uint8, workers uint8) bool {
+		lo := int64(loRaw)
+		hi := lo + int64(span)
+		w := int(workers%32) + 1
+		var mu sync.Mutex
+		count := map[int64]int{}
+		NewTeam(w).ParallelFor(lo, hi, Static, 0, func(_ int, clo, chi int64) {
+			mu.Lock()
+			for i := clo; i <= chi; i++ {
+				count[i]++
+			}
+			mu.Unlock()
+		})
+		if int64(len(count)) != int64(span)+1 {
+			return false
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package scop
+
+import (
+	"fmt"
+	"strings"
+
+	"purec/internal/ast"
+)
+
+// MarkPragmas surrounds every detected SCoP's outer loop with
+// #pragma scop / #pragma endscop statements, rewriting the enclosing
+// function bodies in place — the marking step of the paper's PC-CC stage.
+func MarkPragmas(scops []*SCoP) {
+	for _, sc := range scops {
+		insertAround(sc.Func.Body, sc.Outer,
+			&ast.PragmaStmt{PragmaPos: sc.Outer.Pos(), Text: "#pragma scop"},
+			&ast.PragmaStmt{PragmaPos: sc.Outer.Pos(), Text: "#pragma endscop"})
+	}
+}
+
+// insertAround walks the statement tree and brackets target with before/
+// after wherever it appears in a block.
+func insertAround(b *ast.BlockStmt, target ast.Stmt, before, after ast.Stmt) bool {
+	for i, s := range b.List {
+		if s == target {
+			out := make([]ast.Stmt, 0, len(b.List)+2)
+			out = append(out, b.List[:i]...)
+			out = append(out, before, target, after)
+			out = append(out, b.List[i+1:]...)
+			b.List = out
+			return true
+		}
+		if inner, ok := s.(*ast.BlockStmt); ok {
+			if insertAround(inner, target, before, after) {
+				return true
+			}
+		}
+		if f, ok := s.(*ast.ForStmt); ok {
+			if inner, ok := f.Body.(*ast.BlockStmt); ok && insertAround(inner, target, before, after) {
+				return true
+			}
+		}
+		if iff, ok := s.(*ast.IfStmt); ok {
+			if inner, ok := iff.Then.(*ast.BlockStmt); ok && insertAround(inner, target, before, after) {
+				return true
+			}
+			if inner, ok := iff.Else.(*ast.BlockStmt); ok && insertAround(inner, target, before, after) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Substitution records one temporarily replaced pure call, keyed by the
+// unique placeholder name (the paper's tmpConst_fnAB mechanism).
+type Substitution struct {
+	Name string
+	Call *ast.CallExpr
+}
+
+// SubstituteCalls replaces every pure call in the SCoP body by a unique
+// placeholder identifier tmpConst_<fn>_<k> so the polyhedral stage sees
+// the calls as constants (Sect. 3.3). It returns the substitutions needed
+// to restore them.
+func SubstituteCalls(sc *SCoP) []Substitution {
+	var subs []Substitution
+	seq := 0
+	for _, stmt := range sc.BodyStmts {
+		ast.RewriteExpr(stmt, func(e ast.Expr) ast.Expr {
+			call, ok := e.(*ast.CallExpr)
+			if !ok || !isPureCallOf(sc, call) {
+				return e
+			}
+			name := fmt.Sprintf("tmpConst_%s_%d", call.Fun.Name, seq)
+			seq++
+			subs = append(subs, Substitution{Name: name, Call: call})
+			return &ast.Ident{NamePos: call.Pos(), Name: name}
+		})
+	}
+	return subs
+}
+
+// RestoreCalls re-inserts the substituted calls, the inverse of
+// SubstituteCalls after the polyhedral stage has finished.
+func RestoreCalls(sc *SCoP, subs []Substitution) {
+	byName := make(map[string]*ast.CallExpr, len(subs))
+	for _, s := range subs {
+		byName[s.Name] = s.Call
+	}
+	for _, stmt := range sc.BodyStmts {
+		ast.RewriteExpr(stmt, func(e ast.Expr) ast.Expr {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return e
+			}
+			if call, hit := byName[id.Name]; hit {
+				return call
+			}
+			return e
+		})
+	}
+}
+
+// IsPlaceholder reports whether name is a tmpConst_ substitution
+// placeholder.
+func IsPlaceholder(name string) bool { return strings.HasPrefix(name, "tmpConst_") }
+
+func isPureCallOf(sc *SCoP, call *ast.CallExpr) bool {
+	for _, c := range sc.PureCalls {
+		if c == call {
+			return true
+		}
+	}
+	return false
+}

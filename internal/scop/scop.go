@@ -1,0 +1,596 @@
+// Package scop detects static control parts (SCoPs): loop nests that can
+// be handed to the polyhedral transformer.
+//
+// This is the loop-marking half of the paper's PC-CC stage: each for-loop
+// nest is checked for affine bounds, affine array accesses and — the
+// paper's contribution — function calls restricted to verified pure
+// functions. Qualifying nests are surrounded by #pragma scop /
+// #pragma endscop markers, pure calls are temporarily substituted by
+// tmpConst_* placeholders so the polyhedral stage sees them as constants
+// (Sect. 3.3), and the Listing-5 safety check rejects nests that pass an
+// array to a pure function while also writing that array in the nest.
+package scop
+
+import (
+	"fmt"
+
+	"purec/internal/ast"
+	"purec/internal/poly"
+	"purec/internal/purity"
+	"purec/internal/sema"
+	"purec/internal/token"
+	"purec/internal/types"
+)
+
+// LoopInfo describes one loop of a detected nest.
+type LoopInfo struct {
+	For   *ast.ForStmt
+	Iter  string
+	Lower ast.Expr // inclusive lower bound expression
+	Upper ast.Expr // inclusive upper bound expression
+	LB    poly.Affine
+	UB    poly.Affine
+}
+
+// SCoP is a detected static control part: a perfect affine for-loop nest
+// whose body only reads/writes arrays with affine subscripts and calls
+// verified pure functions.
+type SCoP struct {
+	Func  *ast.FuncDecl
+	Outer *ast.ForStmt
+	Loops []LoopInfo
+	Nest  *poly.Nest
+	// BodyStmts are the innermost body statements, parallel to Nest.Stmts.
+	BodyStmts []ast.Stmt
+	// PureCalls are the pure function calls appearing in the body.
+	PureCalls []*ast.CallExpr
+}
+
+// Iters returns the iterator names outermost-first.
+func (s *SCoP) Iters() []string { return s.Nest.Iters }
+
+// Result of SCoP detection.
+type Result struct {
+	SCoPs []*SCoP
+	// Rejections explains, per for-loop that was considered but refused,
+	// why it is not a SCoP (useful diagnostics, not errors).
+	Rejections []string
+	// Errors are Listing-5 violations: an array passed to a pure function
+	// is also written in the loop nest — the paper's pass throws an
+	// error in this case.
+	Errors []error
+}
+
+// Options configure SCoP detection.
+type Options struct {
+	// AllowPureCalls enables the paper's extension: bodies may call
+	// verified pure functions. With false the detector behaves like a
+	// classic polyhedral front end (PluTo without the pure stage) and
+	// rejects every loop containing any call — including malloc.
+	AllowPureCalls bool
+}
+
+// Detect scans every function body for SCoPs with the paper's pure-call
+// support enabled. Loops calling impure functions, with non-affine
+// bounds or accesses, are rejected (recursing into their bodies to find
+// inner SCoPs).
+func Detect(info *sema.Info, pres *purity.Result) *Result {
+	return DetectWith(info, pres, Options{AllowPureCalls: true})
+}
+
+// DetectWith is Detect with explicit options.
+func DetectWith(info *sema.Info, pres *purity.Result, opts Options) *Result {
+	d := &detector{info: info, pres: pres, opts: opts, res: &Result{}}
+	for _, decl := range info.File.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		d.fn = fd
+		d.scanStmts(fd.Body.List)
+	}
+	return d.res
+}
+
+type detector struct {
+	info *sema.Info
+	pres *purity.Result
+	opts Options
+	res  *Result
+	fn   *ast.FuncDecl
+}
+
+func (d *detector) rejectf(pos token.Pos, format string, args ...any) {
+	d.res.Rejections = append(d.res.Rejections,
+		fmt.Sprintf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (d *detector) errorf(pos token.Pos, format string, args ...any) {
+	d.res.Errors = append(d.res.Errors, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// scanStmts walks statements, trying each for-loop as a SCoP root and
+// recursing into non-qualifying bodies.
+func (d *detector) scanStmts(list []ast.Stmt) {
+	for _, s := range list {
+		d.scanStmt(s)
+	}
+}
+
+func (d *detector) scanStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.ForStmt:
+		if sc := d.tryNest(x); sc != nil {
+			d.res.SCoPs = append(d.res.SCoPs, sc)
+			return
+		}
+		// Not a SCoP at this level: look inside.
+		d.scanStmt(x.Body)
+	case *ast.BlockStmt:
+		d.scanStmts(x.List)
+	case *ast.IfStmt:
+		d.scanStmt(x.Then)
+		if x.Else != nil {
+			d.scanStmt(x.Else)
+		}
+	case *ast.WhileStmt:
+		d.scanStmt(x.Body)
+	case *ast.DoStmt:
+		d.scanStmt(x.Body)
+	case *ast.SwitchStmt:
+		for _, c := range x.Cases {
+			d.scanStmts(c.Body)
+		}
+	}
+}
+
+// tryNest attempts to interpret f as a perfect affine nest with a
+// conforming body; nil when it does not qualify.
+func (d *detector) tryNest(f *ast.ForStmt) *SCoP {
+	sc := &SCoP{Func: d.fn, Outer: f}
+	cur := f
+	for {
+		li, ok := d.loopInfo(cur)
+		if !ok {
+			return nil
+		}
+		sc.Loops = append(sc.Loops, li)
+		inner, body := innerLoopOrBody(cur)
+		if inner != nil {
+			cur = inner
+			continue
+		}
+		if !d.buildBody(sc, body) {
+			return nil
+		}
+		return sc
+	}
+}
+
+// innerLoopOrBody returns the single inner for-loop when the body is
+// exactly one for statement (perfect nesting), otherwise the body
+// statement list.
+func innerLoopOrBody(f *ast.ForStmt) (*ast.ForStmt, []ast.Stmt) {
+	switch b := f.Body.(type) {
+	case *ast.ForStmt:
+		return b, nil
+	case *ast.BlockStmt:
+		if len(b.List) == 1 {
+			if inner, ok := b.List[0].(*ast.ForStmt); ok {
+				return inner, nil
+			}
+		}
+		return nil, b.List
+	default:
+		return nil, []ast.Stmt{f.Body}
+	}
+}
+
+// loopInfo validates the canonical form  for (int i = LB; i </<= UB; i++)
+// and extracts affine bounds.
+func (d *detector) loopInfo(f *ast.ForStmt) (LoopInfo, bool) {
+	li := LoopInfo{For: f}
+	// init
+	switch init := f.Init.(type) {
+	case *ast.DeclStmt:
+		if len(init.Decls) != 1 || init.Decls[0].Init == nil {
+			d.rejectf(f.Pos(), "loop init must declare a single iterator")
+			return li, false
+		}
+		li.Iter = init.Decls[0].Name
+		li.Lower = init.Decls[0].Init
+	case *ast.ExprStmt:
+		as, ok := init.X.(*ast.AssignExpr)
+		if !ok || as.Op != token.ASSIGN {
+			d.rejectf(f.Pos(), "loop init must be an assignment")
+			return li, false
+		}
+		id, ok := as.LHS.(*ast.Ident)
+		if !ok {
+			d.rejectf(f.Pos(), "loop iterator must be a simple variable")
+			return li, false
+		}
+		li.Iter = id.Name
+		li.Lower = as.RHS
+	default:
+		d.rejectf(f.Pos(), "missing loop initialization")
+		return li, false
+	}
+	// cond: i < UB or i <= UB
+	cond, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok {
+		d.rejectf(f.Pos(), "loop condition must be a comparison")
+		return li, false
+	}
+	condID, ok := cond.X.(*ast.Ident)
+	if !ok || condID.Name != li.Iter {
+		d.rejectf(f.Pos(), "loop condition must compare the iterator")
+		return li, false
+	}
+	switch cond.Op {
+	case token.LSS:
+		li.Upper = &ast.BinaryExpr{X: cond.Y, Op: token.SUB, Y: &ast.IntLit{Value: 1, Text: "1"}}
+	case token.LEQ:
+		li.Upper = cond.Y
+	default:
+		d.rejectf(f.Pos(), "loop condition must use < or <=")
+		return li, false
+	}
+	// post: i++, ++i, i += 1
+	if !isUnitStep(f.Post, li.Iter) {
+		d.rejectf(f.Pos(), "loop step must be a unit increment")
+		return li, false
+	}
+	return li, true
+}
+
+func isUnitStep(e ast.Expr, iter string) bool {
+	switch x := e.(type) {
+	case *ast.PostfixExpr:
+		id, ok := x.X.(*ast.Ident)
+		return ok && id.Name == iter && x.Op == token.INC
+	case *ast.UnaryExpr:
+		id, ok := x.X.(*ast.Ident)
+		return ok && id.Name == iter && x.Op == token.INC
+	case *ast.AssignExpr:
+		id, ok := x.LHS.(*ast.Ident)
+		if !ok || id.Name != iter || x.Op != token.ADDASSIGN {
+			return false
+		}
+		v, ok := sema.ConstInt(x.RHS)
+		return ok && v == 1
+	}
+	return false
+}
+
+// buildBody validates the innermost body and constructs the polyhedral
+// nest (domain, statements, accesses) plus the pure-call list.
+func (d *detector) buildBody(sc *SCoP, body []ast.Stmt) bool {
+	iters := map[string]bool{}
+	var iterNames []string
+	for _, l := range sc.Loops {
+		iters[l.Iter] = true
+		iterNames = append(iterNames, l.Iter)
+	}
+	classify := func(name string) poly.VarClass {
+		if iters[name] {
+			return poly.ClassIter
+		}
+		// Integer scalars not written inside the nest act as parameters.
+		if d.isNestParam(sc, name) {
+			return poly.ClassParam
+		}
+		return poly.ClassOther
+	}
+
+	nest := &poly.Nest{Iters: iterNames, Domain: poly.NewSystem()}
+	paramSet := map[string]bool{}
+	for _, l := range sc.Loops {
+		lb, err := poly.FromExpr(l.Lower, classify)
+		if err != nil {
+			d.rejectf(l.For.Pos(), "non-affine lower bound: %v", err)
+			return false
+		}
+		ub, err := poly.FromExpr(l.Upper, classify)
+		if err != nil {
+			d.rejectf(l.For.Pos(), "non-affine upper bound: %v", err)
+			return false
+		}
+		nest.Domain.AddLowerBound(l.Iter, lb)
+		nest.Domain.AddUpperBound(l.Iter, ub)
+		for _, v := range lb.Vars() {
+			if !iters[v] {
+				paramSet[v] = true
+			}
+		}
+		for _, v := range ub.Vars() {
+			if !iters[v] {
+				paramSet[v] = true
+			}
+		}
+		// Rebind bound fields for later AST regeneration.
+	}
+
+	b := &bodyBuilder{d: d, sc: sc, classify: classify, iters: iters}
+	for seq, s := range body {
+		st, ok := b.statement(s, seq)
+		if !ok {
+			return false
+		}
+		nest.Stmts = append(nest.Stmts, st)
+		sc.BodyStmts = append(sc.BodyStmts, s)
+	}
+	for _, st := range nest.Stmts {
+		for _, a := range st.Accesses() {
+			for _, sub := range a.Subs {
+				for _, v := range sub.Vars() {
+					if !iters[v] {
+						paramSet[v] = true
+					}
+				}
+			}
+		}
+	}
+	for p := range paramSet {
+		nest.Params = append(nest.Params, p)
+	}
+	sc.Nest = nest
+	sc.PureCalls = b.calls
+
+	// Listing-5 check: arrays passed to pure functions must not be
+	// written anywhere in the nest.
+	writes := map[string]bool{}
+	for _, st := range nest.Stmts {
+		for _, w := range st.Writes {
+			writes[w.Array] = true
+		}
+	}
+	for _, call := range b.calls {
+		for _, arg := range call.Args {
+			if base := arrayArgBase(d.info, arg); base != "" && writes[base] {
+				d.errorf(call.Pos(),
+					"array %s is passed to pure function %s and assigned in the same loop nest (Listing 5); parallelization would change results",
+					base, call.Fun.Name)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isNestParam reports whether name is an integer scalar that is not
+// assigned anywhere inside the candidate nest, making it a structure
+// parameter of the polyhedron.
+func (d *detector) isNestParam(sc *SCoP, name string) bool {
+	var sym *sema.Symbol
+	for _, id := range ast.Idents(sc.Outer) {
+		if id.Name == name {
+			if s := d.info.Ref[id]; s != nil {
+				sym = s
+				break
+			}
+		}
+	}
+	if sym == nil || sym.Type == nil || sym.Type.Kind != types.Int || sym.IsArray() {
+		return false
+	}
+	// assigned in the nest?
+	for _, a := range ast.Assignments(sc.Outer) {
+		if id, ok := a.LHS.(*ast.Ident); ok && id.Name == name {
+			return false
+		}
+	}
+	return true
+}
+
+// arrayArgBase returns the base array name when arg is (a cast of) an
+// array identifier or a row expression like A[i].
+func arrayArgBase(info *sema.Info, arg ast.Expr) string {
+	switch x := arg.(type) {
+	case *ast.Ident:
+		sym := info.Ref[x]
+		if sym != nil && (sym.IsArray() || sym.Type.IsPtr()) {
+			return x.Name
+		}
+	case *ast.CastExpr:
+		return arrayArgBase(info, x.X)
+	case *ast.ParenExpr:
+		return arrayArgBase(info, x.X)
+	case *ast.IndexExpr:
+		return arrayArgBase(info, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return arrayArgBase(info, x.X)
+		}
+	}
+	return ""
+}
+
+// bodyBuilder converts body statements to polyhedral statements.
+type bodyBuilder struct {
+	d        *detector
+	sc       *SCoP
+	classify poly.ClassifyFunc
+	iters    map[string]bool
+	calls    []*ast.CallExpr
+	nextID   int
+}
+
+func (b *bodyBuilder) statement(s ast.Stmt, seq int) (*poly.Statement, bool) {
+	st := &poly.Statement{ID: b.nextID, Seq: seq, Label: ast.PrintStmt(s)}
+	b.nextID++
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if !b.expr(x.X, st, true) {
+			return nil, false
+		}
+		return st, true
+	case *ast.EmptyStmt:
+		return st, true
+	default:
+		b.d.rejectf(s.Pos(), "loop body statement %T is not supported in a SCoP", s)
+		return nil, false
+	}
+}
+
+// expr collects accesses of e into st; topLevel allows one assignment.
+func (b *bodyBuilder) expr(e ast.Expr, st *poly.Statement, topLevel bool) bool {
+	switch x := e.(type) {
+	case *ast.AssignExpr:
+		if !topLevel {
+			b.d.rejectf(x.Pos(), "nested assignment in SCoP body")
+			return false
+		}
+		if !b.lhs(x.LHS, st, x.Op != token.ASSIGN) {
+			return false
+		}
+		return b.expr(x.RHS, st, false)
+	case *ast.BinaryExpr:
+		return b.expr(x.X, st, false) && b.expr(x.Y, st, false)
+	case *ast.UnaryExpr:
+		if x.Op == token.INC || x.Op == token.DEC {
+			return b.lhs(x.X, st, true)
+		}
+		return b.expr(x.X, st, false)
+	case *ast.PostfixExpr:
+		return b.lhs(x.X, st, true)
+	case *ast.CondExpr:
+		return b.expr(x.Cond, st, false) && b.expr(x.Then, st, false) && b.expr(x.Else, st, false)
+	case *ast.ParenExpr:
+		return b.expr(x.X, st, false)
+	case *ast.CastExpr:
+		return b.expr(x.X, st, false)
+	case *ast.CallExpr:
+		return b.call(x, st)
+	case *ast.IndexExpr:
+		return b.indexAccess(x, st, false)
+	case *ast.Ident:
+		return b.identRead(x, st)
+	case *ast.IntLit, *ast.FloatLit, *ast.CharLit:
+		return true
+	case *ast.SizeofExpr:
+		return true
+	default:
+		b.d.rejectf(e.Pos(), "unsupported expression %T in SCoP body", e)
+		return false
+	}
+}
+
+// lhs records a write access. compound marks read-modify-write (+=).
+func (b *bodyBuilder) lhs(e ast.Expr, st *poly.Statement, compound bool) bool {
+	switch x := e.(type) {
+	case *ast.IndexExpr:
+		if !b.indexAccess(x, st, true) {
+			return false
+		}
+		if compound {
+			if !b.indexAccess(x, st, false) {
+				return false
+			}
+		}
+		return true
+	case *ast.Ident:
+		// Writing a scalar that outlives the nest creates an all-level
+		// dependence; model it as a 0-dimensional array access.
+		sym := b.d.info.Ref[x]
+		if sym == nil {
+			return false
+		}
+		if b.iters[x.Name] {
+			b.d.rejectf(x.Pos(), "loop iterator %s is modified in the body", x.Name)
+			return false
+		}
+		st.Writes = append(st.Writes, poly.Access{Array: "scalar:" + x.Name, Write: true})
+		if compound {
+			st.Reads = append(st.Reads, poly.Access{Array: "scalar:" + x.Name})
+		}
+		return true
+	case *ast.ParenExpr:
+		return b.lhs(x.X, st, compound)
+	default:
+		b.d.rejectf(e.Pos(), "unsupported store target %T in SCoP body", e)
+		return false
+	}
+}
+
+// indexAccess records A[e1][e2]... with affine subscripts.
+func (b *bodyBuilder) indexAccess(e *ast.IndexExpr, st *poly.Statement, write bool) bool {
+	var subs []ast.Expr
+	base := ast.Expr(e)
+	for {
+		ix, ok := base.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		subs = append([]ast.Expr{ix.Index}, subs...)
+		base = ix.X
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		b.d.rejectf(e.Pos(), "array base must be a named array")
+		return false
+	}
+	acc := poly.Access{Array: id.Name, Write: write}
+	for _, sub := range subs {
+		a, err := poly.FromExpr(sub, b.classify)
+		if err != nil {
+			b.d.rejectf(sub.Pos(), "non-affine subscript: %v", err)
+			return false
+		}
+		acc.Subs = append(acc.Subs, a)
+		// Subscript expressions may themselves read arrays — forbid.
+	}
+	if write {
+		st.Writes = append(st.Writes, acc)
+	} else {
+		st.Reads = append(st.Reads, acc)
+	}
+	return true
+}
+
+func (b *bodyBuilder) identRead(x *ast.Ident, st *poly.Statement) bool {
+	// Scalar reads of iterators/params are free; reads of pointers are
+	// row loads (e.g. passing A[i] handled in indexAccess/call).
+	return true
+}
+
+// call validates a pure call and records the read accesses of its
+// pointer arguments; this is precisely where the paper's extension kicks
+// in — without verified purity the whole nest would be rejected.
+func (b *bodyBuilder) call(x *ast.CallExpr, st *poly.Statement) bool {
+	if !b.d.opts.AllowPureCalls {
+		b.d.rejectf(x.Pos(), "function call %s in loop body (classic polyhedral mode: sections to be parallelized must not contain function calls)", x.Fun.Name)
+		return false
+	}
+	if !b.d.pres.IsPure(x.Fun.Name) {
+		b.d.rejectf(x.Pos(), "call of non-pure function %s prevents polyhedral analysis (mark it pure to enable parallelization)", x.Fun.Name)
+		return false
+	}
+	b.calls = append(b.calls, x)
+	for _, arg := range x.Args {
+		if !b.callArg(arg, st) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *bodyBuilder) callArg(arg ast.Expr, st *poly.Statement) bool {
+	switch x := arg.(type) {
+	case *ast.CastExpr:
+		return b.callArg(x.X, st)
+	case *ast.ParenExpr:
+		return b.callArg(x.X, st)
+	case *ast.IndexExpr:
+		// Row argument like A[i]: a read of that row.
+		return b.indexAccess(x, st, false)
+	case *ast.Ident:
+		sym := b.d.info.Ref[x]
+		if sym != nil && (sym.IsArray() || (sym.Type != nil && sym.Type.IsPtr())) {
+			st.Reads = append(st.Reads, poly.Access{Array: x.Name})
+		}
+		return true
+	default:
+		return b.expr(arg, st, false)
+	}
+}

@@ -1,0 +1,289 @@
+package scop
+
+import (
+	"strings"
+	"testing"
+
+	"purec/internal/ast"
+	"purec/internal/parser"
+	"purec/internal/purity"
+	"purec/internal/sema"
+)
+
+func detect(t *testing.T, src string) (*Result, *sema.Info) {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	pres := purity.Check(info)
+	if err := pres.Err(); err != nil {
+		t.Fatalf("purity: %v", err)
+	}
+	return Detect(info, pres), info
+}
+
+const matmulSrc = `
+float **A, **Bt, **C;
+int n;
+
+pure float mult(float a, float b) {
+    return a * b;
+}
+
+pure float dot(pure float* a, pure float* b, int size) {
+    float res = 0.0f;
+    for (int i = 0; i < size; ++i)
+        res += mult(a[i], b[i]);
+    return res;
+}
+
+int main(void) {
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], n);
+    return 0;
+}
+`
+
+func TestMatmulSCoPDetected(t *testing.T) {
+	res, _ := detect(t, matmulSrc)
+	if len(res.Errors) > 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	// The dot() reduction loop itself writes scalar res, so only main's
+	// nest qualifies.
+	var sc *SCoP
+	for _, s := range res.SCoPs {
+		if s.Func.Name == "main" {
+			sc = s
+		}
+	}
+	if sc == nil {
+		t.Fatalf("main SCoP not found; rejections: %v", res.Rejections)
+	}
+	if len(sc.Loops) != 2 || sc.Loops[0].Iter != "i" || sc.Loops[1].Iter != "j" {
+		t.Fatalf("loops: %+v", sc.Loops)
+	}
+	if len(sc.PureCalls) != 1 || sc.PureCalls[0].Fun.Name != "dot" {
+		t.Fatalf("pure calls: %v", sc.PureCalls)
+	}
+	if len(sc.Nest.Params) != 1 || sc.Nest.Params[0] != "n" {
+		t.Fatalf("params: %v", sc.Nest.Params)
+	}
+	// write access C[i][j] must be recorded
+	st := sc.Nest.Stmts[0]
+	if len(st.Writes) != 1 || st.Writes[0].Array != "C" || len(st.Writes[0].Subs) != 2 {
+		t.Fatalf("writes: %v", st.Writes)
+	}
+}
+
+func TestImpureCallRejected(t *testing.T) {
+	res, _ := detect(t, `
+float **C;
+int n;
+float work(float x) { return x + 1.0f; }
+int main(void) {
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            C[i][j] = work(1.0f);
+    return 0;
+}
+`)
+	if len(res.SCoPs) != 0 {
+		t.Fatalf("impure call must prevent SCoP detection")
+	}
+	found := false
+	for _, r := range res.Rejections {
+		if strings.Contains(r, "non-pure function work") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing rejection reason: %v", res.Rejections)
+	}
+}
+
+// Listing 5: array passed to a pure function while written in the nest.
+func TestListing5Violation(t *testing.T) {
+	res, _ := detect(t, `
+pure int func(pure int* a, int idx) {
+    return a[idx - 1] + a[idx];
+}
+int arr[100];
+int main(void) {
+    for (int i = 1; i < 100; i++)
+        arr[i] = func((pure int*)arr, i);
+    return 0;
+}
+`)
+	if len(res.Errors) == 0 {
+		t.Fatal("expected Listing-5 error")
+	}
+	if !strings.Contains(res.Errors[0].Error(), "assigned in the same loop nest") {
+		t.Fatalf("error: %v", res.Errors[0])
+	}
+	if len(res.SCoPs) != 0 {
+		t.Fatal("violating nest must not be accepted as a SCoP")
+	}
+}
+
+// Listing 6: the alias deceives the pass — documented limitation: the
+// check compares names only, so the aliased write is NOT detected.
+func TestListing6AliasLimitation(t *testing.T) {
+	res, _ := detect(t, `
+pure int func(pure int* a, int idx) {
+    return a[idx - 1] + a[idx];
+}
+int arr[100];
+int* alias;
+int main(void) {
+    for (int i = 1; i < 100; i++)
+        alias[i] = func((pure int*)arr, i);
+    return 0;
+}
+`)
+	if len(res.Errors) != 0 {
+		t.Fatalf("alias is a documented blind spot; got errors: %v", res.Errors)
+	}
+	if len(res.SCoPs) != 1 {
+		t.Fatalf("aliased nest is (incorrectly but per paper) accepted: %v", res.Rejections)
+	}
+}
+
+func TestNonAffineBoundRejected(t *testing.T) {
+	res, _ := detect(t, `
+float **C;
+int n;
+pure float f(float x) { return x; }
+int main(void) {
+    for (int i = 0; i < n * n; ++i)
+        C[0][i] = f(1.0f);
+    for (int i = 0; i < n; i += 2)
+        C[1][i] = f(2.0f);
+    return 0;
+}
+`)
+	// n*n is affine-rejected? n*n is param*param → not affine.
+	if len(res.SCoPs) != 0 {
+		t.Fatalf("unexpected SCoPs: %d", len(res.SCoPs))
+	}
+}
+
+func TestInnerSCoPFoundInsideImperfectLoop(t *testing.T) {
+	res, _ := detect(t, `
+float **A, **B;
+int n;
+pure float avg(pure float* up, pure float* mid, pure float* down, int j) {
+    return 0.25f * (up[j] + mid[j - 1] + mid[j + 1] + down[j]);
+}
+void swap(void) { }
+int main(void) {
+    for (int t = 0; t < 100; t++) {
+        for (int i = 1; i < n - 1; i++)
+            for (int j = 1; j < n - 1; j++)
+                B[i][j] = avg((pure float*)A[i - 1], (pure float*)A[i], (pure float*)A[i + 1], j);
+        swap();
+    }
+    return 0;
+}
+`)
+	if len(res.SCoPs) != 1 {
+		t.Fatalf("SCoPs: %d (rejections %v)", len(res.SCoPs), res.Rejections)
+	}
+	sc := res.SCoPs[0]
+	if len(sc.Loops) != 2 || sc.Loops[0].Iter != "i" {
+		t.Fatalf("inner nest loops: %+v", sc.Loops)
+	}
+}
+
+func TestMarkPragmas(t *testing.T) {
+	res, info := detect(t, matmulSrc)
+	var sc *SCoP
+	for _, s := range res.SCoPs {
+		if s.Func.Name == "main" {
+			sc = s
+		}
+	}
+	MarkPragmas([]*SCoP{sc})
+	out := ast.Print(info.File)
+	if !strings.Contains(out, "#pragma scop") || !strings.Contains(out, "#pragma endscop") {
+		t.Fatalf("pragmas missing:\n%s", out)
+	}
+	i := strings.Index(out, "#pragma scop")
+	j := strings.Index(out, "for (int i = 0; i < n")
+	k := strings.Index(out, "#pragma endscop")
+	if !(i < j && j < k) {
+		t.Fatalf("pragma order wrong:\n%s", out)
+	}
+	// The marked source must still parse.
+	if _, err := parser.Parse("marked.c", out); err != nil {
+		t.Fatalf("marked source does not reparse: %v", err)
+	}
+}
+
+func TestSubstituteAndRestoreCalls(t *testing.T) {
+	res, info := detect(t, matmulSrc)
+	var sc *SCoP
+	for _, s := range res.SCoPs {
+		if s.Func.Name == "main" {
+			sc = s
+		}
+	}
+	subs := SubstituteCalls(sc)
+	if len(subs) != 1 || !strings.HasPrefix(subs[0].Name, "tmpConst_dot_") {
+		t.Fatalf("subs: %+v", subs)
+	}
+	out := ast.Print(info.File)
+	if !strings.Contains(out, "tmpConst_dot_0") {
+		t.Fatalf("substituted source:\n%s", out)
+	}
+	if strings.Contains(out, "dot((pure float*)A") {
+		t.Fatal("call must be hidden during polyhedral stage")
+	}
+	RestoreCalls(sc, subs)
+	out2 := ast.Print(info.File)
+	if strings.Contains(out2, "tmpConst_") {
+		t.Fatalf("restore failed:\n%s", out2)
+	}
+	if !strings.Contains(out2, "dot((pure float*)A[i]") {
+		t.Fatalf("call not restored:\n%s", out2)
+	}
+}
+
+func TestIsPlaceholder(t *testing.T) {
+	if !IsPlaceholder("tmpConst_dot_0") || IsPlaceholder("dot") {
+		t.Fatal("IsPlaceholder misclassifies")
+	}
+}
+
+func TestScalarWriteCreatesSerializingAccess(t *testing.T) {
+	res, _ := detect(t, `
+int n;
+float s;
+float **A;
+pure float f(float x) { return x * 2.0f; }
+int main(void) {
+    for (int i = 0; i < n; ++i)
+        s = s + f(A[0][i]);
+    return 0;
+}
+`)
+	if len(res.SCoPs) != 1 {
+		t.Fatalf("SCoPs: %d (%v)", len(res.SCoPs), res.Rejections)
+	}
+	st := res.SCoPs[0].Nest.Stmts[0]
+	foundScalar := false
+	for _, w := range st.Writes {
+		if w.Array == "scalar:s" {
+			foundScalar = true
+		}
+	}
+	if !foundScalar {
+		t.Fatalf("scalar write access missing: %v", st.Writes)
+	}
+}

@@ -1,0 +1,770 @@
+// Package sema performs name resolution and type checking on parsed
+// translation units.
+//
+// It produces an Info structure that downstream passes consume: the purity
+// checker (internal/purity) needs to know whether an identifier is a
+// parameter, a local, or a global; the SCoP detector and the polyhedral
+// engine need expression types; the compiler (internal/comp) needs symbol
+// layout. Together with internal/purity this corresponds to the semantic
+// analysis half of the paper's PC-CC stage.
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"purec/internal/ast"
+	"purec/internal/token"
+	"purec/internal/types"
+)
+
+// SymKind classifies a resolved symbol.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymGlobal SymKind = iota
+	SymParam
+	SymLocal
+	SymFunc
+	SymBuiltin
+)
+
+var symKindNames = [...]string{"global", "parameter", "local", "function", "builtin"}
+
+// String returns the human-readable kind name.
+func (k SymKind) String() string { return symKindNames[k] }
+
+// Symbol is a named program entity.
+type Symbol struct {
+	Name  string
+	Kind  SymKind
+	Type  *types.Type // decayed type for arrays (pointer to element)
+	Dims  []int       // array dimensions for array variables (constant)
+	Func  *ast.FuncDecl
+	Decl  *ast.VarDecl // defining declaration for variables
+	Pure  bool         // pure function (SymFunc/SymBuiltin) or pure pointer
+	Index int          // per-function ordinal for locals/params (layout)
+}
+
+// IsArray reports whether the symbol is an array variable.
+func (s *Symbol) IsArray() bool { return len(s.Dims) > 0 }
+
+// Sig is a function signature.
+type Sig struct {
+	Name     string
+	Pure     bool
+	Ret      *types.Type
+	Params   []*types.Type
+	Variadic bool
+	Builtin  bool
+	Decl     *ast.FuncDecl // nil for builtins
+}
+
+// Builtin purity classification mirrors the paper's initial hashset: the
+// side-effect-free C standard functions plus malloc and free, whose
+// side-effects "do not affect other threads" (Sect. 3.2).
+type builtinSpec struct {
+	ret      *types.Type
+	params   []*types.Type
+	variadic bool
+	pure     bool
+}
+
+var dbl = types.DoubleType
+var voidPtr = types.PointerTo(types.VoidType, false, false)
+
+// Builtins is the table of known C standard functions. Math functions,
+// malloc and free are in the paper's pure hashset; printf and friends are
+// not.
+var Builtins = map[string]builtinSpec{
+	"sin":   {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"cos":   {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"tan":   {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"asin":  {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"acos":  {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"atan":  {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"atan2": {ret: dbl, params: []*types.Type{dbl, dbl}, pure: true},
+	"exp":   {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"log":   {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"log10": {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"sqrt":  {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"pow":   {ret: dbl, params: []*types.Type{dbl, dbl}, pure: true},
+	"fabs":  {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"floor": {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"ceil":  {ret: dbl, params: []*types.Type{dbl}, pure: true},
+	"fmod":  {ret: dbl, params: []*types.Type{dbl, dbl}, pure: true},
+	"fmin":  {ret: dbl, params: []*types.Type{dbl, dbl}, pure: true},
+	"fmax":  {ret: dbl, params: []*types.Type{dbl, dbl}, pure: true},
+	"abs":   {ret: types.IntType, params: []*types.Type{types.IntType}, pure: true},
+	"expf":  {ret: types.FloatType, params: []*types.Type{types.FloatType}, pure: true},
+	"sqrtf": {ret: types.FloatType, params: []*types.Type{types.FloatType}, pure: true},
+	"fabsf": {ret: types.FloatType, params: []*types.Type{types.FloatType}, pure: true},
+
+	// malloc and free: treated as pure per the paper (their side-effects
+	// do not affect other threads); free is additionally checked by the
+	// purity pass to only release locally allocated memory.
+	"malloc": {ret: voidPtr, params: []*types.Type{types.LongType}, pure: true},
+	"free":   {ret: types.VoidType, params: []*types.Type{voidPtr}, pure: true},
+
+	// Integer helpers emitted by the polyhedral code generator for tiled
+	// loop bounds, mirroring the floord/ceild/min/max macros in
+	// PluTo-generated code. All are side-effect free.
+	"floord": {ret: types.LongType, params: []*types.Type{types.LongType, types.LongType}, pure: true},
+	"ceild":  {ret: types.LongType, params: []*types.Type{types.LongType, types.LongType}, pure: true},
+	"imin":   {ret: types.LongType, params: []*types.Type{types.LongType, types.LongType}, pure: true},
+	"imax":   {ret: types.LongType, params: []*types.Type{types.LongType, types.LongType}, pure: true},
+
+	// Impure standard functions (known, callable outside pure contexts).
+	"printf": {ret: types.IntType, params: []*types.Type{types.PointerTo(types.CharType, false, false)}, variadic: true},
+	"rand":   {ret: types.IntType},
+	"srand":  {ret: types.VoidType, params: []*types.Type{types.UnsignedType}},
+	"clock":  {ret: types.LongType},
+}
+
+// IsPureBuiltin reports whether name is in the paper's initial pure
+// hashset of standard functions.
+func IsPureBuiltin(name string) bool {
+	b, ok := Builtins[name]
+	return ok && b.pure
+}
+
+// Info is the result of semantic analysis.
+type Info struct {
+	File      *ast.File
+	ExprType  map[ast.Expr]*types.Type
+	Ref       map[*ast.Ident]*Symbol
+	Funcs     map[string]*Sig
+	Structs   map[string]*types.Type
+	Globals   []*Symbol
+	GlobalMap map[string]*Symbol
+	// FuncLocals lists, per function name, all local and parameter
+	// symbols in declaration order (parameters first).
+	FuncLocals map[string][]*Symbol
+	errs       []error
+}
+
+// Errs returns the accumulated semantic errors.
+func (in *Info) Errs() []error { return in.errs }
+
+// Check analyzes f and returns the populated Info. The error joins all
+// diagnostics; Info is still usable for inspection when err != nil.
+func Check(f *ast.File) (*Info, error) {
+	in := &Info{
+		File:       f,
+		ExprType:   make(map[ast.Expr]*types.Type),
+		Ref:        make(map[*ast.Ident]*Symbol),
+		Funcs:      make(map[string]*Sig),
+		Structs:    make(map[string]*types.Type),
+		GlobalMap:  make(map[string]*Symbol),
+		FuncLocals: make(map[string][]*Symbol),
+	}
+	c := &checker{info: in}
+	c.collectTop(f)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			c.checkFunc(fd)
+		}
+	}
+	if len(in.errs) > 0 {
+		msgs := make([]string, len(in.errs))
+		for i, e := range in.errs {
+			msgs[i] = e.Error()
+		}
+		return in, fmt.Errorf("%s", strings.Join(msgs, "\n"))
+	}
+	return in, nil
+}
+
+type checker struct {
+	info   *Info
+	scopes []map[string]*Symbol
+	cur    *Sig // function being checked
+	curFn  *ast.FuncDecl
+	locals int
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.info.errs = append(c.info.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) resolveStruct(tag string) (*types.Type, error) {
+	if st, ok := c.info.Structs[tag]; ok {
+		return st, nil
+	}
+	return nil, fmt.Errorf("undefined struct %s", tag)
+}
+
+func (c *checker) typeOfAST(te *ast.TypeExpr, pos token.Pos) *types.Type {
+	t, err := types.FromAST(te, c.resolveStruct)
+	if err != nil {
+		c.errorf(pos, "%v", err)
+		return types.IntType
+	}
+	return t
+}
+
+// collectTop registers structs, globals and function signatures.
+func (c *checker) collectTop(f *ast.File) {
+	for _, d := range f.Decls {
+		switch x := d.(type) {
+		case *ast.StructDecl:
+			c.collectStruct(x)
+		case *ast.VarDeclGroup:
+			for _, vd := range x.Decls {
+				c.collectGlobal(vd)
+			}
+		case *ast.FuncDecl:
+			c.collectFunc(x)
+		}
+	}
+}
+
+func (c *checker) collectStruct(sd *ast.StructDecl) {
+	if _, dup := c.info.Structs[sd.Name]; dup {
+		c.errorf(sd.Pos(), "struct %s redeclared", sd.Name)
+		return
+	}
+	st := &types.Type{Kind: types.Struct, Tag: sd.Name, CName: "struct " + sd.Name}
+	off := 0
+	for _, fl := range sd.Fields {
+		ft := c.typeOfAST(fl.Type, fl.NamePos)
+		count := 1
+		for _, l := range fl.ArrayLens {
+			n, ok := c.constInt(l)
+			if !ok || n <= 0 {
+				c.errorf(fl.NamePos, "struct field %s: array length must be a positive constant", fl.Name)
+				n = 1
+			}
+			count *= int(n)
+		}
+		st.Fields = append(st.Fields, types.Field{Name: fl.Name, Type: ft, Count: count, Offset: off})
+		off += count
+	}
+	st.CSize = off * 8
+	c.info.Structs[sd.Name] = st
+}
+
+func (c *checker) collectGlobal(vd *ast.VarDecl) {
+	if _, dup := c.info.GlobalMap[vd.Name]; dup {
+		c.errorf(vd.Pos(), "global %s redeclared", vd.Name)
+		return
+	}
+	sym := c.makeVarSymbol(vd, SymGlobal)
+	c.info.Globals = append(c.info.Globals, sym)
+	c.info.GlobalMap[vd.Name] = sym
+	if vd.Init != nil {
+		t := c.expr(vd.Init)
+		if !types.AssignableLoose(sym.Type, t) && !sym.IsArray() {
+			c.errorf(vd.Pos(), "cannot initialize %s (%s) from %s", vd.Name, sym.Type, t)
+		}
+	}
+}
+
+// makeVarSymbol builds the symbol for a variable declaration, decaying
+// array dimensions into Dims and a pointer-shaped type.
+func (c *checker) makeVarSymbol(vd *ast.VarDecl, kind SymKind) *Symbol {
+	base := c.typeOfAST(vd.Type, vd.Pos())
+	sym := &Symbol{Name: vd.Name, Kind: kind, Decl: vd}
+	if len(vd.ArrayLens) == 0 {
+		sym.Type = base
+		sym.Pure = base.IsPtr() && base.Pure
+		return sym
+	}
+	for _, l := range vd.ArrayLens {
+		n, ok := c.constInt(l)
+		if !ok || n <= 0 {
+			c.errorf(vd.Pos(), "array %s: length must be a positive integer constant", vd.Name)
+			n = 1
+		}
+		sym.Dims = append(sym.Dims, int(n))
+	}
+	// The array value decays to nested pointers, one level per dimension.
+	t := base
+	for range vd.ArrayLens {
+		t = types.PointerTo(t, false, false)
+	}
+	sym.Type = t
+	return sym
+}
+
+func (c *checker) collectFunc(fd *ast.FuncDecl) {
+	ret := c.typeOfAST(fd.Ret, fd.Pos())
+	sig := &Sig{Name: fd.Name, Pure: fd.Pure, Ret: ret, Decl: fd}
+	for _, p := range fd.Params {
+		sig.Params = append(sig.Params, c.typeOfAST(p.Type, p.NamePos))
+	}
+	if prev, ok := c.info.Funcs[fd.Name]; ok {
+		// A definition may follow a prototype; purity and arity must agree.
+		if len(prev.Params) != len(sig.Params) {
+			c.errorf(fd.Pos(), "function %s redeclared with different parameter count", fd.Name)
+		}
+		if prev.Pure != sig.Pure {
+			c.errorf(fd.Pos(), "function %s redeclared with different purity", fd.Name)
+		}
+		if fd.Body != nil {
+			prev.Decl = fd
+		}
+		return
+	}
+	if _, isBuiltin := Builtins[fd.Name]; isBuiltin {
+		c.errorf(fd.Pos(), "function %s shadows a standard function", fd.Name)
+	}
+	c.info.Funcs[fd.Name] = sig
+}
+
+// ----------------------------------------------------------------------------
+// Function bodies
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(sym *Symbol, pos token.Pos) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		c.errorf(pos, "%s redeclared in this scope", sym.Name)
+		return
+	}
+	sym.Index = c.locals
+	c.locals++
+	top[sym.Name] = sym
+	c.info.FuncLocals[c.curFn.Name] = append(c.info.FuncLocals[c.curFn.Name], sym)
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	if g, ok := c.info.GlobalMap[name]; ok {
+		return g
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	c.cur = c.info.Funcs[fd.Name]
+	c.curFn = fd
+	c.locals = 0
+	c.push()
+	for _, p := range fd.Params {
+		t := c.typeOfAST(p.Type, p.NamePos)
+		sym := &Symbol{Name: p.Name, Kind: SymParam, Type: t, Pure: t.IsPtr() && t.Pure}
+		if p.Name != "" {
+			c.declare(sym, p.NamePos)
+		}
+	}
+	c.stmt(fd.Body)
+	c.pop()
+	c.cur = nil
+	c.curFn = nil
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.DeclStmt:
+		for _, d := range x.Decls {
+			sym := c.makeVarSymbol(d, SymLocal)
+			if d.Init != nil {
+				t := c.expr(d.Init)
+				if !sym.IsArray() && !types.AssignableLoose(sym.Type, t) {
+					c.errorf(d.Pos(), "cannot initialize %s (%s) from %s", d.Name, sym.Type, t)
+				}
+			}
+			c.declare(sym, d.Pos())
+		}
+	case *ast.ExprStmt:
+		c.expr(x.X)
+	case *ast.BlockStmt:
+		c.push()
+		for _, s2 := range x.List {
+			c.stmt(s2)
+		}
+		c.pop()
+	case *ast.IfStmt:
+		c.condition(x.Cond)
+		c.stmt(x.Then)
+		if x.Else != nil {
+			c.stmt(x.Else)
+		}
+	case *ast.ForStmt:
+		c.push()
+		if x.Init != nil {
+			c.stmt(x.Init)
+		}
+		if x.Cond != nil {
+			c.condition(x.Cond)
+		}
+		if x.Post != nil {
+			c.expr(x.Post)
+		}
+		c.stmt(x.Body)
+		c.pop()
+	case *ast.WhileStmt:
+		c.condition(x.Cond)
+		c.stmt(x.Body)
+	case *ast.DoStmt:
+		c.stmt(x.Body)
+		c.condition(x.Cond)
+	case *ast.ReturnStmt:
+		if x.X != nil {
+			t := c.expr(x.X)
+			if c.cur != nil && c.cur.Ret.IsVoid() {
+				c.errorf(x.Pos(), "return with a value in void function %s", c.cur.Name)
+			} else if c.cur != nil && !types.AssignableLoose(c.cur.Ret, t) {
+				c.errorf(x.Pos(), "cannot return %s from function returning %s", t, c.cur.Ret)
+			}
+		} else if c.cur != nil && !c.cur.Ret.IsVoid() {
+			c.errorf(x.Pos(), "return without a value in function %s returning %s", c.cur.Name, c.cur.Ret)
+		}
+	case *ast.SwitchStmt:
+		t := c.expr(x.Tag)
+		if t != nil && t.Kind != types.Int {
+			c.errorf(x.Pos(), "switch tag must be an integer, got %s", t)
+		}
+		for _, cl := range x.Cases {
+			if cl.Value != nil {
+				if _, ok := c.constInt(cl.Value); !ok {
+					c.errorf(cl.Pos(), "case label must be an integer constant")
+				}
+			}
+			c.push()
+			for _, s2 := range cl.Body {
+				c.stmt(s2)
+			}
+			c.pop()
+		}
+	case *ast.BreakStmt, *ast.ContinueStmt, *ast.EmptyStmt, *ast.PragmaStmt:
+		// nothing to check
+	}
+}
+
+func (c *checker) condition(e ast.Expr) {
+	t := c.expr(e)
+	if t != nil && !t.IsArith() && !t.IsPtr() {
+		c.errorf(e.Pos(), "condition must be scalar, got %s", t)
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Expressions
+
+func (c *checker) expr(e ast.Expr) *types.Type {
+	t := c.exprInner(e)
+	if t == nil {
+		t = types.IntType
+	}
+	c.info.ExprType[e] = t
+	return t
+}
+
+func (c *checker) exprInner(e ast.Expr) *types.Type {
+	switch x := e.(type) {
+	case *ast.Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.errorf(x.Pos(), "undeclared identifier %s", x.Name)
+			return types.IntType
+		}
+		c.info.Ref[x] = sym
+		return sym.Type
+	case *ast.IntLit:
+		return types.IntType
+	case *ast.FloatLit:
+		if strings.ContainsAny(x.Text, "fF") {
+			return types.FloatType
+		}
+		return types.DoubleType
+	case *ast.CharLit:
+		return types.CharType
+	case *ast.StringLit:
+		return types.PointerTo(types.CharType, false, true)
+	case *ast.ParenExpr:
+		return c.expr(x.X)
+	case *ast.BinaryExpr:
+		return c.binary(x)
+	case *ast.UnaryExpr:
+		return c.unary(x)
+	case *ast.PostfixExpr:
+		t := c.expr(x.X)
+		c.requireLvalue(x.X)
+		return t
+	case *ast.AssignExpr:
+		return c.assign(x)
+	case *ast.CondExpr:
+		c.condition(x.Cond)
+		t1 := c.expr(x.Then)
+		t2 := c.expr(x.Else)
+		if t1.IsArith() && t2.IsArith() {
+			return types.Promote(t1, t2)
+		}
+		return t1
+	case *ast.CallExpr:
+		return c.call(x)
+	case *ast.IndexExpr:
+		base := c.expr(x.X)
+		it := c.expr(x.Index)
+		if it != nil && it.Kind != types.Int {
+			c.errorf(x.Index.Pos(), "array index must be an integer, got %s", it)
+		}
+		if base == nil || base.Kind != types.Ptr {
+			c.errorf(x.Pos(), "indexed expression is not a pointer or array (%s)", base)
+			return types.IntType
+		}
+		return base.Elem
+	case *ast.MemberExpr:
+		return c.member(x)
+	case *ast.CastExpr:
+		c.expr(x.X)
+		return c.typeOfAST(x.Type, x.Pos())
+	case *ast.SizeofExpr:
+		if x.X != nil {
+			c.expr(x.X)
+		} else {
+			c.typeOfAST(x.Type, x.Pos())
+		}
+		return types.LongType
+	}
+	c.errorf(e.Pos(), "unsupported expression %T", e)
+	return types.IntType
+}
+
+func (c *checker) binary(x *ast.BinaryExpr) *types.Type {
+	tl := c.expr(x.X)
+	tr := c.expr(x.Y)
+	switch x.Op {
+	case token.LAND, token.LOR, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return types.IntType
+	case token.REM, token.AND, token.OR, token.XOR, token.SHL, token.SHR:
+		if tl.Kind != types.Int || tr.Kind != types.Int {
+			c.errorf(x.Pos(), "operator %s requires integer operands (%s, %s)", x.Op, tl, tr)
+		}
+		return types.Promote(tl, tr)
+	case token.ADD, token.SUB:
+		// pointer arithmetic
+		if tl.IsPtr() && tr.Kind == types.Int {
+			return tl
+		}
+		if tr.IsPtr() && tl.Kind == types.Int && x.Op == token.ADD {
+			return tr
+		}
+		if tl.IsPtr() && tr.IsPtr() && x.Op == token.SUB {
+			return types.LongType
+		}
+		fallthrough
+	default:
+		if !tl.IsArith() || !tr.IsArith() {
+			c.errorf(x.Pos(), "invalid operands to %s: %s and %s", x.Op, tl, tr)
+			return types.IntType
+		}
+		return types.Promote(tl, tr)
+	}
+}
+
+func (c *checker) unary(x *ast.UnaryExpr) *types.Type {
+	t := c.expr(x.X)
+	switch x.Op {
+	case token.SUB:
+		if !t.IsArith() {
+			c.errorf(x.Pos(), "unary - requires arithmetic operand, got %s", t)
+		}
+		return t
+	case token.NOT:
+		return types.IntType
+	case token.TILDE:
+		if t.Kind != types.Int {
+			c.errorf(x.Pos(), "~ requires integer operand, got %s", t)
+		}
+		return t
+	case token.MUL:
+		if !t.IsPtr() {
+			c.errorf(x.Pos(), "cannot dereference non-pointer %s", t)
+			return types.IntType
+		}
+		return t.Elem
+	case token.AND:
+		c.requireLvalue(x.X)
+		return types.PointerTo(t, false, false)
+	case token.INC, token.DEC:
+		c.requireLvalue(x.X)
+		return t
+	}
+	c.errorf(x.Pos(), "unsupported unary operator %s", x.Op)
+	return types.IntType
+}
+
+func (c *checker) assign(x *ast.AssignExpr) *types.Type {
+	tl := c.expr(x.LHS)
+	tr := c.expr(x.RHS)
+	c.requireLvalue(x.LHS)
+	if x.Op == token.ASSIGN {
+		if !types.AssignableLoose(tl, tr) {
+			c.errorf(x.Pos(), "cannot assign %s to %s", tr, tl)
+		}
+	} else if bin, ok := x.Op.AssignBinOp(); ok {
+		// Pointer += int is allowed; otherwise arithmetic.
+		if tl.IsPtr() && (bin == token.ADD || bin == token.SUB) && tr.Kind == types.Int {
+			return tl
+		}
+		if !tl.IsArith() || !tr.IsArith() {
+			c.errorf(x.Pos(), "invalid compound assignment %s: %s and %s", x.Op, tl, tr)
+		}
+	}
+	return tl
+}
+
+func (c *checker) call(x *ast.CallExpr) *types.Type {
+	name := x.Fun.Name
+	var sig *Sig
+	if s, ok := c.info.Funcs[name]; ok {
+		sig = s
+	} else if b, ok := Builtins[name]; ok {
+		sig = &Sig{Name: name, Pure: b.pure, Ret: b.ret, Params: b.params, Variadic: b.variadic, Builtin: true}
+	} else {
+		c.errorf(x.Pos(), "call of undeclared function %s", name)
+		for _, a := range x.Args {
+			c.expr(a)
+		}
+		return types.IntType
+	}
+	// Record the callee as a function symbol use.
+	c.info.Ref[x.Fun] = &Symbol{Name: name, Kind: symKindFor(sig), Pure: sig.Pure, Func: sig.Decl}
+	if !sig.Variadic && len(x.Args) != len(sig.Params) {
+		c.errorf(x.Pos(), "function %s expects %d arguments, got %d", name, len(sig.Params), len(x.Args))
+	}
+	for i, a := range x.Args {
+		at := c.expr(a)
+		if i < len(sig.Params) && !types.AssignableLoose(sig.Params[i], at) {
+			c.errorf(a.Pos(), "argument %d of %s: cannot pass %s as %s", i+1, name, at, sig.Params[i])
+		}
+	}
+	return sig.Ret
+}
+
+func symKindFor(sig *Sig) SymKind {
+	if sig.Builtin {
+		return SymBuiltin
+	}
+	return SymFunc
+}
+
+func (c *checker) member(x *ast.MemberExpr) *types.Type {
+	t := c.expr(x.X)
+	st := t
+	if x.Arrow {
+		if !t.IsPtr() {
+			c.errorf(x.Pos(), "-> on non-pointer %s", t)
+			return types.IntType
+		}
+		st = t.Elem
+	}
+	if st == nil || st.Kind != types.Struct {
+		c.errorf(x.Pos(), "member access on non-struct %s", t)
+		return types.IntType
+	}
+	for _, f := range st.Fields {
+		if f.Name == x.Name {
+			if f.Count > 1 {
+				// Array fields decay to a pointer to the element type.
+				return types.PointerTo(f.Type, false, false)
+			}
+			return f.Type
+		}
+	}
+	c.errorf(x.Pos(), "struct %s has no field %s", st.Tag, x.Name)
+	return types.IntType
+}
+
+func (c *checker) requireLvalue(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return
+	case *ast.IndexExpr, *ast.MemberExpr:
+		return
+	case *ast.UnaryExpr:
+		if x.Op == token.MUL {
+			return
+		}
+	case *ast.ParenExpr:
+		c.requireLvalue(x.X)
+		return
+	}
+	c.errorf(e.Pos(), "expression is not assignable")
+}
+
+// constInt evaluates an integer constant expression (literals, unary
+// minus, the four basic operators, shifts and sizeof of scalar types).
+func (c *checker) constInt(e ast.Expr) (int64, bool) {
+	return ConstInt(e)
+}
+
+// ConstInt folds an integer constant expression, reporting success.
+func ConstInt(e ast.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, true
+	case *ast.CharLit:
+		return x.Value, true
+	case *ast.ParenExpr:
+		return ConstInt(x.X)
+	case *ast.UnaryExpr:
+		v, ok := ConstInt(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case token.SUB:
+			return -v, true
+		case token.TILDE:
+			return ^v, true
+		case token.NOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *ast.BinaryExpr:
+		a, ok1 := ConstInt(x.X)
+		b, ok2 := ConstInt(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case token.ADD:
+			return a + b, true
+		case token.SUB:
+			return a - b, true
+		case token.MUL:
+			return a * b, true
+		case token.QUO:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.REM:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case token.SHL:
+			return a << uint(b), true
+		case token.SHR:
+			return a >> uint(b), true
+		case token.AND:
+			return a & b, true
+		case token.OR:
+			return a | b, true
+		case token.XOR:
+			return a ^ b, true
+		}
+	case *ast.SizeofExpr:
+		if x.Type != nil {
+			t, err := types.FromAST(x.Type, nil)
+			if err == nil {
+				return int64(t.CSize), true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,367 @@
+// Package token defines the lexical tokens of the mini-C dialect accepted
+// by purec, including the pure keyword introduced by the paper
+// "Pure Functions in C: A Small Keyword for Automatic Parallelization".
+//
+// The token set covers the C11 subset needed by the paper's evaluation
+// programs (declarations, expressions, control flow, preprocessor pragmas)
+// plus the pure extension usable as a function modifier, a pointer
+// qualifier, and inside cast expressions.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The list of lexical token kinds.
+const (
+	// Special tokens.
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT // // line or /* block */ comment (retained for round-tripping)
+	PRAGMA  // #pragma line retained verbatim (scop, endscop, omp ...)
+
+	literalBeg
+	IDENT     // main
+	INTLIT    // 12345, 0x1F, 077
+	FLOATLIT  // 3.14, 1e-9, 2.f
+	CHARLIT   // 'a'
+	STRINGLIT // "abc"
+	literalEnd
+
+	operatorBeg
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	AND   // &
+	OR    // |
+	XOR   // ^
+	SHL   // <<
+	SHR   // >>
+	NOT   // !
+	TILDE // ~
+
+	ASSIGN    // =
+	ADDASSIGN // +=
+	SUBASSIGN // -=
+	MULASSIGN // *=
+	QUOASSIGN // /=
+	REMASSIGN // %=
+	ANDASSIGN // &=
+	ORASSIGN  // |=
+	XORASSIGN // ^=
+	SHLASSIGN // <<=
+	SHRASSIGN // >>=
+
+	INC // ++
+	DEC // --
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	LEQ // <=
+	GTR // >
+	GEQ // >=
+
+	LAND // &&
+	LOR  // ||
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACK   // [
+	RBRACK   // ]
+	LBRACE   // {
+	RBRACE   // }
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	QUESTION // ?
+	DOT      // .
+	ARROW    // ->
+	ELLIPSIS // ...
+	operatorEnd
+
+	keywordBeg
+	BREAK
+	CASE
+	CHAR
+	CONST
+	CONTINUE
+	DEFAULT
+	DO
+	DOUBLE
+	ELSE
+	ENUM
+	EXTERN
+	FLOAT
+	FOR
+	GOTO
+	IF
+	INLINE
+	INT
+	LONG
+	PURE // the paper's extension
+	REGISTER
+	RETURN
+	SHORT
+	SIGNED
+	SIZEOF
+	STATIC
+	STRUCT
+	SWITCH
+	TYPEDEF
+	UNION
+	UNSIGNED
+	VOID
+	VOLATILE
+	WHILE
+	keywordEnd
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	COMMENT: "COMMENT",
+	PRAGMA:  "PRAGMA",
+
+	IDENT:     "IDENT",
+	INTLIT:    "INTLIT",
+	FLOATLIT:  "FLOATLIT",
+	CHARLIT:   "CHARLIT",
+	STRINGLIT: "STRINGLIT",
+
+	ADD:   "+",
+	SUB:   "-",
+	MUL:   "*",
+	QUO:   "/",
+	REM:   "%",
+	AND:   "&",
+	OR:    "|",
+	XOR:   "^",
+	SHL:   "<<",
+	SHR:   ">>",
+	NOT:   "!",
+	TILDE: "~",
+
+	ASSIGN:    "=",
+	ADDASSIGN: "+=",
+	SUBASSIGN: "-=",
+	MULASSIGN: "*=",
+	QUOASSIGN: "/=",
+	REMASSIGN: "%=",
+	ANDASSIGN: "&=",
+	ORASSIGN:  "|=",
+	XORASSIGN: "^=",
+	SHLASSIGN: "<<=",
+	SHRASSIGN: ">>=",
+
+	INC: "++",
+	DEC: "--",
+
+	EQL: "==",
+	NEQ: "!=",
+	LSS: "<",
+	LEQ: "<=",
+	GTR: ">",
+	GEQ: ">=",
+
+	LAND: "&&",
+	LOR:  "||",
+
+	LPAREN:   "(",
+	RPAREN:   ")",
+	LBRACK:   "[",
+	RBRACK:   "]",
+	LBRACE:   "{",
+	RBRACE:   "}",
+	COMMA:    ",",
+	SEMI:     ";",
+	COLON:    ":",
+	QUESTION: "?",
+	DOT:      ".",
+	ARROW:    "->",
+	ELLIPSIS: "...",
+
+	BREAK:    "break",
+	CASE:     "case",
+	CHAR:     "char",
+	CONST:    "const",
+	CONTINUE: "continue",
+	DEFAULT:  "default",
+	DO:       "do",
+	DOUBLE:   "double",
+	ELSE:     "else",
+	ENUM:     "enum",
+	EXTERN:   "extern",
+	FLOAT:    "float",
+	FOR:      "for",
+	GOTO:     "goto",
+	IF:       "if",
+	INLINE:   "inline",
+	INT:      "int",
+	LONG:     "long",
+	PURE:     "pure",
+	REGISTER: "register",
+	RETURN:   "return",
+	SHORT:    "short",
+	SIGNED:   "signed",
+	SIZEOF:   "sizeof",
+	STATIC:   "static",
+	STRUCT:   "struct",
+	SWITCH:   "switch",
+	TYPEDEF:  "typedef",
+	UNION:    "union",
+	UNSIGNED: "unsigned",
+	VOID:     "void",
+	VOLATILE: "volatile",
+	WHILE:    "while",
+}
+
+// String returns the textual spelling of operator and keyword kinds and the
+// symbolic name of the other kinds.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// keywords maps spellings to keyword kinds.
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[names[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT if the
+// spelling is not a keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsLiteral reports whether k is an identifier or basic literal.
+func (k Kind) IsLiteral() bool { return literalBeg < k && k < literalEnd }
+
+// IsOperator reports whether k is an operator or delimiter.
+func (k Kind) IsOperator() bool { return operatorBeg < k && k < operatorEnd }
+
+// IsKeyword reports whether k is a keyword (including pure).
+func (k Kind) IsKeyword() bool { return keywordBeg < k && k < keywordEnd }
+
+// IsAssignOp reports whether k is one of the assignment operators
+// (=, +=, ..., >>=).
+func (k Kind) IsAssignOp() bool { return ASSIGN <= k && k <= SHRASSIGN }
+
+// AssignBinOp returns the arithmetic operator underlying a compound
+// assignment (ADD for ADDASSIGN and so on) and false for plain ASSIGN
+// or non-assignment kinds.
+func (k Kind) AssignBinOp() (Kind, bool) {
+	switch k {
+	case ADDASSIGN:
+		return ADD, true
+	case SUBASSIGN:
+		return SUB, true
+	case MULASSIGN:
+		return MUL, true
+	case QUOASSIGN:
+		return QUO, true
+	case REMASSIGN:
+		return REM, true
+	case ANDASSIGN:
+		return AND, true
+	case ORASSIGN:
+		return OR, true
+	case XORASSIGN:
+		return XOR, true
+	case SHLASSIGN:
+		return SHL, true
+	case SHRASSIGN:
+		return SHR, true
+	}
+	return ILLEGAL, false
+}
+
+// Precedence returns the binary-operator precedence of k following C,
+// with higher numbers binding tighter; it returns 0 for non-binary-operator
+// kinds. The conditional and assignment operators are handled separately
+// by the parser because of their right associativity.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case OR:
+		return 3
+	case XOR:
+		return 4
+	case AND:
+		return 5
+	case EQL, NEQ:
+		return 6
+	case LSS, LEQ, GTR, GEQ:
+		return 7
+	case SHL, SHR:
+		return 8
+	case ADD, SUB:
+		return 9
+	case MUL, QUO, REM:
+		return 10
+	}
+	return 0
+}
+
+// Pos is a source position: 1-based line and column plus the file name the
+// position belongs to.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position carries line information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String formats the position as file:line:col, omitting empty parts.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical token with its source position and original spelling.
+type Token struct {
+	Kind Kind
+	Lit  string // original spelling for literals, identifiers, comments, pragmas
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch {
+	case t.Kind == EOF:
+		return "EOF"
+	case t.Kind.IsLiteral() || t.Kind == COMMENT || t.Kind == PRAGMA || t.Kind == ILLEGAL:
+		return fmt.Sprintf("%s(%q)", names[t.Kind], t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Text returns the source spelling of the token: the literal text when
+// present, otherwise the fixed spelling of the kind.
+func (t Token) Text() string {
+	if t.Lit != "" {
+		return t.Lit
+	}
+	return t.Kind.String()
+}

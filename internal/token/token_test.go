@@ -1,0 +1,80 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := map[string]Kind{
+		"pure":   PURE,
+		"int":    INT,
+		"for":    FOR,
+		"const":  CONST,
+		"struct": STRUCT,
+		"foo":    IDENT,
+		"Pure":   IDENT, // case sensitive
+	}
+	for s, want := range cases {
+		if got := Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if !PURE.IsKeyword() || PURE.IsOperator() || PURE.IsLiteral() {
+		t.Error("pure must be keyword only")
+	}
+	if !INTLIT.IsLiteral() || INTLIT.IsKeyword() {
+		t.Error("INTLIT classification")
+	}
+	if !ADD.IsOperator() || ADD.IsLiteral() {
+		t.Error("ADD classification")
+	}
+}
+
+func TestAssignOps(t *testing.T) {
+	if !ASSIGN.IsAssignOp() || !ADDASSIGN.IsAssignOp() || !SHRASSIGN.IsAssignOp() {
+		t.Error("assign op classification")
+	}
+	if ADD.IsAssignOp() {
+		t.Error("+ is not an assign op")
+	}
+	if op, ok := ADDASSIGN.AssignBinOp(); !ok || op != ADD {
+		t.Errorf("ADDASSIGN -> %v %v", op, ok)
+	}
+	if _, ok := ASSIGN.AssignBinOp(); ok {
+		t.Error("plain = has no binop")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	ordered := []Kind{LOR, LAND, OR, XOR, AND, EQL, LSS, SHL, ADD, MUL}
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i-1].Precedence() >= ordered[i].Precedence() {
+			t.Errorf("%v must bind looser than %v", ordered[i-1], ordered[i])
+		}
+	}
+	if SEMI.Precedence() != 0 {
+		t.Error("semi has no precedence")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{File: "a.c", Line: 3, Col: 7}
+	if p.String() != "a.c:3:7" {
+		t.Errorf("pos: %s", p)
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos must be invalid")
+	}
+}
+
+func TestTokenText(t *testing.T) {
+	tok := Token{Kind: IDENT, Lit: "foo"}
+	if tok.Text() != "foo" {
+		t.Errorf("text: %s", tok.Text())
+	}
+	tok2 := Token{Kind: ADDASSIGN}
+	if tok2.Text() != "+=" {
+		t.Errorf("text: %s", tok2.Text())
+	}
+}

@@ -1,0 +1,391 @@
+// Package transform applies the polyhedral schedule to the syntax tree:
+// it is the polycc step of the paper's Fig. 1. For every detected SCoP it
+// runs dependence analysis, finds parallel loops (after optional skewing,
+// the paper's Fig. 2 shearing), optionally tiles permutable bands
+// (the PluTo-SICA cache optimization analog), regenerates the loop nest
+// from the transformed polyhedron and inserts
+// #pragma omp parallel for / #pragma simd annotations that the execution
+// backend honors.
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"purec/internal/ast"
+	"purec/internal/poly"
+	"purec/internal/scop"
+	"purec/internal/token"
+)
+
+// Options configure the transformation, mirroring the paper's tool modes.
+type Options struct {
+	// Tile enables rectangular tiling of permutable bands (PluTo-SICA).
+	Tile bool
+	// TileSizes are per-level tile sizes when tiling (default 32).
+	TileSizes []int
+	// Skew enables the shearing transformation when the outermost loop
+	// is not parallel (Fig. 2).
+	Skew bool
+	// Schedule is the OpenMP schedule clause to emit: "" (compiler
+	// default, static), "static" or "dynamic,1" (the paper's satellite
+	// fix in Sect. 4.3.3).
+	Schedule string
+	// MinParallelTrip suppresses the OpenMP pragma on loops whose trip
+	// count is a compile-time constant below this bound — the
+	// profitability heuristic production parallelizers apply so that
+	// tiny loops do not pay the fork/join overhead. 0 means the default
+	// of 32; negative disables the heuristic.
+	MinParallelTrip int
+}
+
+// minTrip resolves the effective threshold.
+func (o Options) minTrip() int64 {
+	switch {
+	case o.MinParallelTrip < 0:
+		return 0
+	case o.MinParallelTrip == 0:
+		return 32
+	default:
+		return int64(o.MinParallelTrip)
+	}
+}
+
+// LoopReport describes what happened to one SCoP.
+type LoopReport struct {
+	Func          string
+	Depth         int
+	Deps          int
+	ParallelLevel int // 0-based level given the final loop order; -1 = serial
+	Skewed        bool
+	SkewFactor    int64
+	Tiled         bool
+	Pragma        string
+}
+
+// Report summarizes a Parallelize run.
+type Report struct {
+	Loops []LoopReport
+}
+
+// String renders the report for diagnostics.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, l := range r.Loops {
+		fmt.Fprintf(&b, "%s: depth=%d deps=%d parallel@%d skewed=%v tiled=%v %s\n",
+			l.Func, l.Depth, l.Deps, l.ParallelLevel, l.Skewed, l.Tiled, l.Pragma)
+	}
+	return b.String()
+}
+
+// Parallelize transforms every SCoP in place and returns the report.
+func Parallelize(scops []*scop.SCoP, opts Options) (*Report, error) {
+	rep := &Report{}
+	for _, sc := range scops {
+		lr, err := transformOne(sc, opts)
+		if err != nil {
+			return rep, err
+		}
+		rep.Loops = append(rep.Loops, lr)
+	}
+	return rep, nil
+}
+
+func transformOne(sc *scop.SCoP, opts Options) (LoopReport, error) {
+	lr := LoopReport{Func: sc.Func.Name, Depth: sc.Nest.Depth()}
+	nest := sc.Nest
+	deps := poly.AnalyzeDeps(nest)
+	lr.Deps = len(deps)
+	par := poly.ParallelLevels(nest, deps)
+
+	// Shearing when the outer level is serial but can be compensated.
+	if opts.Skew && poly.OutermostParallel(par) != 0 && nest.Depth() >= 2 {
+		if f, ok := poly.LegalSkew(deps, 0); ok && f > 0 {
+			skewed := poly.ApplySkew(nest, 0, f)
+			sdeps := poly.AnalyzeDeps(skewed)
+			spar := poly.ParallelLevels(skewed, sdeps)
+			if poly.OutermostParallel(spar) >= 0 || poly.Permutable(skewed, sdeps) {
+				rewriteSkewedBody(sc, nest.Iters[0], nest.Iters[1], f)
+				nest, deps, par = skewed, sdeps, spar
+				lr.Skewed, lr.SkewFactor = true, f
+			}
+		}
+	}
+
+	var gen *poly.GenNest
+	var err error
+	if opts.Tile && poly.Permutable(nest, deps) && nest.Depth() >= 2 {
+		sizes := opts.TileSizes
+		if len(sizes) == 0 {
+			sizes = make([]int, nest.Depth())
+			for i := range sizes {
+				sizes[i] = 32
+			}
+		}
+		gen, err = poly.Tile(nest, sizes, par)
+		lr.Tiled = err == nil
+	}
+	if gen == nil {
+		gen, err = poly.Generate(nest, par)
+	}
+	if err != nil {
+		return lr, fmt.Errorf("SCoP in %s: %v", sc.Func.Name, err)
+	}
+
+	// Choose the outermost parallel loop for the OpenMP pragma, skipping
+	// loops whose constant trip count is too small to amortize the
+	// fork/join cost.
+	parIdx := -1
+	for i, l := range gen.Loops {
+		if !l.Parallel {
+			continue
+		}
+		if trip, known := constTrip(l); known && trip < opts.minTrip() {
+			continue
+		}
+		parIdx = i
+		break
+	}
+	lr.ParallelLevel = parIdx
+
+	newLoop, pragma := buildLoops(gen, parIdx, opts, sc)
+	lr.Pragma = pragma
+	replaceStmt(sc.Func.Body, sc.Outer, newLoop)
+	return lr, nil
+}
+
+// constTrip computes the loop's trip count when all bounds are constant.
+func constTrip(l poly.Loop) (int64, bool) {
+	env := map[string]int64{}
+	for _, b := range append(append([]poly.Bound{}, l.Lowers...), l.Uppers...) {
+		if len(b.Expr.Coef) != 0 {
+			return 0, false
+		}
+	}
+	lo := l.LowerEnv(env)
+	hi := l.UpperEnv(env)
+	return hi - lo + 1, true
+}
+
+// rewriteSkewedBody substitutes the skewed iterator in the body
+// statements: with j' = j + f·i every use of j becomes (j' − f·i).
+func rewriteSkewedBody(sc *scop.SCoP, i, j string, f int64) {
+	jNew := j + "'"
+	// The printed name j' is not a valid identifier; use js suffix.
+	jNew = skewedName(j)
+	for _, stmt := range sc.BodyStmts {
+		ast.RewriteExpr(stmt, func(e ast.Expr) ast.Expr {
+			id, ok := e.(*ast.Ident)
+			if !ok || id.Name != j {
+				return e
+			}
+			return &ast.ParenExpr{LPos: id.Pos(), X: &ast.BinaryExpr{
+				X:  &ast.Ident{NamePos: id.Pos(), Name: jNew},
+				Op: token.SUB,
+				Y: &ast.BinaryExpr{
+					X:  &ast.IntLit{Value: f, Text: fmt.Sprintf("%d", f)},
+					Op: token.MUL,
+					Y:  &ast.Ident{NamePos: id.Pos(), Name: i},
+				},
+			}}
+		})
+	}
+}
+
+// skewedName maps the poly package's primed iterator (j') to a valid C
+// identifier (j_sk).
+func skewedName(j string) string { return j + "_sk" }
+
+// astName converts poly iterator names (which may contain primes from
+// skewing) to valid C identifiers.
+func astName(v string) string {
+	if strings.HasSuffix(v, "'") {
+		return skewedName(strings.TrimSuffix(v, "'"))
+	}
+	return v
+}
+
+// buildLoops regenerates the loop nest AST from the generated structure
+// and returns it together with the pragma text inserted (if any).
+func buildLoops(gen *poly.GenNest, parIdx int, opts Options, sc *scop.SCoP) (ast.Stmt, string) {
+	// Innermost body: the original statements.
+	var body ast.Stmt = &ast.BlockStmt{List: sc.BodyStmts}
+	pragma := ""
+	for k := len(gen.Loops) - 1; k >= 0; k-- {
+		l := gen.Loops[k]
+		name := astName(l.Iter)
+		f := &ast.ForStmt{
+			Init: &ast.DeclStmt{Decls: []*ast.VarDecl{{
+				Type: &ast.TypeExpr{Base: ast.Int},
+				Name: name,
+				Init: boundsExpr(l.Lowers, true),
+			}}},
+			Cond: &ast.BinaryExpr{
+				X:  &ast.Ident{Name: name},
+				Op: token.LEQ,
+				Y:  boundsExpr(l.Uppers, false),
+			},
+			Post: &ast.PostfixExpr{X: &ast.Ident{Name: name}, Op: token.INC},
+			Body: body,
+		}
+		var stmts []ast.Stmt
+		if k == parIdx {
+			pragma = ompPragma(gen, k, opts)
+			stmts = append(stmts, &ast.PragmaStmt{Text: pragma})
+		} else if k == len(gen.Loops)-1 && l.Vector && l.Parallel && k != parIdx {
+			// SICA-style vectorization hint on the innermost loop.
+			stmts = append(stmts, &ast.PragmaStmt{Text: "#pragma simd"})
+		}
+		stmts = append(stmts, f)
+		if len(stmts) == 1 {
+			body = f
+		} else {
+			body = &ast.BlockStmt{List: stmts}
+		}
+	}
+	return body, pragma
+}
+
+// ompPragma builds the OpenMP directive for the parallel loop: the inner
+// iterators are listed private, like the lbv/ubv/t2 clause in the paper's
+// Listing 8.
+func ompPragma(gen *poly.GenNest, k int, opts Options) string {
+	var privates []string
+	for i := k + 1; i < len(gen.Loops); i++ {
+		privates = append(privates, astName(gen.Loops[i].Iter))
+	}
+	sort.Strings(privates)
+	s := "#pragma omp parallel for"
+	if len(privates) > 0 {
+		s += " private(" + strings.Join(privates, ", ") + ")"
+	}
+	if opts.Schedule != "" {
+		s += " schedule(" + opts.Schedule + ")"
+	}
+	return s
+}
+
+// boundsExpr folds multiple bounds with imax (lower) or imin (upper).
+func boundsExpr(bs []poly.Bound, lower bool) ast.Expr {
+	exprs := make([]ast.Expr, len(bs))
+	for i, b := range bs {
+		exprs[i] = boundExpr(b)
+	}
+	out := exprs[0]
+	fn := "imin"
+	if lower {
+		fn = "imax"
+	}
+	for _, e := range exprs[1:] {
+		out = &ast.CallExpr{Fun: &ast.Ident{Name: fn}, Args: []ast.Expr{out, e}}
+	}
+	return out
+}
+
+// boundExpr converts one bound to an expression, emitting floord/ceild
+// helper calls for divided bounds exactly like PluTo's generated code.
+func boundExpr(b poly.Bound) ast.Expr {
+	e := affineExpr(b.Expr)
+	if b.Div == 1 {
+		return e
+	}
+	fn := "floord"
+	if b.Ceil {
+		fn = "ceild"
+	}
+	return &ast.CallExpr{Fun: &ast.Ident{Name: fn}, Args: []ast.Expr{
+		e, &ast.IntLit{Value: b.Div, Text: fmt.Sprintf("%d", b.Div)},
+	}}
+}
+
+// affineExpr renders an affine expression as an AST expression.
+func affineExpr(a poly.Affine) ast.Expr {
+	var out ast.Expr
+	add := func(e ast.Expr, negative bool) {
+		if out == nil {
+			if negative {
+				out = &ast.UnaryExpr{Op: token.SUB, X: e}
+			} else {
+				out = e
+			}
+			return
+		}
+		op := token.ADD
+		if negative {
+			op = token.SUB
+		}
+		out = &ast.BinaryExpr{X: out, Op: op, Y: e}
+	}
+	for _, v := range a.Vars() {
+		c := a.Coef[v]
+		id := &ast.Ident{Name: astName(v)}
+		switch {
+		case c == 1:
+			add(id, false)
+		case c == -1:
+			add(id, true)
+		case c > 0:
+			add(&ast.BinaryExpr{X: &ast.IntLit{Value: c, Text: fmt.Sprintf("%d", c)}, Op: token.MUL, Y: id}, false)
+		default:
+			add(&ast.BinaryExpr{X: &ast.IntLit{Value: -c, Text: fmt.Sprintf("%d", -c)}, Op: token.MUL, Y: id}, true)
+		}
+	}
+	if a.Const != 0 || out == nil {
+		neg := a.Const < 0
+		v := a.Const
+		if neg {
+			v = -v
+		}
+		add(&ast.IntLit{Value: v, Text: fmt.Sprintf("%d", v)}, neg)
+	}
+	return out
+}
+
+// replaceStmt swaps target for repl wherever it appears in the tree.
+func replaceStmt(b *ast.BlockStmt, target ast.Stmt, repl ast.Stmt) bool {
+	for i, s := range b.List {
+		if s == target {
+			b.List[i] = repl
+			return true
+		}
+		switch x := s.(type) {
+		case *ast.BlockStmt:
+			if replaceStmt(x, target, repl) {
+				return true
+			}
+		case *ast.ForStmt:
+			if x.Body == target {
+				x.Body = repl
+				return true
+			}
+			if inner, ok := x.Body.(*ast.BlockStmt); ok && replaceStmt(inner, target, repl) {
+				return true
+			}
+		case *ast.WhileStmt:
+			if x.Body == target {
+				x.Body = repl
+				return true
+			}
+			if inner, ok := x.Body.(*ast.BlockStmt); ok && replaceStmt(inner, target, repl) {
+				return true
+			}
+		case *ast.IfStmt:
+			if x.Then == target {
+				x.Then = repl
+				return true
+			}
+			if x.Else == target {
+				x.Else = repl
+				return true
+			}
+			if inner, ok := x.Then.(*ast.BlockStmt); ok && replaceStmt(inner, target, repl) {
+				return true
+			}
+			if inner, ok := x.Else.(*ast.BlockStmt); ok && replaceStmt(inner, target, repl) {
+				return true
+			}
+		}
+	}
+	return false
+}

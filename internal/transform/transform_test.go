@@ -1,0 +1,202 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"purec/internal/ast"
+	"purec/internal/parser"
+	"purec/internal/purity"
+	"purec/internal/scop"
+	"purec/internal/sema"
+)
+
+func prep(t *testing.T, src string) (*sema.Info, []*scop.SCoP) {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	pres := purity.Check(info)
+	if err := pres.Err(); err != nil {
+		t.Fatalf("purity: %v", err)
+	}
+	res := scop.Detect(info, pres)
+	if len(res.Errors) > 0 {
+		t.Fatalf("scop errors: %v", res.Errors)
+	}
+	return info, res.SCoPs
+}
+
+const matmulSrc = `
+float **A, **Bt, **C;
+int n;
+
+pure float dot(pure float* a, pure float* b, int size) {
+    float res = 0.0f;
+    for (int i = 0; i < size; ++i)
+        res += a[i] * b[i];
+    return res;
+}
+
+int main(void) {
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], n);
+    return 0;
+}
+`
+
+func mainSCoP(t *testing.T, scops []*scop.SCoP) *scop.SCoP {
+	t.Helper()
+	for _, s := range scops {
+		if s.Func.Name == "main" {
+			return s
+		}
+	}
+	t.Fatal("main SCoP not found")
+	return nil
+}
+
+func TestMatmulParallelized(t *testing.T) {
+	info, scops := prep(t, matmulSrc)
+	sc := mainSCoP(t, scops)
+	rep, err := Parallelize([]*scop.SCoP{sc}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Loops) != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	lr := rep.Loops[0]
+	if lr.ParallelLevel != 0 {
+		t.Fatalf("outer loop must be parallel: %+v", lr)
+	}
+	out := ast.Print(info.File)
+	if !strings.Contains(out, "#pragma omp parallel for private(j)") {
+		t.Fatalf("pragma missing:\n%s", out)
+	}
+	// The transformed source must reparse and re-check.
+	f2, err := parser.Parse("out.c", out)
+	if err != nil {
+		t.Fatalf("transformed source does not parse: %v\n%s", err, out)
+	}
+	if _, err := sema.Check(f2); err != nil {
+		t.Fatalf("transformed source does not typecheck: %v\n%s", err, out)
+	}
+}
+
+func TestScheduleClause(t *testing.T) {
+	info, scops := prep(t, matmulSrc)
+	sc := mainSCoP(t, scops)
+	if _, err := Parallelize([]*scop.SCoP{sc}, Options{Schedule: "dynamic,1"}); err != nil {
+		t.Fatal(err)
+	}
+	out := ast.Print(info.File)
+	if !strings.Contains(out, "schedule(dynamic,1)") {
+		t.Fatalf("schedule clause missing:\n%s", out)
+	}
+}
+
+func TestTiling(t *testing.T) {
+	info, scops := prep(t, matmulSrc)
+	sc := mainSCoP(t, scops)
+	rep, err := Parallelize([]*scop.SCoP{sc}, Options{Tile: true, TileSizes: []int{8, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Loops[0].Tiled {
+		t.Fatalf("expected tiling: %+v", rep.Loops[0])
+	}
+	out := ast.Print(info.File)
+	if !strings.Contains(out, "iT") || !strings.Contains(out, "floord") {
+		t.Fatalf("tiled loops missing:\n%s", out)
+	}
+	f2, err := parser.Parse("out.c", out)
+	if err != nil {
+		t.Fatalf("tiled source does not parse: %v\n%s", err, out)
+	}
+	if _, err := sema.Check(f2); err != nil {
+		t.Fatalf("tiled source does not typecheck: %v\n%s", err, out)
+	}
+}
+
+const serialOuterSrc = `
+int n;
+float **A;
+int main(void) {
+    for (int i = 1; i < n; ++i)
+        for (int j = 1; j < n; ++j)
+            A[i][j] = A[i - 1][j] + A[i][j - 1];
+    return 0;
+}
+`
+
+func TestSerialNestReported(t *testing.T) {
+	info, scops := prep(t, serialOuterSrc)
+	sc := mainSCoP(t, scops)
+	rep, err := Parallelize([]*scop.SCoP{sc}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loops[0].ParallelLevel != -1 {
+		t.Fatalf("in-place stencil must be serial without skewing: %+v", rep.Loops[0])
+	}
+	out := ast.Print(info.File)
+	if strings.Contains(out, "omp parallel for") {
+		t.Fatalf("no pragma expected:\n%s", out)
+	}
+}
+
+// Skewing: dependences (1,0),(0,1),(1,-1) → after shearing the inner
+// loop is parallel (paper Fig. 2).
+const skewSrc = `
+int n;
+float **A;
+int main(void) {
+    for (int i = 1; i < n; ++i)
+        for (int j = 1; j < n - 1; ++j)
+            A[i][j] = A[i - 1][j] + A[i][j - 1] + A[i - 1][j + 1];
+    return 0;
+}
+`
+
+func TestSkewingEnablesInnerParallelism(t *testing.T) {
+	info, scops := prep(t, skewSrc)
+	sc := mainSCoP(t, scops)
+	rep, err := Parallelize([]*scop.SCoP{sc}, Options{Skew: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := rep.Loops[0]
+	if !lr.Skewed || lr.SkewFactor != 1 {
+		t.Fatalf("expected skew by 1: %+v", lr)
+	}
+	out := ast.Print(info.File)
+	if !strings.Contains(out, "j_sk") {
+		t.Fatalf("skewed iterator missing:\n%s", out)
+	}
+	f2, err := parser.Parse("out.c", out)
+	if err != nil {
+		t.Fatalf("skewed source does not parse: %v\n%s", err, out)
+	}
+	if _, err := sema.Check(f2); err != nil {
+		t.Fatalf("skewed source does not typecheck: %v\n%s", err, out)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	_, scops := prep(t, matmulSrc)
+	sc := mainSCoP(t, scops)
+	rep, err := Parallelize([]*scop.SCoP{sc}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "main") {
+		t.Fatalf("report: %q", rep.String())
+	}
+}

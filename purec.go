@@ -1,0 +1,87 @@
+// Package purec is the public API of the purec tool chain, a Go
+// reproduction of "Pure Functions in C: A Small Keyword for Automatic
+// Parallelization" (Süß et al.).
+//
+// The library extends a C subset with the pure keyword, verifies that
+// pure-marked functions are side-effect free, lets a polyhedral
+// transformer parallelize loop nests that call such functions, and runs
+// the result on an OpenMP-like goroutine runtime.
+//
+// Quick start:
+//
+//	res, err := purec.Build(src, purec.Config{
+//	    Parallelize: true,
+//	    TeamSize:    8,
+//	})
+//	if err != nil { ... }
+//	ret, err := res.Machine.RunMain()
+//
+// See examples/ for complete programs and internal/bench for the harness
+// that regenerates the paper's figures.
+package purec
+
+import (
+	"purec/internal/comp"
+	"purec/internal/core"
+	"purec/internal/parser"
+	"purec/internal/preproc"
+	"purec/internal/purity"
+	"purec/internal/sema"
+	"purec/internal/transform"
+)
+
+// Config configures a Build; see core.Config for field documentation.
+type Config = core.Config
+
+// Result is a finished build; Result.Machine executes the program.
+type Result = core.Result
+
+// Stages holds the per-stage source snapshots of the compiler chain.
+type Stages = core.Stages
+
+// TransformOptions configures the polyhedral stage (tiling, skewing,
+// schedule clause).
+type TransformOptions = transform.Options
+
+// Backend selects the compiler analog used for execution.
+type Backend = comp.Backend
+
+// Compiler backends.
+const (
+	BackendGCC = comp.BackendGCC
+	BackendICC = comp.BackendICC
+)
+
+// Build runs the complete compiler chain of the paper's Fig. 1 on src.
+func Build(src string, cfg Config) (*Result, error) {
+	return core.Build(src, cfg)
+}
+
+// CheckPurity preprocesses and semantically checks src, then runs the
+// purity verification pass alone, returning the names of verified pure
+// functions. It is the programmatic equivalent of running only the
+// PC-PrePro, GCC-E and PC-CC stages.
+func CheckPurity(src string) ([]string, error) {
+	stripped, _ := preproc.StripSystemIncludes(src)
+	expanded, err := preproc.Expand(stripped)
+	if err != nil {
+		return nil, err
+	}
+	f, err := parser.Parse("input.c", expanded)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	pres := purity.Check(info)
+	if err := pres.Err(); err != nil {
+		return nil, err
+	}
+	var names []string
+	for n := range pres.PureFuncs {
+		names = append(names, n)
+	}
+	return names, nil
+}
