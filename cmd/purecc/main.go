@@ -18,6 +18,8 @@
 //	-emit stage           print a stage instead of running:
 //	                      stripped|expanded|marked|transformed|final|report|pure
 //	-time                 print the wall time of main()
+//	-runs N               execute main N times, each in a fresh Process
+//	                      of the one compiled Program (default 1)
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 
 	"purec/internal/comp"
 	"purec/internal/core"
+	"purec/internal/rt"
 	"purec/internal/transform"
 )
 
@@ -58,10 +61,14 @@ func main() {
 	schedule := flag.String("schedule", "", "OpenMP schedule clause")
 	emit := flag.String("emit", "", "print a pipeline stage instead of running")
 	timed := flag.Bool("time", false, "print wall time of main()")
+	runs := flag.Int("runs", 1, "execute main N times, each in a fresh process")
 	defines := defineFlags{}
 	flag.Var(defines, "D", "define NAME=VALUE (repeatable)")
 	flag.Parse()
 
+	if *runs < 1 {
+		fatalf("-runs must be at least 1")
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: purecc [flags] file.c")
 		flag.PrintDefaults()
@@ -102,7 +109,7 @@ func main() {
 		fatalf("unknown backend %q", *backend)
 	}
 
-	res, err := core.Build(string(src), cfg)
+	prog, art, _, err := core.BuildProgram(string(src), cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -111,46 +118,60 @@ func main() {
 	case "":
 		// run below
 	case "stripped":
-		fmt.Print(res.Stages.Stripped)
+		fmt.Print(art.Stages.Stripped)
 		return
 	case "expanded":
-		fmt.Print(res.Stages.Expanded)
+		fmt.Print(art.Stages.Expanded)
 		return
 	case "marked":
-		fmt.Print(res.Stages.Marked)
+		fmt.Print(art.Stages.Marked)
 		return
 	case "transformed":
-		fmt.Print(res.Stages.Transformed)
+		fmt.Print(art.Stages.Transformed)
 		return
 	case "final":
-		fmt.Print(res.Stages.Final)
+		fmt.Print(art.Stages.Final)
 		return
 	case "report":
-		fmt.Printf("verified pure functions: %s\n", strings.Join(sortedNames(res.Pure), ", "))
-		fmt.Printf("SCoPs: %d\n", res.SCoPs)
-		if res.Report != nil {
-			fmt.Print(res.Report.String())
+		fmt.Printf("verified pure functions: %s\n", strings.Join(sortedNames(art.Pure), ", "))
+		fmt.Printf("SCoPs: %d\n", art.SCoPs)
+		if art.Report != nil {
+			fmt.Print(art.Report.String())
 		}
-		for _, r := range res.Rejections {
+		for _, r := range art.Rejections {
 			fmt.Printf("rejected: %s\n", r)
 		}
 		return
 	case "pure":
-		fmt.Println(strings.Join(sortedNames(res.Pure), "\n"))
+		fmt.Println(strings.Join(sortedNames(art.Pure), "\n"))
 		return
 	default:
 		fatalf("unknown -emit stage %q", *emit)
 	}
 
-	start := time.Now()
-	ret, err := res.Machine.RunMain()
-	dur := time.Since(start)
-	if err != nil {
-		fatalf("run: %v", err)
-	}
-	if *timed {
-		fmt.Fprintf(os.Stderr, "main returned %d in %s (%d cores, %s backend)\n",
-			ret, dur, *cores, *backend)
+	// Every run executes in a fresh Process of the one immutable
+	// Program: the compiler chain runs once however many times the
+	// program executes.
+	var ret int64
+	for r := 0; r < *runs; r++ {
+		proc, perr := prog.NewProcess(comp.ProcOptions{
+			Team:   rt.NewTeam(*cores),
+			Stdout: os.Stdout,
+		})
+		if perr != nil {
+			fatalf("process: %v", perr)
+		}
+		start := time.Now()
+		var err error
+		ret, err = proc.RunMain()
+		dur := time.Since(start)
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		if *timed {
+			fmt.Fprintf(os.Stderr, "main returned %d in %s (%d cores, %s backend)\n",
+				ret, dur, *cores, *backend)
+		}
 	}
 	os.Exit(int(ret & 0xff))
 }

@@ -1,0 +1,3 @@
+module purec
+
+go 1.22

@@ -1,11 +1,15 @@
 package apps
 
 import (
+	"fmt"
+	"io"
 	"math"
+	"sync"
 	"testing"
 
 	"purec/internal/comp"
 	"purec/internal/core"
+	"purec/internal/interp"
 	"purec/internal/rt"
 	"purec/internal/transform"
 )
@@ -308,5 +312,66 @@ func TestLamaICCGatherKernelBitIdentical(t *testing.T) {
 		if a[k] != b[k] {
 			t.Fatalf("row %d: gcc %v icc %v", k, a[k], b[k])
 		}
+	}
+}
+
+// --- Program/Process concurrency through the full pipeline ---
+
+// TestMatmulConcurrentProcesses compiles the matmul app once through the
+// complete chain and serves 8 concurrent runs from the one immutable
+// Program, each in its own Process. Every run is checked against the
+// tree-walking interpreter oracle on the same checked final source.
+func TestMatmulConcurrentProcesses(t *testing.T) {
+	n := 16
+	cfg := core.Config{Parallelize: true, Defines: MatmulDefines(n)}
+	cfg.Transform.MinParallelTrip = -1
+	prog, art, _, err := core.BuildProgram(MatmulSrc, cfg)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	in, err := interp.New(art.Info, nil)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	if _, err := in.RunMain(); err != nil {
+		t.Fatalf("interp run: %v", err)
+	}
+	oraclePtr, err := in.GlobalPtr("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReadMatrix(oraclePtr, n)
+
+	const procs = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, procs)
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			proc, err := prog.NewProcess(comp.ProcOptions{Team: rt.NewTeam(1 + i%3), Stdout: io.Discard})
+			if err != nil {
+				errs <- fmt.Errorf("process %d: %v", i, err)
+				return
+			}
+			if _, err := proc.RunMain(); err != nil {
+				errs <- fmt.Errorf("process %d: run: %v", i, err)
+				return
+			}
+			ptr, err := proc.GlobalPtr("C")
+			if err != nil {
+				errs <- fmt.Errorf("process %d: %v", i, err)
+				return
+			}
+			got := ReadMatrix(ptr, n)
+			if d := maxRelDiff(flat(got), flat(want)); d > 0 {
+				errs <- fmt.Errorf("process %d: differs from oracle by %g", i, d)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"purec/internal/comp"
 	"purec/internal/core"
 	"purec/internal/rt"
 )
@@ -160,11 +161,13 @@ type variant struct {
 	native func(team *rt.Team)
 }
 
-// measure builds (once) and times the variant across core counts on
-// simulated teams: chunks execute sequentially and deterministically;
-// the reported time is wall time with each parallel region's real
-// duration replaced by its simulated parallel duration (DESIGN.md,
-// substitution for the paper's 64-core node).
+// measure builds the variant once — through the content-addressed
+// program cache, so repeated figure collections share the compile — and
+// times it across core counts on simulated teams: chunks execute
+// sequentially and deterministically; the reported time is wall time
+// with each parallel region's real duration replaced by its simulated
+// parallel duration (DESIGN.md, substitution for the paper's 64-core
+// node). Each core count runs in its own Process of the shared Program.
 func measure(v variant, cores []int, reps int) (Series, error) {
 	s := Series{Name: v.name, Times: map[int]float64{}}
 	if v.native != nil {
@@ -183,37 +186,38 @@ func measure(v variant, cores []int, reps int) (Series, error) {
 	}
 	cfg := v.cfg
 	cfg.Defines = v.defs
-	cfg.TeamSize = 1
-	cfg.Stdout = io.Discard
-	res, err := core.Build(v.src, cfg)
+	prog, _, _, err := core.BuildProgram(v.src, cfg)
 	if err != nil {
 		return s, fmt.Errorf("%s: %v", v.name, err)
 	}
 	for _, c := range cores {
 		team := rt.NewSimTeam(c)
-		res.Machine.SetTeam(team)
+		proc, err := prog.NewProcess(comp.ProcOptions{Team: team, Stdout: io.Discard})
+		if err != nil {
+			return s, fmt.Errorf("%s @%d cores: %v", v.name, c, err)
+		}
 		var secs float64
 		if v.entry == "" {
 			secs, err = timeIt(reps, team, func() error {
-				if err := res.Machine.ResetGlobals(); err != nil {
+				if err := proc.ResetGlobals(); err != nil {
 					return err
 				}
-				_, err := res.Machine.RunMain()
+				_, err := proc.RunMain()
 				return err
 			})
 		} else {
 			secs, err = timeItPrepared(reps, team, func() error {
-				if err := res.Machine.ResetGlobals(); err != nil {
+				if err := proc.ResetGlobals(); err != nil {
 					return err
 				}
 				if v.init != "" {
-					if _, err := res.Machine.CallInt(v.init); err != nil {
+					if _, err := proc.CallInt(v.init); err != nil {
 						return err
 					}
 				}
 				return nil
 			}, func() error {
-				_, err := res.Machine.CallInt(v.entry)
+				_, err := proc.CallInt(v.entry)
 				return err
 			})
 		}

@@ -38,7 +38,7 @@ func (fc *funcCompiler) tryInline(x *ast.CallExpr) (valueFns, bool) {
 	if fc.inlineDepth >= 4 {
 		return valueFns{}, false
 	}
-	callee, ok := fc.m.funcs[x.Fun.Name]
+	callee, ok := fc.prog.funcs[x.Fun.Name]
 	if !ok || !callee.pure || callee.decl.Body == nil || len(callee.decl.Body.List) != 1 {
 		return valueFns{}, false
 	}
@@ -46,7 +46,7 @@ func (fc *funcCompiler) tryInline(x *ast.CallExpr) (valueFns, bool) {
 	if !ok || ret.X == nil {
 		return valueFns{}, false
 	}
-	sig := fc.m.info.Funcs[x.Fun.Name]
+	sig := fc.prog.info.Funcs[x.Fun.Name]
 	if sig == nil || len(sig.Params) != len(x.Args) {
 		return valueFns{}, false
 	}
@@ -71,7 +71,7 @@ func (fc *funcCompiler) tryInline(x *ast.CallExpr) (valueFns, bool) {
 				}
 			}
 		case *ast.Ident:
-			sym := fc.m.info.Ref[y]
+			sym := fc.prog.info.Ref[y]
 			if sym == nil {
 				ok = false
 				return false
@@ -108,7 +108,7 @@ func (fc *funcCompiler) tryInline(x *ast.CallExpr) (valueFns, bool) {
 	}
 	// Bind parameters: compile each argument by the parameter type.
 	binds := map[*sema.Symbol]valueFns{}
-	locals := fc.m.info.FuncLocals[x.Fun.Name]
+	locals := fc.prog.info.FuncLocals[x.Fun.Name]
 	pi := 0
 	for _, sym := range locals {
 		if sym.Kind != sema.SymParam {
@@ -185,7 +185,7 @@ func hasSideEffects(fc *funcCompiler, e ast.Expr) bool {
 			}
 		case *ast.CallExpr:
 			if !sema.IsPureBuiltin(y.Fun.Name) || y.Fun.Name == "malloc" || y.Fun.Name == "free" {
-				if cf, ok := fc.m.funcs[y.Fun.Name]; !ok || !cf.pure {
+				if cf, ok := fc.prog.funcs[y.Fun.Name]; !ok || !cf.pure {
 					effect = true
 				}
 			}
@@ -257,12 +257,8 @@ func (fc *funcCompiler) callInt(x *ast.CallExpr) intFn {
 			return vb
 		}
 	case "rand":
-		m := fc.m
-		return func(*env) int64 {
-			// Deterministic LCG so runs are reproducible.
-			m.randState = m.randState*6364136223846793005 + 1442695040888963407
-			return int64((m.randState >> 33) & 0x7fffffff)
-		}
+		// Deterministic LCG so runs are reproducible.
+		return func(e *env) int64 { return e.p.nextRand() }
 	case "printf":
 		eff := fc.printfCall(x)
 		return func(e *env) int64 {
@@ -298,9 +294,8 @@ func (fc *funcCompiler) callEffect(x *ast.CallExpr) func(*env) {
 			fc.errorf(x, "free takes one argument")
 		}
 		p := fc.ptr(x.Args[0])
-		m := fc.m
 		return func(e *env) {
-			if err := m.heap.Free(p(e)); err != nil {
+			if err := e.p.heap.Free(p(e)); err != nil {
 				rtPanic("%v", err)
 			}
 		}
@@ -308,8 +303,7 @@ func (fc *funcCompiler) callEffect(x *ast.CallExpr) func(*env) {
 		return fc.printfCall(x)
 	case "srand":
 		a := fc.integer(x.Args[0])
-		m := fc.m
-		return func(e *env) { m.randState = uint64(a(e)) }
+		return func(e *env) { e.p.randState.Store(uint64(a(e))) }
 	case "malloc":
 		fc.errorf(x, "malloc result must be used (cast and assign it)")
 	}
@@ -329,7 +323,7 @@ func (fc *funcCompiler) callEffect(x *ast.CallExpr) func(*env) {
 // producing the callee's finished environment.
 func (fc *funcCompiler) userCall(x *ast.CallExpr) func(*env) *env {
 	name := x.Fun.Name
-	callee, ok := fc.m.funcs[name]
+	callee, ok := fc.prog.funcs[name]
 	if !ok {
 		fc.errorf(x, "call of unknown function %s", name)
 	}
@@ -342,7 +336,7 @@ func (fc *funcCompiler) userCall(x *ast.CallExpr) func(*env) *env {
 	var setters []argSetter
 	for i, arg := range x.Args {
 		pt, err := types.FromAST(callee.decl.Params[i].Type, func(tag string) (*types.Type, error) {
-			if st, ok := fc.m.info.Structs[tag]; ok {
+			if st, ok := fc.prog.info.Structs[tag]; ok {
 				return st, nil
 			}
 			return nil, fmt.Errorf("unknown struct %s", tag)
@@ -367,9 +361,8 @@ func (fc *funcCompiler) userCall(x *ast.CallExpr) func(*env) *env {
 			setters = append(setters, func(c *env, ne *env) { ne.P[callee.params[idx].idx] = a(c) })
 		}
 	}
-	m := fc.m
 	return func(e *env) *env {
-		ne := m.newEnv(callee)
+		ne := e.p.newEnv(callee)
 		ne.team = e.team
 		ne.inParallel = e.inParallel
 		for _, s := range setters {
@@ -457,7 +450,6 @@ func (fc *funcCompiler) printfCall(x *ast.CallExpr) func(*env) {
 			fc.errorf(x, "printf: unsupported verb %%%c", pc.verb)
 		}
 	}
-	m := fc.m
 	return func(e *env) {
 		var b strings.Builder
 		vi := 0
@@ -485,7 +477,7 @@ func (fc *funcCompiler) printfCall(x *ast.CallExpr) func(*env) {
 				b.WriteString(cString(v.p(e)))
 			}
 		}
-		fmt.Fprint(m.stdout, b.String())
+		fmt.Fprint(e.p.stdout, b.String())
 	}
 }
 

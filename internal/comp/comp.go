@@ -17,14 +17,25 @@
 //
 // #pragma omp parallel for statements are honored by dispatching loop
 // ranges onto an rt.Team with the requested schedule.
+//
+// Compilation output is split along the executable/run-state boundary:
+//
+//   - Program is the immutable compile artifact (compiled closures,
+//     function table, global layout, backend metadata). It holds no
+//     run state and is safe to share between any number of concurrent
+//     runs.
+//   - Process is one run of a Program: global slot storage, heap,
+//     stdout, worker team and rand state. Processes of one Program are
+//     independent; running them concurrently is safe as long as each
+//     Process is used sequentially.
+//   - Machine bundles one Program with one Process for callers that
+//     want the classic compile-and-run object; it remains safe for
+//     sequential reuse via ResetGlobals.
 package comp
 
 import (
 	"fmt"
 	"io"
-	"os"
-	"runtime"
-	"strings"
 
 	"purec/internal/ast"
 	"purec/internal/mem"
@@ -47,7 +58,9 @@ var backendNames = [...]string{"gcc", "icc"}
 // String returns the backend name.
 func (b Backend) String() string { return backendNames[b] }
 
-// Options configure compilation.
+// Options configure compilation. Backend and Vectorize shape the
+// Program; Team and Stdout seed the initial Process of a Machine built
+// with Compile (CompileProgram ignores them).
 type Options struct {
 	Backend Backend
 	// Team executes parallel regions; nil means a single worker.
@@ -85,14 +98,16 @@ const (
 	ctrlReturn
 )
 
-// env is the execution environment of one function activation. Parallel
-// workers get a cloned env: private scalar slots, shared segments.
+// env is the execution environment of one function activation. All run
+// state reaches compiled closures through the env: frame slots directly,
+// globals/heap/stdout/rand via the owning Process. Parallel workers get
+// a cloned env: private scalar slots, shared segments.
 type env struct {
 	I []int64
 	F []float64
 	P []mem.Pointer
 
-	m          *Machine
+	p          *Process
 	team       *rt.Team
 	inParallel bool
 
@@ -106,7 +121,7 @@ func (e *env) clone() *env {
 		I: append([]int64(nil), e.I...),
 		F: append([]float64(nil), e.F...),
 		P: append([]mem.Pointer(nil), e.P...),
-		m: e.m, team: e.team, inParallel: true,
+		p: e.p, team: e.team, inParallel: true,
 	}
 	return ne
 }
@@ -138,151 +153,6 @@ type cfunc struct {
 	retKind    slotKind
 	retVoid    bool
 	pure       bool
-}
-
-// Machine is a loaded, executable program.
-type Machine struct {
-	info  *sema.Info
-	opts  Options
-	funcs map[string]*cfunc
-	heap  mem.Heap
-
-	// global storage
-	gI          []int64
-	gF          []float64
-	gP          []mem.Pointer
-	globalSlots map[*sema.Symbol]slot
-	globalInit  []func(*Machine) error
-
-	stdout    io.Writer
-	team      *rt.Team
-	randState uint64
-}
-
-// Compile translates a checked program. The returned machine is safe for
-// sequential reuse: call ResetGlobals between runs.
-func Compile(info *sema.Info, opts Options) (*Machine, error) {
-	m := &Machine{
-		info:        info,
-		opts:        opts,
-		funcs:       map[string]*cfunc{},
-		globalSlots: map[*sema.Symbol]slot{},
-		stdout:      opts.Stdout,
-		team:        opts.Team,
-	}
-	if m.stdout == nil {
-		m.stdout = os.Stdout
-	}
-	if m.team == nil {
-		m.team = rt.NewTeam(1)
-	}
-	if err := m.layoutGlobals(); err != nil {
-		return nil, err
-	}
-	// First pass: create cfunc shells so calls can resolve.
-	for _, d := range info.File.Decls {
-		fd, ok := d.(*ast.FuncDecl)
-		if !ok || fd.Body == nil {
-			continue
-		}
-		m.funcs[fd.Name] = &cfunc{name: fd.Name, decl: fd, pure: fd.Pure}
-	}
-	for _, cf := range m.funcs {
-		fc := &funcCompiler{m: m, cf: cf}
-		if err := fc.compile(); err != nil {
-			return nil, err
-		}
-	}
-	if err := m.ResetGlobals(); err != nil {
-		return nil, err
-	}
-	return m, nil
-}
-
-// SetTeam replaces the worker team (between runs).
-func (m *Machine) SetTeam(t *rt.Team) { m.team = t }
-
-// Heap returns allocation statistics.
-func (m *Machine) Heap() mem.Heap { return m.heap }
-
-// layoutGlobals assigns global slots and builds initializers.
-func (m *Machine) layoutGlobals() error {
-	var nI, nF, nP int
-	for _, g := range m.info.Globals {
-		sl, err := slotFor(g)
-		if err != nil {
-			return fmt.Errorf("global %s: %v", g.Name, err)
-		}
-		switch sl {
-		case slotInt:
-			m.globalSlots[g] = slot{slotInt, nI}
-			nI++
-		case slotFloat:
-			m.globalSlots[g] = slot{slotFloat, nF}
-			nF++
-		case slotPtr:
-			m.globalSlots[g] = slot{slotPtr, nP}
-			nP++
-		}
-	}
-	m.gI = make([]int64, nI)
-	m.gF = make([]float64, nF)
-	m.gP = make([]mem.Pointer, nP)
-	return nil
-}
-
-// ResetGlobals zeroes global storage, re-creates global array segments
-// and re-evaluates constant initializers. Run it between measurements so
-// each run starts from the C program's initial state.
-func (m *Machine) ResetGlobals() error {
-	for i := range m.gI {
-		m.gI[i] = 0
-	}
-	for i := range m.gF {
-		m.gF[i] = 0
-	}
-	for i := range m.gP {
-		m.gP[i] = mem.Pointer{}
-	}
-	m.heap = mem.Heap{}
-	for _, g := range m.info.Globals {
-		sl := m.globalSlots[g]
-		if g.IsArray() {
-			cells := 1
-			for _, d := range g.Dims {
-				cells *= d
-			}
-			kind, err := cellKindOf(g.Type.BaseElem())
-			if err != nil {
-				return fmt.Errorf("global %s: %v", g.Name, err)
-			}
-			m.gP[sl.idx] = mem.Pointer{Seg: mem.NewSegment(kind, cells, "global "+g.Name)}
-			continue
-		}
-		if g.Decl != nil && g.Decl.Init != nil {
-			v, ok := sema.ConstInt(g.Decl.Init)
-			if !ok {
-				if fv, okf := constFloat(g.Decl.Init); okf {
-					if sl.kind == slotFloat {
-						m.gF[sl.idx] = fv
-						continue
-					}
-				}
-				return fmt.Errorf("global %s: initializer must be constant", g.Name)
-			}
-			switch sl.kind {
-			case slotInt:
-				m.gI[sl.idx] = v
-			case slotFloat:
-				m.gF[sl.idx] = float64(v)
-			default:
-				if v != 0 {
-					return fmt.Errorf("global pointer %s: only 0 initializer supported", g.Name)
-				}
-			}
-		}
-	}
-	return nil
 }
 
 func constFloat(e ast.Expr) (float64, bool) {
@@ -368,143 +238,6 @@ type RuntimeError struct {
 
 // Error implements the error interface.
 func (e *RuntimeError) Error() string { return "runtime error: " + e.Msg }
-
-// Run executes function name with integer/float arguments and returns
-// main-style int results. Most tests and benches call RunMain.
-func (m *Machine) RunMain() (ret int64, err error) {
-	return m.CallInt("main")
-}
-
-// CallInt calls an int-returning, zero-argument function.
-func (m *Machine) CallInt(name string) (ret int64, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, isRT := r.(runtime.Error); isRT {
-				err = &RuntimeError{Msg: fmt.Sprint(r)}
-				return
-			}
-			if s, isStr := r.(string); isStr && strings.HasPrefix(s, "purec:") {
-				err = &RuntimeError{Msg: strings.TrimPrefix(s, "purec: ")}
-				return
-			}
-			panic(r)
-		}
-	}()
-	cf, ok := m.funcs[name]
-	if !ok {
-		return 0, fmt.Errorf("function %s not found", name)
-	}
-	e := m.newEnv(cf)
-	cf.body(e)
-	return e.retI, nil
-}
-
-// CallFloat calls a float-returning function with the given arguments
-// (ints fill int parameters in order, floats fill float parameters,
-// pointers fill pointer parameters).
-func (m *Machine) CallFloat(name string, args ...any) (ret float64, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, isRT := r.(runtime.Error); isRT {
-				err = &RuntimeError{Msg: fmt.Sprint(r)}
-				return
-			}
-			if s, isStr := r.(string); isStr && strings.HasPrefix(s, "purec:") {
-				err = &RuntimeError{Msg: strings.TrimPrefix(s, "purec: ")}
-				return
-			}
-			panic(r)
-		}
-	}()
-	cf, ok := m.funcs[name]
-	if !ok {
-		return 0, fmt.Errorf("function %s not found", name)
-	}
-	e := m.newEnv(cf)
-	ai := 0
-	for _, ps := range cf.params {
-		if ai >= len(args) {
-			return 0, fmt.Errorf("not enough arguments for %s", name)
-		}
-		switch ps.kind {
-		case slotInt:
-			v, ok := args[ai].(int64)
-			if !ok {
-				return 0, fmt.Errorf("argument %d of %s must be int64", ai, name)
-			}
-			e.I[ps.idx] = v
-		case slotFloat:
-			v, ok := args[ai].(float64)
-			if !ok {
-				return 0, fmt.Errorf("argument %d of %s must be float64", ai, name)
-			}
-			e.F[ps.idx] = v
-		case slotPtr:
-			v, ok := args[ai].(mem.Pointer)
-			if !ok {
-				return 0, fmt.Errorf("argument %d of %s must be mem.Pointer", ai, name)
-			}
-			e.P[ps.idx] = v
-		}
-		ai++
-	}
-	cf.body(e)
-	return e.retF, nil
-}
-
-// newEnv builds a fresh activation for cf, allocating local arrays.
-func (m *Machine) newEnv(cf *cfunc) *env {
-	e := &env{
-		I: make([]int64, cf.nI),
-		F: make([]float64, cf.nF),
-		P: make([]mem.Pointer, cf.nP),
-		m: m, team: m.team,
-	}
-	for _, a := range cf.arrays {
-		e.P[a.slot] = mem.Pointer{Seg: mem.NewSegment(a.kind, a.cells, a.name)}
-	}
-	return e
-}
-
-// GlobalPtr returns the pointer value of global pointer/array name, for
-// test and bench verification.
-func (m *Machine) GlobalPtr(name string) (mem.Pointer, error) {
-	g, ok := m.info.GlobalMap[name]
-	if !ok {
-		return mem.Pointer{}, fmt.Errorf("no global %s", name)
-	}
-	sl := m.globalSlots[g]
-	if sl.kind != slotPtr {
-		return mem.Pointer{}, fmt.Errorf("global %s is not a pointer", name)
-	}
-	return m.gP[sl.idx], nil
-}
-
-// GlobalInt returns the value of an integer global.
-func (m *Machine) GlobalInt(name string) (int64, error) {
-	g, ok := m.info.GlobalMap[name]
-	if !ok {
-		return 0, fmt.Errorf("no global %s", name)
-	}
-	sl := m.globalSlots[g]
-	if sl.kind != slotInt {
-		return 0, fmt.Errorf("global %s is not an int", name)
-	}
-	return m.gI[sl.idx], nil
-}
-
-// GlobalFloat returns the value of a float global.
-func (m *Machine) GlobalFloat(name string) (float64, error) {
-	g, ok := m.info.GlobalMap[name]
-	if !ok {
-		return 0, fmt.Errorf("no global %s", name)
-	}
-	sl := m.globalSlots[g]
-	if sl.kind != slotFloat {
-		return 0, fmt.Errorf("global %s is not a float", name)
-	}
-	return m.gF[sl.idx], nil
-}
 
 func rtPanic(format string, args ...any) {
 	panic("purec: " + fmt.Sprintf(format, args...))

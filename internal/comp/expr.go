@@ -15,8 +15,8 @@ import (
 type compileError struct{ err error }
 
 type funcCompiler struct {
-	m  *Machine
-	cf *cfunc
+	prog *Program
+	cf   *cfunc
 	// slots maps local/param symbols to frame slots.
 	slots map[*sema.Symbol]slot
 	// declSym maps declarations to their symbols.
@@ -48,10 +48,10 @@ func (fc *funcCompiler) compile() (err error) {
 			panic(r)
 		}
 	}()
-	fc.sig = fc.m.info.Funcs[fc.cf.name]
+	fc.sig = fc.prog.info.Funcs[fc.cf.name]
 	fc.slots = map[*sema.Symbol]slot{}
 	fc.declSym = map[*ast.VarDecl]*sema.Symbol{}
-	locals := fc.m.info.FuncLocals[fc.cf.name]
+	locals := fc.prog.info.FuncLocals[fc.cf.name]
 	for _, sym := range locals {
 		if sym.Decl != nil {
 			fc.declSym[sym.Decl] = sym
@@ -119,7 +119,7 @@ func (fc *funcCompiler) compile() (err error) {
 
 // symOf resolves an identifier use.
 func (fc *funcCompiler) symOf(id *ast.Ident) *sema.Symbol {
-	sym := fc.m.info.Ref[id]
+	sym := fc.prog.info.Ref[id]
 	if sym == nil {
 		fc.errorf(id, "unresolved identifier %s", id.Name)
 	}
@@ -128,7 +128,7 @@ func (fc *funcCompiler) symOf(id *ast.Ident) *sema.Symbol {
 
 // typeOf returns the checked type of an expression.
 func (fc *funcCompiler) typeOf(e ast.Expr) *types.Type {
-	t := fc.m.info.ExprType[e]
+	t := fc.prog.info.ExprType[e]
 	if t == nil {
 		fc.errorf(e, "expression has no type information (was the file re-checked after transformation?)")
 	}
@@ -179,8 +179,7 @@ func (fc *funcCompiler) intExpr(e ast.Expr) intFn {
 		sl, global := fc.slotOf(sym, x)
 		if global {
 			idx := sl.idx
-			m := fc.m
-			return func(*env) int64 { return m.gI[idx] }
+			return func(e *env) int64 { return e.p.gI[idx] }
 		}
 		idx := sl.idx
 		return func(e *env) int64 { return e.I[idx] }
@@ -251,7 +250,7 @@ func (fc *funcCompiler) intExpr(e ast.Expr) intFn {
 func (fc *funcCompiler) sizeofValue(x *ast.SizeofExpr) int64 {
 	if x.Type != nil {
 		t, err := types.FromAST(x.Type, func(tag string) (*types.Type, error) {
-			if st, ok := fc.m.info.Structs[tag]; ok {
+			if st, ok := fc.prog.info.Structs[tag]; ok {
 				return st, nil
 			}
 			return nil, fmt.Errorf("unknown struct %s", tag)
@@ -492,8 +491,7 @@ func (fc *funcCompiler) flt(e ast.Expr) fltFn {
 		sl, global := fc.slotOf(sym, x)
 		if global {
 			idx := sl.idx
-			m := fc.m
-			return func(*env) float64 { return m.gF[idx] }
+			return func(e *env) float64 { return e.p.gF[idx] }
 		}
 		idx := sl.idx
 		return func(e *env) float64 { return e.F[idx] }
@@ -593,8 +591,7 @@ func (fc *funcCompiler) ptr(e ast.Expr) ptrFn {
 		sl, global := fc.slotOf(sym, x)
 		if global {
 			idx := sl.idx
-			m := fc.m
-			return func(*env) mem.Pointer { return m.gP[idx] }
+			return func(e *env) mem.Pointer { return e.p.gP[idx] }
 		}
 		idx := sl.idx
 		return func(e *env) mem.Pointer { return e.P[idx] }
@@ -712,7 +709,7 @@ func (fc *funcCompiler) partialArrayIndex(x *ast.IndexExpr) (ptrFn, bool) {
 	if !ok {
 		return nil, false
 	}
-	sym := fc.m.info.Ref[id]
+	sym := fc.prog.info.Ref[id]
 	if sym == nil || !sym.IsArray() || len(subs) >= len(sym.Dims) {
 		return nil, false
 	}
@@ -804,7 +801,6 @@ func (fc *funcCompiler) mallocCall(cast *ast.CastExpr, call *ast.CallExpr) ptrFn
 		}
 	}
 	name := "malloc@" + fc.cf.name
-	m := fc.m
 	return func(e *env) mem.Pointer {
 		b := bytesFn(e)
 		cells := b / cellBytes
@@ -814,7 +810,7 @@ func (fc *funcCompiler) mallocCall(cast *ast.CastExpr, call *ast.CallExpr) ptrFn
 		if cells < 0 {
 			rtPanic("malloc of negative size")
 		}
-		return m.heap.Malloc(kind, int(cells), name)
+		return e.p.heap.Malloc(kind, int(cells), name)
 	}
 }
 
@@ -918,7 +914,7 @@ func (fc *funcCompiler) addrOfStruct(e ast.Expr) ptrFn {
 // slotOf resolves a symbol to its slot, reporting whether it is global.
 func (fc *funcCompiler) slotOf(sym *sema.Symbol, n ast.Node) (slot, bool) {
 	if sym.Kind == sema.SymGlobal {
-		sl, ok := fc.m.globalSlots[sym]
+		sl, ok := fc.prog.globalSlots[sym]
 		if !ok {
 			fc.errorf(n, "global %s has no storage", sym.Name)
 		}
@@ -939,8 +935,7 @@ func (fc *funcCompiler) intLvalue(e ast.Expr) (func(*env) int64, func(*env, int6
 		sl, global := fc.slotOf(sym, x)
 		idx := sl.idx
 		if global {
-			m := fc.m
-			return func(*env) int64 { return m.gI[idx] }, func(_ *env, v int64) { m.gI[idx] = v }
+			return func(e *env) int64 { return e.p.gI[idx] }, func(e *env, v int64) { e.p.gI[idx] = v }
 		}
 		return func(e *env) int64 { return e.I[idx] }, func(e *env, v int64) { e.I[idx] = v }
 	default:
@@ -958,8 +953,7 @@ func (fc *funcCompiler) fltLvalue(e ast.Expr) (func(*env) float64, func(*env, fl
 		sl, global := fc.slotOf(sym, x)
 		idx := sl.idx
 		if global {
-			m := fc.m
-			return func(*env) float64 { return m.gF[idx] }, func(_ *env, v float64) { m.gF[idx] = v }
+			return func(e *env) float64 { return e.p.gF[idx] }, func(e *env, v float64) { e.p.gF[idx] = v }
 		}
 		return func(e *env) float64 { return e.F[idx] }, func(e *env, v float64) { e.F[idx] = v }
 	default:
@@ -977,8 +971,7 @@ func (fc *funcCompiler) ptrLvalue(e ast.Expr) (func(*env) mem.Pointer, func(*env
 		sl, global := fc.slotOf(sym, x)
 		idx := sl.idx
 		if global {
-			m := fc.m
-			return func(*env) mem.Pointer { return m.gP[idx] }, func(_ *env, v mem.Pointer) { m.gP[idx] = v }
+			return func(e *env) mem.Pointer { return e.p.gP[idx] }, func(e *env, v mem.Pointer) { e.p.gP[idx] = v }
 		}
 		return func(e *env) mem.Pointer { return e.P[idx] }, func(e *env, v mem.Pointer) { e.P[idx] = v }
 	default:

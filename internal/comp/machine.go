@@ -1,0 +1,27 @@
+package comp
+
+import "purec/internal/sema"
+
+// Machine wraps one Process of a Program: the classic compile-and-run
+// object. It is safe for sequential reuse — call ResetGlobals between
+// runs — and all run-state methods (RunMain, CallInt, CallFloat,
+// SetTeam, Global*) come from the embedded Process. The compiled
+// artifact is reachable via Process.Program(); for concurrent runs
+// give each goroutine its own Process of that Program.
+type Machine struct {
+	*Process
+}
+
+// Compile translates a checked program and pairs it with a fresh
+// Process built from opts (Team, Stdout).
+func Compile(info *sema.Info, opts Options) (*Machine, error) {
+	prog, err := CompileProgram(info, opts)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := prog.NewProcess(ProcOptions{Team: opts.Team, Stdout: opts.Stdout})
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Process: proc}, nil
+}

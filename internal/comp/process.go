@@ -1,0 +1,279 @@
+package comp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+
+	"purec/internal/mem"
+	"purec/internal/rt"
+	"purec/internal/sema"
+)
+
+// ProcOptions configure one run of a Program.
+type ProcOptions struct {
+	// Team executes parallel regions; nil means a single worker.
+	Team *rt.Team
+	// Stdout receives printf output (defaults to os.Stdout).
+	Stdout io.Writer
+}
+
+// Process is the run state of one execution of a Program: global slot
+// storage, heap, stdout, worker team and rand state. A Process must be
+// used sequentially, but distinct Processes of the same Program are
+// fully independent and may run concurrently.
+type Process struct {
+	prog *Program
+	heap mem.Heap
+
+	// global storage
+	gI []int64
+	gF []float64
+	gP []mem.Pointer
+
+	stdout io.Writer
+	team   *rt.Team
+	// randState backs rand()/srand(). Atomic so calls from inside
+	// parallel regions are race-free (sequentially the CAS never
+	// retries, keeping the LCG stream deterministic).
+	randState atomic.Uint64
+}
+
+// nextRand advances the deterministic LCG and returns the C rand()
+// value.
+func (p *Process) nextRand() int64 {
+	for {
+		old := p.randState.Load()
+		next := old*6364136223846793005 + 1442695040888963407
+		if p.randState.CompareAndSwap(old, next) {
+			return int64((next >> 33) & 0x7fffffff)
+		}
+	}
+}
+
+// NewProcess creates a fresh run of the program with globals in the C
+// program's initial state.
+func (p *Program) NewProcess(opts ProcOptions) (*Process, error) {
+	pr := &Process{
+		prog:   p,
+		stdout: opts.Stdout,
+		team:   opts.Team,
+	}
+	if pr.stdout == nil {
+		pr.stdout = os.Stdout
+	}
+	if pr.team == nil {
+		pr.team = rt.NewTeam(1)
+	}
+	if err := pr.ResetGlobals(); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// Program returns the compiled program this process runs.
+func (p *Process) Program() *Program { return p.prog }
+
+// SetTeam replaces the worker team (between runs).
+func (p *Process) SetTeam(t *rt.Team) { p.team = t }
+
+// Heap returns allocation statistics.
+func (p *Process) Heap() mem.HeapStats { return p.heap.Stats() }
+
+// ResetGlobals zeroes global storage, re-creates global array segments
+// and re-evaluates constant initializers. Run it between measurements so
+// each run starts from the C program's initial state.
+func (p *Process) ResetGlobals() error {
+	for i := range p.gI {
+		p.gI[i] = 0
+	}
+	for i := range p.gF {
+		p.gF[i] = 0
+	}
+	for i := range p.gP {
+		p.gP[i] = mem.Pointer{}
+	}
+	if p.gI == nil {
+		p.gI = make([]int64, p.prog.nGI)
+		p.gF = make([]float64, p.prog.nGF)
+		p.gP = make([]mem.Pointer, p.prog.nGP)
+	}
+	p.heap.Reset()
+	for _, g := range p.prog.info.Globals {
+		sl := p.prog.globalSlots[g]
+		if g.IsArray() {
+			cells := 1
+			for _, d := range g.Dims {
+				cells *= d
+			}
+			kind, err := cellKindOf(g.Type.BaseElem())
+			if err != nil {
+				return fmt.Errorf("global %s: %v", g.Name, err)
+			}
+			p.gP[sl.idx] = mem.Pointer{Seg: mem.NewSegment(kind, cells, "global "+g.Name)}
+			continue
+		}
+		if g.Decl != nil && g.Decl.Init != nil {
+			v, ok := sema.ConstInt(g.Decl.Init)
+			if !ok {
+				if fv, okf := constFloat(g.Decl.Init); okf {
+					if sl.kind == slotFloat {
+						p.gF[sl.idx] = fv
+						continue
+					}
+				}
+				return fmt.Errorf("global %s: initializer must be constant", g.Name)
+			}
+			switch sl.kind {
+			case slotInt:
+				p.gI[sl.idx] = v
+			case slotFloat:
+				p.gF[sl.idx] = float64(v)
+			default:
+				if v != 0 {
+					return fmt.Errorf("global pointer %s: only 0 initializer supported", g.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RunMain executes main and returns its int result.
+func (p *Process) RunMain() (ret int64, err error) {
+	return p.CallInt("main")
+}
+
+// CallInt calls an int-returning, zero-argument function.
+func (p *Process) CallInt(name string) (ret int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isRT := r.(runtime.Error); isRT {
+				err = &RuntimeError{Msg: fmt.Sprint(r)}
+				return
+			}
+			if s, isStr := r.(string); isStr && strings.HasPrefix(s, "purec:") {
+				err = &RuntimeError{Msg: strings.TrimPrefix(s, "purec: ")}
+				return
+			}
+			panic(r)
+		}
+	}()
+	cf, ok := p.prog.funcs[name]
+	if !ok {
+		return 0, fmt.Errorf("function %s not found", name)
+	}
+	e := p.newEnv(cf)
+	cf.body(e)
+	return e.retI, nil
+}
+
+// CallFloat calls a float-returning function with the given arguments
+// (ints fill int parameters in order, floats fill float parameters,
+// pointers fill pointer parameters).
+func (p *Process) CallFloat(name string, args ...any) (ret float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isRT := r.(runtime.Error); isRT {
+				err = &RuntimeError{Msg: fmt.Sprint(r)}
+				return
+			}
+			if s, isStr := r.(string); isStr && strings.HasPrefix(s, "purec:") {
+				err = &RuntimeError{Msg: strings.TrimPrefix(s, "purec: ")}
+				return
+			}
+			panic(r)
+		}
+	}()
+	cf, ok := p.prog.funcs[name]
+	if !ok {
+		return 0, fmt.Errorf("function %s not found", name)
+	}
+	e := p.newEnv(cf)
+	ai := 0
+	for _, ps := range cf.params {
+		if ai >= len(args) {
+			return 0, fmt.Errorf("not enough arguments for %s", name)
+		}
+		switch ps.kind {
+		case slotInt:
+			v, ok := args[ai].(int64)
+			if !ok {
+				return 0, fmt.Errorf("argument %d of %s must be int64", ai, name)
+			}
+			e.I[ps.idx] = v
+		case slotFloat:
+			v, ok := args[ai].(float64)
+			if !ok {
+				return 0, fmt.Errorf("argument %d of %s must be float64", ai, name)
+			}
+			e.F[ps.idx] = v
+		case slotPtr:
+			v, ok := args[ai].(mem.Pointer)
+			if !ok {
+				return 0, fmt.Errorf("argument %d of %s must be mem.Pointer", ai, name)
+			}
+			e.P[ps.idx] = v
+		}
+		ai++
+	}
+	cf.body(e)
+	return e.retF, nil
+}
+
+// newEnv builds a fresh activation for cf, allocating local arrays.
+func (p *Process) newEnv(cf *cfunc) *env {
+	e := &env{
+		I: make([]int64, cf.nI),
+		F: make([]float64, cf.nF),
+		P: make([]mem.Pointer, cf.nP),
+		p: p, team: p.team,
+	}
+	for _, a := range cf.arrays {
+		e.P[a.slot] = mem.Pointer{Seg: mem.NewSegment(a.kind, a.cells, a.name)}
+	}
+	return e
+}
+
+// GlobalPtr returns the pointer value of global pointer/array name, for
+// test and bench verification.
+func (p *Process) GlobalPtr(name string) (mem.Pointer, error) {
+	g, ok := p.prog.info.GlobalMap[name]
+	if !ok {
+		return mem.Pointer{}, fmt.Errorf("no global %s", name)
+	}
+	sl := p.prog.globalSlots[g]
+	if sl.kind != slotPtr {
+		return mem.Pointer{}, fmt.Errorf("global %s is not a pointer", name)
+	}
+	return p.gP[sl.idx], nil
+}
+
+// GlobalInt returns the value of an integer global.
+func (p *Process) GlobalInt(name string) (int64, error) {
+	g, ok := p.prog.info.GlobalMap[name]
+	if !ok {
+		return 0, fmt.Errorf("no global %s", name)
+	}
+	sl := p.prog.globalSlots[g]
+	if sl.kind != slotInt {
+		return 0, fmt.Errorf("global %s is not an int", name)
+	}
+	return p.gI[sl.idx], nil
+}
+
+// GlobalFloat returns the value of a float global.
+func (p *Process) GlobalFloat(name string) (float64, error) {
+	g, ok := p.prog.info.GlobalMap[name]
+	if !ok {
+		return 0, fmt.Errorf("no global %s", name)
+	}
+	sl := p.prog.globalSlots[g]
+	if sl.kind != slotFloat {
+		return 0, fmt.Errorf("global %s is not a float", name)
+	}
+	return p.gF[sl.idx], nil
+}

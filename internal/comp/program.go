@@ -1,0 +1,86 @@
+package comp
+
+import (
+	"fmt"
+
+	"purec/internal/ast"
+	"purec/internal/sema"
+)
+
+// Program is an immutable, concurrency-safe compile artifact: the
+// compiled function closures, the global storage layout and the backend
+// metadata. A Program holds no run state — globals, heap, stdout, team
+// and rand state live in a Process — so any number of Processes of one
+// Program may execute concurrently.
+type Program struct {
+	info      *sema.Info
+	backend   Backend
+	vectorize bool
+
+	funcs       map[string]*cfunc
+	globalSlots map[*sema.Symbol]slot
+	// global slot counts (the per-Process storage sizes)
+	nGI, nGF, nGP int
+}
+
+// CompileProgram translates a checked program into an immutable Program.
+// Options.Team and Options.Stdout are run state and ignored here; pass
+// them to NewProcess instead.
+func CompileProgram(info *sema.Info, opts Options) (*Program, error) {
+	p := &Program{
+		info:        info,
+		backend:     opts.Backend,
+		vectorize:   opts.Vectorize,
+		funcs:       map[string]*cfunc{},
+		globalSlots: map[*sema.Symbol]slot{},
+	}
+	if err := p.layoutGlobals(); err != nil {
+		return nil, err
+	}
+	// First pass: create cfunc shells so calls can resolve.
+	for _, d := range info.File.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		p.funcs[fd.Name] = &cfunc{name: fd.Name, decl: fd, pure: fd.Pure}
+	}
+	for _, cf := range p.funcs {
+		fc := &funcCompiler{prog: p, cf: cf}
+		if err := fc.compile(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Backend returns the compile backend analog the program was built with.
+func (p *Program) Backend() Backend { return p.backend }
+
+// Info returns the semantic model the program was compiled from.
+func (p *Program) Info() *sema.Info { return p.info }
+
+// layoutGlobals assigns global slots and records the storage sizes each
+// Process must allocate.
+func (p *Program) layoutGlobals() error {
+	var nI, nF, nP int
+	for _, g := range p.info.Globals {
+		sl, err := slotFor(g)
+		if err != nil {
+			return fmt.Errorf("global %s: %v", g.Name, err)
+		}
+		switch sl {
+		case slotInt:
+			p.globalSlots[g] = slot{slotInt, nI}
+			nI++
+		case slotFloat:
+			p.globalSlots[g] = slot{slotFloat, nF}
+			nF++
+		case slotPtr:
+			p.globalSlots[g] = slot{slotPtr, nP}
+			nP++
+		}
+	}
+	p.nGI, p.nGF, p.nGP = nI, nF, nP
+	return nil
+}

@@ -268,7 +268,7 @@ func (fc *funcCompiler) switchStmt(x *ast.SwitchStmt) stmtFn {
 // backend first tries to replace canonical reduction loops by fused
 // kernels (the vectorization analog).
 func (fc *funcCompiler) forStmt(x *ast.ForStmt) stmtFn {
-	if (fc.m.opts.Backend == BackendICC && fc.cf.pure) || fc.m.opts.Vectorize {
+	if (fc.prog.backend == BackendICC && fc.cf.pure) || fc.prog.vectorize {
 		if k := fc.tryVectorize(x); k != nil {
 			return k
 		}

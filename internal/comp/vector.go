@@ -49,7 +49,7 @@ func (fc *funcCompiler) tryVectorize(x *ast.ForStmt) stmtFn {
 	if call, ok := rhs.(*ast.CallExpr); ok {
 		if a, b, ok := fc.trivialMulBody(call); ok {
 			prodRound := false
-			if sig := fc.m.info.Funcs[call.Fun.Name]; sig != nil && sig.Ret.Kind == types.Float && sig.Ret.CSize == 4 {
+			if sig := fc.prog.info.Funcs[call.Fun.Name]; sig != nil && sig.Ret.Kind == types.Float && sig.Ret.CSize == 4 {
 				prodRound = true
 			}
 			return fc.mulKernel(cl, acc, a, b, f32, prodRound)
@@ -77,7 +77,7 @@ type accessor struct {
 func (fc *funcCompiler) accumulator(lhs ast.Expr, iter *sema.Symbol) (accessor, bool, bool) {
 	switch x := stripParens(lhs).(type) {
 	case *ast.Ident:
-		sym := fc.m.info.Ref[x]
+		sym := fc.prog.info.Ref[x]
 		if sym == nil || sym.Kind == sema.SymGlobal || sym.Type.Kind != types.Float {
 			return accessor{}, false, false
 		}
@@ -91,7 +91,7 @@ func (fc *funcCompiler) accumulator(lhs ast.Expr, iter *sema.Symbol) (accessor, 
 			set: func(e *env, v float64) { e.F[idx] = v },
 		}, sym.Type.CSize == 4, true
 	case *ast.IndexExpr:
-		t := fc.m.info.ExprType[lhs]
+		t := fc.prog.info.ExprType[lhs]
 		if t == nil || t.Kind != types.Float {
 			return accessor{}, false, false
 		}
@@ -121,7 +121,7 @@ func singleStmt(s ast.Stmt) ast.Stmt {
 // trivialMulBody recognizes calls f(a, b) to a pure function whose body
 // is exactly "return p1 * p2;" and yields the argument expressions.
 func (fc *funcCompiler) trivialMulBody(call *ast.CallExpr) (ast.Expr, ast.Expr, bool) {
-	callee, ok := fc.m.funcs[call.Fun.Name]
+	callee, ok := fc.prog.funcs[call.Fun.Name]
 	if !ok || !callee.pure || len(call.Args) != 2 || len(callee.decl.Params) != 2 {
 		return nil, nil, false
 	}
@@ -169,7 +169,7 @@ func (fc *funcCompiler) matchLoad(e ast.Expr, iter *sema.Symbol) (load, bool) {
 	if !ok {
 		return load{}, false
 	}
-	baseT := fc.m.info.ExprType[ix.X]
+	baseT := fc.prog.info.ExprType[ix.X]
 	if baseT == nil || !baseT.IsPtr() {
 		return load{}, false
 	}
@@ -188,7 +188,7 @@ func (fc *funcCompiler) matchLoad(e ast.Expr, iter *sema.Symbol) (load, bool) {
 	if !ok {
 		return load{}, false
 	}
-	innerT := fc.m.info.ExprType[inner.X]
+	innerT := fc.prog.info.ExprType[inner.X]
 	if innerT == nil || !innerT.IsPtr() || innerT.Elem.Kind != types.Int {
 		return load{}, false
 	}
@@ -211,7 +211,7 @@ func (fc *funcCompiler) matchLoad(e ast.Expr, iter *sema.Symbol) (load, bool) {
 func (fc *funcCompiler) linearInIter(e ast.Expr, iter *sema.Symbol) (intFn, bool) {
 	e = stripParens(e)
 	if id, ok := e.(*ast.Ident); ok {
-		if fc.m.info.Ref[id] == iter {
+		if fc.prog.info.Ref[id] == iter {
 			return func(*env) int64 { return 0 }, true
 		}
 		return nil, false
@@ -222,7 +222,7 @@ func (fc *funcCompiler) linearInIter(e ast.Expr, iter *sema.Symbol) (intFn, bool
 	}
 	isIter := func(x ast.Expr) bool {
 		id, ok := stripParens(x).(*ast.Ident)
-		return ok && fc.m.info.Ref[id] == iter
+		return ok && fc.prog.info.Ref[id] == iter
 	}
 	switch bin.Op {
 	case token.ADD:
@@ -245,7 +245,7 @@ func (fc *funcCompiler) linearInIter(e ast.Expr, iter *sema.Symbol) (intFn, bool
 func (fc *funcCompiler) usesSym(e ast.Expr, sym *sema.Symbol) bool {
 	found := false
 	ast.Walk(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && fc.m.info.Ref[id] == sym {
+		if id, ok := n.(*ast.Ident); ok && fc.prog.info.Ref[id] == sym {
 			found = true
 		}
 		return !found

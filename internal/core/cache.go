@@ -1,0 +1,148 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"sync"
+
+	"purec/internal/comp"
+)
+
+// CacheKey identifies a compiled Program by content: the source text
+// plus every compile-relevant Config field. Run state (TeamSize,
+// Stdout, cache controls) is excluded, so builds that differ only in
+// how they will be run share one Program.
+type CacheKey [sha256.Size]byte
+
+// cacheKey computes the content address of a build.
+func cacheKey(src string, cfg Config) CacheKey {
+	h := sha256.New()
+	w := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+	w("src:%d:%s;", len(src), src)
+	w("mode:%d;file:%s;par:%t;backend:%d;vec:%t;",
+		cfg.Mode, cfg.FileName, cfg.Parallelize, cfg.Backend, cfg.Vectorize)
+	t := cfg.Transform
+	w("tile:%t;sizes:%v;skew:%t;sched:%s;mintrip:%d;",
+		t.Tile, t.TileSizes, t.Skew, t.Schedule, t.MinParallelTrip)
+	writeMap := func(tag string, m map[string]string) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w("%s:%d;", tag, len(keys))
+		for _, k := range keys {
+			w("%d:%s=%d:%s;", len(k), k, len(m[k]), m[k])
+		}
+	}
+	writeMap("def", cfg.Defines)
+	writeMap("files", cfg.Files)
+	var key CacheKey
+	h.Sum(key[:0])
+	return key
+}
+
+// cacheEntry is one in-flight or finished build. The sync.Once gives
+// the cache singleflight behaviour: concurrent builders of the same key
+// run the pipeline once and share the result.
+type cacheEntry struct {
+	once sync.Once
+	prog *comp.Program
+	art  *Artifact
+	err  error
+}
+
+// ProgramCache is a content-addressed, re-entrant cache of compiled
+// Programs keyed by (source, Config) hash. Because Programs are
+// immutable and all run state lives in Processes, serving the same
+// Program to many concurrent builds is safe. Entries are evicted in
+// insertion order once the capacity is exceeded.
+type ProgramCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[CacheKey]*cacheEntry
+	order   []CacheKey
+	hits    uint64
+	misses  uint64
+}
+
+// DefaultCache is the cache Build and BuildProgram use when Config.Cache
+// is nil.
+var DefaultCache = NewProgramCache(128)
+
+// NewProgramCache creates a cache holding at most max programs (max < 1
+// means 1).
+func NewProgramCache(max int) *ProgramCache {
+	if max < 1 {
+		max = 1
+	}
+	return &ProgramCache{max: max, entries: map[CacheKey]*cacheEntry{}}
+}
+
+// build returns the cached program for (src, cfg), running the pipeline
+// at most once per key.
+func (c *ProgramCache) build(src string, cfg Config) (*comp.Program, *Artifact, bool, error) {
+	key := cacheKey(src, cfg)
+	c.mu.Lock()
+	e, hit := c.entries[key]
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		for len(c.order) > c.max {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.art, e.err = Front(src, cfg)
+		if e.err == nil {
+			e.prog, e.err = e.art.Compile(cfg)
+		}
+	})
+	if e.err != nil {
+		// Failed builds are not worth a cache slot: drop the entry so
+		// it neither evicts valid Programs nor reports as a hit.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+			for i, k := range c.order {
+				if k == key {
+					c.order = append(c.order[:i], c.order[i+1:]...)
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+		return nil, nil, false, e.err
+	}
+	return e.prog, e.art, hit, nil
+}
+
+// Stats returns the hit/miss counters.
+func (c *ProgramCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached programs.
+func (c *ProgramCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops all entries and counters.
+func (c *ProgramCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[CacheKey]*cacheEntry{}
+	c.order = nil
+	c.hits, c.misses = 0, 0
+}

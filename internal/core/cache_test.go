@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"purec/internal/comp"
+)
+
+// TestProgramCacheHit checks the content-addressed build cache:
+// building the same (source, Config) twice returns the identical
+// Program without recompiling; changing any compile-relevant field
+// misses; run-state fields (TeamSize, Stdout) do not affect the key.
+func TestProgramCacheHit(t *testing.T) {
+	cache := NewProgramCache(8)
+	cfg := Config{Parallelize: true, TeamSize: 2, Cache: cache}
+
+	r1, err := Build(matmulSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatal("first build reported a cache hit")
+	}
+	r2, err := Build(matmulSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("second identical build missed the cache")
+	}
+	if r1.Program != r2.Program {
+		t.Fatal("cache hit returned a different Program")
+	}
+	if r1.Machine.Process == r2.Machine.Process {
+		t.Fatal("cached builds must still get fresh Processes")
+	}
+
+	// Run-state differences share the Program.
+	cfg3 := cfg
+	cfg3.TeamSize = 7
+	r3, err := Build(matmulSrc, cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.CacheHit || r3.Program != r1.Program {
+		t.Fatal("TeamSize change must not change the cache key")
+	}
+
+	// Compile-relevant differences miss.
+	cfg4 := cfg
+	cfg4.Backend = comp.BackendICC
+	r4, err := Build(matmulSrc, cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.CacheHit || r4.Program == r1.Program {
+		t.Fatal("Backend change must miss the cache")
+	}
+	cfg5 := cfg
+	cfg5.Defines = map[string]string{"EXTRA": "1"}
+	if r5, err := Build(matmulSrc, cfg5); err != nil {
+		t.Fatal(err)
+	} else if r5.CacheHit {
+		t.Fatal("Defines change must miss the cache")
+	}
+
+	hits, misses := cache.Stats()
+	if hits != 2 || misses != 3 {
+		t.Fatalf("stats = %d hits / %d misses, want 2/3", hits, misses)
+	}
+
+	// Cached programs still execute correctly per Process.
+	v1, err := r1.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := r2.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("cached builds disagree: %d vs %d", v1, v2)
+	}
+}
+
+// TestProgramCacheNoCache verifies the bypass switch.
+func TestProgramCacheNoCache(t *testing.T) {
+	cache := NewProgramCache(8)
+	cfg := Config{Parallelize: true, Cache: cache, NoCache: true}
+	for i := 0; i < 2; i++ {
+		res, err := Build(matmulSrc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheHit {
+			t.Fatal("NoCache build reported a cache hit")
+		}
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("NoCache builds populated the cache (%d entries)", cache.Len())
+	}
+}
+
+// TestProgramCacheEviction checks the capacity bound.
+func TestProgramCacheEviction(t *testing.T) {
+	cache := NewProgramCache(2)
+	srcs := []string{
+		"int main(void) { return 1; }",
+		"int main(void) { return 2; }",
+		"int main(void) { return 3; }",
+	}
+	for _, s := range srcs {
+		if _, _, _, err := BuildProgram(s, Config{Cache: cache}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.Len())
+	}
+	// The oldest entry was evicted: rebuilding it misses.
+	if _, _, hit, err := BuildProgram(srcs[0], Config{Cache: cache}); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Fatal("evicted entry reported a cache hit")
+	}
+	// The newest survives.
+	if _, _, hit, err := BuildProgram(srcs[2], Config{Cache: cache}); err != nil {
+		t.Fatal(err)
+	} else if !hit {
+		t.Fatal("fresh entry was evicted prematurely")
+	}
+}
+
+// TestProgramCacheSingleflight: concurrent builds of the same key run
+// the pipeline once and all receive the same Program (re-entrancy of
+// the build pipeline).
+func TestProgramCacheSingleflight(t *testing.T) {
+	cache := NewProgramCache(8)
+	cfg := Config{Parallelize: true, Cache: cache}
+	const n = 8
+	progs := make([]*comp.Program, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prog, _, _, err := BuildProgram(matmulSrc, cfg)
+			progs[i], errs[i] = prog, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("build %d: %v", i, errs[i])
+		}
+		if progs[i] != progs[0] {
+			t.Fatalf("build %d compiled a separate Program", i)
+		}
+	}
+	if _, misses := cache.Stats(); misses != 1 {
+		t.Fatalf("pipeline ran %d times for one key", misses)
+	}
+}
+
+// TestProgramCacheDropsErrors: failed builds must not occupy cache
+// slots (they would evict valid Programs and report as hits).
+func TestProgramCacheDropsErrors(t *testing.T) {
+	cache := NewProgramCache(8)
+	bad := "int main(void { return 0; }"
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := BuildProgram(bad, Config{Cache: cache}); err == nil {
+			t.Fatal("expected build error")
+		}
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("error builds left %d cache entries", cache.Len())
+	}
+	if _, misses := cache.Stats(); misses != 2 {
+		t.Fatalf("misses = %d, want 2 (error entries must not hit)", misses)
+	}
+}

@@ -50,7 +50,10 @@ const (
 	ModePluTo
 )
 
-// Config controls one pipeline run.
+// Config controls one pipeline run. The compile-relevant fields (Mode,
+// Defines, Files, Parallelize, Transform, Backend, Vectorize) form the
+// content-addressed program-cache key; TeamSize, Stdout and the cache
+// controls are run state and never affect the compiled Program.
 type Config struct {
 	// Mode selects pure-aware (default) or classic polyhedral
 	// parallelization.
@@ -77,6 +80,11 @@ type Config struct {
 	TeamSize int
 	// Stdout receives printf output of the compiled program.
 	Stdout io.Writer
+	// NoCache bypasses the program cache for this build.
+	NoCache bool
+	// Cache overrides the cache used for this build (nil means the
+	// package-level DefaultCache).
+	Cache *ProgramCache
 }
 
 // Stages holds the source snapshots after each chain stage of Fig. 1.
@@ -89,8 +97,11 @@ type Stages struct {
 	Final       string // after PC-PosPro (includes back, pure lowered)
 }
 
-// Result is a finished build.
-type Result struct {
+// Artifact is the output of the pipeline front end (everything up to
+// and including PC-PosPro): the per-stage source snapshots, the pass
+// reports and the checked semantic model of the final source. It is
+// immutable once returned and safe to share between builds.
+type Artifact struct {
 	Stages Stages
 	// Pure lists the verified pure functions.
 	Pure []string
@@ -100,18 +111,34 @@ type Result struct {
 	Rejections []string
 	// Report describes the polyhedral transformations applied.
 	Report *transform.Report
-	// Machine is the executable program.
-	Machine *comp.Machine
-	// Info is the semantic model of the final source.
+	// Info is the semantic model of the final source; the Compile step
+	// turns it into an executable comp.Program.
 	Info *sema.Info
 }
 
-// Build runs the full chain on src.
-func Build(src string, cfg Config) (*Result, error) {
+// Result is a finished build: the front-end artifact plus one compiled
+// Program wrapped with one fresh Process as a Machine. The embedded
+// Artifact is shared with the program cache — treat its fields
+// (Stages, Pure, SCoPs, Rejections, Report, Info) as read-only.
+type Result struct {
+	Artifact
+	// Machine is the executable program: Result.Program plus one
+	// Process. For concurrent runs create more Processes from Program.
+	Machine *comp.Machine
+	// Program is the immutable compile artifact (shared across builds
+	// that hit the program cache).
+	Program *comp.Program
+	// CacheHit reports whether Program came from the program cache.
+	CacheHit bool
+}
+
+// Front runs the pipeline front end (PC-PrePro → GCC-E → PC-CC → polycc
+// → PC-PosPro) on src, stopping before the executable compile.
+func Front(src string, cfg Config) (*Artifact, error) {
 	if cfg.FileName == "" {
 		cfg.FileName = "program.c"
 	}
-	res := &Result{}
+	res := &Artifact{}
 	res.Stages.Original = src
 
 	// PC-PrePro: remove system includes.
@@ -183,11 +210,12 @@ func Build(src string, cfg Config) (*Result, error) {
 	StripPure(lowered)
 	res.Stages.Final = preproc.ReinsertSystemIncludes(ast.Print(lowered), includes)
 
-	// Restart the chain on the generated file and compile it. The
-	// executable build keeps the pure markers (they carry the inlining
-	// and vectorization facts GCC/ICC would rediscover from the const
-	// lowering plus static analysis); Stages.Final is the plain-C
-	// artifact the paper's chain hands to GCC.
+	// Restart the chain on the generated file: re-parse and re-check so
+	// the Compile step starts from a fresh semantic model. The model
+	// keeps the pure markers (they carry the inlining and vectorization
+	// facts GCC/ICC would rediscover from the const lowering plus static
+	// analysis); Stages.Final is the plain-C artifact the paper's chain
+	// hands to GCC.
 	finalFile, err := parser.Parse(cfg.FileName, res.Stages.Transformed)
 	if err != nil {
 		return nil, fmt.Errorf("internal: final source does not reparse: %v", err)
@@ -196,19 +224,66 @@ func Build(src string, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("internal: final source does not re-check: %v", err)
 	}
-	team := rt.NewTeam(cfg.TeamSize)
-	machine, err := comp.Compile(finalInfo, comp.Options{
+	res.Info = finalInfo
+	return res, nil
+}
+
+// Compile turns the front-end artifact into an immutable, shareable
+// executable Program — the "GCC/ICC" step of Fig. 1.
+func (a *Artifact) Compile(cfg Config) (*comp.Program, error) {
+	prog, err := comp.CompileProgram(a.Info, comp.Options{
 		Backend:   cfg.Backend,
-		Team:      team,
-		Stdout:    cfg.Stdout,
 		Vectorize: cfg.Vectorize,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("compile: %v", err)
 	}
-	res.Machine = machine
-	res.Info = finalInfo
-	return res, nil
+	return prog, nil
+}
+
+// BuildProgram runs the full chain on src and returns the immutable
+// Program plus the front-end artifact. Repeated builds of the same
+// (source, Config) pair are served from the program cache (unless
+// cfg.NoCache is set); hit reports whether this build was.
+func BuildProgram(src string, cfg Config) (prog *comp.Program, art *Artifact, hit bool, err error) {
+	if cfg.FileName == "" {
+		cfg.FileName = "program.c"
+	}
+	if cfg.NoCache {
+		art, err = Front(src, cfg)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		prog, err = art.Compile(cfg)
+		return prog, art, false, err
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = DefaultCache
+	}
+	return cache.build(src, cfg)
+}
+
+// Build runs the full chain on src and pairs the (possibly cached)
+// Program with one fresh Process, returned as Result.Machine.
+func Build(src string, cfg Config) (*Result, error) {
+	prog, art, hit, err := BuildProgram(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := prog.NewProcess(comp.ProcOptions{
+		Team:   rt.NewTeam(cfg.TeamSize),
+		Stdout: cfg.Stdout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Artifact: *art,
+		Machine:  &comp.Machine{Process: proc},
+		Program:  prog,
+		CacheHit: hit,
+	}, nil
 }
 
 // StripPure lowers the pure extension to plain C in place: pure pointer

@@ -111,7 +111,7 @@ func New(info *sema.Info, stdout io.Writer) (*Interp, error) {
 
 // Reset reinitializes globals.
 func (in *Interp) Reset() error {
-	in.heap = mem.Heap{}
+	in.heap.Reset()
 	for _, g := range in.info.Globals {
 		c := &cell{sym: g}
 		if g.IsArray() {

@@ -9,7 +9,10 @@
 // — a stricter behaviour than C that makes the test suite trustworthy.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // CellKind is the element type of a segment.
 type CellKind int
@@ -36,9 +39,10 @@ type Segment struct {
 	P    []Pointer
 	// Name is a diagnostic label ("global A", "malloc@main").
 	Name string
-	// Freed marks segments released by free(); further access is an
-	// error surfaced by the machine.
-	Freed bool
+	// freed marks segments released by free(). It is atomic so
+	// double-free detection also works for frees issued from inside
+	// parallel regions.
+	freed atomic.Bool
 }
 
 // NewSegment allocates a segment of n cells of kind k.
@@ -117,14 +121,34 @@ func (p Pointer) StoreFloat(v float64) { p.Seg.F[p.Off] = v }
 func (p Pointer) StorePtr(v Pointer) { p.Seg.P[p.Off] = v }
 
 // Heap tracks malloc/free allocations for leak/double-free diagnostics.
+// The counters are atomic so allocations from inside parallel regions
+// account safely; segment creation itself is lock-free (each malloc
+// returns a fresh segment).
 type Heap struct {
-	Allocs int
-	Frees  int
+	allocs atomic.Int64
+	frees  atomic.Int64
+}
+
+// HeapStats is a snapshot of the allocation counters.
+type HeapStats struct {
+	Allocs int64
+	Frees  int64
+}
+
+// Stats returns the current allocation counters.
+func (h *Heap) Stats() HeapStats {
+	return HeapStats{Allocs: h.allocs.Load(), Frees: h.frees.Load()}
+}
+
+// Reset zeroes the counters (a fresh run's heap).
+func (h *Heap) Reset() {
+	h.allocs.Store(0)
+	h.frees.Store(0)
 }
 
 // Malloc allocates a segment of n cells of kind k.
 func (h *Heap) Malloc(k CellKind, n int, name string) Pointer {
-	h.Allocs++
+	h.allocs.Add(1)
 	return Pointer{Seg: NewSegment(k, n, name)}
 }
 
@@ -137,10 +161,9 @@ func (h *Heap) Free(p Pointer) error {
 	if p.Off != 0 {
 		return fmt.Errorf("free of interior pointer %s", p)
 	}
-	if p.Seg.Freed {
+	if p.Seg.freed.Swap(true) {
 		return fmt.Errorf("double free of %s", p.Seg.Name)
 	}
-	p.Seg.Freed = true
-	h.Frees++
+	h.frees.Add(1)
 	return nil
 }

@@ -66,8 +66,8 @@ func TestHeapMallocFree(t *testing.T) {
 	if err := h.Free(p); err == nil {
 		t.Fatal("double free must error")
 	}
-	if h.Allocs != 1 || h.Frees != 1 {
-		t.Fatalf("stats: %+v", h)
+	if s := h.Stats(); s.Allocs != 1 || s.Frees != 1 {
+		t.Fatalf("stats: %+v", s)
 	}
 }
 

@@ -13,6 +13,8 @@ package rt
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,22 +40,35 @@ var scheduleNames = [...]string{"static", "dynamic", "guided"}
 // String returns the schedule name.
 func (s Schedule) String() string { return scheduleNames[s] }
 
-// ParseSchedule parses an OpenMP schedule clause body such as "static"
-// or "dynamic,1".
+// ParseSchedule parses an OpenMP schedule clause body such as "static",
+// "dynamic,1" or "guided,4". For static the chunk selects round-robin
+// chunked distribution (0 means one contiguous block per worker); for
+// dynamic it is the fixed chunk size; for guided the minimum chunk
+// size.
 func ParseSchedule(s string) (Schedule, int, error) {
-	switch {
-	case s == "" || s == "static":
-		return Static, 0, nil
-	case s == "dynamic":
-		return Dynamic, 1, nil
-	case len(s) > 8 && s[:8] == "dynamic,":
-		var c int
-		if _, err := fmt.Sscanf(s[8:], "%d", &c); err != nil || c <= 0 {
-			return Dynamic, 1, fmt.Errorf("bad dynamic chunk %q", s)
+	kind, chunkStr, hasChunk := strings.Cut(s, ",")
+	kind = strings.TrimSpace(kind)
+	chunk := 0
+	if hasChunk {
+		var err error
+		chunk, err = strconv.Atoi(strings.TrimSpace(chunkStr))
+		if err != nil || chunk <= 0 {
+			return Static, 0, fmt.Errorf("bad %s chunk %q", kind, s)
 		}
-		return Dynamic, c, nil
-	case s == "guided":
-		return Guided, 1, nil
+	}
+	switch kind {
+	case "", "static":
+		return Static, chunk, nil
+	case "dynamic":
+		if !hasChunk {
+			chunk = 1
+		}
+		return Dynamic, chunk, nil
+	case "guided":
+		if !hasChunk {
+			chunk = 1
+		}
+		return Guided, chunk, nil
 	}
 	return Static, 0, fmt.Errorf("unknown schedule %q", s)
 }
@@ -144,16 +159,16 @@ func (t *Team) ParallelFor(lo, hi int64, sched Schedule, chunk int, body Body) {
 		return
 	}
 	if t.sim {
-		t.simFor(lo, hi, sched, int64(max(1, chunk)), body)
+		t.simFor(lo, hi, sched, int64(chunk), body)
 		return
 	}
 	switch sched {
 	case Dynamic:
 		t.dynamicFor(lo, hi, int64(max(1, chunk)), body)
 	case Guided:
-		t.guidedFor(lo, hi, body)
+		t.guidedFor(lo, hi, int64(max(1, chunk)), body)
 	default:
-		t.staticFor(lo, hi, body)
+		t.staticFor(lo, hi, int64(chunk), body)
 	}
 }
 
@@ -166,13 +181,16 @@ func (t *Team) simFor(lo, hi int64, sched Schedule, chunk int64, body Body) {
 	case Dynamic, Guided:
 		// Greedy list scheduling: each chunk goes to the least-loaded
 		// virtual worker, which is what a work queue converges to.
+		if chunk < 1 {
+			chunk = 1
+		}
 		cur := lo
 		for cur <= hi {
 			c := chunk
 			if sched == Guided {
 				c = (hi - cur + 1) / int64(2*t.n)
-				if c < 1 {
-					c = 1
+				if c < chunk {
+					c = chunk
 				}
 			}
 			end := cur + c - 1
@@ -186,7 +204,22 @@ func (t *Team) simFor(lo, hi int64, sched Schedule, chunk int64, body Body) {
 			cur = end + 1
 		}
 	default:
-		// Static: one contiguous block per worker.
+		if chunk >= 1 {
+			// schedule(static,c): chunks assigned round-robin.
+			n := int64(t.n)
+			for k, start := int64(0), lo; start <= hi; k, start = k+1, start+chunk {
+				end := start + chunk - 1
+				if end > hi {
+					end = hi
+				}
+				w := int(k % n)
+				chunkStart := time.Now()
+				body(w, start, end)
+				workers[w] += time.Since(chunkStart)
+			}
+			break
+		}
+		// Default static: one contiguous block per worker.
 		total := hi - lo + 1
 		per := total / int64(t.n)
 		rem := total % int64(t.n)
@@ -228,8 +261,32 @@ func argmin(ds []time.Duration) int {
 	return best
 }
 
-// staticFor assigns worker w the w-th contiguous block.
-func (t *Team) staticFor(lo, hi int64, body Body) {
+// staticFor assigns worker w the w-th contiguous block; with an
+// explicit chunk (schedule(static,c)) chunks go round-robin instead.
+func (t *Team) staticFor(lo, hi, chunk int64, body Body) {
+	if chunk >= 1 {
+		n := int64(t.n)
+		var wg sync.WaitGroup
+		for w := int64(0); w < n; w++ {
+			first := lo + w*chunk
+			if first > hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w, first int64) {
+				defer wg.Done()
+				for start := first; start <= hi; start += n * chunk {
+					end := start + chunk - 1
+					if end > hi {
+						end = hi
+					}
+					body(int(w), start, end)
+				}
+			}(w, first)
+		}
+		wg.Wait()
+		return
+	}
 	total := hi - lo + 1
 	per := total / int64(t.n)
 	rem := total % int64(t.n)
@@ -279,8 +336,9 @@ func (t *Team) dynamicFor(lo, hi, chunk int64, body Body) {
 	wg.Wait()
 }
 
-// guidedFor hands out exponentially shrinking chunks (at least 1).
-func (t *Team) guidedFor(lo, hi int64, body Body) {
+// guidedFor hands out exponentially shrinking chunks of at least
+// minChunk iterations (the OpenMP schedule(guided,c) clause).
+func (t *Team) guidedFor(lo, hi, minChunk int64, body Body) {
 	var mu sync.Mutex
 	cur := lo
 	var wg sync.WaitGroup
@@ -296,8 +354,8 @@ func (t *Team) guidedFor(lo, hi int64, body Body) {
 				}
 				remaining := hi - cur + 1
 				chunk := remaining / int64(2*t.n)
-				if chunk < 1 {
-					chunk = 1
+				if chunk < minChunk {
+					chunk = minChunk
 				}
 				start := cur
 				cur += chunk

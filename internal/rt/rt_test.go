@@ -121,9 +121,9 @@ func TestSimDynamicBalancesSkewedLoad(t *testing.T) {
 		}
 		_ = x
 	}
-	run := func(sched Schedule) time.Duration {
+	run := func(sched Schedule, chunk int) time.Duration {
 		team := NewSimTeam(8)
-		team.ParallelFor(0, 99, sched, 1, func(_ int, lo, hi int64) {
+		team.ParallelFor(0, 99, sched, chunk, func(_ int, lo, hi int64) {
 			for i := lo; i <= hi; i++ {
 				work(i)
 			}
@@ -131,8 +131,10 @@ func TestSimDynamicBalancesSkewedLoad(t *testing.T) {
 		_, virt := team.TakeSim()
 		return virt
 	}
-	static := run(Static)
-	dynamic := run(Dynamic)
+	// chunk 0: default static, one contiguous block per worker (the
+	// imbalanced configuration the paper's satellite fix targets).
+	static := run(Static, 0)
+	dynamic := run(Dynamic, 1)
 	if dynamic >= static {
 		t.Fatalf("dynamic (%v) must beat static (%v) on a skewed tail", dynamic, static)
 	}
@@ -147,12 +149,19 @@ func TestParseSchedule(t *testing.T) {
 	}{
 		{"", Static, 0, false},
 		{"static", Static, 0, false},
+		{"static,8", Static, 8, false},
 		{"dynamic", Dynamic, 1, false},
 		{"dynamic,1", Dynamic, 1, false},
 		{"dynamic,8", Dynamic, 8, false},
+		{"dynamic, 4", Dynamic, 4, false},
 		{"guided", Guided, 1, false},
+		{"guided,4", Guided, 4, false},
+		{"guided, 16", Guided, 16, false},
 		{"bogus", Static, 0, true},
 		{"dynamic,x", Dynamic, 1, true},
+		{"dynamic,0", Dynamic, 1, true},
+		{"guided,x", Guided, 1, true},
+		{"guided,-2", Guided, 1, true},
 	}
 	for _, c := range cases {
 		s, ch, err := ParseSchedule(c.in)
@@ -194,5 +203,24 @@ func TestStaticPartitionProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestGuidedChunkCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, chunk := range []int{1, 4, 50} {
+			coverage(t, NewTeam(workers), Guided, chunk, 0, 200)
+			coverage(t, NewSimTeam(workers), Guided, chunk, 0, 200)
+		}
+	}
+}
+
+func TestStaticChunkCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7} {
+		for _, chunk := range []int{1, 4, 50, 300} {
+			coverage(t, NewTeam(workers), Static, chunk, 0, 200)
+			coverage(t, NewSimTeam(workers), Static, chunk, 0, 200)
+			coverage(t, NewTeam(workers), Static, chunk, -3, 12)
+		}
 	}
 }

@@ -7,7 +7,7 @@
 // transformer parallelize loop nests that call such functions, and runs
 // the result on an OpenMP-like goroutine runtime.
 //
-// Quick start:
+// Quick start (compile and run once):
 //
 //	res, err := purec.Build(src, purec.Config{
 //	    Parallelize: true,
@@ -15,6 +15,25 @@
 //	})
 //	if err != nil { ... }
 //	ret, err := res.Machine.RunMain()
+//
+// Compilation output is split into an immutable Program and per-run
+// Processes, so one compiled artifact can serve many concurrent runs:
+//
+//	prog, _, _, err := purec.BuildProgram(src, purec.Config{Parallelize: true})
+//	if err != nil { ... }
+//	for i := 0; i < 8; i++ {
+//	    go func() {
+//	        proc, err := prog.NewProcess(purec.ProcOptions{})
+//	        if err != nil { ... }
+//	        ret, err := proc.RunMain()
+//	        ...
+//	    }()
+//	}
+//
+// Repeated builds of the same (source, Config) pair are served from a
+// content-addressed program cache, so the compiler chain runs once per
+// distinct input — the paper's toolchain cost is paid per program, not
+// per execution.
 //
 // See examples/ for complete programs and internal/bench for the harness
 // that regenerates the paper's figures.
@@ -36,8 +55,26 @@ type Config = core.Config
 // Result is a finished build; Result.Machine executes the program.
 type Result = core.Result
 
+// Artifact is the front-end output (per-stage sources + checked model).
+type Artifact = core.Artifact
+
 // Stages holds the per-stage source snapshots of the compiler chain.
 type Stages = core.Stages
+
+// Program is the immutable, concurrency-safe compile artifact.
+type Program = comp.Program
+
+// Process is one run of a Program (globals, heap, stdout, team, rand).
+type Process = comp.Process
+
+// ProcOptions configure one Process (worker team, stdout).
+type ProcOptions = comp.ProcOptions
+
+// Machine bundles one Program with one Process (sequential reuse).
+type Machine = comp.Machine
+
+// ProgramCache is a content-addressed cache of compiled Programs.
+type ProgramCache = core.ProgramCache
 
 // TransformOptions configures the polyhedral stage (tiling, skewing,
 // schedule clause).
@@ -52,9 +89,33 @@ const (
 	BackendICC = comp.BackendICC
 )
 
-// Build runs the complete compiler chain of the paper's Fig. 1 on src.
+// Build runs the complete compiler chain of the paper's Fig. 1 on src
+// and pairs the compiled Program with one fresh Process as
+// Result.Machine. Builds hit the program cache when (src, cfg) was seen
+// before.
 func Build(src string, cfg Config) (*Result, error) {
 	return core.Build(src, cfg)
+}
+
+// BuildProgram runs the chain and returns the immutable Program plus
+// the front-end artifact; hit reports whether the program cache served
+// the build. Create one Process per concurrent run.
+func BuildProgram(src string, cfg Config) (prog *Program, art *Artifact, hit bool, err error) {
+	return core.BuildProgram(src, cfg)
+}
+
+// Front runs only the pipeline front end (preprocess, parse, check,
+// purity, SCoP detection, polyhedral transform, lowering), producing
+// the artifact a later Compile step can turn into a Program.
+func Front(src string, cfg Config) (*Artifact, error) {
+	return core.Front(src, cfg)
+}
+
+// NewProgramCache creates a standalone program cache holding at most
+// max entries; set it as Config.Cache to isolate builds from the
+// package-level default cache.
+func NewProgramCache(max int) *ProgramCache {
+	return core.NewProgramCache(max)
 }
 
 // CheckPurity preprocesses and semantically checks src, then runs the
