@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	purebench [-fig all|2|3|...|11] [-cores 1,2,4,8,16,32,64] [-reps 3]
+//	purebench [-fig all|2|3|...|11|m1|m2] [-cores 1,2,4,8,16,32,64] [-reps 3]
 //	          [-matmul-n 160] [-heat-n 160] [-heat-steps 30]
 //	          [-sat-pix 2000] [-sat-bands 12] [-sat-iters 48]
-//	          [-lama-rows 12000] [-lama-nnz 16] [-quick]
+//	          [-lama-rows 12000] [-lama-nnz 16] [-memo-classes 24] [-quick]
+//
+// Figures m1/m2 are the pure-call memoization scenario (quantized
+// satellite retrieval with and without the shared memo table); they
+// extend the paper's evaluation.
 //
 // Each figure prints as an aligned table: one row per program variant,
 // one column per simulated core count.
@@ -36,6 +40,7 @@ func main() {
 	satIters := flag.Int("sat-iters", 0, "satellite max retrieval iterations")
 	lamaRows := flag.Int("lama-rows", 0, "ELL matrix rows")
 	lamaNNZ := flag.Int("lama-nnz", 0, "ELL non-zeros per row")
+	memoClasses := flag.Int("memo-classes", 0, "distinct argument classes of the memoization scenario")
 	flag.Parse()
 
 	p := bench.Default()
@@ -64,15 +69,17 @@ func main() {
 	setIf(&p.SatIters, *satIters)
 	setIf(&p.LamaRows, *lamaRows)
 	setIf(&p.LamaNNZ, *lamaNNZ)
+	setIf(&p.MemoClasses, *memoClasses)
 
 	want := map[string]bool{}
 	if *fig == "all" {
 		for i := 2; i <= 11; i++ {
 			want[strconv.Itoa(i)] = true
 		}
+		want["m1"], want["m2"] = true, true
 	} else {
 		for _, part := range strings.Split(*fig, ",") {
-			want[strings.TrimSpace(part)] = true
+			want[strings.ToLower(strings.TrimSpace(part))] = true
 		}
 	}
 
@@ -128,6 +135,18 @@ func main() {
 		}
 		if want["11"] {
 			fmt.Println(d.Fig11().Render())
+		}
+	}
+	if want["m1"] || want["m2"] {
+		d, err := bench.CollectMemo(p)
+		if err != nil {
+			fatalf("memo: %v", err)
+		}
+		if want["m1"] {
+			fmt.Println(d.FigMemo().Render())
+		}
+		if want["m2"] {
+			fmt.Println(d.FigMemoSpeedup().Render())
 		}
 	}
 }

@@ -14,6 +14,11 @@
 //	-vectorize            enable fused reduction kernels (SICA SIMD analog)
 //	-skew                 enable loop shearing when it enables parallelism
 //	-schedule S           OpenMP schedule clause (e.g. dynamic,1)
+//	-memo                 memoize calls of memoizable pure functions
+//	                      (scalar signature, global-free body) in a
+//	                      table shared by all processes of the program
+//	-memo-capacity N      bound the memo table entry count (default
+//	                      65536)
 //	-D NAME=VALUE         define an object-like macro (repeatable)
 //	-emit stage           print a stage instead of running:
 //	                      stripped|expanded|marked|transformed|final|report|pure
@@ -59,6 +64,8 @@ func main() {
 	vectorize := flag.Bool("vectorize", false, "enable fused reduction kernels")
 	skew := flag.Bool("skew", false, "enable loop shearing")
 	schedule := flag.String("schedule", "", "OpenMP schedule clause")
+	memoize := flag.Bool("memo", false, "memoize calls of memoizable pure functions")
+	memoCap := flag.Int("memo-capacity", 0, "memo table entry bound (0 = default)")
 	emit := flag.String("emit", "", "print a pipeline stage instead of running")
 	timed := flag.Bool("time", false, "print wall time of main()")
 	runs := flag.Int("runs", 1, "execute main N times, each in a fresh process")
@@ -89,8 +96,10 @@ func main() {
 			Skew:     *skew,
 			Schedule: *schedule,
 		},
-		Vectorize: *vectorize,
-		Stdout:    os.Stdout,
+		Vectorize:    *vectorize,
+		Memoize:      *memoize,
+		MemoCapacity: *memoCap,
+		Stdout:       os.Stdout,
 	}
 	switch *mode {
 	case "pure":
@@ -134,6 +143,7 @@ func main() {
 		return
 	case "report":
 		fmt.Printf("verified pure functions: %s\n", strings.Join(sortedNames(art.Pure), ", "))
+		fmt.Printf("memoizable pure functions: %s\n", strings.Join(sortedNames(art.Memoizable), ", "))
 		fmt.Printf("SCoPs: %d\n", art.SCoPs)
 		if art.Report != nil {
 			fmt.Print(art.Report.String())
@@ -172,6 +182,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "main returned %d in %s (%d cores, %s backend)\n",
 				ret, dur, *cores, *backend)
 		}
+	}
+	if *memoize {
+		s := prog.MemoStats()
+		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses / %d bypassed (%.1f%% hit rate, %d entries)\n",
+			s.Hits, s.Misses, s.Bypassed, 100*s.HitRate(), s.Entries)
 	}
 	os.Exit(int(ret & 0xff))
 }

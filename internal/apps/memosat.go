@@ -1,0 +1,74 @@
+package apps
+
+import "fmt"
+
+// MemoSatSrc is the memoization scenario: a quantized variant of the
+// satellite AOD retrieval in which every pixel falls into one of NCLASS
+// precomputed atmosphere classes, so the per-pixel retrieval becomes a
+// pure function of scalar arguments only — exactly the shape the
+// memoization subsystem caches. With NPIX ≫ NCLASS the argument stream
+// is massively repetitive: a memoizing build computes each class once
+// and serves the remaining NPIX−NCLASS calls from the shared table,
+// while a plain build pays the full iterative fit per pixel.
+//
+// Operationally this models a production retrieval service whose
+// upstream quantizes raw spectra into discrete condition classes
+// (cloud mask buckets, aerosol types): heavy traffic, few distinct
+// inputs.
+const MemoSatSrc = `
+float *aod;
+
+pure float retrieve(int cls, int nclass, int bands, int budget) {
+    float ref = 0.05f + 0.9f * (float)cls / (float)nclass;
+    float tau = 0.1f;
+    for (int it = 0; it < budget; it++) {
+        float err = 0.0f;
+        for (int b = 0; b < bands; b++) {
+            float w = 0.3f + 0.4f * (float)(b % 5) / 5.0f;
+            float model = tau * w + (1.0f - tau) * 0.2f;
+            float d = ref * w - model;
+            if (d < 0.0f)
+                d = -d;
+            err += d;
+        }
+        err = err / (float)bands;
+        if (err < 0.0005f)
+            return tau;
+        if (ref > tau)
+            tau = tau + err * 0.05f;
+        else
+            tau = tau - err * 0.05f;
+        if (tau < 0.0f)
+            tau = 0.0f;
+        if (tau > 5.0f)
+            tau = 5.0f;
+    }
+    return tau;
+}
+
+void initmemo(void) {
+    aod = (float*)malloc(NPIX * sizeof(float));
+}
+
+int run(void) {
+    for (int p = 0; p < NPIX; p++)
+        aod[p] = retrieve((p * 7919) % NCLASS, NCLASS, BANDS, MAXITERS);
+    return 0;
+}
+
+int main(void) {
+    initmemo();
+    return run();
+}
+`
+
+// MemoSatDefines injects the pixel count, class count, band count and
+// iteration budget of the quantized retrieval.
+func MemoSatDefines(npix, nclass, bands, maxiters int) map[string]string {
+	return map[string]string{
+		"NPIX":     fmt.Sprintf("%d", npix),
+		"NCLASS":   fmt.Sprintf("%d", nclass),
+		"BANDS":    fmt.Sprintf("%d", bands),
+		"MAXITERS": fmt.Sprintf("%d", maxiters),
+	}
+}

@@ -33,8 +33,12 @@ type Params struct {
 	SatIters  int
 	LamaRows  int
 	LamaNNZ   int
-	Cores     []int
-	Reps      int
+	// MemoClasses is the distinct-argument count of the memoization
+	// scenario (quantized satellite retrieval): SatPix pixels collapse
+	// onto MemoClasses pure-call keys.
+	MemoClasses int
+	Cores       []int
+	Reps        int
 }
 
 // Default returns laptop-scaled parameters preserving the paper's
@@ -43,32 +47,34 @@ type Params struct {
 // node).
 func Default() Params {
 	return Params{
-		MatmulN:   160,
-		HeatN:     160,
-		HeatSteps: 30,
-		SatPix:    2000,
-		SatBands:  12,
-		SatIters:  48,
-		LamaRows:  12000,
-		LamaNNZ:   16,
-		Cores:     []int{1, 2, 4, 8, 16, 32, 64},
-		Reps:      3,
+		MatmulN:     160,
+		HeatN:       160,
+		HeatSteps:   30,
+		SatPix:      2000,
+		SatBands:    12,
+		SatIters:    48,
+		LamaRows:    12000,
+		LamaNNZ:     16,
+		MemoClasses: 24,
+		Cores:       []int{1, 2, 4, 8, 16, 32, 64},
+		Reps:        3,
 	}
 }
 
 // Quick returns tiny parameters for tests.
 func Quick() Params {
 	return Params{
-		MatmulN:   24,
-		HeatN:     24,
-		HeatSteps: 4,
-		SatPix:    80,
-		SatBands:  6,
-		SatIters:  12,
-		LamaRows:  200,
-		LamaNNZ:   6,
-		Cores:     []int{1, 2, 4},
-		Reps:      1,
+		MatmulN:     24,
+		HeatN:       24,
+		HeatSteps:   4,
+		SatPix:      80,
+		SatBands:    6,
+		SatIters:    12,
+		LamaRows:    200,
+		LamaNNZ:     6,
+		MemoClasses: 8,
+		Cores:       []int{1, 2, 4},
+		Reps:        1,
 	}
 }
 

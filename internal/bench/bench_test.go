@@ -86,6 +86,43 @@ func TestCollectLamaQuick(t *testing.T) {
 	}
 }
 
+// TestCollectMemoQuick is the acceptance check of the memoization
+// scenario: the memoizing build must show a hit-rate-driven speedup
+// over the plain parallel build of the same quantized workload.
+func TestCollectMemoQuick(t *testing.T) {
+	p := Quick()
+	// Enough argument reuse per class that the table effect dominates
+	// measurement noise even on a loaded CI box.
+	p.SatPix = 600
+	p.SatIters = 24
+	d, err := CollectMemo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := d.FigMemo()
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	if d.HitRate < 0.9 {
+		t.Errorf("shared-table hit rate = %.2f, want ≥ 0.9 (%d pixels in %d classes)",
+			d.HitRate, p.SatPix, p.MemoClasses)
+	}
+	plain, memoized := fig.Series[0].Times, fig.Series[1].Times
+	for _, c := range fig.Cores {
+		if plain[c] <= 0 || memoized[c] <= 0 {
+			t.Fatalf("non-positive time at %d cores: plain=%v memo=%v", c, plain[c], memoized[c])
+		}
+	}
+	// Compare at 1 core, where the parallel runtime cannot mask the
+	// per-call saving: the memoized run recomputes only one fit per
+	// class, the plain run one per pixel.
+	if memoized[1] >= plain[1] {
+		t.Errorf("memoized run not faster at 1 core: memo=%.4fs plain=%.4fs", memoized[1], plain[1])
+	}
+	t.Logf("1-core times: plain=%.4fs memoized=%.4fs (hit rate %.1f%%)",
+		plain[1], memoized[1], 100*d.HitRate)
+}
+
 func TestSpeedupDerivation(t *testing.T) {
 	f := &Figure{
 		ID: "T", Kind: "time", Cores: []int{1, 2},

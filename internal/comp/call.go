@@ -7,6 +7,7 @@ import (
 
 	"purec/internal/ast"
 	"purec/internal/mem"
+	"purec/internal/memo"
 	"purec/internal/sema"
 	"purec/internal/token"
 	"purec/internal/types"
@@ -171,6 +172,171 @@ func (fc *funcCompiler) tryInline(x *ast.CallExpr) (valueFns, bool) {
 	return out, true
 }
 
+// memoArg is one compiled scalar argument of a memoized call (the
+// callee frame slot is resolved at run time — the callee may not have
+// been compiled yet when the call site is).
+type memoArg struct {
+	kind slotKind
+	i    intFn
+	f    fltFn
+}
+
+// tryMemo compiles a memoized pure call: the scalar argument values
+// form a memo.Key, a table hit returns the cached result bits, and a
+// miss executes the callee once and stores the result. Only functions
+// the purity analysis marked memoizable (scalar signature, global-free
+// body) qualify, so the cached result is bit-identical to execution.
+// Argument expressions are evaluated exactly once, matching the direct
+// call path even when they have side effects.
+func (fc *funcCompiler) tryMemo(x *ast.CallExpr) (valueFns, bool) {
+	if !fc.prog.memoize {
+		return valueFns{}, false
+	}
+	callee, ok := fc.prog.funcs[x.Fun.Name]
+	if !ok || !callee.memoizable || len(x.Args) != len(callee.decl.Params) {
+		return valueFns{}, false
+	}
+	// Guard against an externally supplied Options.Memoizable entry the
+	// key cannot hold; the call falls back to direct execution.
+	if len(x.Args) > memo.MaxArgs {
+		return valueFns{}, false
+	}
+	// The callee's frame layout may not be compiled yet, so the return
+	// kind comes from the semantic signature (memoizable guarantees it
+	// is scalar).
+	sig := fc.prog.info.Funcs[x.Fun.Name]
+	if sig == nil || sig.Ret == nil {
+		return valueFns{}, false
+	}
+	var retKind slotKind
+	switch sig.Ret.Kind {
+	case types.Int:
+		retKind = slotInt
+	case types.Float:
+		retKind = slotFloat
+	default:
+		return valueFns{}, false
+	}
+	// Compile the argument evaluators by parameter type, mirroring
+	// userCall's setters (memoizable guarantees all-scalar parameters).
+	args := make([]memoArg, len(x.Args))
+	for i, arg := range x.Args {
+		pt, err := fc.paramType(callee, i)
+		if err != nil {
+			fc.errorf(x, "%v", err)
+		}
+		switch pt.Kind {
+		case types.Int:
+			args[i] = memoArg{kind: slotInt, i: fc.integer(arg)}
+		case types.Float:
+			args[i] = memoArg{kind: slotFloat, f: fc.num(arg)}
+		default:
+			return valueFns{}, false
+		}
+	}
+	name := x.Fun.Name
+	nargs := uint8(len(x.Args))
+	seed := memo.FnSeed(name)
+	// run executes the callee with the already-evaluated argument bits
+	// (the miss path and the no-table fallback).
+	run := func(e *env, k *memo.Key) (int64, float64) {
+		ne := e.p.newEnv(callee)
+		ne.team = e.team
+		ne.inParallel = e.inParallel
+		for j, a := range args {
+			if a.kind == slotInt {
+				ne.I[callee.params[j].idx] = int64(k.Args[j])
+			} else {
+				ne.F[callee.params[j].idx] = math.Float64frombits(k.Args[j])
+			}
+		}
+		callee.body(ne)
+		return ne.retI, ne.retF
+	}
+	makeKey := func(e *env) memo.Key {
+		k := memo.Key{Fn: name, N: nargs}
+		for j, a := range args {
+			if a.kind == slotInt {
+				k.Args[j] = uint64(a.i(e))
+			} else {
+				k.Args[j] = math.Float64bits(a.f(e))
+			}
+		}
+		return k
+	}
+	out := valueFns{kind: retKind}
+	if retKind == slotFloat {
+		out.f = func(e *env) float64 {
+			k := makeKey(e)
+			tab := e.p.memo
+			if tab != nil {
+				if v, ok := tab.GetSeeded(seed, k); ok {
+					return math.Float64frombits(v)
+				}
+			}
+			_, rf := run(e, &k)
+			if tab != nil {
+				tab.PutSeeded(seed, k, math.Float64bits(rf))
+			}
+			return rf
+		}
+	} else {
+		out.i = func(e *env) int64 {
+			k := makeKey(e)
+			tab := e.p.memo
+			if tab != nil {
+				if v, ok := tab.GetSeeded(seed, k); ok {
+					return int64(v)
+				}
+			}
+			ri, _ := run(e, &k)
+			if tab != nil {
+				tab.PutSeeded(seed, k, uint64(ri))
+			}
+			return ri
+		}
+	}
+	return out, true
+}
+
+// countsAsBypass reports whether calls of name should increment the
+// memo bypass counter: pure calls memoization cannot serve (pointer
+// arguments, oversized signatures, global-reading bodies). Only
+// consulted when the Program memoizes.
+func (fc *funcCompiler) countsAsBypass(name string) bool {
+	if !fc.prog.memoize {
+		return false
+	}
+	cf, ok := fc.prog.funcs[name]
+	return ok && cf.pure && !cf.memoizable
+}
+
+// wrapBypass wraps exec to count a memo bypass for calls of name, or
+// returns exec unchanged when such calls are not bypassed pure calls.
+func (fc *funcCompiler) wrapBypass(name string, exec func(*env) *env) func(*env) *env {
+	if !fc.countsAsBypass(name) {
+		return exec
+	}
+	return func(e *env) *env {
+		if t := e.p.memo; t != nil {
+			t.Bypass()
+		}
+		return exec(e)
+	}
+}
+
+// paramType resolves the declared type of callee's i-th parameter
+// (shared by userCall's setters and tryMemo's key builders so the two
+// call paths cannot diverge).
+func (fc *funcCompiler) paramType(callee *cfunc, i int) (*types.Type, error) {
+	return types.FromAST(callee.decl.Params[i].Type, func(tag string) (*types.Type, error) {
+		if st, ok := fc.prog.info.Structs[tag]; ok {
+			return st, nil
+		}
+		return nil, fmt.Errorf("unknown struct %s", tag)
+	})
+}
+
 // hasSideEffects conservatively reports whether evaluating e twice could
 // change program behaviour.
 func hasSideEffects(fc *funcCompiler, e ast.Expr) bool {
@@ -215,7 +381,10 @@ func (fc *funcCompiler) callFlt(x *ast.CallExpr) fltFn {
 	if inl, ok := fc.tryInline(x); ok && inl.kind == slotFloat {
 		return inl.f
 	}
-	exec := fc.userCall(x)
+	if m, ok := fc.tryMemo(x); ok && m.kind == slotFloat {
+		return m.f
+	}
+	exec := fc.wrapBypass(name, fc.userCall(x))
 	return func(e *env) float64 { return exec(e).retF }
 }
 
@@ -275,13 +444,16 @@ func (fc *funcCompiler) callInt(x *ast.CallExpr) intFn {
 	if inl, ok := fc.tryInline(x); ok && inl.kind == slotInt {
 		return inl.i
 	}
-	exec := fc.userCall(x)
+	if m, ok := fc.tryMemo(x); ok && m.kind == slotInt {
+		return m.i
+	}
+	exec := fc.wrapBypass(name, fc.userCall(x))
 	return func(e *env) int64 { return exec(e).retI }
 }
 
 // callPtr compiles a pointer-returning user call.
 func (fc *funcCompiler) callPtr(x *ast.CallExpr) ptrFn {
-	exec := fc.userCall(x)
+	exec := fc.wrapBypass(x.Fun.Name, fc.userCall(x))
 	return func(e *env) mem.Pointer { return exec(e).retP }
 }
 
@@ -316,6 +488,17 @@ func (fc *funcCompiler) callEffect(x *ast.CallExpr) func(*env) {
 		return func(e *env) { f(e) }
 	}
 	exec := fc.userCall(x)
+	if cf, ok := fc.prog.funcs[name]; ok && fc.prog.memoize && cf.pure {
+		// A pure call in statement position never consults the table
+		// (its result is discarded), so it counts as bypassed — even
+		// when the function is memoizable at value call sites.
+		return func(e *env) {
+			if t := e.p.memo; t != nil {
+				t.Bypass()
+			}
+			exec(e)
+		}
+	}
 	return func(e *env) { exec(e) }
 }
 
@@ -335,12 +518,7 @@ func (fc *funcCompiler) userCall(x *ast.CallExpr) func(*env) *env {
 	type argSetter func(caller *env, ne *env)
 	var setters []argSetter
 	for i, arg := range x.Args {
-		pt, err := types.FromAST(callee.decl.Params[i].Type, func(tag string) (*types.Type, error) {
-			if st, ok := fc.prog.info.Structs[tag]; ok {
-				return st, nil
-			}
-			return nil, fmt.Errorf("unknown struct %s", tag)
-		})
+		pt, err := fc.paramType(callee, i)
 		if err != nil {
 			fc.errorf(x, "%v", err)
 		}
@@ -485,6 +663,11 @@ func (fc *funcCompiler) printfCall(x *ast.CallExpr) func(*env) {
 func cString(p mem.Pointer) string {
 	if p.IsNull() {
 		return "(null)"
+	}
+	if p.Seg.Freed() {
+		// The poisoned backing slice would read as an empty string and
+		// mask the use-after-free; trap it like any other stale access.
+		rtPanic("use after free of %s", p.Seg.Name)
 	}
 	var b strings.Builder
 	for off := p.Off; off < len(p.Seg.I); off++ {

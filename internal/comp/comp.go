@@ -72,6 +72,21 @@ type Options struct {
 	// PluTo-SICA SIMD-code-generation analog. BackendICC implies it for
 	// pure functions only.
 	Vectorize bool
+	// Memoize wraps call sites of memoizable pure functions (scalar
+	// signature, global-free body — see purity.Memoizable) behind a
+	// concurrency-safe memo table shared by every Process of the
+	// Program. Referential transparency makes the cached results exact.
+	Memoize bool
+	// Memoizable optionally supplies the precomputed memoizable set for
+	// Memoize (the pipeline already ran the analysis for its artifact);
+	// nil means CompileProgram derives it from the checked model itself.
+	Memoizable []string
+	// MemoCapacity bounds the memo table entry count (0 selects
+	// memo.DefaultCapacity).
+	MemoCapacity int
+	// MemoShards sets the memo table's lock-stripe count (0 selects
+	// memo.DefaultShards).
+	MemoShards int
 }
 
 // slotKind is the storage class of a frame slot.
@@ -153,6 +168,9 @@ type cfunc struct {
 	retKind    slotKind
 	retVoid    bool
 	pure       bool
+	// memoizable marks verified pure functions whose calls may be served
+	// from the memo table (set only when compiling with Options.Memoize).
+	memoizable bool
 }
 
 func constFloat(e ast.Expr) (float64, bool) {

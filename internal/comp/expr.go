@@ -298,7 +298,13 @@ func (fc *funcCompiler) intBinary(x *ast.BinaryExpr) intFn {
 		if x.Op == token.SUB && tl.IsPtr() && tr.IsPtr() {
 			a, b := fc.ptr(x.X), fc.ptr(x.Y)
 			stride := elemStride(tl.Elem)
-			return func(e *env) int64 { return a(e).Diff(b(e)) / stride }
+			return func(e *env) int64 {
+				d, err := a(e).DiffChecked(b(e))
+				if err != nil {
+					rtPanic("%v", err)
+				}
+				return d / stride
+			}
 		}
 		fc.errorf(x, "invalid pointer arithmetic in integer context")
 	}

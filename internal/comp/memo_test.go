@@ -1,0 +1,224 @@
+package comp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"purec/internal/interp"
+	"purec/internal/parser"
+	"purec/internal/rt"
+	"purec/internal/sema"
+)
+
+// memoWorkload exercises every memoization path: a memoizable scalar
+// kernel called with heavily repeated arguments (integer and float), a
+// pointer-taking pure helper that must bypass the table, and printf
+// output so stdout comparison catches any drift.
+const memoWorkload = `
+float acc[64];
+
+pure int kernel(int x, int budget) {
+    int r = 0;
+    for (int i = 0; i < budget; i++)
+        r += (x * i + 3) % 11;
+    return r;
+}
+
+pure float fkernel(float x) {
+    float s = 0.0f;
+    for (int i = 0; i < 50; i++)
+        s += sqrt(x + (float)i);
+    return s;
+}
+
+pure float fsum(pure float* v, int n) {
+    float s = 0.0f;
+    for (int i = 0; i < n; i++)
+        s += v[i];
+    return s;
+}
+
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 512; i++)
+        total += kernel(i % 16, 40);
+    for (int i = 0; i < 64; i++)
+        acc[i] = fkernel((float)(i % 8));
+    float fs = fsum((pure float*)acc, 64);
+    printf("total=%d fs=%f\n", total, fs);
+    return total % 97;
+}
+`
+
+// TestMemoizedMatchesOracle is the memoization acceptance gate: one
+// memoizing Program runs in 12 concurrent Processes that share the
+// Program's memo table, and every result — return value, stdout bytes,
+// global float array — must be bit-identical to the sequential interp
+// oracle. Run under -race this also proves the shared table is safe.
+func TestMemoizedMatchesOracle(t *testing.T) {
+	f, err := parser.Parse("t.c", memoWorkload)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	prog, err := CompileProgram(info, Options{Memoize: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if got := len(prog.Memoizable()); got != 2 {
+		t.Fatalf("memoizable functions = %v, want kernel and fkernel", prog.Memoizable())
+	}
+
+	var oracleOut bytes.Buffer
+	in2, err := interp.New(info, &oracleOut)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	want, err := in2.RunMain()
+	if err != nil {
+		t.Fatalf("interp run: %v", err)
+	}
+	wantAcc, err := in2.GlobalPtr("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const procs = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, procs)
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out bytes.Buffer
+			proc, err := prog.NewProcess(ProcOptions{
+				Team:   rt.NewTeam(1 + i%4),
+				Stdout: &out,
+			})
+			if err != nil {
+				errs <- fmt.Errorf("process %d: %v", i, err)
+				return
+			}
+			got, err := proc.RunMain()
+			if err != nil {
+				errs <- fmt.Errorf("process %d: run: %v", i, err)
+				return
+			}
+			if got != want {
+				errs <- fmt.Errorf("process %d: returned %d, oracle %d", i, got, want)
+				return
+			}
+			if out.String() != oracleOut.String() {
+				errs <- fmt.Errorf("process %d: stdout %q, oracle %q", i, out.String(), oracleOut.String())
+				return
+			}
+			accPtr, err := proc.GlobalPtr("acc")
+			if err != nil {
+				errs <- fmt.Errorf("process %d: %v", i, err)
+				return
+			}
+			for j := int64(0); j < 64; j++ {
+				if g, w := accPtr.Add(j).LoadFloat(), wantAcc.Add(j).LoadFloat(); g != w {
+					errs <- fmt.Errorf("process %d: acc[%d] = %v, oracle %v", i, j, g, w)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	s := prog.MemoStats()
+	if s.Hits == 0 {
+		t.Fatalf("shared table recorded no hits across %d processes: %+v", procs, s)
+	}
+	if s.Bypassed == 0 {
+		t.Fatalf("pointer-taking pure call was not counted as bypassed: %+v", s)
+	}
+}
+
+// TestMemoizedMatchesUnmemoized compares a memoizing build against a
+// plain build of the same program: results must be bit-identical.
+func TestMemoizedMatchesUnmemoized(t *testing.T) {
+	runOnce := func(opts Options) (int64, string) {
+		t.Helper()
+		prog := compileProgram(t, memoWorkload, opts)
+		var out bytes.Buffer
+		proc, err := prog.NewProcess(ProcOptions{Stdout: &out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := proc.RunMain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, out.String()
+	}
+	v1, o1 := runOnce(Options{})
+	v2, o2 := runOnce(Options{Memoize: true})
+	if v1 != v2 || o1 != o2 {
+		t.Fatalf("memoized run diverged: %d/%q vs %d/%q", v1, o1, v2, o2)
+	}
+}
+
+// TestPrivateMemoIsolation: a PrivateMemo Process keeps its own table,
+// so its stats are independent of the Program-shared one.
+func TestPrivateMemoIsolation(t *testing.T) {
+	prog := compileProgram(t, memoWorkload, Options{Memoize: true, MemoCapacity: 128})
+	priv, err := prog.NewProcess(ProcOptions{Stdout: &bytes.Buffer{}, PrivateMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv.MemoTable() == prog.Memo() {
+		t.Fatal("PrivateMemo process shares the Program table")
+	}
+	if _, err := priv.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	if s := priv.MemoStats(); s.Hits == 0 {
+		t.Fatalf("private table unused: %+v", s)
+	}
+	if s := prog.MemoStats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("private run leaked into the shared table: %+v", s)
+	}
+
+	// An explicit table override wins over PrivateMemo and is shared by
+	// whoever holds it.
+	shared, err := prog.NewProcess(ProcOptions{Stdout: &bytes.Buffer{}, Memo: priv.MemoTable(), PrivateMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.MemoTable() != priv.MemoTable() {
+		t.Fatal("explicit Memo option ignored")
+	}
+}
+
+// TestNoMemoWithoutOption: without Options.Memoize no table exists and
+// stats stay zero.
+func TestNoMemoWithoutOption(t *testing.T) {
+	prog := compileProgram(t, memoWorkload, Options{})
+	if prog.Memo() != nil {
+		t.Fatal("non-memoizing program carries a table")
+	}
+	proc, err := prog.NewProcess(ProcOptions{Stdout: &bytes.Buffer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.MemoTable() != nil {
+		t.Fatal("process of a non-memoizing program carries a table")
+	}
+	if _, err := proc.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	if s := proc.MemoStats(); s != (prog.MemoStats()) {
+		t.Fatalf("stats should be zero: %+v", s)
+	}
+}

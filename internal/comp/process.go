@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"purec/internal/mem"
+	"purec/internal/memo"
 	"purec/internal/rt"
 	"purec/internal/sema"
 )
@@ -19,6 +20,18 @@ type ProcOptions struct {
 	Team *rt.Team
 	// Stdout receives printf output (defaults to os.Stdout).
 	Stdout io.Writer
+	// Memo overrides the memo table this Process consults. By default a
+	// Process of a memoizing Program shares the Program's table (one
+	// cache across all concurrent Processes); pass an explicit table to
+	// share results across Programs of the same source instead. It has
+	// no effect on a Program compiled without Options.Memoize — call
+	// sites carry no memo wrappers there, so the table is never
+	// consulted.
+	Memo *memo.Table
+	// PrivateMemo gives the Process its own fresh memo table sized by
+	// the Program's memo options, isolating its cache from siblings.
+	// Ignored when Memo is set or the Program does not memoize.
+	PrivateMemo bool
 }
 
 // Process is the run state of one execution of a Program: global slot
@@ -36,6 +49,10 @@ type Process struct {
 
 	stdout io.Writer
 	team   *rt.Team
+	// memo serves memoized pure calls; nil when the Program was compiled
+	// without memoization. Shared tables are concurrency-safe, so this
+	// is the one piece of Process state siblings may share.
+	memo *memo.Table
 	// randState backs rand()/srand(). Atomic so calls from inside
 	// parallel regions are race-free (sequentially the CAS never
 	// retries, keeping the LCG stream deterministic).
@@ -68,6 +85,14 @@ func (p *Program) NewProcess(opts ProcOptions) (*Process, error) {
 	if pr.team == nil {
 		pr.team = rt.NewTeam(1)
 	}
+	switch {
+	case opts.Memo != nil:
+		pr.memo = opts.Memo
+	case opts.PrivateMemo && p.memoize:
+		pr.memo = memo.New(p.memoCap, p.memoShards)
+	default:
+		pr.memo = p.memo
+	}
 	if err := pr.ResetGlobals(); err != nil {
 		return nil, err
 	}
@@ -82,6 +107,19 @@ func (p *Process) SetTeam(t *rt.Team) { p.team = t }
 
 // Heap returns allocation statistics.
 func (p *Process) Heap() mem.HeapStats { return p.heap.Stats() }
+
+// MemoTable returns the memo table this Process consults (nil when the
+// Program was compiled without memoization).
+func (p *Process) MemoTable() *memo.Table { return p.memo }
+
+// MemoStats snapshots the memo counters of this Process's table (zero
+// when memoization is off).
+func (p *Process) MemoStats() memo.Stats {
+	if p.memo == nil {
+		return memo.Stats{}
+	}
+	return p.memo.Stats()
+}
 
 // ResetGlobals zeroes global storage, re-creates global array segments
 // and re-evaluates constant initializers. Run it between measurements so

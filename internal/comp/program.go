@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"purec/internal/ast"
+	"purec/internal/memo"
+	"purec/internal/purity"
 	"purec/internal/sema"
 )
 
@@ -11,7 +13,10 @@ import (
 // compiled function closures, the global storage layout and the backend
 // metadata. A Program holds no run state — globals, heap, stdout, team
 // and rand state live in a Process — so any number of Processes of one
-// Program may execute concurrently.
+// Program may execute concurrently. The one concurrency-safe mutable
+// attachment is the shared memo table (when compiled with
+// Options.Memoize): pure-call results are referentially transparent, so
+// sharing them across Processes never changes observable behaviour.
 type Program struct {
 	info      *sema.Info
 	backend   Backend
@@ -21,6 +26,11 @@ type Program struct {
 	globalSlots map[*sema.Symbol]slot
 	// global slot counts (the per-Process storage sizes)
 	nGI, nGF, nGP int
+
+	// memoization (Options.Memoize)
+	memoize             bool
+	memoCap, memoShards int
+	memo                *memo.Table
 }
 
 // CompileProgram translates a checked program into an immutable Program.
@@ -45,6 +55,23 @@ func CompileProgram(info *sema.Info, opts Options) (*Program, error) {
 		}
 		p.funcs[fd.Name] = &cfunc{name: fd.Name, decl: fd, pure: fd.Pure}
 	}
+	if opts.Memoize {
+		p.memoize = true
+		p.memoCap = opts.MemoCapacity
+		p.memoShards = opts.MemoShards
+		p.memo = memo.New(opts.MemoCapacity, opts.MemoShards)
+		names := opts.Memoizable
+		if names == nil {
+			for name := range purity.Memoizable(info) {
+				names = append(names, name)
+			}
+		}
+		for _, name := range names {
+			if cf := p.funcs[name]; cf != nil {
+				cf.memoizable = true
+			}
+		}
+	}
 	for _, cf := range p.funcs {
 		fc := &funcCompiler{prog: p, cf: cf}
 		if err := fc.compile(); err != nil {
@@ -59,6 +86,31 @@ func (p *Program) Backend() Backend { return p.backend }
 
 // Info returns the semantic model the program was compiled from.
 func (p *Program) Info() *sema.Info { return p.info }
+
+// Memo returns the Program-shared memo table, or nil when the program
+// was compiled without Options.Memoize.
+func (p *Program) Memo() *memo.Table { return p.memo }
+
+// MemoStats snapshots the shared memo table counters (zero when the
+// program was compiled without memoization).
+func (p *Program) MemoStats() memo.Stats {
+	if p.memo == nil {
+		return memo.Stats{}
+	}
+	return p.memo.Stats()
+}
+
+// Memoizable returns the sorted-insensitive set of functions whose
+// calls are served from the memo table (empty without Options.Memoize).
+func (p *Program) Memoizable() []string {
+	var out []string
+	for name, cf := range p.funcs {
+		if cf.memoizable {
+			out = append(out, name)
+		}
+	}
+	return out
+}
 
 // layoutGlobals assigns global slots and records the storage sizes each
 // Process must allocate.

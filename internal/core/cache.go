@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"purec/internal/comp"
 )
@@ -22,6 +23,8 @@ func cacheKey(src string, cfg Config) CacheKey {
 	w("src:%d:%s;", len(src), src)
 	w("mode:%d;file:%s;par:%t;backend:%d;vec:%t;",
 		cfg.Mode, cfg.FileName, cfg.Parallelize, cfg.Backend, cfg.Vectorize)
+	w("memo:%t;memocap:%d;memoshards:%d;",
+		cfg.Memoize, cfg.MemoCapacity, cfg.MemoShards)
 	t := cfg.Transform
 	w("tile:%t;sizes:%v;skew:%t;sched:%s;mintrip:%d;",
 		t.Tile, t.TileSizes, t.Skew, t.Schedule, t.MinParallelTrip)
@@ -51,13 +54,19 @@ type cacheEntry struct {
 	prog *comp.Program
 	art  *Artifact
 	err  error
+	// done is set after the singleflight build finishes; eviction skips
+	// entries that are still building so a capacity squeeze can never
+	// drop an in-flight pipeline run.
+	done atomic.Bool
 }
 
 // ProgramCache is a content-addressed, re-entrant cache of compiled
 // Programs keyed by (source, Config) hash. Because Programs are
 // immutable and all run state lives in Processes, serving the same
-// Program to many concurrent builds is safe. Entries are evicted in
-// insertion order once the capacity is exceeded.
+// Program to many concurrent builds is safe. Eviction is LRU: every hit
+// promotes its key, and once the capacity is exceeded the
+// least-recently-used finished entry is dropped (in-flight builds are
+// never evicted).
 type ProgramCache struct {
 	mu      sync.Mutex
 	max     int
@@ -88,15 +97,13 @@ func (c *ProgramCache) build(src string, cfg Config) (*comp.Program, *Artifact, 
 	e, hit := c.entries[key]
 	if hit {
 		c.hits++
+		c.promote(key)
 	} else {
 		c.misses++
 		e = &cacheEntry{}
 		c.entries[key] = e
 		c.order = append(c.order, key)
-		for len(c.order) > c.max {
-			delete(c.entries, c.order[0])
-			c.order = c.order[1:]
-		}
+		c.evictOver()
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
@@ -104,6 +111,7 @@ func (c *ProgramCache) build(src string, cfg Config) (*comp.Program, *Artifact, 
 		if e.err == nil {
 			e.prog, e.err = e.art.Compile(cfg)
 		}
+		e.done.Store(true)
 	})
 	if e.err != nil {
 		// Failed builds are not worth a cache slot: drop the entry so
@@ -122,6 +130,40 @@ func (c *ProgramCache) build(src string, cfg Config) (*comp.Program, *Artifact, 
 		return nil, nil, false, e.err
 	}
 	return e.prog, e.art, hit, nil
+}
+
+// promote moves key to the most-recently-used end of the order (caller
+// holds c.mu).
+func (c *ProgramCache) promote(key CacheKey) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// evictOver drops least-recently-used finished entries until the cache
+// fits its capacity (caller holds c.mu). Entries whose singleflight
+// build is still running are skipped — evicting them would detach a
+// build other goroutines are waiting on and let a concurrent insert of
+// the same key rerun the pipeline; if only in-flight entries remain the
+// cache temporarily exceeds its capacity instead.
+func (c *ProgramCache) evictOver() {
+	for len(c.order) > c.max {
+		evicted := false
+		for i, k := range c.order {
+			if e := c.entries[k]; e != nil && e.done.Load() {
+				delete(c.entries, k)
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
 }
 
 // Stats returns the hit/miss counters.

@@ -132,6 +132,79 @@ func TestProgramCacheEviction(t *testing.T) {
 	}
 }
 
+// TestProgramCacheLRUPromotion: a hit promotes its entry, so a hot
+// program survives capacity pressure that evicts colder ones (pure FIFO
+// would drop the hot entry first).
+func TestProgramCacheLRUPromotion(t *testing.T) {
+	cache := NewProgramCache(2)
+	hot := "int main(void) { return 1; }"
+	cold := "int main(void) { return 2; }"
+	fresh := "int main(void) { return 3; }"
+	for _, s := range []string{hot, cold} {
+		if _, _, _, err := BuildProgram(s, Config{Cache: cache}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest entry, then insert a third program.
+	if _, _, hit, err := BuildProgram(hot, Config{Cache: cache}); err != nil || !hit {
+		t.Fatalf("hot rebuild: hit=%v err=%v", hit, err)
+	}
+	if _, _, _, err := BuildProgram(fresh, Config{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	// The promoted hot entry survives; the cold one was evicted.
+	if _, _, hit, err := BuildProgram(hot, Config{Cache: cache}); err != nil || !hit {
+		t.Fatalf("hot entry was evicted despite promotion: hit=%v err=%v", hit, err)
+	}
+	if _, _, hit, err := BuildProgram(cold, Config{Cache: cache}); err != nil || hit {
+		t.Fatalf("cold entry should have been the eviction victim: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestProgramCacheInFlightNotEvicted: an entry whose singleflight build
+// is still running must not be evicted by a concurrent insert — other
+// builders hold a reference to it and a same-key insert would rerun the
+// pipeline mid-build.
+func TestProgramCacheInFlightNotEvicted(t *testing.T) {
+	cache := NewProgramCache(1)
+	// Plant an in-flight entry by hand: present in the table, once not
+	// yet completed (done unset).
+	var inflightKey CacheKey
+	inflightKey[0] = 0xAB
+	inflight := &cacheEntry{}
+	cache.mu.Lock()
+	cache.entries[inflightKey] = inflight
+	cache.order = append(cache.order, inflightKey)
+	cache.mu.Unlock()
+
+	// A real build over capacity must keep the in-flight entry.
+	if _, _, _, err := BuildProgram("int main(void) { return 4; }", Config{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	cache.mu.Lock()
+	_, stillThere := cache.entries[inflightKey]
+	n := len(cache.entries)
+	cache.mu.Unlock()
+	if !stillThere {
+		t.Fatal("in-flight entry was evicted mid-build")
+	}
+	if n != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (capacity temporarily exceeded)", n)
+	}
+
+	// Once the in-flight build finishes it becomes evictable again.
+	inflight.done.Store(true)
+	if _, _, _, err := BuildProgram("int main(void) { return 5; }", Config{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	cache.mu.Lock()
+	_, stillThere = cache.entries[inflightKey]
+	cache.mu.Unlock()
+	if stillThere {
+		t.Fatal("finished placeholder entry survived eviction pressure")
+	}
+}
+
 // TestProgramCacheSingleflight: concurrent builds of the same key run
 // the pipeline once and all receive the same Program (re-entrancy of
 // the build pipeline).

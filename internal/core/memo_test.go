@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+const memoPipelineSrc = `
+pure int price(int item, int qty) {
+    int r = 0;
+    for (int i = 0; i < 200; i++)
+        r += (item * 13 + qty * 7 + i) % 23;
+    return r;
+}
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 300; i++)
+        total += price(i % 5, i % 3);
+    printf("total=%d\n", total);
+    return 0;
+}
+`
+
+// TestMemoizeThroughPipeline checks the Config.Memoize plumbing end to
+// end: the knob reaches the compiled Program, the artifact reports the
+// memoizable set, the cache key separates memoizing from plain builds,
+// and the outputs agree.
+func TestMemoizeThroughPipeline(t *testing.T) {
+	cache := NewProgramCache(8)
+
+	var plainOut bytes.Buffer
+	plain, err := Build(memoPipelineSrc, Config{Cache: cache, Stdout: &plainOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Machine.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Program.Memo() != nil {
+		t.Fatal("plain build carries a memo table")
+	}
+
+	var memoOut bytes.Buffer
+	memoized, err := Build(memoPipelineSrc, Config{Cache: cache, Memoize: true, Stdout: &memoOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memoized.CacheHit {
+		t.Fatal("Memoize change must miss the program cache")
+	}
+	if memoized.Program.Memo() == nil {
+		t.Fatal("memoizing build has no table")
+	}
+	got := append([]string(nil), memoized.Memoizable...)
+	sort.Strings(got)
+	if len(got) != 1 || got[0] != "price" {
+		t.Fatalf("Artifact.Memoizable = %v, want [price]", got)
+	}
+	if _, err := memoized.Machine.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	if plainOut.String() != memoOut.String() || plainOut.Len() == 0 {
+		t.Fatalf("memoized output %q differs from plain %q", memoOut.String(), plainOut.String())
+	}
+	if s := memoized.Program.MemoStats(); s.Hits == 0 {
+		t.Fatalf("memoizing run recorded no hits: %+v", s)
+	}
+
+	// MemoCapacity is compile-relevant: a different capacity is a
+	// different Program.
+	resized, err := Build(memoPipelineSrc, Config{Cache: cache, Memoize: true, MemoCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resized.CacheHit || resized.Program == memoized.Program {
+		t.Fatal("MemoCapacity change must miss the program cache")
+	}
+
+	// Identical memoizing builds share the Program and thus the table.
+	again, err := Build(memoPipelineSrc, Config{Cache: cache, Memoize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.Program != memoized.Program {
+		t.Fatal("identical memoizing build must hit the cache")
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"purec/internal/interp"
+	"purec/internal/parser"
+	"purec/internal/sema"
+)
+
+// runBoth executes src through the compiled backend and the interpreter
+// oracle, returning both errors (nil when the run succeeded).
+func runBoth(t *testing.T, src string) (compErr, interpErr error) {
+	t.Helper()
+	res, err := Build(src, Config{NoCache: true, Stdout: io.Discard})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	_, compErr = res.Machine.RunMain()
+
+	file, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(file)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	in, err := interp.New(info, nil)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	_, interpErr = in.RunMain()
+	return compErr, interpErr
+}
+
+// TestUseAfterFreeDetected: accessing a freed malloc block must surface
+// as a runtime error in both backends — the freed segment is poisoned,
+// so the stale pointer no longer reaches live memory.
+func TestUseAfterFreeDetected(t *testing.T) {
+	src := `
+int main(void) {
+    int* p = (int*)malloc(4 * sizeof(int));
+    p[0] = 42;
+    free(p);
+    return p[0];
+}
+`
+	compErr, interpErr := runBoth(t, src)
+	if compErr == nil {
+		t.Error("comp backend silently accepted a use-after-free")
+	}
+	if interpErr == nil {
+		t.Error("interp oracle silently accepted a use-after-free")
+	}
+}
+
+// TestUseAfterFreeStoreDetected covers the store side of the poisoning.
+func TestUseAfterFreeStoreDetected(t *testing.T) {
+	src := `
+int main(void) {
+    float* p = (float*)malloc(8 * sizeof(float));
+    free(p);
+    p[2] = 1.5f;
+    return 0;
+}
+`
+	compErr, interpErr := runBoth(t, src)
+	if compErr == nil {
+		t.Error("comp backend silently accepted a store after free")
+	}
+	if interpErr == nil {
+		t.Error("interp oracle silently accepted a store after free")
+	}
+}
+
+// TestUseAfterFreePrintfDetected: printf %s on a freed segment must
+// trap instead of silently printing an empty string (the poisoned
+// backing slice reads as length 0, which would mask the bug).
+func TestUseAfterFreePrintfDetected(t *testing.T) {
+	src := `
+int main(void) {
+    int* s = (int*)malloc(4 * sizeof(int));
+    s[0] = 104;
+    s[1] = 105;
+    s[2] = 0;
+    free(s);
+    printf("%s\n", s);
+    return 0;
+}
+`
+	compErr, interpErr := runBoth(t, src)
+	for name, err := range map[string]error{"comp": compErr, "interp": interpErr} {
+		if err == nil {
+			t.Errorf("%s backend silently printed a freed string", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "use after free") {
+			t.Errorf("%s backend error %q does not name the use-after-free", name, err)
+		}
+	}
+}
+
+// TestValidFreePatternStillRuns: the poisoning must not break the legal
+// malloc/use/free lifecycle.
+func TestValidFreePatternStillRuns(t *testing.T) {
+	src := `
+int main(void) {
+    int* p = (int*)malloc(4 * sizeof(int));
+    p[0] = 7;
+    int v = p[0];
+    free(p);
+    return v;
+}
+`
+	compErr, interpErr := runBoth(t, src)
+	if compErr != nil {
+		t.Errorf("comp: %v", compErr)
+	}
+	if interpErr != nil {
+		t.Errorf("interp: %v", interpErr)
+	}
+}
+
+// TestNullStringPrintfMatchesBackends: printf %s of NULL prints
+// "(null)" in both backends (oracle alignment).
+func TestNullStringPrintfMatchesBackends(t *testing.T) {
+	src := `
+int main(void) {
+    int* p = (int*)0;
+    printf("s=%s\n", p);
+    return 0;
+}
+`
+	compErr, interpErr := runBoth(t, src)
+	if compErr != nil || interpErr != nil {
+		t.Fatalf("comp=%v interp=%v, want both nil", compErr, interpErr)
+	}
+}
+
+// TestCrossSegmentPointerDiffDetected: subtracting pointers into
+// different objects is undefined behaviour in C; here it must report a
+// checked runtime error instead of a meaningless offset delta.
+func TestCrossSegmentPointerDiffDetected(t *testing.T) {
+	src := `
+int main(void) {
+    int a[4];
+    int b[4];
+    int* p = a;
+    int* q = b;
+    int d = p - q;
+    return d;
+}
+`
+	compErr, interpErr := runBoth(t, src)
+	for name, err := range map[string]error{"comp": compErr, "interp": interpErr} {
+		if err == nil {
+			t.Errorf("%s backend returned garbage for a cross-segment pointer difference", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "pointer difference across segments") {
+			t.Errorf("%s backend error %q does not name the cross-segment diff", name, err)
+		}
+	}
+}
+
+// TestSameSegmentPointerDiffStillWorks: the checked path must keep
+// legal same-object pointer arithmetic exact.
+func TestSameSegmentPointerDiffStillWorks(t *testing.T) {
+	src := `
+int main(void) {
+    int a[8];
+    int* p = a + 6;
+    int* q = a + 2;
+    return p - q;
+}
+`
+	res, err := Build(src, Config{NoCache: true})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	v, err := res.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4 {
+		t.Fatalf("p - q = %d, want 4", v)
+	}
+}

@@ -51,9 +51,10 @@ const (
 )
 
 // Config controls one pipeline run. The compile-relevant fields (Mode,
-// Defines, Files, Parallelize, Transform, Backend, Vectorize) form the
-// content-addressed program-cache key; TeamSize, Stdout and the cache
-// controls are run state and never affect the compiled Program.
+// Defines, Files, Parallelize, Transform, Backend, Vectorize, Memoize,
+// MemoCapacity, MemoShards) form the content-addressed program-cache
+// key; TeamSize, Stdout and the cache controls are run state and never
+// affect the compiled Program.
 type Config struct {
 	// Mode selects pure-aware (default) or classic polyhedral
 	// parallelization.
@@ -75,6 +76,17 @@ type Config struct {
 	// Vectorize enables the PluTo-SICA SIMD analog: fused-kernel
 	// compilation of canonical reduction loops anywhere in the program.
 	Vectorize bool
+	// Memoize wraps calls of memoizable pure functions (scalar
+	// signature, global-free body) behind a concurrency-safe memo table
+	// shared by every Process of the compiled Program. Compile-relevant:
+	// part of the program-cache key.
+	Memoize bool
+	// MemoCapacity bounds the memo table entry count (0 means the
+	// memo package default).
+	MemoCapacity int
+	// MemoShards sets the memo table lock-stripe count (0 means the
+	// memo package default).
+	MemoShards int
 	// TeamSize is the OpenMP thread-count analog (cores in the paper's
 	// figures).
 	TeamSize int
@@ -105,6 +117,9 @@ type Artifact struct {
 	Stages Stages
 	// Pure lists the verified pure functions.
 	Pure []string
+	// Memoizable lists the pure functions whose calls a memoizing build
+	// serves from the memo table (scalar signature, global-free body).
+	Memoizable []string
 	// SCoPs is the number of loop nests handed to the polyhedral stage.
 	SCoPs int
 	// Rejections explains loops that were considered but not marked.
@@ -225,6 +240,9 @@ func Front(src string, cfg Config) (*Artifact, error) {
 		return nil, fmt.Errorf("internal: final source does not re-check: %v", err)
 	}
 	res.Info = finalInfo
+	for name := range purity.Memoizable(finalInfo) {
+		res.Memoizable = append(res.Memoizable, name)
+	}
 	return res, nil
 }
 
@@ -232,8 +250,12 @@ func Front(src string, cfg Config) (*Artifact, error) {
 // executable Program — the "GCC/ICC" step of Fig. 1.
 func (a *Artifact) Compile(cfg Config) (*comp.Program, error) {
 	prog, err := comp.CompileProgram(a.Info, comp.Options{
-		Backend:   cfg.Backend,
-		Vectorize: cfg.Vectorize,
+		Backend:      cfg.Backend,
+		Vectorize:    cfg.Vectorize,
+		Memoize:      cfg.Memoize,
+		Memoizable:   a.Memoizable,
+		MemoCapacity: cfg.MemoCapacity,
+		MemoShards:   cfg.MemoShards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("compile: %v", err)

@@ -769,7 +769,11 @@ func (in *Interp) binary(x *ast.BinaryExpr, fr *frame) Value {
 		case tb.IsPtr() && ta.Kind == types.Int && x.Op == token.ADD:
 			return PtrV(b.P.Add(a.AsInt() * strideOf(tb)))
 		case ta.IsPtr() && tb.IsPtr() && x.Op == token.SUB:
-			return IntV(a.P.Diff(b.P) / strideOf(ta))
+			d, err := a.P.DiffChecked(b.P)
+			if err != nil {
+				panic(err)
+			}
+			return IntV(d / strideOf(ta))
 		}
 		panic("bad pointer arithmetic")
 	}
@@ -1101,6 +1105,16 @@ func (in *Interp) printf(x *ast.CallExpr, fr *frame) {
 			fmt.Fprintf(&b, "%e", v.AsFloat())
 		case 's':
 			p := v.P
+			if p.IsNull() {
+				b.WriteString("(null)") // match the compiled backend
+				break
+			}
+			if p.Seg.Freed() {
+				// The poisoned backing slice would read as an empty
+				// string and mask the use-after-free; trap it like any
+				// other stale access.
+				panic(fmt.Sprintf("use after free of %s", p.Seg.Name))
+			}
 			for off := p.Off; off < len(p.Seg.I) && p.Seg.I[off] != 0; off++ {
 				b.WriteByte(byte(p.Seg.I[off]))
 			}

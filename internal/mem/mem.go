@@ -7,6 +7,11 @@
 // a segment plus an element offset, so out-of-bounds accesses surface as
 // Go slice bounds panics, which the machine converts into runtime errors
 // — a stricter behaviour than C that makes the test suite trustworthy.
+//
+// free() poisons the released segment by dropping its backing slices, so
+// any later load or store through a stale pointer surfaces as a runtime
+// error (use-after-free detection) instead of silently reading freed
+// memory.
 package mem
 
 import (
@@ -63,6 +68,10 @@ func NewSegment(k CellKind, n int, name string) *Segment {
 	return s
 }
 
+// Freed reports whether the segment was released by free() (and its
+// storage poisoned).
+func (s *Segment) Freed() bool { return s.freed.Load() }
+
 // Len returns the cell count.
 func (s *Segment) Len() int {
 	switch s.Kind {
@@ -91,8 +100,19 @@ func (p Pointer) IsNull() bool { return p.Seg == nil }
 func (p Pointer) Add(n int64) Pointer { return Pointer{Seg: p.Seg, Off: p.Off + int(n)} }
 
 // Diff returns the element distance p−q; both must reference the same
-// segment (checked by the caller when it matters).
+// segment (use DiffChecked when that is not guaranteed — for pointers
+// into different segments the plain offset delta is meaningless).
 func (p Pointer) Diff(q Pointer) int64 { return int64(p.Off - q.Off) }
+
+// DiffChecked returns the element distance p−q, reporting an error when
+// the pointers reference different segments (undefined behaviour in C,
+// a checked runtime error here).
+func (p Pointer) DiffChecked(q Pointer) (int64, error) {
+	if p.Seg != q.Seg {
+		return 0, fmt.Errorf("pointer difference across segments (%s - %s)", p, q)
+	}
+	return int64(p.Off - q.Off), nil
+}
 
 // String renders the pointer for diagnostics.
 func (p Pointer) String() string {
@@ -164,6 +184,10 @@ func (h *Heap) Free(p Pointer) error {
 	if p.Seg.freed.Swap(true) {
 		return fmt.Errorf("double free of %s", p.Seg.Name)
 	}
+	// Poison the segment: dropping the backing slices makes any later
+	// access through a stale pointer fail the slice bounds check, which
+	// the machine reports as a runtime error (use-after-free detection).
+	p.Seg.I, p.Seg.F, p.Seg.P = nil, nil, nil
 	h.frees.Add(1)
 	return nil
 }

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -83,6 +84,57 @@ func TestFreeNull(t *testing.T) {
 	var h Heap
 	if err := h.Free(Pointer{}); err != nil {
 		t.Fatalf("free(NULL) must be a no-op: %v", err)
+	}
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	var h Heap
+	p := h.Malloc(CellInt, 4, "x")
+	p.StoreInt(7)
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	for name, access := range map[string]func(){
+		"load":  func() { p.LoadInt() },
+		"store": func() { p.StoreInt(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s after free must panic", name)
+				}
+			}()
+			access()
+		}()
+	}
+}
+
+func TestFreePoisonsAllCellKinds(t *testing.T) {
+	var h Heap
+	for _, k := range []CellKind{CellInt, CellFloat, CellPtr, CellMixed} {
+		p := h.Malloc(k, 2, "x")
+		if err := h.Free(p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Seg.I != nil || p.Seg.F != nil || p.Seg.P != nil {
+			t.Fatalf("%v segment not poisoned after free", k)
+		}
+	}
+}
+
+func TestDiffChecked(t *testing.T) {
+	s := NewSegment(CellFloat, 10, "s")
+	p := Pointer{Seg: s, Off: 7}
+	q := Pointer{Seg: s, Off: 3}
+	d, err := p.DiffChecked(q)
+	if err != nil || d != 4 {
+		t.Fatalf("same-segment diff = %d, %v", d, err)
+	}
+	other := Pointer{Seg: NewSegment(CellFloat, 10, "t"), Off: 3}
+	if _, err := p.DiffChecked(other); err == nil {
+		t.Fatal("cross-segment diff must error")
+	} else if got := err.Error(); !strings.Contains(got, "pointer difference across segments") {
+		t.Fatalf("unexpected error text: %s", got)
 	}
 }
 

@@ -1,0 +1,284 @@
+// Package memo provides a sharded, concurrency-safe memoization table
+// for pure-call results.
+//
+// The paper's purity verification (internal/purity) proves that
+// pure-marked functions are referentially transparent; for the subset
+// whose signature is all-scalar (no pointer parameters, scalar return)
+// and whose body reads no global state, a call is a pure mathematical
+// function of its argument values — so its result can be cached and
+// shared across every concurrent Process of a Program, the same way the
+// core.ProgramCache shares compiled Programs across builds.
+//
+// The table is lock-striped: keys hash onto a power-of-two number of
+// shards, each protected by its own mutex, so concurrent Processes
+// hitting different keys do not serialize. Within a shard, eviction is
+// LRU via an intrusive move-to-front list over the map entries.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MaxArgs is the largest scalar argument count a call key can carry;
+// calls of memoizable functions with more parameters are bypassed.
+const MaxArgs = 4
+
+// Key identifies one pure call: the function name plus the bit patterns
+// of its scalar arguments (int64 values directly, float64 values via
+// math.Float64bits). Keys of calls with fewer than MaxArgs arguments
+// zero-fill the tail; N disambiguates a zero argument from no argument.
+type Key struct {
+	Fn   string
+	N    uint8
+	Args [MaxArgs]uint64
+}
+
+// FnSeed precomputes the shard-hash prefix of a function name (FNV-1a).
+// Call sites that build many keys for one function — the compiled memo
+// wrappers — compute it once and pass it to GetSeeded/PutSeeded so the
+// name is not rehashed on every call.
+func FnSeed(fn string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(fn); i++ {
+		h ^= uint64(fn[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hashFrom mixes the argument words into the precomputed name seed and
+// finalizes (xorshift-multiply) so low bits depend on all input bits.
+func (k Key) hashFrom(seed uint64) uint64 {
+	h := seed
+	for i := uint8(0); i < k.N && i < MaxArgs; i++ {
+		h ^= k.Args[i]
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// hash mixes the key into a shard selector.
+func (k Key) hash() uint64 { return k.hashFrom(FnSeed(k.Fn)) }
+
+// Stats is a snapshot of the table counters.
+type Stats struct {
+	// Hits counts calls served from the table.
+	Hits uint64
+	// Misses counts calls that executed and stored their result.
+	Misses uint64
+	// Bypassed counts pure calls that could not be memoized (pointer
+	// arguments, too many parameters, or a body reading global state).
+	Bypassed uint64
+	// Evicted counts entries dropped by capacity pressure.
+	Evicted uint64
+	// Entries is the current number of cached results.
+	Entries int
+}
+
+// HitRate returns the fraction of lookups served from the table.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one cached result inside a shard, linked into the shard's
+// LRU list (front = most recently used).
+type entry struct {
+	key        Key
+	val        uint64
+	prev, next *entry
+}
+
+// shard is one lock stripe of the table.
+type shard struct {
+	mu   sync.Mutex
+	m    map[Key]*entry
+	head *entry // most recently used
+	tail *entry // least recently used
+	max  int
+}
+
+// Table is a sharded memoization table mapping pure-call keys to scalar
+// result bit patterns. All methods are safe for concurrent use; the
+// zero value is not usable — construct with New.
+type Table struct {
+	shards []shard
+	mask   uint64
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	bypassed atomic.Uint64
+	evicted  atomic.Uint64
+}
+
+// DefaultCapacity is the table-wide entry bound used when New is given
+// a non-positive capacity.
+const DefaultCapacity = 1 << 16
+
+// DefaultShards is the stripe count used when New is given a
+// non-positive shard count.
+const DefaultShards = 16
+
+// New creates a table holding at most capacity entries across shards
+// lock stripes. The shard count is rounded up to a power of two;
+// non-positive arguments select the defaults. Each shard holds at most
+// ceil(capacity/shards) entries, so the effective capacity is within
+// one entry per shard of the request.
+func New(capacity, shards int) *Table {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (capacity + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	t := &Table{shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[Key]*entry)
+		t.shards[i].max = perShard
+	}
+	return t
+}
+
+// Get returns the cached result bits for k. A found entry is promoted
+// to most-recently-used in its shard.
+func (t *Table) Get(k Key) (uint64, bool) { return t.GetSeeded(FnSeed(k.Fn), k) }
+
+// GetSeeded is Get with the FnSeed(k.Fn) prefix precomputed.
+func (t *Table) GetSeeded(seed uint64, k Key) (uint64, bool) {
+	s := &t.shards[k.hashFrom(seed)&t.mask]
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		t.misses.Add(1)
+		return 0, false
+	}
+	s.moveToFront(e)
+	v := e.val
+	s.mu.Unlock()
+	t.hits.Add(1)
+	return v, true
+}
+
+// Put stores the result bits for k, evicting the shard's LRU entry when
+// the shard is full. Storing an existing key refreshes its value and
+// recency (pure results are deterministic, so the value is identical —
+// concurrent double-computes of one key are benign).
+func (t *Table) Put(k Key, v uint64) { t.PutSeeded(FnSeed(k.Fn), k, v) }
+
+// PutSeeded is Put with the FnSeed(k.Fn) prefix precomputed.
+func (t *Table) PutSeeded(seed uint64, k Key, v uint64) {
+	s := &t.shards[k.hashFrom(seed)&t.mask]
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		e.val = v
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= s.max {
+		if lru := s.tail; lru != nil {
+			s.unlink(lru)
+			delete(s.m, lru.key)
+			t.evicted.Add(1)
+		}
+	}
+	e := &entry{key: k, val: v}
+	s.m[k] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+}
+
+// Bypass records a pure call that executed without consulting the table
+// (not memoizable). It only feeds the stats.
+func (t *Table) Bypass() { t.bypassed.Add(1) }
+
+// Len returns the current number of cached results.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Hits:     t.hits.Load(),
+		Misses:   t.misses.Load(),
+		Bypassed: t.bypassed.Load(),
+		Evicted:  t.evicted.Load(),
+		Entries:  t.Len(),
+	}
+}
+
+// Reset drops every entry and zeroes the counters.
+func (t *Table) Reset() {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.m = make(map[Key]*entry)
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+	t.hits.Store(0)
+	t.misses.Store(0)
+	t.bypassed.Store(0)
+	t.evicted.Store(0)
+}
+
+// ----------------------------------------------------------------------------
+// intrusive LRU list (shard mutex held)
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

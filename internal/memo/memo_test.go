@@ -1,0 +1,180 @@
+package memo
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func key(fn string, args ...uint64) Key {
+	k := Key{Fn: fn, N: uint8(len(args))}
+	copy(k.Args[:], args)
+	return k
+}
+
+func TestGetPut(t *testing.T) {
+	tab := New(64, 4)
+	k := key("f", 1, 2)
+	if _, ok := tab.Get(k); ok {
+		t.Fatal("empty table reported a hit")
+	}
+	tab.Put(k, 42)
+	v, ok := tab.Get(k)
+	if !ok || v != 42 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	s := tab.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestKeyDistinguishesArity(t *testing.T) {
+	tab := New(64, 1)
+	tab.Put(key("f", 0), 1)
+	if _, ok := tab.Get(key("f")); ok {
+		t.Fatal("f() and f(0) must have distinct keys")
+	}
+	if _, ok := tab.Get(key("g", 0)); ok {
+		t.Fatal("f(0) and g(0) must have distinct keys")
+	}
+}
+
+func TestFloatBitsRoundTrip(t *testing.T) {
+	tab := New(64, 2)
+	in := math.Float64bits(3.14159)
+	tab.Put(key("sinish", math.Float64bits(1.5)), in)
+	v, ok := tab.Get(key("sinish", math.Float64bits(1.5)))
+	if !ok || math.Float64frombits(v) != 3.14159 {
+		t.Fatalf("float round trip: %v %v", v, ok)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tab := New(8, 1) // single shard, cap 8
+	for i := 0; i < 20; i++ {
+		tab.Put(key("f", uint64(i)), uint64(i))
+	}
+	if n := tab.Len(); n != 8 {
+		t.Fatalf("table holds %d entries, want 8", n)
+	}
+	if s := tab.Stats(); s.Evicted != 12 {
+		t.Fatalf("evicted = %d, want 12", s.Evicted)
+	}
+	// The most recent keys survive.
+	for i := 12; i < 20; i++ {
+		if _, ok := tab.Get(key("f", uint64(i))); !ok {
+			t.Fatalf("recent key %d was evicted", i)
+		}
+	}
+}
+
+func TestLRUPromotionOnHit(t *testing.T) {
+	tab := New(2, 1)
+	tab.Put(key("f", 1), 1)
+	tab.Put(key("f", 2), 2)
+	// Touch key 1 so key 2 becomes the LRU victim.
+	if _, ok := tab.Get(key("f", 1)); !ok {
+		t.Fatal("key 1 missing")
+	}
+	tab.Put(key("f", 3), 3)
+	if _, ok := tab.Get(key("f", 1)); !ok {
+		t.Fatal("hit-promoted key was evicted")
+	}
+	if _, ok := tab.Get(key("f", 2)); ok {
+		t.Fatal("LRU key survived eviction")
+	}
+}
+
+func TestShardRoundingAndDefaults(t *testing.T) {
+	tab := New(0, 0)
+	if len(tab.shards) != DefaultShards {
+		t.Fatalf("default shards = %d", len(tab.shards))
+	}
+	tab = New(100, 3) // rounds to 4 shards
+	if len(tab.shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(tab.shards))
+	}
+	if tab.shards[0].max != 25 {
+		t.Fatalf("per-shard cap = %d, want 25", tab.shards[0].max)
+	}
+}
+
+func TestBypassAndHitRate(t *testing.T) {
+	tab := New(16, 1)
+	tab.Put(key("f", 1), 1)
+	tab.Get(key("f", 1)) // hit
+	tab.Get(key("f", 2)) // miss
+	tab.Bypass()
+	s := tab.Stats()
+	if s.Bypassed != 1 {
+		t.Fatalf("bypassed = %d", s.Bypassed)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", s.HitRate())
+	}
+}
+
+// TestSeededEquivalence: the precomputed-seed fast path must select
+// the same shard and entry as the plain path.
+func TestSeededEquivalence(t *testing.T) {
+	tab := New(64, 8)
+	k := key("retrieve", 3, math.Float64bits(1.5))
+	seed := FnSeed("retrieve")
+	tab.PutSeeded(seed, k, 99)
+	if v, ok := tab.Get(k); !ok || v != 99 {
+		t.Fatalf("plain Get after seeded Put: %d, %v", v, ok)
+	}
+	tab.Put(key("retrieve", 4), 7)
+	if v, ok := tab.GetSeeded(seed, key("retrieve", 4)); !ok || v != 7 {
+		t.Fatalf("seeded Get after plain Put: %d, %v", v, ok)
+	}
+	if k.hash() != k.hashFrom(seed) {
+		t.Fatal("hash and hashFrom(FnSeed) disagree")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tab := New(16, 2)
+	tab.Put(key("f", 1), 1)
+	tab.Get(key("f", 1))
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatal("reset left entries")
+	}
+	if s := tab.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("reset left counters: %+v", s)
+	}
+}
+
+// TestConcurrentAccess hammers one table from many goroutines with
+// overlapping key sets; run under -race this is the lock-striping
+// correctness check.
+func TestConcurrentAccess(t *testing.T) {
+	tab := New(256, 8)
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := key(fmt.Sprintf("f%d", i%7), uint64(i%29))
+				if v, ok := tab.Get(k); ok {
+					if v != uint64(i%29)*3 {
+						t.Errorf("worker %d: corrupt value %d for %v", w, v, k)
+						return
+					}
+				} else {
+					tab.Put(k, uint64(i%29)*3)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := tab.Stats()
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("degenerate stats: %+v", s)
+	}
+}

@@ -1,0 +1,102 @@
+package purity
+
+import (
+	"purec/internal/ast"
+	"purec/internal/memo"
+	"purec/internal/sema"
+	"purec/internal/types"
+)
+
+// Memoizable computes which pure functions may have their calls served
+// from a memoization table keyed by (function, scalar argument values).
+// Purity (verified by Check and carried on the pure markers) makes a
+// function side-effect free, but memoizing additionally requires the
+// result to be a function of the argument values alone:
+//
+//   - every parameter is scalar (int or float) — pointer arguments make
+//     the result depend on pointed-to memory, which the key cannot
+//     capture — and there are at most memo.MaxArgs of them;
+//   - the return type is scalar, so the result fits a table cell;
+//   - the body reads no globals: pure functions may read global state,
+//     but a caller can mutate it between calls, so a cached result
+//     would go stale;
+//   - the body calls nothing but side-effect-free math builtins and
+//     other global-free pure functions. malloc/free are excluded even
+//     though the paper's hashset admits them: serving a cached result
+//     skips the allocation, which would make per-Process heap
+//     accounting depend on cache state.
+//
+// Helper callees only need the body conditions (a pointer-taking pure
+// helper operating on caller-local data is still deterministic), so the
+// analysis runs in two steps: a fixpoint for "global-free" bodies, then
+// the signature filter. Like the compiler's inliner, it trusts the pure
+// markers in info — run it on a checked model whose purity was already
+// verified.
+func Memoizable(info *sema.Info) map[string]bool {
+	// globalFree starts as every pure user function and shrinks until no
+	// member reads a global or calls outside the set.
+	globalFree := map[string]*ast.FuncDecl{}
+	for name, sig := range info.Funcs {
+		if sig.Pure && !sig.Builtin && sig.Decl != nil && sig.Decl.Body != nil {
+			globalFree[name] = sig.Decl
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, fd := range globalFree {
+			if !bodyGlobalFree(info, fd, globalFree) {
+				delete(globalFree, name)
+				changed = true
+			}
+		}
+	}
+
+	out := map[string]bool{}
+	for name := range globalFree {
+		if scalarSignature(info.Funcs[name]) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// bodyGlobalFree reports whether fd's body references no globals and
+// calls only math builtins or functions currently in the safe set.
+func bodyGlobalFree(info *sema.Info, fd *ast.FuncDecl, safe map[string]*ast.FuncDecl) bool {
+	ok := true
+	ast.Walk(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if sym := info.Ref[x]; sym != nil && sym.Kind == sema.SymGlobal {
+				ok = false
+			}
+		case *ast.CallExpr:
+			name := x.Fun.Name
+			if _, isSafe := safe[name]; isSafe {
+				break
+			}
+			if name == "malloc" || name == "free" || !sema.IsPureBuiltin(name) {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// scalarSignature reports whether sig is all-scalar and small enough
+// for a memo key.
+func scalarSignature(sig *sema.Sig) bool {
+	if sig == nil || len(sig.Params) > memo.MaxArgs {
+		return false
+	}
+	if sig.Ret == nil || (sig.Ret.Kind != types.Int && sig.Ret.Kind != types.Float) {
+		return false
+	}
+	for _, p := range sig.Params {
+		if p == nil || (p.Kind != types.Int && p.Kind != types.Float) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+package purity
+
+import (
+	"testing"
+
+	"purec/internal/parser"
+	"purec/internal/sema"
+)
+
+// memoRun parses+checks src, verifies purity, and returns the
+// memoizable set.
+func memoRun(t *testing.T, src string) map[string]bool {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	if err := Check(info).Err(); err != nil {
+		t.Fatalf("purity: %v", err)
+	}
+	return Memoizable(info)
+}
+
+func TestMemoizableScalarPure(t *testing.T) {
+	m := memoRun(t, `
+pure int square(int x) { return x * x; }
+pure float mix(float a, float b) { return a * 0.5f + b * 0.5f; }
+int main(void) { return square(3) + (int)mix(1.0f, 2.0f); }
+`)
+	if !m["square"] || !m["mix"] {
+		t.Fatalf("scalar pure functions not memoizable: %v", m)
+	}
+}
+
+func TestMemoizableRejectsPointerParams(t *testing.T) {
+	m := memoRun(t, `
+pure float sum(pure float* v, int n) {
+    float s = 0.0f;
+    for (int i = 0; i < n; i++) s += v[i];
+    return s;
+}
+int main(void) { float a[4]; return (int)sum((pure float*)a, 4); }
+`)
+	if m["sum"] {
+		t.Fatal("pointer-taking function must not be memoizable")
+	}
+}
+
+func TestMemoizableRejectsGlobalReaders(t *testing.T) {
+	m := memoRun(t, `
+int scale;
+pure int f(int x) { return x * scale; }
+pure int g(int x) { return f(x) + 1; }
+pure int h(int x) { return x + 1; }
+int main(void) { scale = 2; return f(1) + g(1) + h(1); }
+`)
+	if m["f"] {
+		t.Fatal("global-reading function must not be memoizable")
+	}
+	if m["g"] {
+		t.Fatal("transitive global read through f must disqualify g")
+	}
+	if !m["h"] {
+		t.Fatal("independent scalar function must stay memoizable")
+	}
+}
+
+func TestMemoizableRejectsMallocFree(t *testing.T) {
+	m := memoRun(t, `
+pure int f(int x) {
+    int* p = (int*)malloc(4 * sizeof(int));
+    p[0] = x;
+    int r = p[0];
+    free(p);
+    return r;
+}
+int main(void) { return f(3); }
+`)
+	if m["f"] {
+		t.Fatal("malloc/free bodies must not be memoizable (heap accounting)")
+	}
+}
+
+func TestMemoizableAllowsMathBuiltinsAndHelpers(t *testing.T) {
+	m := memoRun(t, `
+pure float helper(float x) { return sqrt(x) + sin(x); }
+pure float f(float x) { return helper(x) * 2.0f; }
+int main(void) { return (int)f(2.0f); }
+`)
+	if !m["helper"] || !m["f"] {
+		t.Fatalf("math-only functions must be memoizable: %v", m)
+	}
+}
+
+func TestMemoizableRecursion(t *testing.T) {
+	m := memoRun(t, `
+pure int fib(int n) {
+    if (n < 2)
+        return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main(void) { return fib(10); }
+`)
+	if !m["fib"] {
+		t.Fatal("self-recursive scalar pure function must be memoizable")
+	}
+}
+
+func TestMemoizableRejectsTooManyArgs(t *testing.T) {
+	m := memoRun(t, `
+pure int f(int a, int b, int c, int d, int e) { return a + b + c + d + e; }
+int main(void) { return f(1, 2, 3, 4, 5); }
+`)
+	if m["f"] {
+		t.Fatal("more than memo.MaxArgs parameters must bypass memoization")
+	}
+}
+
+func TestMemoizableAllowsLocalArrayHelper(t *testing.T) {
+	// A pointer-taking helper on caller-local data keeps the caller
+	// memoizable (the helper itself is not).
+	m := memoRun(t, `
+pure float dot(pure float* a, pure float* b, int n) {
+    float s = 0.0f;
+    for (int i = 0; i < n; i++) s += a[i] * b[i];
+    return s;
+}
+pure float f(float x) {
+    float v[4];
+    for (int i = 0; i < 4; i++) v[i] = x + (float)i;
+    return dot((pure float*)v, (pure float*)v, 4);
+}
+int main(void) { return (int)f(1.0f); }
+`)
+	if m["dot"] {
+		t.Fatal("pointer-taking helper must not be memoizable itself")
+	}
+	if !m["f"] {
+		t.Fatal("caller with scalar signature and local data must be memoizable")
+	}
+}

@@ -35,6 +35,13 @@
 // distinct input — the paper's toolchain cost is paid per program, not
 // per execution.
 //
+// Building with Config.Memoize extends the same idea to run time:
+// calls of memoizable pure functions (scalar signature, global-free
+// body — verified purity makes their results referentially
+// transparent) are served from a sharded, concurrency-safe memo table
+// shared by every Process of the Program, so repeated-argument
+// workloads pay one computation per distinct argument tuple.
+//
 // See examples/ for complete programs and internal/bench for the harness
 // that regenerates the paper's figures.
 package purec
@@ -42,6 +49,7 @@ package purec
 import (
 	"purec/internal/comp"
 	"purec/internal/core"
+	"purec/internal/memo"
 	"purec/internal/parser"
 	"purec/internal/preproc"
 	"purec/internal/purity"
@@ -75,6 +83,25 @@ type Machine = comp.Machine
 
 // ProgramCache is a content-addressed cache of compiled Programs.
 type ProgramCache = core.ProgramCache
+
+// MemoTable is the sharded, concurrency-safe memoization table serving
+// pure-call results when building with Config.Memoize; see
+// ProcOptions.Memo and Program.Memo.
+type MemoTable = memo.Table
+
+// MemoStats is a snapshot of memo table counters
+// (hits/misses/bypassed/evicted/entries).
+type MemoStats = memo.Stats
+
+// NewMemoTable creates a standalone memo table (capacity and shard
+// count ≤ 0 select the defaults); set it as ProcOptions.Memo to share
+// pure-call results across Programs built from the same source. Every
+// participating Program must be built with Config.Memoize — call sites
+// of a non-memoizing Program carry no memo wrappers, so the table
+// would never be consulted there.
+func NewMemoTable(capacity, shards int) *MemoTable {
+	return memo.New(capacity, shards)
+}
 
 // TransformOptions configures the polyhedral stage (tiling, skewing,
 // schedule clause).
