@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	purebench [-fig all|2|3|...|11|m1|m2] [-cores 1,2,4,8,16,32,64] [-reps 3]
+//	purebench [-fig all|2|3|...|11|m1|m2|r1] [-cores 1,2,4,8,16,32,64] [-reps 3]
 //	          [-matmul-n 160] [-heat-n 160] [-heat-steps 30]
 //	          [-sat-pix 2000] [-sat-bands 12] [-sat-iters 48]
-//	          [-lama-rows 12000] [-lama-nnz 16] [-memo-classes 24] [-quick]
+//	          [-lama-rows 12000] [-lama-nnz 16] [-memo-classes 24]
+//	          [-reduce-n 400000] [-quick]
 //
 // Figures m1/m2 are the pure-call memoization scenario (quantized
-// satellite retrieval with and without the shared memo table); they
-// extend the paper's evaluation.
+// satellite retrieval with and without the shared memo table); figure
+// r1 is the parallel scalar-reduction scenario (quickstart sum and
+// extracted dot kernels, serial vs reduction builds). Both extend the
+// paper's evaluation.
 //
 // Each figure prints as an aligned table: one row per program variant,
 // one column per simulated core count.
@@ -41,6 +44,7 @@ func main() {
 	lamaRows := flag.Int("lama-rows", 0, "ELL matrix rows")
 	lamaNNZ := flag.Int("lama-nnz", 0, "ELL non-zeros per row")
 	memoClasses := flag.Int("memo-classes", 0, "distinct argument classes of the memoization scenario")
+	reduceN := flag.Int("reduce-n", 0, "iteration/vector length of the reduction scenario")
 	flag.Parse()
 
 	p := bench.Default()
@@ -70,13 +74,14 @@ func main() {
 	setIf(&p.LamaRows, *lamaRows)
 	setIf(&p.LamaNNZ, *lamaNNZ)
 	setIf(&p.MemoClasses, *memoClasses)
+	setIf(&p.ReduceN, *reduceN)
 
 	want := map[string]bool{}
 	if *fig == "all" {
 		for i := 2; i <= 11; i++ {
 			want[strconv.Itoa(i)] = true
 		}
-		want["m1"], want["m2"] = true, true
+		want["m1"], want["m2"], want["r1"] = true, true, true
 	} else {
 		for _, part := range strings.Split(*fig, ",") {
 			want[strings.ToLower(strings.TrimSpace(part))] = true
@@ -148,6 +153,13 @@ func main() {
 		if want["m2"] {
 			fmt.Println(d.FigMemoSpeedup().Render())
 		}
+	}
+	if want["r1"] {
+		d, err := bench.CollectReduction(p)
+		if err != nil {
+			fatalf("reduction: %v", err)
+		}
+		fmt.Println(d.FigR1().Render())
 	}
 }
 

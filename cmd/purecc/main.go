@@ -22,6 +22,10 @@
 //	-D NAME=VALUE         define an object-like macro (repeatable)
 //	-emit stage           print a stage instead of running:
 //	                      stripped|expanded|marked|transformed|final|report|pure
+//	                      (report lists each nest's parallel level,
+//	                      reduction clauses, and — for serial nests —
+//	                      the reason, e.g. "serialized by scalar write
+//	                      to s")
 //	-time                 print the wall time of main()
 //	-runs N               execute main N times, each in a fresh Process
 //	                      of the one compiled Program (default 1)

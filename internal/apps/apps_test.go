@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 
@@ -373,5 +374,62 @@ func TestMatmulConcurrentProcesses(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// --- Reduction kernels (Fig. R1) ---
+
+func TestReduceSumParallelizesAndMatchesRef(t *testing.T) {
+	n := 5000
+	res := build(t, ReduceSumSrc, ReduceDefines(n), core.Config{Parallelize: true, TeamSize: 4})
+	if !strings.Contains(res.Stages.Transformed, "reduction(+:s)") {
+		t.Fatalf("sum kernel not recognized as reduction:\n%s", res.Stages.Transformed)
+	}
+	got, err := res.Machine.GlobalInt("result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ReduceSumRef(n); got != want {
+		t.Fatalf("parallel sum %d, reference %d", got, want)
+	}
+}
+
+func TestReduceSumBitIdenticalAcrossTeamSizes(t *testing.T) {
+	// Integer reductions are exact: every team size and both modes give
+	// the reference value.
+	n := 3000
+	want := ReduceSumRef(n)
+	for _, cores := range []int{1, 2, 8} {
+		res := build(t, ReduceSumSrc, ReduceDefines(n), core.Config{Parallelize: true, TeamSize: cores})
+		got, err := res.Machine.GlobalInt("result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%d cores: sum %d, reference %d", cores, got, want)
+		}
+	}
+}
+
+func TestReduceDotParallelizesAndMatchesSerial(t *testing.T) {
+	n := 4000
+	par := build(t, ReduceDotSrc, ReduceDefines(n), core.Config{Parallelize: true, TeamSize: 4})
+	if !strings.Contains(par.Stages.Transformed, "reduction(+:res)") {
+		t.Fatalf("dot kernel not recognized as reduction:\n%s", par.Stages.Transformed)
+	}
+	pv, err := par.Machine.GlobalFloat("result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := build(t, ReduceDotSrc, ReduceDefines(n), core.Config{})
+	sv, err := seq.Machine.GlobalFloat("result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Float reduction: parallel combine order differs from the serial
+	// chain, so compare within float tolerance (and exercise the
+	// determinism contract separately at the comp level).
+	if d := math.Abs(pv-sv) / math.Max(math.Abs(sv), 1); d > tol {
+		t.Fatalf("parallel dot %v vs serial %v (rel diff %g)", pv, sv, d)
 	}
 }

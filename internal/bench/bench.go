@@ -37,8 +37,11 @@ type Params struct {
 	// scenario (quantized satellite retrieval): SatPix pixels collapse
 	// onto MemoClasses pure-call keys.
 	MemoClasses int
-	Cores       []int
-	Reps        int
+	// ReduceN is the iteration/vector length of the reduction scenario
+	// (Fig. R1: quickstart sum and extracted dot kernels).
+	ReduceN int
+	Cores   []int
+	Reps    int
 }
 
 // Default returns laptop-scaled parameters preserving the paper's
@@ -56,6 +59,7 @@ func Default() Params {
 		LamaRows:    12000,
 		LamaNNZ:     16,
 		MemoClasses: 24,
+		ReduceN:     400000,
 		Cores:       []int{1, 2, 4, 8, 16, 32, 64},
 		Reps:        3,
 	}
@@ -73,6 +77,7 @@ func Quick() Params {
 		LamaRows:    200,
 		LamaNNZ:     6,
 		MemoClasses: 8,
+		ReduceN:     20000,
 		Cores:       []int{1, 2, 4},
 		Reps:        1,
 	}

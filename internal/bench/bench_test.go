@@ -134,3 +134,28 @@ func TestSpeedupDerivation(t *testing.T) {
 		t.Fatalf("speedup: %+v", sp.Series[0])
 	}
 }
+
+func TestCollectReductionQuick(t *testing.T) {
+	d, err := CollectReduction(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SumSeq <= 0 || d.DotSeq <= 0 {
+		t.Fatal("missing sequential baselines")
+	}
+	f := d.FigR1()
+	if f.Kind != "speedup" || len(f.Series) != 2 {
+		t.Fatalf("FigR1: %+v", f)
+	}
+	for _, s := range f.Series {
+		for _, c := range f.Cores {
+			if s.Times[c] <= 0 {
+				t.Fatalf("series %s cores %d: no speedup value", s.Name, c)
+			}
+		}
+	}
+	out := f.Render()
+	if !strings.Contains(out, "Fig R1") || !strings.Contains(out, "dot reduction (gcc)") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

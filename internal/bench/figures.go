@@ -329,6 +329,81 @@ func (d *MemoData) FigMemoSpeedup() *Figure {
 	return d.FigMemo().Speedup("Fig M2", "memoized AOD retrieval, speedup vs sequential GCC")
 }
 
+// ReduceData carries the reduction scenario (Fig. R1): the README
+// quickstart sum and the extracted dot kernel, each measured as a
+// sequential build and as a parallel-reduction build.
+type ReduceData struct {
+	P      Params
+	SumSeq float64
+	DotSeq float64
+	Sum    Series
+	Dot    Series
+}
+
+// CollectReduction measures serial vs parallel-reduction builds of the
+// two kernels. The kernels are chosen so the new reduction runtime is
+// the only parallelism: the quickstart sum reduces at the top level of
+// run(), and the dot kernel calls the extracted pure dot exactly once.
+func CollectReduction(p Params) (*ReduceData, error) {
+	d := &ReduceData{P: p}
+	defs := apps.ReduceDefines(p.ReduceN)
+	var err error
+	d.SumSeq, err = measureSeq(variant{name: "sum seq gcc", src: apps.ReduceSumSrc, defs: defs,
+		entry: "run",
+		cfg:   core.Config{Backend: comp.BackendGCC}}, p.Reps)
+	if err != nil {
+		return nil, err
+	}
+	d.DotSeq, err = measureSeq(variant{name: "dot seq gcc", src: apps.ReduceDotSrc, defs: defs,
+		init: "initvec", entry: "run",
+		cfg: core.Config{Backend: comp.BackendGCC}}, p.Reps)
+	if err != nil {
+		return nil, err
+	}
+	d.Sum, err = measure(variant{name: "sum reduction (gcc)", src: apps.ReduceSumSrc, defs: defs,
+		entry: "run",
+		cfg:   core.Config{Parallelize: true, Backend: comp.BackendGCC}}, p.Cores, p.Reps)
+	if err != nil {
+		return nil, err
+	}
+	d.Dot, err = measure(variant{name: "dot reduction (gcc)", src: apps.ReduceDotSrc, defs: defs,
+		init: "initvec", entry: "run",
+		cfg: core.Config{Parallelize: true, Backend: comp.BackendGCC}}, p.Cores, p.Reps)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// FigR1 renders the serial-vs-reduction speedups: each kernel's curve
+// is normalized to its own sequential baseline.
+func (d *ReduceData) FigR1() *Figure {
+	f := &Figure{
+		ID:    "Fig R1",
+		Title: fmt.Sprintf("parallel scalar reductions, speedup vs sequential GCC (N=%d)", d.P.ReduceN),
+		Kind:  "speedup", Cores: sortedCores(d.P.Cores),
+		Notes: []string{
+			fmt.Sprintf("sequential baselines: sum %.4f s, dot %.4f s", d.SumSeq, d.DotSeq),
+			"the quickstart loop (s += square(i)) compiles to #pragma omp parallel for reduction(+:s)",
+			"integer sums are bit-identical at every team size; float dot follows the fixed-combine-order determinism contract",
+			"speedup above the core count reflects the execution model: parallel chunks iterate natively while the sequential baseline pays the interpreted loop head per iteration (same effect as the other figures' 1-core points)",
+		},
+	}
+	for _, pair := range []struct {
+		s    Series
+		base float64
+	}{{d.Sum, d.SumSeq}, {d.Dot, d.DotSeq}} {
+		ns := Series{Name: pair.s.Name, Times: map[int]float64{}}
+		for c, t := range pair.s.Times {
+			if t > 0 && pair.base > 0 {
+				ns.Times[c] = pair.base / t
+			}
+		}
+		f.Series = append(f.Series, ns)
+	}
+	return f
+}
+
 // LamaData carries the ELL SpMV measurements (Figs. 10 and 11).
 type LamaData struct {
 	P      Params

@@ -1,0 +1,497 @@
+package comp
+
+import (
+	"fmt"
+	"testing"
+
+	"purec/internal/interp"
+	"purec/internal/parser"
+	"purec/internal/rt"
+	"purec/internal/sema"
+)
+
+// reduceTeams is the team matrix reduction loops are exercised on: real
+// and simulated, 1 worker through oversubscribed.
+func reduceTeams() []*rt.Team {
+	var out []*rt.Team
+	for _, n := range []int{1, 2, 3, 8} {
+		out = append(out, rt.NewTeam(n), rt.NewSimTeam(n))
+	}
+	return out
+}
+
+func runWithTeam(t *testing.T, src string, team *rt.Team) int64 {
+	t.Helper()
+	m := compile(t, src, Options{Team: team})
+	got, err := m.RunMain()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return got
+}
+
+func TestReductionPragmaEveryOp(t *testing.T) {
+	cases := []struct {
+		op   string
+		init string
+		want int64
+	}{
+		// s starts nonzero so the combine must fold the initial value in.
+		{"+", "5", 5 + 4950},          // sum 0..99
+		{"*", "2", 2 * 1 * 2 * 3 * 4}, // product of i+1 over 0..3
+		{"&", "255", 255 & 254 & 253}, // and over 254,253
+		{"|", "1", 1 | 8 | 9},         // or
+		{"^", "7", 7 ^ 10 ^ 11 ^ 12},  // xor
+	}
+	bounds := map[string]int{"+": 100, "*": 4, "&": 2, "|": 2, "^": 3}
+	for _, c := range cases {
+		var src string
+		switch c.op {
+		case "+":
+			src = fmt.Sprintf(`
+int main(void) {
+    int s = %s;
+#pragma omp parallel for reduction(+:s)
+    for (int i = 0; i < %d; i++)
+        s += i;
+    return s;
+}`, c.init, bounds[c.op])
+		case "*":
+			src = fmt.Sprintf(`
+int main(void) {
+    int s = %s;
+#pragma omp parallel for reduction(*:s)
+    for (int i = 0; i < %d; i++)
+        s *= i + 1;
+    return s;
+}`, c.init, bounds[c.op])
+		case "&":
+			src = fmt.Sprintf(`
+int main(void) {
+    int s = %s;
+#pragma omp parallel for reduction(&:s)
+    for (int i = 0; i < %d; i++)
+        s &= 254 - i;
+    return s;
+}`, c.init, bounds[c.op])
+		case "|":
+			src = fmt.Sprintf(`
+int main(void) {
+    int s = %s;
+#pragma omp parallel for reduction(|:s)
+    for (int i = 0; i < %d; i++)
+        s |= 8 + i;
+    return s;
+}`, c.init, bounds[c.op])
+		case "^":
+			src = fmt.Sprintf(`
+int main(void) {
+    int s = %s;
+#pragma omp parallel for reduction(^:s)
+    for (int i = 0; i < %d; i++)
+        s ^= 10 + i;
+    return s;
+}`, c.init, bounds[c.op])
+		}
+		for _, team := range reduceTeams() {
+			got := runWithTeam(t, src, team)
+			if got != c.want {
+				t.Errorf("op %s on %d workers (sim=%v): got %d want %d",
+					c.op, team.Size(), team.Simulated(), got, c.want)
+			}
+		}
+	}
+}
+
+func TestReductionPragmaEverySchedule(t *testing.T) {
+	// sum 1..10000 = 50005000 under every schedule clause, on real and
+	// simulated teams.
+	for _, sched := range []string{"", "static", "static,7", "dynamic", "dynamic,13", "guided", "guided,4"} {
+		clause := ""
+		if sched != "" {
+			clause = fmt.Sprintf(" schedule(%s)", sched)
+		}
+		src := fmt.Sprintf(`
+int main(void) {
+    int s = 0;
+#pragma omp parallel for reduction(+:s)%s
+    for (int i = 1; i <= 10000; i++)
+        s += i;
+    return s == 50005000;
+}`, clause)
+		for _, team := range reduceTeams() {
+			if got := runWithTeam(t, src, team); got != 1 {
+				t.Errorf("schedule %q on %d workers (sim=%v): wrong sum", sched, team.Size(), team.Simulated())
+			}
+		}
+	}
+}
+
+func TestReductionPragmaMultipleAccumulators(t *testing.T) {
+	src := `
+int main(void) {
+    int s = 0;
+    int p = 1;
+#pragma omp parallel for reduction(+:s) reduction(*:p)
+    for (int i = 1; i <= 6; i++) {
+        s += i;
+        p *= i;
+    }
+    return s * 1000 + p;   /* 21 and 720 */
+}`
+	for _, team := range reduceTeams() {
+		if got := runWithTeam(t, src, team); got != 21720 {
+			t.Errorf("%d workers (sim=%v): got %d want 21720", team.Size(), team.Simulated(), got)
+		}
+	}
+}
+
+func TestReductionPragmaFloatDeterministicAtFixedSimTeam(t *testing.T) {
+	// Float reductions: reproducible run-to-run at a fixed simulated
+	// team size (fixed chunk order + worker-ordered combine), and exact
+	// against the interp oracle when the initial value is the identity
+	// at 1 worker.
+	src := `
+float out;
+int main(void) {
+    float s = 0.0f;
+#pragma omp parallel for reduction(+:s) schedule(dynamic,3)
+    for (int i = 0; i < 5000; i++)
+        s += 1.0f / (float)(i + 1);
+    out = s;
+    return 0;
+}`
+	read := func(team *rt.Team) float64 {
+		m := compile(t, src, Options{Team: team})
+		if _, err := m.RunMain(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		v, err := m.GlobalFloat("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	for _, n := range []int{2, 4, 8} {
+		first := read(rt.NewSimTeam(n))
+		for rep := 0; rep < 5; rep++ {
+			if got := read(rt.NewSimTeam(n)); got != first {
+				t.Fatalf("sim %d workers: run %d gave %x, first %x", n, rep, got, first)
+			}
+		}
+	}
+}
+
+func TestReductionGlobalAccumulatorFallsBackSerial(t *testing.T) {
+	// A reduction clause naming a global cannot be privatized through
+	// the frame clone; the compiled loop must fall back to serial
+	// execution and still produce the exact result.
+	src := `
+int g;
+int main(void) {
+    g = 3;
+#pragma omp parallel for reduction(+:g)
+    for (int i = 0; i < 100; i++)
+        g += i;
+    return g;
+}`
+	for _, team := range reduceTeams() {
+		if got := runWithTeam(t, src, team); got != 3+4950 {
+			t.Errorf("%d workers (sim=%v): got %d want %d", team.Size(), team.Simulated(), got, 3+4950)
+		}
+	}
+}
+
+func TestReductionMatchesInterpOracle(t *testing.T) {
+	// Integer reductions are bit-identical to the sequential interp
+	// oracle on every backend and team size.
+	src := `
+pure int square(int x) { return x * x; }
+int main(void) {
+    int s = 17;
+#pragma omp parallel for reduction(+:s) schedule(dynamic,5)
+    for (int i = 0; i < 200; i++)
+        s += square(i);
+    return s;
+}`
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := interp.New(info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := in.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []Backend{BackendGCC, BackendICC} {
+		for _, team := range reduceTeams() {
+			m := compile(t, src, Options{Backend: backend, Team: team})
+			got, err := m.RunMain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%v on %d workers (sim=%v): got %d, oracle %d",
+					backend, team.Size(), team.Simulated(), got, want)
+			}
+		}
+	}
+}
+
+func TestSimOneWorkerMachineAccountsRegions(t *testing.T) {
+	// Regression through the whole execution path: a 1-worker simulated
+	// team must accumulate region time for pragma-annotated loops (both
+	// plain parallel-for and reductions).
+	srcs := map[string]string{
+		"plain": `
+int a[256];
+int main(void) {
+#pragma omp parallel for
+    for (int i = 0; i < 256; i++)
+        a[i] = i * i;
+    return 0;
+}`,
+		"reduction": `
+int main(void) {
+    int s = 0;
+#pragma omp parallel for reduction(+:s)
+    for (int i = 0; i < 256; i++)
+        s += i * i;
+    return 0;
+}`,
+	}
+	for name, src := range srcs {
+		team := rt.NewSimTeam(1)
+		m := compile(t, src, Options{Team: team})
+		if _, err := m.RunMain(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		real, virt := team.TakeSim()
+		if real <= 0 || virt <= 0 {
+			t.Errorf("%s: 1-worker sim team reported zero region time (real=%v virt=%v)", name, real, virt)
+		}
+	}
+}
+
+func TestReductionInterpRejectsMalformedPragma(t *testing.T) {
+	// The oracle validates reduction clauses instead of silently
+	// ignoring them.
+	src := `
+int main(void) {
+    int s = 0;
+#pragma omp parallel for reduction(+:nosuch)
+    for (int i = 0; i < 10; i++)
+        s += i;
+    return s;
+}`
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := interp.New(info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RunMain(); err == nil {
+		t.Fatal("interp must reject a reduction clause with no matching accumulator")
+	}
+}
+
+func TestReductionUnsupportedOperatorRunsSerial(t *testing.T) {
+	// reduction(-:s) is valid OpenMP but outside purec's parallelizable
+	// operator set: the loop must run serially and still produce the
+	// exact result (never silently drop the accumulator updates).
+	src := `
+int main(void) {
+    int s = 1000;
+#pragma omp parallel for reduction(-:s)
+    for (int i = 1; i <= 10; i++)
+        s -= i;
+    return s;
+}`
+	for _, team := range reduceTeams() {
+		if got := runWithTeam(t, src, team); got != 1000-55 {
+			t.Errorf("%d workers (sim=%v): got %d want %d", team.Size(), team.Simulated(), got, 1000-55)
+		}
+	}
+}
+
+func TestReductionNonCanonicalLoopIsCompileError(t *testing.T) {
+	// parallelFor diagnoses non-canonical annotated loops; adding a
+	// reduction clause must not suppress that diagnostic.
+	src := `
+int main(void) {
+    int s = 0;
+    int i;
+#pragma omp parallel for reduction(+:s)
+    for (i = 0; i < 10; i += 2)
+        s += i;
+    return s;
+}`
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(info, Options{}); err == nil {
+		t.Fatal("non-canonical reduction loop must fail compilation")
+	}
+}
+
+func TestReductionMissingAccumulatorIsCompileError(t *testing.T) {
+	// A clause naming no matching update is a malformed pragma: both the
+	// compiler and the oracle must reject it (not one of them).
+	src := `
+int main(void) {
+    int s = 0;
+#pragma omp parallel for reduction(+:nosuch)
+    for (int i = 0; i < 10; i++)
+        s += i;
+    return s;
+}`
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(info, Options{}); err == nil {
+		t.Fatal("reduction clause without a matching accumulator must fail compilation")
+	}
+}
+
+func TestNonParallelForPragmaWithReductionIgnoredByOracle(t *testing.T) {
+	// The compiler ignores pragmas that are not omp parallel for; the
+	// oracle must not validate (and reject) their reduction clauses.
+	src := `
+int main(void) {
+    int s = 0;
+#pragma omp simd reduction(+:s)
+    for (int i = 0; i < 10; i++)
+        s = s + i;
+    return s;
+}`
+	if got := runBoth(t, src); got != 45 {
+		t.Fatalf("got %d want 45", got)
+	}
+}
+
+func TestReductionShadowedAccumulatorBindsEnclosingScope(t *testing.T) {
+	// An inner-scope `int s` shadowing the accumulator is automatically
+	// private; the clause must bind the enclosing s, and its updates
+	// must survive at every team size.
+	src := `
+int main(void) {
+    int s = 0;
+#pragma omp parallel for reduction(+:s)
+    for (int i = 0; i < 100; i++) {
+        if (i > 1000) {
+            int s = 0;
+            s += 1;
+        }
+        s += i;
+    }
+    return s;
+}`
+	for _, team := range reduceTeams() {
+		if got := runWithTeam(t, src, team); got != 4950 {
+			t.Errorf("%d workers (sim=%v): got %d want 4950", team.Size(), team.Simulated(), got)
+		}
+	}
+}
+
+func TestReductionOnlyShadowedUpdateIsCompileError(t *testing.T) {
+	// When every matching update targets a loop-local shadow, the clause
+	// names no enclosing accumulator: both compiler and oracle reject.
+	src := `
+int main(void) {
+    int s = 0;
+#pragma omp parallel for reduction(+:s)
+    for (int i = 0; i < 10; i++) {
+        int s = 0;
+        s += i;
+    }
+    return s;
+}`
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(info, Options{}); err == nil {
+		t.Fatal("shadow-only reduction clause must fail compilation")
+	}
+	in, err := interp.New(info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RunMain(); err == nil {
+		t.Fatal("oracle must also reject the shadow-only clause")
+	}
+}
+
+func TestReductionUnsupportedOpAcceptedByBothBackendAndOracle(t *testing.T) {
+	// Clauses outside the parallelized operator set run serially in the
+	// compiler and are skipped by the oracle's validation — the two must
+	// agree the program is valid (even with a bogus variable name).
+	src := `
+int main(void) {
+    int s = 0;
+#pragma omp parallel for reduction(-:nosuch)
+    for (int i = 0; i < 10; i++)
+        s = s + i;
+    return s;
+}`
+	if got := runBoth(t, src); got != 45 {
+		t.Fatalf("got %d want 45", got)
+	}
+}
+
+func TestReductionPointerAccumulatorRejectedByBoth(t *testing.T) {
+	src := `
+int main(void) {
+    int a[4];
+    int* p = a;
+#pragma omp parallel for reduction(+:p)
+    for (int i = 0; i < 4; i++)
+        p += 1;
+    return 0;
+}`
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(info, Options{}); err == nil {
+		t.Fatal("pointer accumulator must fail compilation")
+	}
+	in, err := interp.New(info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RunMain(); err == nil {
+		t.Fatal("oracle must also reject a pointer accumulator")
+	}
+}

@@ -23,7 +23,15 @@ func (fc *funcCompiler) stmtList(list []ast.Stmt) stmtFn {
 		if pr, ok := s.(*ast.PragmaStmt); ok {
 			if isOmpParallelFor(pr.Text) && i+1 < len(list) {
 				if f, ok := list[i+1].(*ast.ForStmt); ok {
-					fns = append(fns, fc.parallelFor(f, pr.Text))
+					// Any reduction clause — supported operator or not —
+					// must take the reduction path: compiling it as a
+					// plain parallelFor would discard the accumulator
+					// updates made in the workers' private clones.
+					if strings.Contains(pr.Text, "reduction(") {
+						fns = append(fns, fc.parallelReduceFor(f, pr.Text))
+					} else {
+						fns = append(fns, fc.parallelFor(f, pr.Text))
+					}
 					i++
 					continue
 				}
@@ -401,6 +409,18 @@ func (fc *funcCompiler) canonical(x *ast.ForStmt) (canonicalLoop, bool) {
 	return cl, true
 }
 
+// runsInline reports whether a parallel region executes inline on the
+// calling environment: nested parallelism is disabled (OpenMP default),
+// a missing team means sequential execution, and a real 1-worker team
+// runs inline for an honest 1-core baseline. Simulated teams of every
+// size — including 1 worker — go through the runtime so their regions
+// are accounted (the simulated 1-core baseline would otherwise report
+// zero region time).
+func runsInline(e *env) bool {
+	return e.inParallel || e.team == nil ||
+		(e.team.Size() == 1 && !e.team.Simulated())
+}
+
 // parallelFor compiles a loop annotated with #pragma omp parallel for.
 // Iterations are distributed over the team; each worker executes on a
 // cloned environment (private scalars, shared segments), the OpenMP
@@ -416,8 +436,7 @@ func (fc *funcCompiler) parallelFor(x *ast.ForStmt, pragma string) stmtFn {
 	return func(e *env) ctrl {
 		lo := cl.lower(e)
 		hi := cl.upper(e)
-		if e.inParallel || e.team == nil || e.team.Size() == 1 {
-			// Nested parallelism is disabled (OpenMP default); run inline.
+		if runsInline(e) {
 			for i := lo; i <= hi; i++ {
 				e.I[iterSlot] = i
 				if c := body(e); c == ctrlBreak {
@@ -435,6 +454,247 @@ func (fc *funcCompiler) parallelFor(x *ast.ForStmt, pragma string) stmtFn {
 				body(we)
 			}
 		})
+		return ctrlNext
+	}
+}
+
+// redClause is one parsed reduction(op:var) clause entry with the
+// operator resolved to its token.
+type redClause struct {
+	op   token.Kind // ADD, MUL, AND, OR, XOR
+	name string
+}
+
+// parseOmpReductions extracts the reduction clauses of an omp pragma and
+// maps the operator symbols to tokens. supported is false when any
+// clause uses an operator outside the parallelizable set {+,*,&,|,^}
+// (e.g. "-" or "max") — the loop must then run serially, which is
+// always correct, instead of losing the accumulator updates.
+func parseOmpReductions(pragma string) (reds []redClause, supported bool) {
+	for _, c := range rt.ParseOmpReductions(pragma) {
+		var op token.Kind
+		switch c.Op {
+		case "+":
+			op = token.ADD
+		case "*":
+			op = token.MUL
+		case "&":
+			op = token.AND
+		case "|":
+			op = token.OR
+		case "^":
+			op = token.XOR
+		default:
+			return nil, false
+		}
+		reds = append(reds, redClause{op: op, name: c.Var})
+	}
+	return reds, true
+}
+
+// reduction is a compiled reduction accumulator: identity installation
+// into a worker's private environment and the worker-ordered combine
+// back into the parent environment.
+type reduction struct {
+	setIdentity func(we *env)
+	combine     func(dst, src *env)
+}
+
+// declaredInside returns the variable declarations nested under n; a
+// reduction clause can only name a variable from the enclosing scope,
+// so symbols declared inside the annotated loop (which shadow it and
+// are automatically private) must not bind the clause.
+func declaredInside(n ast.Node) map[*ast.VarDecl]bool {
+	out := map[*ast.VarDecl]bool{}
+	ast.Walk(n, func(m ast.Node) bool {
+		if d, ok := m.(*ast.DeclStmt); ok {
+			for _, vd := range d.Decls {
+				out[vd] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// resolveReduction binds a clause to the accumulator's frame slot by
+// locating the `name op= expr` assignment in the loop body, skipping
+// updates of loop-local shadows of the name. found reports whether a
+// matching enclosing-scope accumulator update exists at all (a clause
+// without one is a malformed pragma); ok additionally requires a
+// privatizable local slot. A non-scalar accumulator is a compile error
+// (mirroring the interp oracle's validation).
+func (fc *funcCompiler) resolveReduction(body ast.Stmt, c redClause) (r reduction, found, ok bool) {
+	inner := declaredInside(body)
+	var sym *sema.Symbol
+	var site *ast.Ident
+	for _, as := range ast.Assignments(body) {
+		bin, okOp := as.Op.AssignBinOp()
+		if !okOp || bin != c.op {
+			continue
+		}
+		id, okID := as.LHS.(*ast.Ident)
+		if !okID || id.Name != c.name {
+			continue
+		}
+		s := fc.prog.info.Ref[id]
+		if s == nil || (s.Decl != nil && inner[s.Decl]) {
+			continue // loop-local shadow: automatically private
+		}
+		sym = s
+		site = id
+		break
+	}
+	if sym == nil {
+		return reduction{}, false, false
+	}
+	if sym.Kind == sema.SymGlobal {
+		// Global accumulators live in Process storage shared by every
+		// worker — they cannot be privatized through the frame clone.
+		return reduction{}, true, false
+	}
+	sl, global := fc.slotOf(sym, site)
+	if global {
+		return reduction{}, true, false
+	}
+	if sl.kind == slotPtr {
+		fc.errorf(site, "reduction accumulator %s must be a scalar", c.name)
+	}
+	idx := sl.idx
+	switch sl.kind {
+	case slotInt:
+		var identity int64
+		var fold func(a, b int64) int64
+		switch c.op {
+		case token.ADD:
+			identity, fold = 0, func(a, b int64) int64 { return a + b }
+		case token.MUL:
+			identity, fold = 1, func(a, b int64) int64 { return a * b }
+		case token.AND:
+			identity, fold = -1, func(a, b int64) int64 { return a & b }
+		case token.OR:
+			identity, fold = 0, func(a, b int64) int64 { return a | b }
+		case token.XOR:
+			identity, fold = 0, func(a, b int64) int64 { return a ^ b }
+		default:
+			return reduction{}, true, false
+		}
+		return reduction{
+			setIdentity: func(we *env) { we.I[idx] = identity },
+			combine:     func(dst, src *env) { dst.I[idx] = fold(dst.I[idx], src.I[idx]) },
+		}, true, true
+	case slotFloat:
+		var identity float64
+		var fold func(a, b float64) float64
+		switch c.op {
+		case token.ADD:
+			identity, fold = 0, func(a, b float64) float64 { return a + b }
+		case token.MUL:
+			identity, fold = 1, func(a, b float64) float64 { return a * b }
+		default:
+			return reduction{}, true, false
+		}
+		// C float accumulators round every stored value through float32;
+		// the combine is a store and rounds the same way.
+		if sym.Type != nil && sym.Type.CSize == 4 {
+			inner := fold
+			fold = func(a, b float64) float64 { return float64(float32(inner(a, b))) }
+		}
+		return reduction{
+			setIdentity: func(we *env) { we.F[idx] = identity },
+			combine:     func(dst, src *env) { dst.F[idx] = fold(dst.F[idx], src.F[idx]) },
+		}, true, true
+	}
+	return reduction{}, true, false
+}
+
+// parallelReduceFor compiles a loop annotated with
+// #pragma omp parallel for reduction(op:s): iterations are distributed
+// over the team through rt.Team.ParallelForReduce — every worker
+// accumulates into a private clone whose accumulator slots start at the
+// operator identity, and the partials fold back in worker order 0..n-1
+// (the determinism contract: integer reductions are exact everywhere;
+// float reductions are reproducible at a fixed team size under static
+// schedules and in simulated mode).
+//
+// Inline execution (nested regions, no team, real 1-worker teams) keeps
+// the plain sequential accumulation order, so those runs stay
+// bit-identical to the serial build and the interp oracle even for
+// floats — and the ICC fused-kernel vectorization of canonical
+// reduction loops in pure functions still applies there.
+//
+// Clauses with operators outside the parallelizable set (e.g. "-",
+// "max") and accumulators that cannot be privatized (globals) compile
+// to serial execution of the loop — always correct, never silently
+// wrong. A clause naming no matching accumulator update at all is a
+// malformed pragma and a compile error, mirroring parallelFor's
+// canonical-loop diagnostic and the interp oracle's validation.
+func (fc *funcCompiler) parallelReduceFor(x *ast.ForStmt, pragma string) stmtFn {
+	cl, ok := fc.canonical(x)
+	if !ok {
+		fc.errorf(x, "#pragma omp parallel for requires a canonical loop (int i = lb; i < ub; i++)")
+	}
+	clauses, supported := parseOmpReductions(pragma)
+	if !supported {
+		return fc.stmt(x)
+	}
+	reds := make([]reduction, 0, len(clauses))
+	for _, c := range clauses {
+		r, found, ok := fc.resolveReduction(x.Body, c)
+		if !found {
+			fc.errorf(x, "reduction clause names %s, but the loop has no matching '%s %s=' update", c.name, c.name, c.op)
+		}
+		if !ok {
+			return fc.stmt(x)
+		}
+		reds = append(reds, r)
+	}
+	var vec stmtFn
+	if (fc.prog.backend == BackendICC && fc.cf.pure) || fc.prog.vectorize {
+		vec = fc.tryVectorize(x)
+	}
+	sched, chunk := parseOmpSchedule(pragma)
+	body := fc.stmt(cl.body)
+	iterSlot := cl.iterSlot
+	return func(e *env) ctrl {
+		if runsInline(e) {
+			if vec != nil {
+				return vec(e)
+			}
+			lo := cl.lower(e)
+			hi := cl.upper(e)
+			for i := lo; i <= hi; i++ {
+				e.I[iterSlot] = i
+				if c := body(e); c == ctrlBreak {
+					break
+				} else if c == ctrlReturn {
+					return ctrlReturn
+				}
+			}
+			return ctrlNext
+		}
+		e.team.ParallelForReduce(cl.lower(e), cl.upper(e), sched, chunk,
+			func(int) any {
+				we := e.clone()
+				for _, r := range reds {
+					r.setIdentity(we)
+				}
+				return we
+			},
+			func(_ int, clo, chi int64, acc any) any {
+				we := acc.(*env)
+				for i := clo; i <= chi; i++ {
+					we.I[iterSlot] = i
+					body(we)
+				}
+				return we
+			},
+			func(_ int, acc any) {
+				we := acc.(*env)
+				for _, r := range reds {
+					r.combine(e, we)
+				}
+			})
 		return ctrlNext
 	}
 }

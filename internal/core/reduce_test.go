@@ -1,0 +1,229 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"purec/internal/comp"
+	"purec/internal/interp"
+	"purec/internal/rt"
+	"purec/internal/transform"
+)
+
+// reduceSrc is the README quickstart shape: a loop accumulating results
+// of a pure call — the paper's headline pattern, which the reduction
+// stage must parallelize end to end.
+const reduceSrc = `#include <stdio.h>
+pure int square(int x) { return x * x; }
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 100; i++) s += square(i);
+    printf("%d\n", s);
+    return s == 328350;
+}
+`
+
+// TestQuickstartReductionParallelizes pins the acceptance criterion:
+// the README quickstart loop compiles to a parallel reduction — the
+// report shows a parallel nest with reduction(+:s) — and the computed
+// sum is identical to the serial build and the interp oracle.
+func TestQuickstartReductionParallelizes(t *testing.T) {
+	res, err := Build(reduceSrc, Config{Parallelize: true, TeamSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Stages.Transformed, "reduction(+:s)") {
+		t.Fatalf("transformed source lacks the reduction clause:\n%s", res.Stages.Transformed)
+	}
+	if len(res.Report.Loops) != 1 {
+		t.Fatalf("want 1 SCoP in report, got %d", len(res.Report.Loops))
+	}
+	lr := res.Report.Loops[0]
+	if lr.ParallelLevel != 0 {
+		t.Fatalf("quickstart nest not parallel: %+v", lr)
+	}
+	if len(lr.Reductions) != 1 || lr.Reductions[0] != "+:s" {
+		t.Fatalf("report reductions = %v, want [+:s]", lr.Reductions)
+	}
+	if lr.SerialReason != "" {
+		t.Fatalf("parallel nest carries a serial reason: %q", lr.SerialReason)
+	}
+
+	par, err := res.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Build(reduceSrc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := seq.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := interp.New(res.Info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := in.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != 1 || ser != 1 || oracle != 1 {
+		t.Fatalf("parallel=%d serial=%d oracle=%d, want all 1 (sum matches 328350)", par, ser, oracle)
+	}
+}
+
+// TestSerialReasonReachesReport pins the diagnosis path: when a scalar
+// write is not a recognized reduction, the report says so.
+func TestSerialReasonReachesReport(t *testing.T) {
+	src := `
+pure int f(int x) { return x + 1; }
+int main(void) {
+    int s = 0;
+    int t = 0;
+    for (int i = 0; i < 100; i++) {
+        s += f(i);
+        t = s + 2;
+    }
+    return t;
+}
+`
+	res, err := Build(src, Config{Parallelize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Loops) != 1 {
+		t.Fatalf("want 1 SCoP, got %d", len(res.Report.Loops))
+	}
+	lr := res.Report.Loops[0]
+	if lr.ParallelLevel != -1 {
+		t.Fatalf("nest must stay serial (s is read by t's update): %+v", lr)
+	}
+	if !strings.Contains(lr.SerialReason, "scalar write to") || !strings.Contains(lr.SerialReason, "s") {
+		t.Fatalf("SerialReason = %q, want a scalar-write explanation naming s", lr.SerialReason)
+	}
+	if !strings.Contains(res.Report.String(), lr.SerialReason) {
+		t.Fatal("Report.String must include the serialization reason")
+	}
+}
+
+// reduceOracleSrc exercises an integer reduction with a pure call under
+// an imbalance-prone schedule; run() returns the checksum.
+const reduceOracleSrc = `
+pure int weight(int x) { return (x * x) % 97 + (x % 7); }
+int run(void) {
+    int s = 1234;
+    for (int i = 0; i < 3000; i++)
+        s += weight(i);
+    return s;
+}
+int main(void) { return run(); }
+`
+
+// TestReductionOracle12Processes proves integer reductions bit-identical
+// across backends and team sizes: 12 concurrent Processes (mixed real
+// and simulated teams, both backends) must all return exactly the
+// sequential interp oracle's value. Run under -race in CI.
+func TestReductionOracle12Processes(t *testing.T) {
+	cfgs := []Config{
+		{Parallelize: true, Backend: comp.BackendGCC, Transform: transform.Options{Schedule: "dynamic,1"}},
+		{Parallelize: true, Backend: comp.BackendICC, Transform: transform.Options{Schedule: "guided,2"}},
+	}
+	// Sequential oracle from the first build's checked model.
+	first, err := Build(reduceOracleSrc, cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.Stages.Transformed, "reduction(+:s)") {
+		t.Fatalf("reduction not recognized:\n%s", first.Stages.Transformed)
+	}
+	in, err := interp.New(first.Info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := in.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const procs = 12
+	teamSizes := []int{1, 2, 3, 5, 8, 16}
+	var wg sync.WaitGroup
+	errs := make(chan error, procs*len(cfgs))
+	for _, cfg := range cfgs {
+		prog, _, _, err := BuildProgram(reduceOracleSrc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < procs; p++ {
+			n := teamSizes[p%len(teamSizes)]
+			team := rt.NewTeam(n)
+			if p%2 == 1 {
+				team = rt.NewSimTeam(n)
+			}
+			wg.Add(1)
+			go func(prog *comp.Program, team *rt.Team, backend comp.Backend) {
+				defer wg.Done()
+				proc, err := prog.NewProcess(comp.ProcOptions{Team: team})
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := proc.RunMain()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want {
+					errs <- &comp.RuntimeError{Msg: "reduction mismatch"}
+				}
+			}(prog, team, cfg.Backend)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("process: %v", err)
+	}
+}
+
+// TestReductionUnderTiling checks reductions compose with the tiling
+// path: the k-accumulation of the tiled matmul test still reduces
+// correctly (array writes remain ordinary accesses; only the scalar
+// accumulator is privatized).
+func TestReductionUnderTiling(t *testing.T) {
+	src := `
+#define N 24
+float A[N];
+int main(void) {
+    for (int i = 0; i < N; i++)
+        A[i] = (float)(i % 5) * 0.5f;
+    float s = 0.0f;
+    for (int i = 0; i < N; i++)
+        s += A[i];
+    return (int)s;
+}
+`
+	par, err := Build(src, Config{Parallelize: true, TeamSize: 4,
+		Transform: transform.Options{Tile: true, TileSizes: []int{8}, MinParallelTrip: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Build(src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("tiled reduction: got %d want %d", got, want)
+	}
+}

@@ -1,9 +1,19 @@
 // Package interp is a boxed-value, tree-walking interpreter for checked
-// mini-C programs. It executes everything sequentially and ignores
-// OpenMP pragmas, serving as the semantic oracle: the closure compiler
-// (internal/comp) with any backend and any team size must produce the
-// same observable results. Tests compare the two on the paper's
-// applications and on generated programs.
+// mini-C programs. It executes everything sequentially, serving as the
+// semantic oracle: the closure compiler (internal/comp) with any backend
+// and any team size must produce the same observable results. Tests
+// compare the two on the paper's applications and on generated programs.
+//
+// OpenMP pragmas have no scheduling effect here, but parallel-for
+// reduction clauses are validated when encountered: each reduction(op:s)
+// must name a scalar accumulator updated by a matching `s op= expr`
+// inside the annotated loop, so a malformed pragma fails loudly in the
+// oracle instead of being silently ignored. Execution of the loop itself
+// stays sequential — the oracle defines the serial accumulation order,
+// which integer reductions must match bit-for-bit on every backend and
+// team size (floats are only guaranteed to match on inline/serial runs;
+// parallel float reductions follow the runtime's fixed-combine-order
+// determinism contract instead).
 package interp
 
 import (
@@ -14,6 +24,7 @@ import (
 
 	"purec/internal/ast"
 	"purec/internal/mem"
+	"purec/internal/rt"
 	"purec/internal/sema"
 	"purec/internal/token"
 	"purec/internal/types"
@@ -71,6 +82,9 @@ type Interp struct {
 	heap    mem.Heap
 	stdout  io.Writer
 	rand    uint64
+	// checkedPragmas memoizes reduction-pragma validation per pragma
+	// node ("" = valid; otherwise the failure message).
+	checkedPragmas map[*ast.PragmaStmt]string
 }
 
 // cell is one scalar storage location or an array/struct segment handle.
@@ -234,12 +248,104 @@ func (in *Interp) call(name string, args []Value) (Value, ctrl) {
 }
 
 func (in *Interp) stmts(list []ast.Stmt, fr *frame) ctrl {
-	for _, s := range list {
+	for i, s := range list {
+		if pr, ok := s.(*ast.PragmaStmt); ok {
+			if i+1 < len(list) {
+				if f, ok := list[i+1].(*ast.ForStmt); ok {
+					in.checkReductionPragma(pr, f)
+				}
+			}
+		}
 		if c := in.stmt(s, fr); c.kind != ctrlNext {
 			return c
 		}
 	}
 	return ctrl{}
+}
+
+// checkReductionPragma validates the reduction clauses of an OpenMP
+// parallel-for pragma against the annotated loop: every named
+// accumulator must be a scalar (non-array, non-pointer) variable updated
+// by a compound assignment with the clause's operator somewhere in the
+// loop body. The loop then executes sequentially like everything else.
+//
+// The check only applies to pragmas the compiler honors (omp parallel
+// for) and only to operators that map onto compound assignments;
+// clauses like reduction(max:m) are outside the recognized grammar and
+// skipped, matching the compiler's serial fallback. The per-pragma
+// result is memoized so hot loops pay one AST walk, not one per
+// execution.
+func (in *Interp) checkReductionPragma(pr *ast.PragmaStmt, f *ast.ForStmt) {
+	if done, seen := in.checkedPragmas[pr]; seen {
+		if done != "" {
+			panic(done)
+		}
+		return
+	}
+	msg := reductionPragmaError(in.info, pr, f)
+	if in.checkedPragmas == nil {
+		in.checkedPragmas = map[*ast.PragmaStmt]string{}
+	}
+	in.checkedPragmas[pr] = msg
+	if msg != "" {
+		panic(msg)
+	}
+}
+
+// reductionPragmaError returns the validation failure message, or ""
+// when the pragma is fine (including pragmas the compiler ignores).
+// The validated operator set is exactly the set the compiler
+// parallelizes — clauses with other operators (-, /, max, ...) compile
+// to serial execution there and are accepted here, so the oracle and
+// the backend always agree on which programs run.
+func reductionPragmaError(info *sema.Info, pr *ast.PragmaStmt, f *ast.ForStmt) string {
+	if !strings.Contains(pr.Text, "omp") || !strings.Contains(pr.Text, "parallel") ||
+		!strings.Contains(pr.Text, "for") {
+		return ""
+	}
+	// Variables declared inside the loop shadow the clause name and are
+	// automatically private; they must not satisfy the validation.
+	inner := map[*ast.VarDecl]bool{}
+	ast.Walk(f.Body, func(m ast.Node) bool {
+		if d, ok := m.(*ast.DeclStmt); ok {
+			for _, vd := range d.Decls {
+				inner[vd] = true
+			}
+		}
+		return true
+	})
+	for _, c := range rt.ParseOmpReductions(pr.Text) {
+		switch c.Op {
+		case "+", "*", "&", "|", "^":
+			// the parallelized set: validate
+		default:
+			continue // compiler runs these clauses serially
+		}
+		found := false
+		for _, as := range ast.Assignments(f.Body) {
+			bin, ok := as.Op.AssignBinOp()
+			if !ok || bin.String() != c.Op {
+				continue
+			}
+			id, ok := as.LHS.(*ast.Ident)
+			if !ok || id.Name != c.Var {
+				continue
+			}
+			sym := info.Ref[id]
+			if sym == nil || (sym.Decl != nil && inner[sym.Decl]) {
+				continue
+			}
+			if sym.IsArray() || sym.Type == nil || sym.Type.IsPtr() {
+				return fmt.Sprintf("reduction(%s:%s) names a non-scalar accumulator", c.Op, c.Var)
+			}
+			found = true
+			break
+		}
+		if !found {
+			return fmt.Sprintf("reduction(%s:%s) has no matching '%s %s=' update in the annotated loop", c.Op, c.Var, c.Var, c.Op)
+		}
+	}
+	return ""
 }
 
 func (in *Interp) stmt(s ast.Stmt, fr *frame) ctrl {

@@ -11,6 +11,13 @@ type Access struct {
 	Array string
 	Subs  []Affine
 	Write bool
+	// Reduction marks the access as part of a recognized reduction
+	// statement (s op= expr for an associative-commutative op whose only
+	// uses in the nest are that compound assignment). Dependences whose
+	// endpoints are both reduction accesses do not serialize the nest:
+	// the runtime privatizes the accumulator per worker and combines in
+	// a fixed order after the loop.
+	Reduction bool
 }
 
 // String renders the access like "A[i][j+1]".
@@ -158,6 +165,11 @@ type Dep struct {
 	// Kind is flow (write→read), anti (read→write) or output
 	// (write→write).
 	Kind DepKind
+	// Reduction marks a dependence between two reduction accesses of the
+	// same accumulator. Such dependences are real (the loop does carry
+	// them) but do not forbid parallel execution: the parallel-reduction
+	// runtime resolves them with private accumulators.
+	Reduction bool
 }
 
 // DepKind classifies a dependence.
@@ -181,8 +193,12 @@ func (d *Dep) String() string {
 	for i, e := range d.Dist {
 		parts[i] = e.String()
 	}
-	return fmt.Sprintf("%s dep on %s S%d->S%d level %d dist (%s)",
-		d.Kind, d.Array, d.Src.ID, d.Dst.ID, d.Level, strings.Join(parts, ","))
+	suffix := ""
+	if d.Reduction {
+		suffix = " (reduction)"
+	}
+	return fmt.Sprintf("%s dep on %s S%d->S%d level %d dist (%s)%s",
+		d.Kind, d.Array, d.Src.ID, d.Dst.ID, d.Level, strings.Join(parts, ","), suffix)
 }
 
 const srcSuffix = "$s"
@@ -235,6 +251,7 @@ func depsForPair(n *Nest, s1, s2 *Statement, a1, a2 Access) []*Dep {
 		base.AddEQ(eq)
 	}
 	kind := classifyDep(a1, a2)
+	reduction := a1.Reduction && a2.Reduction
 	var out []*Dep
 	// Carried at level l: outer iterators equal, level-l source < target.
 	for l := 1; l <= n.Depth(); l++ {
@@ -251,7 +268,7 @@ func depsForPair(n *Nest, s1, s2 *Statement, a1, a2 Access) []*Dep {
 		}
 		out = append(out, &Dep{
 			Src: s1, Dst: s2, Array: a1.Array, Level: l, Kind: kind,
-			Dist: distVector(n, sys),
+			Dist: distVector(n, sys), Reduction: reduction,
 		})
 	}
 	// Loop-independent dependence: same iteration, s1 textually before s2
@@ -264,7 +281,7 @@ func depsForPair(n *Nest, s1, s2 *Statement, a1, a2 Access) []*Dep {
 		if !sys.IsEmpty() && s1.Seq < s2.Seq {
 			out = append(out, &Dep{
 				Src: s1, Dst: s2, Array: a1.Array, Level: 0, Kind: kind,
-				Dist: zeroDist(n.Depth()),
+				Dist: zeroDist(n.Depth()), Reduction: reduction,
 			})
 		}
 	}

@@ -5,14 +5,17 @@ import (
 )
 
 // ParallelLevels reports, per loop level (0-based), whether the loop can
-// run its iterations in parallel: no dependence is carried at that level.
+// run its iterations in parallel: no dependence is carried at that
+// level. Reduction dependences do not count — the parallel-reduction
+// runtime privatizes the accumulator per worker, so the carried
+// read-modify-write cycle they describe dissolves.
 func ParallelLevels(n *Nest, deps []*Dep) []bool {
 	out := make([]bool, n.Depth())
 	for i := range out {
 		out[i] = true
 	}
 	for _, d := range deps {
-		if d.Level >= 1 {
+		if d.Level >= 1 && !d.Reduction {
 			out[d.Level-1] = false
 		}
 	}
@@ -36,7 +39,9 @@ func OutermostParallel(parallel []bool) int {
 // forward in every dimension).
 func Permutable(n *Nest, deps []*Dep) bool {
 	for _, d := range deps {
-		if d.Level == 0 {
+		if d.Level == 0 || d.Reduction {
+			// Reduction dependences permit any iteration order (the
+			// accumulator is privatized), so they never block tiling.
 			continue
 		}
 		for _, e := range d.Dist {
@@ -59,7 +64,7 @@ func Permutable(n *Nest, deps []*Dep) bool {
 // at level l; otherwise ok is false.
 func LegalSkew(deps []*Dep, l int) (f int64, ok bool) {
 	for _, d := range deps {
-		if d.Level == 0 || l+1 >= len(d.Dist) {
+		if d.Level == 0 || d.Reduction || l+1 >= len(d.Dist) {
 			continue
 		}
 		outer, inner := d.Dist[l], d.Dist[l+1]

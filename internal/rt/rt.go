@@ -9,10 +9,17 @@
 // Opteron node: requesting more workers than GOMAXPROCS oversubscribes,
 // reproducing the scaling plateaus the paper observes beyond the
 // machine's effective parallelism.
+//
+// All chunk bookkeeping runs in unsigned offsets relative to the loop's
+// lower bound, so iteration ranges touching the int64 boundaries
+// (hi near math.MaxInt64, lo near math.MinInt64) schedule correctly —
+// signed chunk stepping like start+chunk-1 would wrap and either skip
+// or re-execute iterations there.
 package rt
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -71,6 +78,50 @@ func ParseSchedule(s string) (Schedule, int, error) {
 		return Guided, chunk, nil
 	}
 	return Static, 0, fmt.Errorf("unknown schedule %q", s)
+}
+
+// ReductionClause is one parsed reduction(op:var) entry of an OpenMP
+// parallel-for pragma. Op is the operator symbol exactly as written
+// ("+", "*", "-", "max", ...); consumers decide which operators they
+// support — purec parallelizes the associative-commutative subset
+// {+, *, &, |, ^} and executes other clauses serially.
+type ReductionClause struct {
+	Op  string
+	Var string
+}
+
+// ParseOmpReductions extracts every reduction clause of an omp pragma
+// line, including clauses with operators purec does not parallelize;
+// comma-separated variable lists expand to one entry per variable.
+func ParseOmpReductions(pragma string) []ReductionClause {
+	var out []ReductionClause
+	rest := pragma
+	for {
+		i := strings.Index(rest, "reduction(")
+		if i < 0 {
+			return out
+		}
+		rest = rest[i+len("reduction("):]
+		j := strings.IndexByte(rest, ')')
+		if j < 0 {
+			return out
+		}
+		body := rest[:j]
+		rest = rest[j+1:]
+		op, vars, ok := strings.Cut(body, ":")
+		if !ok {
+			continue
+		}
+		op = strings.TrimSpace(op)
+		if op == "" {
+			continue
+		}
+		for _, v := range strings.Split(vars, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				out = append(out, ReductionClause{Op: op, Var: v})
+			}
+		}
+	}
 }
 
 // Team is a group of workers executing parallel regions, the analog of
@@ -147,93 +198,238 @@ func (t *Team) TakeSim() (real, virt time.Duration) {
 // iterations [lo, hi] (inclusive) on worker w.
 type Body func(w int, lo, hi int64)
 
+// span is an iteration range in unsigned offsets relative to the loop
+// lower bound. Every scheduler below works in this space: offsets of a
+// non-empty [lo, hi] always fit uint64, and converting back with
+// lo+int64(off) is exact under two's-complement wraparound.
+type span struct {
+	lo    int64
+	total uint64 // iteration count; never 0
+}
+
+// seg converts an offset range back to inclusive int64 bounds.
+func (s span) seg(start, end uint64) (int64, int64) {
+	return s.lo + int64(start), s.lo + int64(end)
+}
+
+// chunkEnd returns the last offset of the chunk starting at start,
+// capped to the iteration space; the end < start comparison catches
+// uint64 wraparound of start+chunk-1 for huge chunk values.
+func (s span) chunkEnd(start, chunk uint64) uint64 {
+	end := start + (chunk - 1)
+	if end >= s.total || end < start {
+		end = s.total - 1
+	}
+	return end
+}
+
+// normRange validates [lo, hi] and converts it to offset space. The one
+// range whose length exceeds uint64 — the full int64 space — has its
+// first iteration peeled by the callers so total stays representable
+// (such a loop is unrunnable anyway; this only guarantees we never
+// mis-schedule it).
+func normRange(lo, hi int64) span {
+	return span{lo: lo, total: uint64(hi-lo) + 1}
+}
+
+// uchunk sanitizes a user chunk size for offset arithmetic.
+func (s span) uchunk(chunk int) uint64 {
+	if chunk < 1 {
+		return 1
+	}
+	c := uint64(chunk)
+	if c > s.total {
+		c = s.total
+	}
+	return c
+}
+
 // ParallelFor executes iterations lo..hi (inclusive) across the team
-// using the given schedule. With a single worker it runs inline, giving
-// the 1-core baseline an honest measurement without goroutine overhead.
+// using the given schedule. Simulated teams are dispatched before the
+// single-worker fast path: a 1-worker simulated team still needs its
+// region accounted (simFor handles n=1), otherwise the simulated 1-core
+// baseline would report zero region time. Real 1-worker teams run
+// inline, giving the 1-core baseline an honest measurement without
+// goroutine overhead.
 func (t *Team) ParallelFor(lo, hi int64, sched Schedule, chunk int, body Body) {
 	if hi < lo {
+		return
+	}
+	if lo == math.MinInt64 && hi == math.MaxInt64 {
+		// 2^64 iterations: peel one so the range length fits uint64.
+		body(0, lo, lo)
+		lo++
+	}
+	if t.sim {
+		t.simFor(normRange(lo, hi), sched, chunk, body)
 		return
 	}
 	if t.n == 1 {
 		body(0, lo, hi)
 		return
 	}
-	if t.sim {
-		t.simFor(lo, hi, sched, int64(chunk), body)
-		return
-	}
+	sp := normRange(lo, hi)
 	switch sched {
 	case Dynamic:
-		t.dynamicFor(lo, hi, int64(max(1, chunk)), body)
+		t.dynamicFor(sp, sp.uchunk(chunk), body)
 	case Guided:
-		t.guidedFor(lo, hi, int64(max(1, chunk)), body)
+		t.guidedFor(sp, sp.uchunk(chunk), body)
 	default:
-		t.staticFor(lo, hi, int64(chunk), body)
+		t.staticFor(sp, chunk, body)
+	}
+}
+
+// ReduceBody is the per-range work function of a parallel reduction
+// loop: it folds iterations [lo, hi] (inclusive) into worker w's private
+// accumulator acc and returns the updated accumulator.
+type ReduceBody func(w int, lo, hi int64, acc any) any
+
+// ParallelForReduce executes a reduction loop: every worker gets a
+// private accumulator from init(w), the accumulator is threaded through
+// all chunks that worker executes, and after the join combine(w, acc)
+// runs once per worker in worker order 0..n-1 on the calling goroutine.
+//
+// Determinism contract for floating-point reductions (integer reductions
+// are exact regardless of grouping):
+//
+//   - the combine order is always fixed (worker 0..n-1), so the result
+//     depends only on which iterations landed in which accumulator;
+//   - static schedules map iterations to workers by position, so real
+//     static teams are reproducible run-to-run at a fixed team size;
+//   - real dynamic/guided teams assign chunks by arrival — like OpenMP,
+//     their float results may vary run-to-run;
+//   - simulated teams assign accumulators round-robin in chunk order
+//     (decoupled from the timing model's virtual workers), so every
+//     schedule is reproducible in simulated mode at a fixed team size.
+//
+// In simulated mode the chunks execute sequentially under the schedule's
+// virtual-worker accounting and the combine is charged on the region's
+// critical path (it runs after the barrier, serially).
+//
+// An empty range (hi < lo) returns without calling init, body or
+// combine, leaving the reduction target untouched.
+func (t *Team) ParallelForReduce(lo, hi int64, sched Schedule, chunk int,
+	init func(w int) any, body ReduceBody, combine func(w int, acc any)) {
+	if hi < lo {
+		return
+	}
+	accs := make([]any, t.n)
+	for w := range accs {
+		accs[w] = init(w)
+	}
+	if lo == math.MinInt64 && hi == math.MaxInt64 {
+		accs[0] = body(0, lo, lo, accs[0])
+		lo++
+	}
+	wrapped := func(w int, clo, chi int64) { accs[w] = body(w, clo, chi, accs[w]) }
+	switch {
+	case t.sim:
+		// Deterministic accumulation: chunks are produced in a fixed
+		// sequential order; assign accumulators round-robin over that
+		// order instead of by the timing model's least-loaded virtual
+		// worker, which varies with measured durations.
+		k := 0
+		simWrapped := func(_ int, clo, chi int64) {
+			a := k % t.n
+			k++
+			accs[a] = body(a, clo, chi, accs[a])
+		}
+		sp := normRange(lo, hi)
+		t.simFor(sp, sched, chunk, simWrapped)
+		start := time.Now()
+		for w := range accs {
+			combine(w, accs[w])
+		}
+		d := time.Since(start)
+		t.mu.Lock()
+		t.simReal += d
+		t.simVirt += d
+		t.mu.Unlock()
+		return
+	case t.n == 1:
+		wrapped(0, lo, hi)
+	default:
+		sp := normRange(lo, hi)
+		switch sched {
+		case Dynamic:
+			t.dynamicFor(sp, sp.uchunk(chunk), wrapped)
+		case Guided:
+			t.guidedFor(sp, sp.uchunk(chunk), wrapped)
+		default:
+			t.staticFor(sp, chunk, wrapped)
+		}
+	}
+	// Real mode: worker-ordered combine after the join. Each accs[w] was
+	// only touched by worker w's goroutine, and wg.Wait in the scheduler
+	// ordered those writes before this read.
+	for w := range accs {
+		combine(w, accs[w])
 	}
 }
 
 // simFor runs the region sequentially while accounting virtual worker
 // times per the schedule policy.
-func (t *Team) simFor(lo, hi int64, sched Schedule, chunk int64, body Body) {
+func (t *Team) simFor(sp span, sched Schedule, chunk int, body Body) {
 	regionStart := time.Now()
 	workers := make([]time.Duration, t.n)
+	uchunk := sp.uchunk(chunk)
 	switch sched {
 	case Dynamic, Guided:
 		// Greedy list scheduling: each chunk goes to the least-loaded
 		// virtual worker, which is what a work queue converges to.
-		if chunk < 1 {
-			chunk = 1
-		}
-		cur := lo
-		for cur <= hi {
-			c := chunk
+		cur := uint64(0)
+		for cur < sp.total {
+			c := uchunk
 			if sched == Guided {
-				c = (hi - cur + 1) / int64(2*t.n)
-				if c < chunk {
-					c = chunk
+				c = (sp.total - cur) / uint64(2*t.n)
+				if c < uchunk {
+					c = uchunk
 				}
 			}
-			end := cur + c - 1
-			if end > hi {
-				end = hi
-			}
+			end := sp.chunkEnd(cur, c)
 			w := argmin(workers)
+			clo, chi := sp.seg(cur, end)
 			chunkStart := time.Now()
-			body(w, cur, end)
+			body(w, clo, chi)
 			workers[w] += time.Since(chunkStart) + SimDynamicDispatch
+			if end == sp.total-1 {
+				break
+			}
 			cur = end + 1
 		}
 	default:
 		if chunk >= 1 {
 			// schedule(static,c): chunks assigned round-robin.
-			n := int64(t.n)
-			for k, start := int64(0), lo; start <= hi; k, start = k+1, start+chunk {
-				end := start + chunk - 1
-				if end > hi {
-					end = hi
-				}
+			n := uint64(t.n)
+			for k, start := uint64(0), uint64(0); ; k++ {
+				end := sp.chunkEnd(start, uchunk)
 				w := int(k % n)
+				clo, chi := sp.seg(start, end)
 				chunkStart := time.Now()
-				body(w, start, end)
+				body(w, clo, chi)
 				workers[w] += time.Since(chunkStart)
+				if end == sp.total-1 {
+					break
+				}
+				start = end + 1
 			}
 			break
 		}
 		// Default static: one contiguous block per worker.
-		total := hi - lo + 1
-		per := total / int64(t.n)
-		rem := total % int64(t.n)
-		start := lo
+		per := sp.total / uint64(t.n)
+		rem := sp.total % uint64(t.n)
+		start := uint64(0)
 		for w := 0; w < t.n; w++ {
 			cnt := per
-			if int64(w) < rem {
+			if uint64(w) < rem {
 				cnt++
 			}
 			if cnt == 0 {
 				continue
 			}
+			blo, bhi := sp.seg(start, start+cnt-1)
 			blockStart := time.Now()
-			body(w, start, start+cnt-1)
+			body(w, blo, bhi)
 			workers[w] += time.Since(blockStart)
 			start += cnt
 		}
@@ -263,44 +459,50 @@ func argmin(ds []time.Duration) int {
 
 // staticFor assigns worker w the w-th contiguous block; with an
 // explicit chunk (schedule(static,c)) chunks go round-robin instead.
-func (t *Team) staticFor(lo, hi, chunk int64, body Body) {
+func (t *Team) staticFor(sp span, chunk int, body Body) {
 	if chunk >= 1 {
-		n := int64(t.n)
+		uchunk := sp.uchunk(chunk)
+		// Worker w owns chunks w, w+n, w+2n, ... of the chunk grid.
+		// nchunks = ceil(total/uchunk) never overflows, and neither does
+		// ck*uchunk for ck < nchunks (it is at most total-1).
+		nchunks := sp.total / uchunk
+		if sp.total%uchunk != 0 {
+			nchunks++
+		}
+		n := uint64(t.n)
 		var wg sync.WaitGroup
-		for w := int64(0); w < n; w++ {
-			first := lo + w*chunk
-			if first > hi {
-				continue
-			}
+		for w := uint64(0); w < n && w < nchunks; w++ {
 			wg.Add(1)
-			go func(w, first int64) {
+			go func(w uint64) {
 				defer wg.Done()
-				for start := first; start <= hi; start += n * chunk {
-					end := start + chunk - 1
-					if end > hi {
-						end = hi
+				for ck := w; ck < nchunks; {
+					start := ck * uchunk
+					end := sp.chunkEnd(start, uchunk)
+					clo, chi := sp.seg(start, end)
+					body(int(w), clo, chi)
+					if ck > math.MaxUint64-n {
+						break // next chunk index would wrap (unreachable in practice)
 					}
-					body(int(w), start, end)
+					ck += n
 				}
-			}(w, first)
+			}(w)
 		}
 		wg.Wait()
 		return
 	}
-	total := hi - lo + 1
-	per := total / int64(t.n)
-	rem := total % int64(t.n)
+	per := sp.total / uint64(t.n)
+	rem := sp.total % uint64(t.n)
 	var wg sync.WaitGroup
-	start := lo
+	start := uint64(0)
 	for w := 0; w < t.n; w++ {
 		cnt := per
-		if int64(w) < rem {
+		if uint64(w) < rem {
 			cnt++
 		}
 		if cnt == 0 {
 			continue
 		}
-		wLo, wHi := start, start+cnt-1
+		wLo, wHi := sp.seg(start, start+cnt-1)
 		start += cnt
 		wg.Add(1)
 		go func(w int, lo, hi int64) {
@@ -311,25 +513,28 @@ func (t *Team) staticFor(lo, hi, chunk int64, body Body) {
 	wg.Wait()
 }
 
-// dynamicFor hands out chunks from a shared atomic counter.
-func (t *Team) dynamicFor(lo, hi, chunk int64, body Body) {
-	var next atomic.Int64
-	next.Store(lo)
+// dynamicFor hands out chunks from a shared counter. Claims go through
+// compare-and-swap so the counter never advances past the iteration
+// count — a blind fetch-add could wrap the counter when the range ends
+// near the top of the offset space and re-issue already-executed chunks.
+func (t *Team) dynamicFor(sp span, uchunk uint64, body Body) {
+	var next atomic.Uint64
 	var wg sync.WaitGroup
 	for w := 0; w < t.n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for {
-				start := next.Add(chunk) - chunk
-				if start > hi {
+				start := next.Load()
+				if start >= sp.total {
 					return
 				}
-				end := start + chunk - 1
-				if end > hi {
-					end = hi
+				end := sp.chunkEnd(start, uchunk)
+				if !next.CompareAndSwap(start, end+1) {
+					continue
 				}
-				body(w, start, end)
+				clo, chi := sp.seg(start, end)
+				body(w, clo, chi)
 			}
 		}(w)
 	}
@@ -338,9 +543,9 @@ func (t *Team) dynamicFor(lo, hi, chunk int64, body Body) {
 
 // guidedFor hands out exponentially shrinking chunks of at least
 // minChunk iterations (the OpenMP schedule(guided,c) clause).
-func (t *Team) guidedFor(lo, hi, minChunk int64, body Body) {
+func (t *Team) guidedFor(sp span, minChunk uint64, body Body) {
 	var mu sync.Mutex
-	cur := lo
+	cur := uint64(0)
 	var wg sync.WaitGroup
 	for w := 0; w < t.n; w++ {
 		wg.Add(1)
@@ -348,32 +553,25 @@ func (t *Team) guidedFor(lo, hi, minChunk int64, body Body) {
 			defer wg.Done()
 			for {
 				mu.Lock()
-				if cur > hi {
+				if cur >= sp.total {
 					mu.Unlock()
 					return
 				}
-				remaining := hi - cur + 1
-				chunk := remaining / int64(2*t.n)
+				remaining := sp.total - cur
+				chunk := remaining / uint64(2*t.n)
 				if chunk < minChunk {
 					chunk = minChunk
+				}
+				if chunk > remaining {
+					chunk = remaining
 				}
 				start := cur
 				cur += chunk
 				mu.Unlock()
-				end := start + chunk - 1
-				if end > hi {
-					end = hi
-				}
-				body(w, start, end)
+				clo, chi := sp.seg(start, start+chunk-1)
+				body(w, clo, chi)
 			}
 		}(w)
 	}
 	wg.Wait()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

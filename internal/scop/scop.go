@@ -44,7 +44,27 @@ type SCoP struct {
 	BodyStmts []ast.Stmt
 	// PureCalls are the pure function calls appearing in the body.
 	PureCalls []*ast.CallExpr
+	// Reductions lists the recognized reduction accumulators of the body
+	// (s op= expr statements whose accumulator has no other use in the
+	// nest). Their scalar accesses are tagged in Nest and excluded from
+	// the parallelism decision; the transformer emits a reduction clause
+	// for them.
+	Reductions []Reduction
 }
+
+// Reduction is one recognized reduction accumulator: a canonical
+// `Var op= expr` statement whose scalar accumulator is used nowhere else
+// in the nest. Op is the underlying binary operator (ADD, MUL, AND, OR,
+// XOR — the associative-commutative subset of the OpenMP reduction
+// operators; min/max if-patterns are future work).
+type Reduction struct {
+	Var string
+	Op  token.Kind
+}
+
+// ClauseOp renders the operator as it appears in an OpenMP reduction
+// clause.
+func (r Reduction) ClauseOp() string { return r.Op.String() }
 
 // Iters returns the iterator names outermost-first.
 func (s *SCoP) Iters() []string { return s.Nest.Iters }
@@ -336,6 +356,7 @@ func (d *detector) buildBody(sc *SCoP, body []ast.Stmt) bool {
 	}
 	sc.Nest = nest
 	sc.PureCalls = b.calls
+	d.recognizeReductions(sc, body)
 
 	// Listing-5 check: arrays passed to pure functions must not be
 	// written anywhere in the nest.
@@ -356,6 +377,89 @@ func (d *detector) buildBody(sc *SCoP, body []ast.Stmt) bool {
 		}
 	}
 	return true
+}
+
+// reductionOps maps the compound assignment operators that form
+// canonical reductions to their underlying binary operator.
+var reductionOps = map[token.Kind]token.Kind{
+	token.ADDASSIGN: token.ADD,
+	token.MULASSIGN: token.MUL,
+	token.ANDASSIGN: token.AND,
+	token.ORASSIGN:  token.OR,
+	token.XORASSIGN: token.XOR,
+}
+
+// recognizeReductions finds canonical reduction statements in the
+// innermost body: a top-level `s op= expr` where s is a function-local
+// scalar whose ONLY appearance in the whole nest body is that compound
+// assignment's left-hand side (so no other statement reads or writes the
+// accumulator, and expr itself does not mention it), for an
+// associative-commutative op. Qualifying accumulators get their scalar
+// accesses tagged poly.Access.Reduction, which removes them from the
+// parallelism decision, and are recorded on the SCoP so the transformer
+// can emit reduction clauses.
+//
+// Global accumulators are excluded: the execution backends privatize the
+// accumulator via per-worker frame clones, which global storage does not
+// participate in.
+func (d *detector) recognizeReductions(sc *SCoP, body []ast.Stmt) {
+	uses := map[string]int{}
+	for _, s := range body {
+		for _, id := range ast.Idents(s) {
+			uses[id.Name]++
+		}
+	}
+	for k, s := range body {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		as, ok := es.X.(*ast.AssignExpr)
+		if !ok {
+			continue
+		}
+		op, ok := reductionOps[as.Op]
+		if !ok {
+			continue
+		}
+		id, ok := as.LHS.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		sym := d.info.Ref[id]
+		if sym == nil || sym.Kind == sema.SymGlobal || sym.IsArray() ||
+			sym.Type == nil || sym.Type.IsPtr() {
+			continue
+		}
+		switch sym.Type.Kind {
+		case types.Int:
+			// every recognized op applies
+		case types.Float:
+			if op != token.ADD && op != token.MUL {
+				continue
+			}
+		default:
+			continue
+		}
+		if uses[id.Name] != 1 {
+			// The accumulator is read or written elsewhere in the nest
+			// (or inside its own right-hand side): a real dependence.
+			continue
+		}
+		arr := "scalar:" + id.Name
+		st := sc.Nest.Stmts[k]
+		for i := range st.Writes {
+			if st.Writes[i].Array == arr {
+				st.Writes[i].Reduction = true
+			}
+		}
+		for i := range st.Reads {
+			if st.Reads[i].Array == arr {
+				st.Reads[i].Reduction = true
+			}
+		}
+		sc.Reductions = append(sc.Reductions, Reduction{Var: id.Name, Op: op})
+	}
 }
 
 // isNestParam reports whether name is an integer scalar that is not

@@ -287,3 +287,145 @@ int main(void) {
 		t.Fatalf("scalar write access missing: %v", st.Writes)
 	}
 }
+
+// ----------------------------------------------------------------------------
+// Reduction recognition (PR 3)
+
+func reductionsOf(t *testing.T, src string) ([]Reduction, *Result) {
+	t.Helper()
+	res, _ := detect(t, src)
+	if len(res.Errors) > 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if len(res.SCoPs) != 1 {
+		t.Fatalf("SCoPs: %d (%v)", len(res.SCoPs), res.Rejections)
+	}
+	return res.SCoPs[0].Reductions, res
+}
+
+func TestReductionRecognizedForEveryOp(t *testing.T) {
+	cases := []struct {
+		stmt string
+		op   string
+	}{
+		{"s += f(i)", "+"},
+		{"s *= f(i)", "*"},
+		{"s &= f(i)", "&"},
+		{"s |= f(i)", "|"},
+		{"s ^= f(i)", "^"},
+	}
+	for _, c := range cases {
+		src := `
+int n;
+pure int f(int x) { return x + 1; }
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < n; ++i)
+        ` + c.stmt + `;
+    return s;
+}
+`
+		reds, res := reductionsOf(t, src)
+		if len(reds) != 1 || reds[0].Var != "s" || reds[0].ClauseOp() != c.op {
+			t.Fatalf("%s: reductions = %v", c.stmt, reds)
+		}
+		// The tagged accesses must appear on the statement.
+		st := res.SCoPs[0].Nest.Stmts[0]
+		for _, a := range st.Writes {
+			if a.Array == "scalar:s" && !a.Reduction {
+				t.Fatalf("%s: scalar write not tagged as reduction", c.stmt)
+			}
+		}
+	}
+}
+
+func TestReductionNotRecognized(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		decl string
+	}{
+		{"accumulator read elsewhere", "s += f(i); t = s + 1", "int s = 0; int t = 0;"},
+		{"accumulator in own rhs", "s += s + f(i)", "int s = 0;"},
+		{"plain assignment", "s = s + f(i)", "int s = 0;"},
+		{"subtraction (non-commutative form)", "s -= f(i)", "int s = 0;"},
+		{"two updates of one accumulator", "s += f(i); s += 1", "int s = 0;"},
+	}
+	for _, c := range cases {
+		src := `
+int n;
+pure int f(int x) { return x + 1; }
+int main(void) {
+    ` + c.decl + `
+    for (int i = 0; i < n; ++i) {
+        ` + strings.ReplaceAll(c.body, "; ", ";\n        ") + `;
+    }
+    return 0;
+}
+`
+		res, _ := detect(t, src)
+		if len(res.SCoPs) != 1 {
+			t.Fatalf("%s: SCoPs: %d (%v)", c.name, len(res.SCoPs), res.Rejections)
+		}
+		if n := len(res.SCoPs[0].Reductions); n != 0 {
+			t.Fatalf("%s: recognized %d reductions, want 0", c.name, n)
+		}
+	}
+}
+
+func TestReductionGlobalAccumulatorNotRecognized(t *testing.T) {
+	// Globals cannot be privatized through the frame clone, so they stay
+	// ordinary serializing scalar writes.
+	res, _ := detect(t, `
+int n;
+int g;
+pure int f(int x) { return x + 1; }
+int main(void) {
+    for (int i = 0; i < n; ++i)
+        g += f(i);
+    return g;
+}
+`)
+	if len(res.SCoPs) != 1 {
+		t.Fatalf("SCoPs: %d (%v)", len(res.SCoPs), res.Rejections)
+	}
+	if len(res.SCoPs[0].Reductions) != 0 {
+		t.Fatalf("global accumulator must not be a reduction: %v", res.SCoPs[0].Reductions)
+	}
+}
+
+func TestFloatReductionOnlyAddMul(t *testing.T) {
+	reds, _ := reductionsOf(t, `
+int n;
+pure float f(float x) { return x * 2.0f; }
+float **A;
+int main(void) {
+    float s = 0.0f;
+    for (int i = 0; i < n; ++i)
+        s += f(A[0][i]);
+    return (int)s;
+}
+`)
+	if len(reds) != 1 || reds[0].ClauseOp() != "+" {
+		t.Fatalf("float sum: %v", reds)
+	}
+}
+
+func TestTwoIndependentReductions(t *testing.T) {
+	reds, _ := reductionsOf(t, `
+int n;
+pure int f(int x) { return x + 1; }
+int main(void) {
+    int s = 0;
+    int p = 1;
+    for (int i = 0; i < n; ++i) {
+        s += f(i);
+        p *= 2;
+    }
+    return s + p;
+}
+`)
+	if len(reds) != 2 {
+		t.Fatalf("want 2 reductions, got %v", reds)
+	}
+}

@@ -62,6 +62,14 @@ type LoopReport struct {
 	SkewFactor    int64
 	Tiled         bool
 	Pragma        string
+	// Reductions lists the recognized reduction clauses of the nest
+	// ("+:s" style), mirrored into the emitted pragma.
+	Reductions []string
+	// SerialReason explains, in one human-readable sentence, why the
+	// nest stayed serial (ParallelLevel == -1): a scalar write that is
+	// not a recognized reduction, a carried data dependence, or the
+	// minimum-trip profitability heuristic. Empty for parallel nests.
+	SerialReason string
 }
 
 // Report summarizes a Parallelize run.
@@ -75,6 +83,9 @@ func (r *Report) String() string {
 	for _, l := range r.Loops {
 		fmt.Fprintf(&b, "%s: depth=%d deps=%d parallel@%d skewed=%v tiled=%v %s\n",
 			l.Func, l.Depth, l.Deps, l.ParallelLevel, l.Skewed, l.Tiled, l.Pragma)
+		if l.SerialReason != "" {
+			fmt.Fprintf(&b, "%s: serial: %s\n", l.Func, l.SerialReason)
+		}
 	}
 	return b.String()
 }
@@ -137,22 +148,70 @@ func transformOne(sc *scop.SCoP, opts Options) (LoopReport, error) {
 	// loops whose constant trip count is too small to amortize the
 	// fork/join cost.
 	parIdx := -1
+	tripSuppressed := false
 	for i, l := range gen.Loops {
 		if !l.Parallel {
 			continue
 		}
 		if trip, known := constTrip(l); known && trip < opts.minTrip() {
+			tripSuppressed = true
 			continue
 		}
 		parIdx = i
 		break
 	}
 	lr.ParallelLevel = parIdx
+	for _, r := range sc.Reductions {
+		lr.Reductions = append(lr.Reductions, r.ClauseOp()+":"+r.Var)
+	}
+	if parIdx < 0 {
+		lr.SerialReason = serialReason(deps, tripSuppressed, opts)
+	}
 
 	newLoop, pragma := buildLoops(gen, parIdx, opts, sc)
 	lr.Pragma = pragma
 	replaceStmt(sc.Func.Body, sc.Outer, newLoop)
 	return lr, nil
+}
+
+// serialReason explains why no loop level carries the OpenMP pragma.
+func serialReason(deps []*poly.Dep, tripSuppressed bool, opts Options) string {
+	// A scalar write that did not qualify as a reduction serializes
+	// every level — the most common and most actionable cause, so it is
+	// reported first.
+	scalars := map[string]bool{}
+	arrays := map[string]bool{}
+	for _, d := range deps {
+		if d.Reduction || d.Level == 0 {
+			continue
+		}
+		if name, ok := strings.CutPrefix(d.Array, "scalar:"); ok {
+			scalars[name] = true
+		} else {
+			arrays[d.Array] = true
+		}
+	}
+	if len(scalars) > 0 {
+		return fmt.Sprintf("serialized by scalar write to %s (not a recognized reduction: the accumulator must be a local scalar updated by a single `s op= expr` statement and used nowhere else in the nest)",
+			strings.Join(sortedKeys(scalars), ", "))
+	}
+	if len(arrays) > 0 {
+		return fmt.Sprintf("serialized by loop-carried dependences on %s",
+			strings.Join(sortedKeys(arrays), ", "))
+	}
+	if tripSuppressed {
+		return fmt.Sprintf("parallel loop suppressed: constant trip count below the profitability threshold (%d)", opts.minTrip())
+	}
+	return "no dependence-free loop level"
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // constTrip computes the loop's trip count when all bounds are constant.
@@ -231,7 +290,7 @@ func buildLoops(gen *poly.GenNest, parIdx int, opts Options, sc *scop.SCoP) (ast
 		}
 		var stmts []ast.Stmt
 		if k == parIdx {
-			pragma = ompPragma(gen, k, opts)
+			pragma = ompPragma(gen, k, opts, sc.Reductions)
 			stmts = append(stmts, &ast.PragmaStmt{Text: pragma})
 		} else if k == len(gen.Loops)-1 && l.Vector && l.Parallel && k != parIdx {
 			// SICA-style vectorization hint on the innermost loop.
@@ -249,8 +308,10 @@ func buildLoops(gen *poly.GenNest, parIdx int, opts Options, sc *scop.SCoP) (ast
 
 // ompPragma builds the OpenMP directive for the parallel loop: the inner
 // iterators are listed private, like the lbv/ubv/t2 clause in the paper's
-// Listing 8.
-func ompPragma(gen *poly.GenNest, k int, opts Options) string {
+// Listing 8, and recognized reduction accumulators get a
+// reduction(op:var) clause that the execution backends honor via
+// rt.Team.ParallelForReduce.
+func ompPragma(gen *poly.GenNest, k int, opts Options, reds []scop.Reduction) string {
 	var privates []string
 	for i := k + 1; i < len(gen.Loops); i++ {
 		privates = append(privates, astName(gen.Loops[i].Iter))
@@ -259,6 +320,14 @@ func ompPragma(gen *poly.GenNest, k int, opts Options) string {
 	s := "#pragma omp parallel for"
 	if len(privates) > 0 {
 		s += " private(" + strings.Join(privates, ", ") + ")"
+	}
+	clauses := make([]string, 0, len(reds))
+	for _, r := range reds {
+		clauses = append(clauses, "reduction("+r.ClauseOp()+":"+r.Var+")")
+	}
+	sort.Strings(clauses)
+	for _, c := range clauses {
+		s += " " + c
 	}
 	if opts.Schedule != "" {
 		s += " schedule(" + opts.Schedule + ")"

@@ -200,3 +200,135 @@ func TestReportString(t *testing.T) {
 		t.Fatalf("report: %q", rep.String())
 	}
 }
+
+// ----------------------------------------------------------------------------
+// Reduction pragma + serialization reasons (PR 3)
+
+const reductionSrc = `
+int n;
+pure int square(int x) { return x * x; }
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < n; ++i)
+        s += square(i);
+    return s;
+}
+`
+
+func TestReductionClauseEmitted(t *testing.T) {
+	info, scops := prep(t, reductionSrc)
+	sc := mainSCoP(t, scops)
+	rep, err := Parallelize([]*scop.SCoP{sc}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := rep.Loops[0]
+	if lr.ParallelLevel != 0 {
+		t.Fatalf("reduction nest must parallelize at level 0: %+v", lr)
+	}
+	if !strings.Contains(lr.Pragma, "reduction(+:s)") {
+		t.Fatalf("pragma lacks reduction clause: %q", lr.Pragma)
+	}
+	if len(lr.Reductions) != 1 || lr.Reductions[0] != "+:s" {
+		t.Fatalf("report reductions: %v", lr.Reductions)
+	}
+	out := ast.Print(info.File)
+	if !strings.Contains(out, "reduction(+:s)") {
+		t.Fatalf("transformed source lacks reduction clause:\n%s", out)
+	}
+	// The emitted source must survive the pipeline's re-parse.
+	if _, err := parser.Parse("out.c", out); err != nil {
+		t.Fatalf("transformed source does not reparse: %v\n%s", err, out)
+	}
+}
+
+func TestReductionClauseWithScheduleClause(t *testing.T) {
+	_, scops := prep(t, reductionSrc)
+	sc := mainSCoP(t, scops)
+	rep, err := Parallelize([]*scop.SCoP{sc}, Options{Schedule: "dynamic,1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Loops[0].Pragma
+	if !strings.Contains(p, "reduction(+:s)") || !strings.Contains(p, "schedule(dynamic,1)") {
+		t.Fatalf("pragma: %q", p)
+	}
+}
+
+func TestSerialReasonScalarWrite(t *testing.T) {
+	_, scops := prep(t, `
+int n;
+pure int f(int x) { return x + 1; }
+int main(void) {
+    int s = 0;
+    int u = 0;
+    for (int i = 0; i < n; ++i) {
+        s += f(i);
+        u = s;
+    }
+    return u;
+}
+`)
+	sc := mainSCoP(t, scops)
+	rep, err := Parallelize([]*scop.SCoP{sc}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := rep.Loops[0]
+	if lr.ParallelLevel != -1 {
+		t.Fatalf("nest must be serial: %+v", lr)
+	}
+	if !strings.Contains(lr.SerialReason, "scalar write to") {
+		t.Fatalf("SerialReason = %q", lr.SerialReason)
+	}
+	if !strings.Contains(rep.String(), "serial:") {
+		t.Fatalf("report must render the reason:\n%s", rep.String())
+	}
+}
+
+func TestSerialReasonMinTrip(t *testing.T) {
+	_, scops := prep(t, `
+float A[8];
+int main(void) {
+    for (int i = 0; i < 8; ++i)
+        A[i] = (float)i;
+    return 0;
+}
+`)
+	sc := mainSCoP(t, scops)
+	rep, err := Parallelize([]*scop.SCoP{sc}, Options{}) // default MinParallelTrip = 32
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := rep.Loops[0]
+	if lr.ParallelLevel != -1 {
+		t.Fatalf("8-trip loop must be suppressed: %+v", lr)
+	}
+	if !strings.Contains(lr.SerialReason, "profitability") {
+		t.Fatalf("SerialReason = %q", lr.SerialReason)
+	}
+}
+
+func TestSerialReasonArrayDependence(t *testing.T) {
+	_, scops := prep(t, `
+int n;
+float A[1000];
+int main(void) {
+    for (int i = 1; i < n; ++i)
+        A[i] = A[i - 1] + 1.0f;
+    return 0;
+}
+`)
+	sc := mainSCoP(t, scops)
+	rep, err := Parallelize([]*scop.SCoP{sc}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := rep.Loops[0]
+	if lr.ParallelLevel != -1 {
+		t.Fatalf("recurrence must be serial: %+v", lr)
+	}
+	if !strings.Contains(lr.SerialReason, "dependences on A") {
+		t.Fatalf("SerialReason = %q", lr.SerialReason)
+	}
+}
