@@ -4,17 +4,19 @@
 //
 // Usage:
 //
-//	purebench [-fig all|2|3|...|11|m1|m2|r1] [-cores 1,2,4,8,16,32,64] [-reps 3]
+//	purebench [-fig all|2|3|...|11|m1|m2|r1|k1] [-cores 1,2,4,8,16,32,64] [-reps 3]
 //	          [-matmul-n 160] [-heat-n 160] [-heat-steps 30]
 //	          [-sat-pix 2000] [-sat-bands 12] [-sat-iters 48]
 //	          [-lama-rows 12000] [-lama-nnz 16] [-memo-classes 24]
-//	          [-reduce-n 400000] [-quick]
+//	          [-reduce-n 400000] [-kern-n 65536] [-kern-reps 50] [-quick]
 //
 // Figures m1/m2 are the pure-call memoization scenario (quantized
 // satellite retrieval with and without the shared memo table); figure
 // r1 is the parallel scalar-reduction scenario (quickstart sum and
-// extracted dot kernels, serial vs reduction builds). Both extend the
-// paper's evaluation.
+// extracted dot kernels, serial vs reduction builds); figure k1 is
+// the kernel-fusion A/B (axpy, copy, 1-D stencil and extracted-dot
+// matmul with the fusion engine off and on). All extend the paper's
+// evaluation.
 //
 // Each figure prints as an aligned table: one row per program variant,
 // one column per simulated core count.
@@ -45,6 +47,8 @@ func main() {
 	lamaNNZ := flag.Int("lama-nnz", 0, "ELL non-zeros per row")
 	memoClasses := flag.Int("memo-classes", 0, "distinct argument classes of the memoization scenario")
 	reduceN := flag.Int("reduce-n", 0, "iteration/vector length of the reduction scenario")
+	kernN := flag.Int("kern-n", 0, "vector length of the kernel-fusion scenario (fig k1)")
+	kernReps := flag.Int("kern-reps", 0, "sweeps per run of the kernel-fusion scenario (fig k1)")
 	flag.Parse()
 
 	p := bench.Default()
@@ -75,13 +79,15 @@ func main() {
 	setIf(&p.LamaNNZ, *lamaNNZ)
 	setIf(&p.MemoClasses, *memoClasses)
 	setIf(&p.ReduceN, *reduceN)
+	setIf(&p.KernN, *kernN)
+	setIf(&p.KernReps, *kernReps)
 
 	want := map[string]bool{}
 	if *fig == "all" {
 		for i := 2; i <= 11; i++ {
 			want[strconv.Itoa(i)] = true
 		}
-		want["m1"], want["m2"], want["r1"] = true, true, true
+		want["m1"], want["m2"], want["r1"], want["k1"] = true, true, true, true
 	} else {
 		for _, part := range strings.Split(*fig, ",") {
 			want[strings.ToLower(strings.TrimSpace(part))] = true
@@ -160,6 +166,13 @@ func main() {
 			fatalf("reduction: %v", err)
 		}
 		fmt.Println(d.FigR1().Render())
+	}
+	if want["k1"] {
+		d, err := bench.CollectKernels(p)
+		if err != nil {
+			fatalf("kernels: %v", err)
+		}
+		fmt.Println(d.FigK1())
 	}
 }
 

@@ -11,7 +11,13 @@
 //	-cores N              worker count for parallel regions (default 1)
 //	-seq                  disable parallelization (sequential baseline)
 //	-tile                 enable rectangular tiling (PluTo-SICA analog)
-//	-vectorize            enable fused reduction kernels (SICA SIMD analog)
+//	-vectorize            enable fused reduction kernels everywhere
+//	                      (SICA SIMD analog)
+//	-fuse                 kernel fusion (default on): element-wise
+//	                      affine innermost loops compile to fused
+//	                      segment-walking kernels with one hoisted
+//	                      range check per operand; -fuse=false falls
+//	                      back to per-iteration closure dispatch
 //	-skew                 enable loop shearing when it enables parallelism
 //	-schedule S           OpenMP schedule clause (e.g. dynamic,1)
 //	-memo                 memoize calls of memoizable pure functions
@@ -65,7 +71,8 @@ func main() {
 	cores := flag.Int("cores", 1, "worker count")
 	seq := flag.Bool("seq", false, "disable parallelization")
 	tile := flag.Bool("tile", false, "enable rectangular tiling")
-	vectorize := flag.Bool("vectorize", false, "enable fused reduction kernels")
+	vectorize := flag.Bool("vectorize", false, "enable fused reduction kernels everywhere (SICA SIMD analog)")
+	fuse := flag.Bool("fuse", true, "kernel fusion: compile element-wise affine loops to segment-walking kernels (-fuse=false for closure dispatch)")
 	skew := flag.Bool("skew", false, "enable loop shearing")
 	schedule := flag.String("schedule", "", "OpenMP schedule clause")
 	memoize := flag.Bool("memo", false, "memoize calls of memoizable pure functions")
@@ -101,6 +108,7 @@ func main() {
 			Schedule: *schedule,
 		},
 		Vectorize:    *vectorize,
+		NoFuse:       !*fuse,
 		Memoize:      *memoize,
 		MemoCapacity: *memoCap,
 		Stdout:       os.Stdout,
@@ -149,6 +157,7 @@ func main() {
 		fmt.Printf("verified pure functions: %s\n", strings.Join(sortedNames(art.Pure), ", "))
 		fmt.Printf("memoizable pure functions: %s\n", strings.Join(sortedNames(art.Memoizable), ", "))
 		fmt.Printf("SCoPs: %d\n", art.SCoPs)
+		fmt.Printf("fused kernels: %d\n", prog.FusedKernels())
 		if art.Report != nil {
 			fmt.Print(art.Report.String())
 		}

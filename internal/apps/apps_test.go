@@ -433,3 +433,68 @@ func TestReduceDotParallelizesAndMatchesSerial(t *testing.T) {
 		t.Fatalf("parallel dot %v vs serial %v (rel diff %g)", pv, sv, d)
 	}
 }
+
+// --- Fig K1 kernel workloads ---
+
+// readFVec reads n float cells of a malloc'd global vector.
+func readFVec(t *testing.T, res *core.Result, name string, n int) []float32 {
+	t.Helper()
+	p, err := res.Machine.GlobalPtr(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(p.Add(int64(i)).LoadFloat())
+	}
+	return out
+}
+
+func TestAxpyKernelMatchesReferenceFusedAndDispatch(t *testing.T) {
+	const n, reps = 256, 3
+	defs := KernDefines(n, reps)
+	want := KernRefAxpy(n, reps)
+	for _, noFuse := range []bool{false, true} {
+		res := build(t, AxpySrc, defs, core.Config{NoFuse: noFuse})
+		got := readFVec(t, res, "y", n)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("NoFuse=%v: y[%d] = %v, want %v (must be bit-identical)", noFuse, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStencilKernelMatchesReferenceFusedAndDispatch(t *testing.T) {
+	const n, reps = 128, 2
+	defs := KernDefines(n, reps)
+	want := KernRefStencil(n)
+	for _, noFuse := range []bool{false, true} {
+		res := build(t, StencilSrc, defs, core.Config{NoFuse: noFuse})
+		got := readFVec(t, res, "y", n)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("NoFuse=%v: y[%d] = %v, want %v (must be bit-identical)", noFuse, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatmulKernMatchesReference(t *testing.T) {
+	const n = 24
+	defs := MatmulDefines(n)
+	want := flat(MatmulRef(n))
+	for _, noFuse := range []bool{false, true} {
+		res := build(t, MatmulKernSrc, defs, core.Config{Backend: comp.BackendICC, NoFuse: noFuse})
+		ptr, err := res.Machine.GlobalPtr("C")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := flat(ReadMatrix(ptr, n))
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("NoFuse=%v: C[%d] = %v, want %v (must be bit-identical)", noFuse, i, got[i], want[i])
+			}
+		}
+	}
+}

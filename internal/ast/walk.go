@@ -1,5 +1,7 @@
 package ast
 
+import "purec/internal/token"
+
 // Visitor is invoked by Walk for each node; if the result is false the
 // children of the node are not visited.
 type Visitor func(Node) bool
@@ -169,6 +171,154 @@ func Assignments(n Node) []*AssignExpr {
 		return true
 	})
 	return out
+}
+
+// MinMaxUpdate matches the canonical guarded min/max accumulator
+// update statements:
+//
+//	if (x < m) m = x;            (if-pattern; also with m on the left)
+//	m = x < m ? x : m;           (conditional form; also keep-current)
+//
+// returning the accumulator identifier m (the assignment target), the
+// data expression x, and the direction: token.LSS for a minimum
+// ("replace m when the data is smaller"), token.GTR for a maximum.
+// Only strict comparisons qualify — with <= or >= a tie overwrites the
+// accumulator, which is not the fold the parallel combine performs
+// (observable through float signed zeros). The data expression must be
+// syntactically identical everywhere it appears in the pattern.
+func MinMaxUpdate(s Stmt) (m *Ident, data Expr, dir token.Kind, ok bool) {
+	fail := func() (*Ident, Expr, token.Kind, bool) { return nil, nil, 0, false }
+	switch x := s.(type) {
+	case *IfStmt:
+		if x.Else != nil {
+			return fail()
+		}
+		cond, okC := unparen(x.Cond).(*BinaryExpr)
+		if !okC {
+			return fail()
+		}
+		as := singleAssign(x.Then)
+		if as == nil || as.Op != token.ASSIGN {
+			return fail()
+		}
+		m, okM := unparen(as.LHS).(*Ident)
+		if !okM {
+			return fail()
+		}
+		data, smaller, okD := relAgainst(cond, m.Name)
+		if !okD || PrintExpr(unparen(as.RHS)) != PrintExpr(data) {
+			return fail()
+		}
+		// The if-form takes the data when the condition holds.
+		if smaller {
+			return m, data, token.LSS, true
+		}
+		return m, data, token.GTR, true
+	case *ExprStmt:
+		as, okA := x.X.(*AssignExpr)
+		if !okA || as.Op != token.ASSIGN {
+			return fail()
+		}
+		m, okM := unparen(as.LHS).(*Ident)
+		if !okM {
+			return fail()
+		}
+		ce, okCE := unparen(as.RHS).(*CondExpr)
+		if !okCE {
+			return fail()
+		}
+		cond, okC := unparen(ce.Cond).(*BinaryExpr)
+		if !okC {
+			return fail()
+		}
+		data, smaller, okD := relAgainst(cond, m.Name)
+		if !okD {
+			return fail()
+		}
+		then, els := unparen(ce.Then), unparen(ce.Else)
+		dataS := PrintExpr(data)
+		takeData := false
+		switch {
+		case PrintExpr(then) == dataS && isIdent(els, m.Name):
+			takeData = true // m = cond ? x : m
+		case isIdent(then, m.Name) && PrintExpr(els) == dataS:
+			takeData = false // m = cond ? m : x
+		default:
+			return fail()
+		}
+		// takeData: data replaces m exactly when the condition holds;
+		// otherwise the condition holding keeps m.
+		if takeData == smaller {
+			return m, data, token.LSS, true
+		}
+		return m, data, token.GTR, true
+	}
+	return fail()
+}
+
+// relAgainst interprets a strict comparison with the accumulator name
+// on one side: it returns the other side (the data expression) and
+// whether a true condition means the data is smaller than the
+// accumulator.
+func relAgainst(cond *BinaryExpr, name string) (data Expr, smaller, ok bool) {
+	if cond.Op != token.LSS && cond.Op != token.GTR {
+		return nil, false, false
+	}
+	switch {
+	case isIdent(unparen(cond.X), name) && !mentions(cond.Y, name):
+		// m < x: data larger when true; m > x: data smaller.
+		return cond.Y, cond.Op == token.GTR, true
+	case isIdent(unparen(cond.Y), name) && !mentions(cond.X, name):
+		// x < m: data smaller when true; x > m: data larger.
+		return cond.X, cond.Op == token.LSS, true
+	}
+	return nil, false, false
+}
+
+func isIdent(e Expr, name string) bool {
+	id, ok := unparen(e).(*Ident)
+	return ok && id.Name == name
+}
+
+func mentions(e Expr, name string) bool {
+	found := false
+	Walk(e, func(n Node) bool {
+		if id, ok := n.(*Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// singleAssign unwraps a statement (possibly a one-statement block)
+// into its single assignment expression, nil otherwise.
+func singleAssign(s Stmt) *AssignExpr {
+	if b, ok := s.(*BlockStmt); ok {
+		if len(b.List) != 1 {
+			return nil
+		}
+		s = b.List[0]
+	}
+	es, ok := s.(*ExprStmt)
+	if !ok {
+		return nil
+	}
+	as, ok := es.X.(*AssignExpr)
+	if !ok {
+		return nil
+	}
+	return as
+}
+
+func unparen(e Expr) Expr {
+	for {
+		p, ok := e.(*ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
 }
 
 // RewriteExpr applies f to every expression under n bottom-up, replacing

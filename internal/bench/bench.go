@@ -40,8 +40,12 @@ type Params struct {
 	// ReduceN is the iteration/vector length of the reduction scenario
 	// (Fig. R1: quickstart sum and extracted dot kernels).
 	ReduceN int
-	Cores   []int
-	Reps    int
+	// KernN and KernReps size the Fig K1 element-wise kernels (axpy,
+	// copy, 1-D stencil): vector length and sweep count per run.
+	KernN    int
+	KernReps int
+	Cores    []int
+	Reps     int
 }
 
 // Default returns laptop-scaled parameters preserving the paper's
@@ -60,6 +64,8 @@ func Default() Params {
 		LamaNNZ:     16,
 		MemoClasses: 24,
 		ReduceN:     400000,
+		KernN:       65536,
+		KernReps:    50,
 		Cores:       []int{1, 2, 4, 8, 16, 32, 64},
 		Reps:        3,
 	}
@@ -78,6 +84,8 @@ func Quick() Params {
 		LamaNNZ:     6,
 		MemoClasses: 8,
 		ReduceN:     20000,
+		KernN:       2048,
+		KernReps:    3,
 		Cores:       []int{1, 2, 4},
 		Reps:        1,
 	}

@@ -36,6 +36,7 @@ package comp
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"purec/internal/ast"
 	"purec/internal/mem"
@@ -87,6 +88,14 @@ type Options struct {
 	// MemoShards sets the memo table's lock-stripe count (0 selects
 	// memo.DefaultShards).
 	MemoShards int
+	// NoFuse disables the kernel-fusion engine: element-wise affine
+	// innermost loops (copy, fill, scale, axpy, stencil maps) and the
+	// ICC/Vectorize reduction kernels then run through per-iteration
+	// closure dispatch. Fusion is on by default and bit-identical to
+	// dispatch; the knob exists for A/B measurement (purebench Fig K1)
+	// and as an escape hatch. Compile-relevant: part of the
+	// program-cache key.
+	NoFuse bool
 }
 
 // slotKind is the storage class of a frame slot.
@@ -259,4 +268,25 @@ func (e *RuntimeError) Error() string { return "runtime error: " + e.Msg }
 
 func rtPanic(format string, args ...any) {
 	panic("purec: " + fmt.Sprintf(format, args...))
+}
+
+// addChecked is the compiled pointer-arithmetic path: offset overflow
+// traps as a runtime error instead of wrapping past the int range.
+func addChecked(p mem.Pointer, n int64) mem.Pointer {
+	q, err := p.AddChecked(n)
+	if err != nil {
+		rtPanic("%v", err)
+	}
+	return q
+}
+
+// addScaled is addChecked for p + i element steps of a multi-cell
+// stride: the i·stride product is overflow-checked first, so a wrapped
+// product can never smuggle a small in-range offset past AddChecked.
+// stride is a compile-time constant ≥ 1.
+func addScaled(p mem.Pointer, i, stride int64) mem.Pointer {
+	if stride != 1 && (i > math.MaxInt64/stride || i < math.MinInt64/stride) {
+		rtPanic("pointer arithmetic overflow: %s + %d*%d elements", p, i, stride)
+	}
+	return addChecked(p, i*stride)
 }

@@ -649,14 +649,14 @@ func (fc *funcCompiler) ptr(e ast.Expr) ptrFn {
 			i := fc.integer(x.Y)
 			stride := elemStride(tl.Elem)
 			if x.Op == token.SUB {
-				return func(e *env) mem.Pointer { return p(e).Add(-i(e) * stride) }
+				return func(e *env) mem.Pointer { return addScaled(p(e), -i(e), stride) }
 			}
-			return func(e *env) mem.Pointer { return p(e).Add(i(e) * stride) }
+			return func(e *env) mem.Pointer { return addScaled(p(e), i(e), stride) }
 		case tr.IsPtr() && tl.Kind == types.Int && x.Op == token.ADD:
 			p := fc.ptr(x.Y)
 			i := fc.integer(x.X)
 			stride := elemStride(tr.Elem)
-			return func(e *env) mem.Pointer { return p(e).Add(i(e) * stride) }
+			return func(e *env) mem.Pointer { return addScaled(p(e), i(e), stride) }
 		}
 		fc.errorf(x, "unsupported pointer arithmetic")
 	case *ast.UnaryExpr:
@@ -1035,9 +1035,9 @@ func (fc *funcCompiler) assign(x *ast.AssignExpr) (func(*env), valueFns) {
 			stride := elemStride(tl.Elem)
 			switch bin {
 			case token.ADD:
-				rhs = func(e *env) mem.Pointer { return get(e).Add(r(e) * stride) }
+				rhs = func(e *env) mem.Pointer { return addScaled(get(e), r(e), stride) }
 			case token.SUB:
-				rhs = func(e *env) mem.Pointer { return get(e).Add(-r(e) * stride) }
+				rhs = func(e *env) mem.Pointer { return addScaled(get(e), -r(e), stride) }
 			default:
 				fc.errorf(x, "unsupported compound pointer assignment %s", x.Op)
 			}

@@ -1,0 +1,986 @@
+package comp
+
+// Kernel fusion: canonical innermost loops whose body is one
+// element-wise affine array statement — copy, fill, scale, axpy-style
+// triads, stencil reads, compound assigns, general int/float maps —
+// compile into a single Go kernel that walks the raw memory segments
+// instead of dispatching one closure per iteration per operand.
+//
+// The fused-kernel contract (see README "Kernel fusion"):
+//
+//  1. one hoisted range check per operand per kernel launch — the
+//     mem.Segment Float/IntRange API validates [lo,hi) once and hands
+//     back the raw cell slice, replacing the per-access bounds checks
+//     of the closure backend;
+//  2. iterations execute in ascending order reading and writing
+//     through the same cells as the closure backend, so aliasing
+//     between operands (in-place stencils, overlapping copies)
+//     behaves identically;
+//  3. float arithmetic is float64 with one float32 rounding at the
+//     store exactly when the stored C type is 4 bytes — bit-identical
+//     to the closure backend and the interp oracle.
+//
+// Recognition is table-driven: the loop body compiles to a small
+// postfix tape over operand loads, hoisted invariants and the
+// iterator; a shape table then replaces the common tapes (fill, copy,
+// scale, triad) by specialized loops and everything else runs on the
+// generic tape walker, still with raw-slice operands.
+
+import (
+	"purec/internal/ast"
+	"purec/internal/sema"
+	"purec/internal/token"
+	"purec/internal/types"
+)
+
+// kernRun executes iterations [lo, hi] (inclusive) of a fused loop.
+// Parallel regions call it once per chunk; sequential loops once.
+type kernRun func(e *env, lo, hi int64)
+
+// kAccess is one array operand of a fused kernel: an
+// iterator-invariant base pointer and offset (evaluated once per
+// launch) plus a constant iterator stride (walked per iteration).
+type kAccess struct {
+	base   ptrFn
+	off    intFn // loop-invariant offset, nil means 0
+	stride int64 // constant iterator coefficient, 0 = invariant access
+	float  bool
+	f32    bool // stored C type is 4 bytes (float32 rounding at stores)
+}
+
+// tape opcodes. The tape is the postfix form of the loop body's
+// right-hand side; float and int tapes share the arithmetic opcodes.
+const (
+	opLoad  uint8 = iota // push loads[arg] at the current iteration
+	opInv                // push invariant arg (invF/invI)
+	opIter               // push the iterator value (int tape)
+	opIterF              // push float64(iterator) (float tape)
+	opAdd
+	opSub
+	opMul
+	opQuo
+	opRem // int only
+	opAnd // int only
+	opOr  // int only
+	opXor // int only
+	opShl // int only
+	opShr // int only
+	opNeg
+	opNot // int only (~)
+)
+
+type kOp struct {
+	code uint8
+	arg  int
+}
+
+// fusedKernel is a fully recognized fusible loop body before emission.
+type fusedKernel struct {
+	store kAccess
+	loads []kAccess
+	invF  []fltFn
+	invI  []intFn
+	tape  []kOp
+	float bool // element kind of the store (and of every load)
+	depth int  // maximum tape stack depth
+}
+
+// maxTapeDepth bounds the fixed evaluation stack of the tape walker.
+const maxTapeDepth = 16
+
+// ----------------------------------------------------------------------------
+// Recognition
+
+// tryFuseLoop recognizes a canonical innermost loop with an
+// element-wise affine body and returns its chunk kernel; nil when the
+// loop does not fuse (the caller falls back to closure dispatch).
+func (fc *funcCompiler) tryFuseLoop(x *ast.ForStmt) (canonicalLoop, kernRun) {
+	cl, ok := fc.canonical(x)
+	if !ok || !fc.hoistableBounds(cl) {
+		return cl, nil
+	}
+	stmt := singleStmt(cl.body)
+	if stmt == nil {
+		return cl, nil
+	}
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return cl, nil
+	}
+	as, ok := es.X.(*ast.AssignExpr)
+	if !ok {
+		return cl, nil
+	}
+	store, ok := fc.matchKAccess(as.LHS, cl.iterSym)
+	if !ok || store.stride < 1 {
+		// Invariant stores are loop-carried reductions, handled by the
+		// reduction kernels of vector.go.
+		return cl, nil
+	}
+	k := &fusedKernel{store: store, float: store.float}
+	if bin, compound := as.Op.AssignBinOp(); compound {
+		// Y[i] op= rhs  ≡  Y[i] = Y[i] op rhs, with the load walking
+		// the same cells as the store.
+		load := store
+		k.loads = append(k.loads, load)
+		k.push(kOp{code: opLoad, arg: 0})
+		if !fc.buildTape(k, as.RHS, cl.iterSym) {
+			return cl, nil
+		}
+		op, ok := tapeOp(bin, k.float)
+		if !ok {
+			return cl, nil
+		}
+		k.push(kOp{code: op})
+	} else {
+		if !fc.buildTape(k, as.RHS, cl.iterSym) {
+			return cl, nil
+		}
+	}
+	if k.depth > maxTapeDepth {
+		return cl, nil
+	}
+	return cl, fc.emitFused(k)
+}
+
+// seqKernelStmt wraps a chunk kernel for plain sequential execution:
+// evaluate the bounds once, run the whole range, and leave the
+// dispatch loop's post-loop iterator value (the first failing
+// iteration) in the slot.
+func seqKernelStmt(cl canonicalLoop, kern kernRun) stmtFn {
+	iterSlot := cl.iterSlot
+	lower, upper := cl.lower, cl.upper
+	return func(e *env) ctrl {
+		lo, hi := lower(e), upper(e)
+		kern(e, lo, hi)
+		if hi < lo {
+			e.I[iterSlot] = lo
+		} else {
+			e.I[iterSlot] = hi + 1
+		}
+		return ctrlNext
+	}
+}
+
+// hoistableBounds reports whether the loop bounds can be evaluated
+// once per launch: a sequential dispatch loop re-evaluates the upper
+// bound every iteration, so fusion requires it to be invariant and
+// effect-free (the lower bound runs once in both schemes but must not
+// trap differently, so it gets the same test).
+func (fc *funcCompiler) hoistableBounds(cl canonicalLoop) bool {
+	return fc.hoistable(cl.lowerX, cl.iterSym) && fc.hoistable(cl.upperX, cl.iterSym)
+}
+
+// push appends a tape op, tracking the stack depth.
+func (k *fusedKernel) push(op kOp) {
+	k.tape = append(k.tape, op)
+	d := 0
+	for _, o := range k.tape {
+		switch o.code {
+		case opLoad, opInv, opIter, opIterF:
+			d++
+			if d > k.depth {
+				k.depth = d
+			}
+		case opNeg, opNot:
+			// unary: depth unchanged
+		default:
+			d--
+		}
+	}
+}
+
+// tapeOp maps a binary operator token to its tape opcode for the
+// element kind.
+func tapeOp(op token.Kind, float bool) (uint8, bool) {
+	switch op {
+	case token.ADD:
+		return opAdd, true
+	case token.SUB:
+		return opSub, true
+	case token.MUL:
+		return opMul, true
+	case token.QUO:
+		return opQuo, true
+	}
+	if float {
+		return 0, false
+	}
+	switch op {
+	case token.REM:
+		return opRem, true
+	case token.AND:
+		return opAnd, true
+	case token.OR:
+		return opOr, true
+	case token.XOR:
+		return opXor, true
+	case token.SHL:
+		return opShl, true
+	case token.SHR:
+		return opShr, true
+	}
+	return 0, false
+}
+
+// buildTape compiles e into postfix tape ops of the kernel's element
+// kind. Whole loop-invariant subexpressions hoist into one evaluation
+// per launch; affine array accesses become raw-slice loads; the
+// iterator itself is a leaf. Anything else (calls, gathers, casts,
+// mixed-kind subtrees that vary with the iterator) rejects the loop.
+func (fc *funcCompiler) buildTape(k *fusedKernel, e ast.Expr, iter *sema.Symbol) bool {
+	e = stripParens(e)
+	if fc.hoistable(e, iter) {
+		// Invariant leaf: any effect-free scalar expression, evaluated
+		// once per launch. fc.num converts invariant int subtrees in
+		// float context exactly like the closure backend does.
+		t := fc.prog.info.ExprType[e]
+		if t == nil || (t.Kind != types.Int && t.Kind != types.Float) {
+			return false
+		}
+		if k.float {
+			k.push(kOp{code: opInv, arg: len(k.invF)})
+			k.invF = append(k.invF, fc.num(e))
+		} else {
+			if t.Kind != types.Int {
+				return false
+			}
+			k.push(kOp{code: opInv, arg: len(k.invI)})
+			k.invI = append(k.invI, fc.integer(e))
+		}
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if fc.prog.info.Ref[x] != iter {
+			return false
+		}
+		if k.float {
+			k.push(kOp{code: opIterF})
+		} else {
+			k.push(kOp{code: opIter})
+		}
+		return true
+	case *ast.IndexExpr:
+		acc, ok := fc.matchKAccess(x, iter)
+		if !ok || acc.float != k.float {
+			return false
+		}
+		k.push(kOp{code: opLoad, arg: len(k.loads)})
+		k.loads = append(k.loads, acc)
+		return true
+	case *ast.BinaryExpr:
+		op, ok := tapeOp(x.Op, k.float)
+		if !ok {
+			return false
+		}
+		// The node's own C type must match the tape kind: an int-typed
+		// subtree that varies with the iterator (e.g. i/2 stored to a
+		// float array) computes in integer arithmetic in the closure
+		// backend — evaluating it with float ops would diverge.
+		t := fc.prog.info.ExprType[e]
+		if t == nil || (k.float && t.Kind != types.Float) || (!k.float && t.Kind != types.Int) {
+			return false
+		}
+		if k.float {
+			// Both operand subtrees must be float-typed or reduce to
+			// invariant/iterator leaves the float tape can represent.
+			if !fc.floatTapeOperand(x.X, iter) || !fc.floatTapeOperand(x.Y, iter) {
+				return false
+			}
+		}
+		if !fc.buildTape(k, x.X, iter) || !fc.buildTape(k, x.Y, iter) {
+			return false
+		}
+		k.push(kOp{code: op})
+		return true
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.SUB:
+			if !fc.buildTape(k, x.X, iter) {
+				return false
+			}
+			k.push(kOp{code: opNeg})
+			return true
+		case token.TILDE:
+			if k.float || !fc.buildTape(k, x.X, iter) {
+				return false
+			}
+			k.push(kOp{code: opNot})
+			return true
+		}
+	}
+	return false
+}
+
+// floatTapeOperand reports whether e can be a float-tape subtree: a
+// float-typed expression, or an int-typed leaf the tape converts (the
+// iterator, or an invariant expression routed through fc.num).
+func (fc *funcCompiler) floatTapeOperand(e ast.Expr, iter *sema.Symbol) bool {
+	e = stripParens(e)
+	t := fc.prog.info.ExprType[e]
+	if t == nil {
+		return false
+	}
+	if t.Kind == types.Float {
+		return true
+	}
+	if t.Kind != types.Int {
+		return false
+	}
+	if id, ok := e.(*ast.Ident); ok && fc.prog.info.Ref[id] == iter {
+		return true
+	}
+	return fc.hoistable(e, iter)
+}
+
+// hoistable reports whether e is loop-invariant, effect-free and free
+// of memory reads, so evaluating it once per kernel launch cannot be
+// observed even when the fused store aliases other arrays. Scalar
+// variables qualify (the single array-store body cannot modify frame
+// or global scalar slots); array loads do not (the store may alias
+// them).
+func (fc *funcCompiler) hoistable(e ast.Expr, iter *sema.Symbol) bool {
+	ok := true
+	ast.Walk(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			sym := fc.prog.info.Ref[x]
+			if sym == nil || sym == iter || sym.IsArray() ||
+				sym.Type == nil || sym.Type.Kind == types.Ptr || sym.Type.Kind == types.Struct {
+				ok = false
+			}
+		case *ast.IntLit, *ast.FloatLit, *ast.CharLit, *ast.ParenExpr, *ast.SizeofExpr:
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+				token.AND, token.OR, token.XOR, token.SHL, token.SHR:
+			default:
+				ok = false
+			}
+		case *ast.UnaryExpr:
+			if x.Op != token.SUB && x.Op != token.TILDE {
+				ok = false
+			}
+		default:
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// effectFree reports whether evaluating e cannot write any state —
+// required of operand base expressions, which hoist to one evaluation
+// per launch.
+func (fc *funcCompiler) effectFree(e ast.Expr) bool {
+	ok := true
+	ast.Walk(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignExpr, *ast.PostfixExpr, *ast.CallExpr:
+			ok = false
+		case *ast.UnaryExpr:
+			if x.Op == token.INC || x.Op == token.DEC {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// matchKAccess matches an affine scalar array access against the loop
+// iterator: a declared array fully indexed with affine subscripts, or
+// a pointer expression indexed by one affine subscript. The result
+// decomposes the flat cell index as stride*iter + offset with a
+// constant stride ≥ 0 and a hoisted invariant offset.
+func (fc *funcCompiler) matchKAccess(e ast.Expr, iter *sema.Symbol) (kAccess, bool) {
+	x, ok := stripParens(e).(*ast.IndexExpr)
+	if !ok {
+		return kAccess{}, false
+	}
+	t := fc.prog.info.ExprType[e]
+	if t == nil || (t.Kind != types.Int && t.Kind != types.Float) {
+		return kAccess{}, false
+	}
+	// Declared (possibly multi-dimensional) array, fully subscripted:
+	// row-major flattening with per-dimension strides.
+	subs, base := collectSubs(x)
+	if id, okID := base.(*ast.Ident); okID {
+		if sym := fc.prog.info.Ref[id]; sym != nil && sym.IsArray() {
+			if len(subs) != len(sym.Dims) {
+				return kAccess{}, false
+			}
+			acc := kAccess{
+				base:  fc.ptr(id),
+				float: t.Kind == types.Float,
+				f32:   t.Kind == types.Float && t.CSize == 4,
+			}
+			dimStride := int64(1)
+			var offs []intFn
+			for d := len(subs) - 1; d >= 0; d-- {
+				coef, inv, okA := fc.affineInIter(subs[d], iter)
+				if !okA {
+					return kAccess{}, false
+				}
+				acc.stride += coef * dimStride
+				if inv != nil {
+					offs = append(offs, scaleIntFn(inv, dimStride))
+				}
+				dimStride *= int64(sym.Dims[d])
+			}
+			acc.off = sumIntFns(offs)
+			if acc.stride < 0 {
+				return kAccess{}, false
+			}
+			return acc, true
+		}
+	}
+	// General chain: pointer base, single affine subscript over scalar
+	// elements. The base must be invariant and effect-free — it hoists
+	// to one evaluation (fused stores write int/float cells, so they
+	// can never modify the pointer cells the base may load from).
+	bt := fc.prog.info.ExprType[x.X]
+	if bt == nil || !bt.IsPtr() || bt.Elem == nil || elemStride(bt.Elem) != 1 {
+		return kAccess{}, false
+	}
+	if bt.Elem.Kind != types.Int && bt.Elem.Kind != types.Float {
+		return kAccess{}, false
+	}
+	if fc.usesSym(x.X, iter) || !fc.effectFree(x.X) {
+		return kAccess{}, false
+	}
+	coef, inv, okA := fc.affineInIter(x.Index, iter)
+	if !okA || coef < 0 {
+		return kAccess{}, false
+	}
+	return kAccess{
+		base:   fc.ptr(x.X),
+		off:    inv,
+		stride: coef,
+		float:  bt.Elem.Kind == types.Float,
+		f32:    bt.Elem.Kind == types.Float && bt.Elem.CSize == 4,
+	}, true
+}
+
+// affineInIter decomposes an integer expression as coef*iter + inv
+// with a compile-time constant coef and a hoistable invariant inv
+// (nil = 0). It accepts sums, differences and constant multiples of
+// the iterator — i, i+c, c+i, i-c, 2*i, i*3, 2*i+c, N-1-i (negative
+// coefficients are decomposed correctly and rejected by the callers).
+func (fc *funcCompiler) affineInIter(e ast.Expr, iter *sema.Symbol) (int64, intFn, bool) {
+	e = stripParens(e)
+	if id, ok := e.(*ast.Ident); ok && fc.prog.info.Ref[id] == iter {
+		return 1, nil, true
+	}
+	if fc.hoistable(e, iter) {
+		t := fc.prog.info.ExprType[e]
+		if t == nil || t.Kind != types.Int {
+			return 0, nil, false
+		}
+		return 0, fc.integer(e), true
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.ADD:
+			ca, ia, oka := fc.affineInIter(x.X, iter)
+			cb, ib, okb := fc.affineInIter(x.Y, iter)
+			if !oka || !okb {
+				return 0, nil, false
+			}
+			return ca + cb, addIntFns(ia, ib), true
+		case token.SUB:
+			ca, ia, oka := fc.affineInIter(x.X, iter)
+			cb, ib, okb := fc.affineInIter(x.Y, iter)
+			if !oka || !okb {
+				return 0, nil, false
+			}
+			return ca - cb, subIntFns(ia, ib), true
+		case token.MUL:
+			if c, ok := sema.ConstInt(x.X); ok {
+				cb, ib, okb := fc.affineInIter(x.Y, iter)
+				if !okb {
+					return 0, nil, false
+				}
+				return c * cb, scaleIntFn(ib, c), true
+			}
+			if c, ok := sema.ConstInt(x.Y); ok {
+				ca, ia, oka := fc.affineInIter(x.X, iter)
+				if !oka {
+					return 0, nil, false
+				}
+				return c * ca, scaleIntFn(ia, c), true
+			}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB {
+			c, i, ok := fc.affineInIter(x.X, iter)
+			if !ok {
+				return 0, nil, false
+			}
+			return -c, scaleIntFn(i, -1), true
+		}
+	}
+	return 0, nil, false
+}
+
+// Invariant-offset closure algebra (nil means the constant 0).
+
+func sumIntFns(fns []intFn) intFn {
+	var out intFn
+	for _, f := range fns {
+		out = addIntFns(out, f)
+	}
+	return out
+}
+
+func addIntFns(a, b intFn) intFn {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return func(e *env) int64 { return a(e) + b(e) }
+}
+
+func subIntFns(a, b intFn) intFn {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		return func(e *env) int64 { return -b(e) }
+	}
+	return func(e *env) int64 { return a(e) - b(e) }
+}
+
+func scaleIntFn(a intFn, c int64) intFn {
+	if a == nil || c == 0 {
+		return nil
+	}
+	if c == 1 {
+		return a
+	}
+	return func(e *env) int64 { return a(e) * c }
+}
+
+// ----------------------------------------------------------------------------
+// Emission
+
+// kslice is one prepared operand: the checked raw cells plus the
+// per-iteration stride within them.
+type kslice struct {
+	f      []float64
+	i      []int64
+	stride int
+}
+
+// prep performs the hoisted per-launch work of one operand: evaluate
+// base and offset once, run the single range check, hand back the raw
+// cells. Violations trap as runtime errors exactly like the
+// per-access checks of the closure backend.
+func (a *kAccess) prep(e *env, lo, hi int64) kslice {
+	p := a.base(e)
+	if p.IsNull() {
+		rtPanic("null pointer operand in fused loop")
+	}
+	off := int64(p.Off)
+	if a.off != nil {
+		off += a.off(e)
+	}
+	first := off + a.stride*lo
+	last := off + a.stride*hi
+	var s kslice
+	s.stride = int(a.stride)
+	if a.float {
+		xs, err := p.Seg.FloatRange(first, last+1)
+		if err != nil {
+			rtPanic("%v", err)
+		}
+		s.f = xs
+	} else {
+		xs, err := p.Seg.IntRange(first, last+1)
+		if err != nil {
+			rtPanic("%v", err)
+		}
+		s.i = xs
+	}
+	return s
+}
+
+// kframe is the per-launch state of a fused kernel after hoisting.
+type kframe struct {
+	n     int
+	dst   kslice
+	f32   bool
+	loads []kslice
+	invF  []float64
+	invI  []int64
+	lo    int64
+}
+
+// prep hoists everything loop-invariant: operand ranges (one check
+// each), invariant scalars, the store rounding mode.
+func (k *fusedKernel) prepFrame(e *env, lo, hi int64) kframe {
+	fr := kframe{n: int(hi - lo + 1), lo: lo, f32: k.store.f32}
+	fr.dst = k.store.prep(e, lo, hi)
+	fr.loads = make([]kslice, len(k.loads))
+	for i := range k.loads {
+		fr.loads[i] = k.loads[i].prep(e, lo, hi)
+	}
+	if len(k.invF) > 0 {
+		fr.invF = make([]float64, len(k.invF))
+		for i, f := range k.invF {
+			fr.invF[i] = f(e)
+		}
+	}
+	if len(k.invI) > 0 {
+		fr.invI = make([]int64, len(k.invI))
+		for i, f := range k.invI {
+			fr.invI[i] = f(e)
+		}
+	}
+	return fr
+}
+
+// emitFused selects the kernel body: a specialized loop for the common
+// shapes, the generic tape walker otherwise.
+func (fc *funcCompiler) emitFused(k *fusedKernel) kernRun {
+	for _, sh := range kernelShapes {
+		if r := sh.emit(k); r != nil {
+			return r
+		}
+	}
+	if k.float {
+		return k.genericFloat()
+	}
+	return k.genericInt()
+}
+
+// kernelShape is one entry of the table-driven emitter: match the
+// kernel's tape, return a specialized loop (nil = no match).
+type kernelShape struct {
+	name string
+	emit func(k *fusedKernel) kernRun
+}
+
+// kernelShapes is ordered most-specific first; the generic tape walker
+// is the fallback and not listed.
+var kernelShapes = []kernelShape{
+	{"fill", emitFill},
+	{"copy", emitCopy},
+	{"scale", emitScale},
+	{"triad", emitTriad},
+}
+
+// tapeIs matches the kernel tape against an opcode signature.
+func (k *fusedKernel) tapeIs(codes ...uint8) bool {
+	if len(k.tape) != len(codes) {
+		return false
+	}
+	for i, c := range codes {
+		if k.tape[i].code != c {
+			return false
+		}
+	}
+	return true
+}
+
+// emitFill handles Y[i] = inv.
+func emitFill(k *fusedKernel) kernRun {
+	if !k.tapeIs(opInv) {
+		return nil
+	}
+	if k.float {
+		return func(e *env, lo, hi int64) {
+			if hi < lo {
+				return
+			}
+			fr := k.prepFrame(e, lo, hi)
+			v := fr.invF[0]
+			if fr.f32 {
+				v = float64(float32(v))
+			}
+			dst, ds := fr.dst.f, fr.dst.stride
+			for t, c := 0, 0; t < fr.n; t, c = t+1, c+ds {
+				dst[c] = v
+			}
+		}
+	}
+	return func(e *env, lo, hi int64) {
+		if hi < lo {
+			return
+		}
+		fr := k.prepFrame(e, lo, hi)
+		v := fr.invI[0]
+		dst, ds := fr.dst.i, fr.dst.stride
+		for t, c := 0, 0; t < fr.n; t, c = t+1, c+ds {
+			dst[c] = v
+		}
+	}
+}
+
+// emitCopy handles Y[i] = X[i] (same element kind; the explicit
+// ascending loop keeps overlapping in-segment copies bit-identical to
+// the closure backend, unlike a memmove).
+func emitCopy(k *fusedKernel) kernRun {
+	if !k.tapeIs(opLoad) {
+		return nil
+	}
+	if k.float {
+		return func(e *env, lo, hi int64) {
+			if hi < lo {
+				return
+			}
+			fr := k.prepFrame(e, lo, hi)
+			dst, ds := fr.dst.f, fr.dst.stride
+			src, ss := fr.loads[0].f, fr.loads[0].stride
+			if fr.f32 {
+				for t, c, s := 0, 0, 0; t < fr.n; t, c, s = t+1, c+ds, s+ss {
+					dst[c] = float64(float32(src[s]))
+				}
+				return
+			}
+			for t, c, s := 0, 0, 0; t < fr.n; t, c, s = t+1, c+ds, s+ss {
+				dst[c] = src[s]
+			}
+		}
+	}
+	return func(e *env, lo, hi int64) {
+		if hi < lo {
+			return
+		}
+		fr := k.prepFrame(e, lo, hi)
+		dst, ds := fr.dst.i, fr.dst.stride
+		src, ss := fr.loads[0].i, fr.loads[0].stride
+		for t, c, s := 0, 0, 0; t < fr.n; t, c, s = t+1, c+ds, s+ss {
+			dst[c] = src[s]
+		}
+	}
+}
+
+// emitScale handles Y[i] = a * X[i] (either operand order).
+func emitScale(k *fusedKernel) kernRun {
+	if !k.tapeIs(opInv, opLoad, opMul) && !k.tapeIs(opLoad, opInv, opMul) {
+		return nil
+	}
+	if k.float {
+		return func(e *env, lo, hi int64) {
+			if hi < lo {
+				return
+			}
+			fr := k.prepFrame(e, lo, hi)
+			a := fr.invF[0]
+			dst, ds := fr.dst.f, fr.dst.stride
+			src, ss := fr.loads[0].f, fr.loads[0].stride
+			if fr.f32 {
+				for t, c, s := 0, 0, 0; t < fr.n; t, c, s = t+1, c+ds, s+ss {
+					dst[c] = float64(float32(a * src[s]))
+				}
+				return
+			}
+			for t, c, s := 0, 0, 0; t < fr.n; t, c, s = t+1, c+ds, s+ss {
+				dst[c] = a * src[s]
+			}
+		}
+	}
+	return func(e *env, lo, hi int64) {
+		if hi < lo {
+			return
+		}
+		fr := k.prepFrame(e, lo, hi)
+		a := fr.invI[0]
+		dst, ds := fr.dst.i, fr.dst.stride
+		src, ss := fr.loads[0].i, fr.loads[0].stride
+		for t, c, s := 0, 0, 0; t < fr.n; t, c, s = t+1, c+ds, s+ss {
+			dst[c] = a * src[s]
+		}
+	}
+}
+
+// emitTriad handles the axpy family Y[i] = a*X[i] + Z[i] in its
+// add-commuted operand orders (float addition and multiplication are
+// exactly commutative, so one loop serves all of them). Compound
+// Y[i] += a*X[i] desugars to the Z=Y instance.
+func emitTriad(k *fusedKernel) kernRun {
+	var x, z int // load indices of the scaled and added operands
+	switch {
+	case k.tapeIs(opInv, opLoad, opMul, opLoad, opAdd):
+		x, z = 0, 1
+	case k.tapeIs(opLoad, opInv, opMul, opLoad, opAdd):
+		x, z = 0, 1
+	case k.tapeIs(opLoad, opInv, opLoad, opMul, opAdd):
+		z, x = 0, 1
+	case k.tapeIs(opLoad, opLoad, opInv, opMul, opAdd):
+		z, x = 0, 1
+	default:
+		return nil
+	}
+	if k.float {
+		return func(e *env, lo, hi int64) {
+			if hi < lo {
+				return
+			}
+			fr := k.prepFrame(e, lo, hi)
+			a := fr.invF[0]
+			dst, ds := fr.dst.f, fr.dst.stride
+			xs, xss := fr.loads[x].f, fr.loads[x].stride
+			zs, zss := fr.loads[z].f, fr.loads[z].stride
+			if fr.f32 {
+				for t, c, xi, zi := 0, 0, 0, 0; t < fr.n; t, c, xi, zi = t+1, c+ds, xi+xss, zi+zss {
+					dst[c] = float64(float32(a*xs[xi] + zs[zi]))
+				}
+				return
+			}
+			for t, c, xi, zi := 0, 0, 0, 0; t < fr.n; t, c, xi, zi = t+1, c+ds, xi+xss, zi+zss {
+				dst[c] = a*xs[xi] + zs[zi]
+			}
+		}
+	}
+	return func(e *env, lo, hi int64) {
+		if hi < lo {
+			return
+		}
+		fr := k.prepFrame(e, lo, hi)
+		a := fr.invI[0]
+		dst, ds := fr.dst.i, fr.dst.stride
+		xs, xss := fr.loads[x].i, fr.loads[x].stride
+		zs, zss := fr.loads[z].i, fr.loads[z].stride
+		for t, c, xi, zi := 0, 0, 0, 0; t < fr.n; t, c, xi, zi = t+1, c+ds, xi+xss, zi+zss {
+			dst[c] = a*xs[xi] + zs[zi]
+		}
+	}
+}
+
+// genericFloat is the tape walker for float kernels: a tight postfix
+// evaluation over raw slices, no closure dispatch.
+func (k *fusedKernel) genericFloat() kernRun {
+	tape := k.tape
+	return func(e *env, lo, hi int64) {
+		if hi < lo {
+			return
+		}
+		fr := k.prepFrame(e, lo, hi)
+		cur := make([]int, len(fr.loads))
+		var st [maxTapeDepth]float64
+		dst, ds := fr.dst.f, fr.dst.stride
+		di := 0
+		for t := 0; t < fr.n; t++ {
+			sp := 0
+			for _, op := range tape {
+				switch op.code {
+				case opLoad:
+					st[sp] = fr.loads[op.arg].f[cur[op.arg]]
+					sp++
+				case opInv:
+					st[sp] = fr.invF[op.arg]
+					sp++
+				case opIterF:
+					st[sp] = float64(fr.lo + int64(t))
+					sp++
+				case opAdd:
+					sp--
+					st[sp-1] += st[sp]
+				case opSub:
+					sp--
+					st[sp-1] -= st[sp]
+				case opMul:
+					sp--
+					st[sp-1] *= st[sp]
+				case opQuo:
+					sp--
+					st[sp-1] /= st[sp]
+				case opNeg:
+					st[sp-1] = -st[sp-1]
+				}
+			}
+			v := st[0]
+			if fr.f32 {
+				v = float64(float32(v))
+			}
+			dst[di] = v
+			di += ds
+			for j := range cur {
+				cur[j] += fr.loads[j].stride
+			}
+		}
+	}
+}
+
+// genericInt is the tape walker for integer kernels. Division and
+// modulo trap on zero divisors with the closure backend's messages.
+func (k *fusedKernel) genericInt() kernRun {
+	tape := k.tape
+	return func(e *env, lo, hi int64) {
+		if hi < lo {
+			return
+		}
+		fr := k.prepFrame(e, lo, hi)
+		cur := make([]int, len(fr.loads))
+		var st [maxTapeDepth]int64
+		dst, ds := fr.dst.i, fr.dst.stride
+		di := 0
+		for t := 0; t < fr.n; t++ {
+			sp := 0
+			for _, op := range tape {
+				switch op.code {
+				case opLoad:
+					st[sp] = fr.loads[op.arg].i[cur[op.arg]]
+					sp++
+				case opInv:
+					st[sp] = fr.invI[op.arg]
+					sp++
+				case opIter:
+					st[sp] = fr.lo + int64(t)
+					sp++
+				case opAdd:
+					sp--
+					st[sp-1] += st[sp]
+				case opSub:
+					sp--
+					st[sp-1] -= st[sp]
+				case opMul:
+					sp--
+					st[sp-1] *= st[sp]
+				case opQuo:
+					sp--
+					if st[sp] == 0 {
+						rtPanic("integer division by zero")
+					}
+					st[sp-1] /= st[sp]
+				case opRem:
+					sp--
+					if st[sp] == 0 {
+						rtPanic("integer modulo by zero")
+					}
+					st[sp-1] %= st[sp]
+				case opAnd:
+					sp--
+					st[sp-1] &= st[sp]
+				case opOr:
+					sp--
+					st[sp-1] |= st[sp]
+				case opXor:
+					sp--
+					st[sp-1] ^= st[sp]
+				case opShl:
+					sp--
+					st[sp-1] <<= uint(st[sp])
+				case opShr:
+					sp--
+					st[sp-1] >>= uint(st[sp])
+				case opNeg:
+					st[sp-1] = -st[sp-1]
+				case opNot:
+					st[sp-1] = ^st[sp-1]
+				}
+			}
+			dst[di] = st[0]
+			di += ds
+			for j := range cur {
+				cur[j] += fr.loads[j].stride
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package comp
+
+import (
+	"testing"
+
+	"purec/internal/parser"
+	"purec/internal/sema"
+)
+
+// Native microbenchmarks for the hot paths the fusion engine targets,
+// committed as an in-repo baseline for future perf PRs:
+//
+//	go test ./internal/comp -bench 'Dispatch|Fused' -run xxx
+//
+// BenchmarkDispatchLoop and BenchmarkFusedAxpy run the same axpy
+// program with the engine off and on; BenchmarkFusedMatmul does the
+// same for the extracted-dot matrix multiplication (the reduction
+// kernel family).
+
+const benchAxpySrc = `
+float x[4096], y[4096];
+void setup(void) {
+    for (int i = 0; i < 4096; i++) {
+        x[i] = (float)(i % 13) * 0.25f;
+        y[i] = (float)(i % 7) * 0.5f;
+    }
+}
+int run(void) {
+    float a = 1.5f;
+    for (int i = 0; i < 4096; i++)
+        y[i] = a * x[i] + y[i];
+    return 0;
+}
+int main(void) { setup(); return run(); }
+`
+
+const benchMatmulSrc = `
+float A[48][48], Bt[48][48], C[48][48];
+void setup(void) {
+    for (int i = 0; i < 48; i++)
+        for (int j = 0; j < 48; j++) {
+            A[i][j] = (float)((i + j) % 13) * 0.25f;
+            Bt[i][j] = (float)((i - j) % 7) * 0.5f;
+        }
+}
+pure float dot(pure float* a, pure float* b, int size) {
+    float res = 0.0f;
+    for (int k = 0; k < size; ++k)
+        res += a[k] * b[k];
+    return res;
+}
+int run(void) {
+    for (int i = 0; i < 48; ++i)
+        for (int j = 0; j < 48; ++j)
+            C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], 48);
+    return 0;
+}
+int main(void) { setup(); return run(); }
+`
+
+func benchProgram(b *testing.B, src string, opts Options) *Machine {
+	b.Helper()
+	f, err := parser.Parse("b.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := Compile(info, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.CallInt("setup"); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchEntry(b *testing.B, m *Machine) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CallInt("run"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispatchLoop is the closure-dispatch baseline: one closure
+// call per iteration per operand of the axpy loop.
+func BenchmarkDispatchLoop(b *testing.B) {
+	benchEntry(b, benchProgram(b, benchAxpySrc, Options{NoFuse: true}))
+}
+
+// BenchmarkFusedAxpy runs the same loop as one fused triad kernel.
+func BenchmarkFusedAxpy(b *testing.B) {
+	m := benchProgram(b, benchAxpySrc, Options{})
+	if m.Program().FusedKernels() < 1 {
+		b.Fatal("axpy loop did not fuse")
+	}
+	benchEntry(b, m)
+}
+
+// BenchmarkFusedMatmul times the extracted-dot matmul with the fused
+// reduction kernel (ICC backend) against its dispatch baseline.
+func BenchmarkFusedMatmul(b *testing.B) {
+	b.Run("dispatch", func(b *testing.B) {
+		benchEntry(b, benchProgram(b, benchMatmulSrc, Options{Backend: BackendICC, NoFuse: true}))
+	})
+	b.Run("fused", func(b *testing.B) {
+		m := benchProgram(b, benchMatmulSrc, Options{Backend: BackendICC})
+		if m.Program().FusedKernels() < 1 {
+			b.Fatal("dot loop did not fuse")
+		}
+		benchEntry(b, m)
+	})
+}

@@ -1,0 +1,530 @@
+package comp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"purec/internal/interp"
+	"purec/internal/mem"
+	"purec/internal/parser"
+	"purec/internal/rt"
+	"purec/internal/sema"
+)
+
+// fuseCompare compiles src with fusion on and off plus the interp
+// oracle, runs all three, and requires bit-identical return values and
+// global array contents. It returns the fused build for extra checks.
+func fuseCompare(t *testing.T, src string, arrays ...string) *Machine {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	fused := compile(t, src, Options{})
+	plain := compile(t, src, Options{NoFuse: true})
+	if got := plain.Program().FusedKernels(); got != 0 {
+		t.Fatalf("NoFuse build reports %d fused kernels", got)
+	}
+	in, err := interp.New(info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fused.RunMain()
+	if err != nil {
+		t.Fatalf("fused run: %v", err)
+	}
+	rp, err := plain.RunMain()
+	if err != nil {
+		t.Fatalf("dispatch run: %v", err)
+	}
+	ro, err := in.RunMain()
+	if err != nil {
+		t.Fatalf("oracle run: %v", err)
+	}
+	if rf != rp || rf != ro {
+		t.Fatalf("return values diverge: fused=%d dispatch=%d oracle=%d", rf, rp, ro)
+	}
+	for _, name := range arrays {
+		fp, err := fused.GlobalPtr(name)
+		if err != nil {
+			t.Fatalf("global %s: %v", name, err)
+		}
+		pp, err := plain.GlobalPtr(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := in.GlobalPtr(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fv, pv, ov := snapshotSeg(fp), snapshotSeg(pp), snapshotSeg(op)
+		if fv != pv {
+			t.Fatalf("%s: fused != dispatch\nfused:    %s\ndispatch: %s", name, fv, pv)
+		}
+		if fv != ov {
+			t.Fatalf("%s: fused != oracle\nfused:  %s\noracle: %s", name, fv, ov)
+		}
+	}
+	return fused
+}
+
+// snapshotSeg renders the full bit pattern of the array behind p.
+func snapshotSeg(p mem.Pointer) string {
+	var b strings.Builder
+	switch p.Seg.Kind {
+	case mem.CellFloat:
+		for _, v := range p.Seg.F {
+			fmt.Fprintf(&b, "%x,", math.Float64bits(v))
+		}
+	case mem.CellInt:
+		for _, v := range p.Seg.I {
+			fmt.Fprintf(&b, "%d,", v)
+		}
+	}
+	return b.String()
+}
+
+func TestFusedShapesMatchDispatchAndOracle(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"fill_float", "y[i] = 2.5f;"},
+		{"fill_int", "w[i] = 7;"},
+		{"copy_float", "y[i] = x[i];"},
+		{"copy_int", "w[i] = v[i];"},
+		{"scale", "y[i] = a * x[i];"},
+		{"scale_rhs", "y[i] = x[i] * a;"},
+		{"axpy", "y[i] = a * x[i] + y[i];"},
+		{"axpy_commuted", "y[i] = y[i] + x[i] * a;"},
+		{"compound_add", "y[i] += x[i];"},
+		{"compound_mul", "y[i] *= 1.25f;"},
+		{"compound_int_xor", "w[i] ^= v[i];"},
+		{"stencil", "y[i] = 0.5f * (x[i - 1] + x[i + 1]);"},
+		{"offset", "y[i] = x[i + 3];"},
+		{"iter_poly", "w[i] = i * i + 2 * i + 1;"},
+		{"iter_float", "y[i] = x[i] * i;"},
+		{"mixed_invariant", "y[i] = x[i] * (a + 1.5f) - b;"},
+		{"int_div", "w[i] = v[i] / (c + 1);"},
+		{"int_shift", "w[i] = v[i] << 2;"},
+		{"neg", "y[i] = -x[i];"},
+		{"deep", "y[i] = (x[i] + 1.0f) * (x[i] - 1.0f) / (a + 2.0f);"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := fmt.Sprintf(`
+float x[100], y[100];
+int v[100], w[100];
+int main(void) {
+    float a = 1.5f;
+    float b = 0.25f;
+    int c = 3;
+    for (int i = 0; i < 100; i++) {
+        x[i] = (float)((i %% 13) - 6) * 0.5f;
+        v[i] = i * 7 - 50;
+        y[i] = (float)(i %% 5);
+        w[i] = i;
+    }
+    for (int i = 4; i < 96; i++) {
+        %s
+    }
+    return (int)y[50] + w[50];
+}`, c.body)
+			m := fuseCompare(t, src, "x", "y", "v", "w")
+			// The init loop has a multi-statement body and stays
+			// dispatched; the shape under test must fuse.
+			if m.Program().FusedKernels() != 1 {
+				t.Errorf("expected exactly the body loop to fuse, got %d kernels",
+					m.Program().FusedKernels())
+			}
+		})
+	}
+}
+
+func TestFusedStridedRead(t *testing.T) {
+	// Constant-stride subscripts (2*i) walk the raw slice with a
+	// per-iteration cursor increment of 2.
+	src := `
+float x[100], y[50];
+int main(void) {
+    for (int i = 0; i < 100; i++)
+        x[i] = i * 0.5f;
+    for (int i = 0; i < 50; i++)
+        y[i] = x[2 * i];
+    return 0;
+}`
+	m := fuseCompare(t, src, "x", "y")
+	if m.Program().FusedKernels() < 2 {
+		t.Fatalf("strided read did not fuse (%d kernels)", m.Program().FusedKernels())
+	}
+}
+
+func TestFusedMultiDimInnerLoop(t *testing.T) {
+	// The innermost j-loop of a 2-D nest: invariant row offset i*N,
+	// stride 1 — the declared-array flattening path.
+	src := `
+float A[20][20], B[20][20];
+int main(void) {
+    for (int i = 0; i < 20; i++)
+        for (int j = 0; j < 20; j++)
+            A[i][j] = (float)(i * 20 + j) * 0.125f;
+    for (int i = 1; i < 19; i++)
+        for (int j = 1; j < 19; j++)
+            B[i][j] = 0.25f * (A[i - 1][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j]);
+    return 0;
+}`
+	m := fuseCompare(t, src, "A", "B")
+	if m.Program().FusedKernels() < 1 {
+		t.Fatalf("multi-dim inner loops did not fuse (%d kernels)", m.Program().FusedKernels())
+	}
+}
+
+func TestFusedAliasingInPlace(t *testing.T) {
+	// Serial in-place shifts propagate values iteration to iteration;
+	// the fused kernel must read and write the same cells in the same
+	// ascending order as dispatch (a memmove-style copy would diverge).
+	for _, body := range []string{
+		"x[i] = x[i - 1];",
+		"x[i] = x[i - 1] + x[i];",
+		"x[i] += x[i - 1];",
+	} {
+		src := fmt.Sprintf(`
+float x[64];
+int main(void) {
+    for (int i = 0; i < 64; i++)
+        x[i] = (float)i;
+    for (int i = 1; i < 64; i++) {
+        %s
+    }
+    return (int)x[63];
+}`, body)
+		fuseCompare(t, src, "x")
+	}
+}
+
+func TestFusedPostLoopIteratorValue(t *testing.T) {
+	// A fused loop with an outer-declared iterator must leave the
+	// dispatch loop's post-loop value (first failing iteration).
+	src := `
+int w[10];
+int main(void) {
+    int i;
+    for (i = 0; i < 10; i++)
+        w[i] = i;
+    return i;
+}`
+	m := fuseCompare(t, src, "w")
+	if m.Program().FusedKernels() != 1 {
+		t.Fatalf("loop did not fuse (%d kernels)", m.Program().FusedKernels())
+	}
+}
+
+func TestFusedEmptyLoop(t *testing.T) {
+	src := `
+int w[4];
+int main(void) {
+    int i;
+    int n = 0;
+    for (i = 5; i < n; i++)
+        w[i] = 1;
+    return i;   /* 5: the loop never ran */
+}`
+	fuseCompare(t, src, "w")
+}
+
+func TestFusedOutOfBoundsTraps(t *testing.T) {
+	// The hoisted range check must trap exactly when dispatch would:
+	// the stencil reads x[96+1] for i=96, one past the array.
+	src := `
+float x[97], y[100];
+int main(void) {
+    for (int i = 0; i < 97; i++)
+        x[i] = 1.0f;
+    for (int i = 1; i < 97; i++)
+        y[i] = x[i - 1] + x[i + 1];
+    return 0;
+}`
+	for _, opts := range []Options{{}, {NoFuse: true}} {
+		m := compile(t, src, opts)
+		if _, err := m.RunMain(); err == nil {
+			t.Fatalf("NoFuse=%v: out-of-bounds stencil read must trap", opts.NoFuse)
+		}
+	}
+}
+
+func TestFusedDivisionByZeroTraps(t *testing.T) {
+	src := `
+int v[8], w[8];
+int main(void) {
+    for (int i = 0; i < 8; i++)
+        v[i] = i;
+    int z = 0;
+    for (int i = 0; i < 8; i++)
+        w[i] = v[i] / z;
+    return 0;
+}`
+	for _, opts := range []Options{{}, {NoFuse: true}} {
+		m := compile(t, src, opts)
+		_, err := m.RunMain()
+		if err == nil {
+			t.Fatalf("NoFuse=%v: division by zero must trap", opts.NoFuse)
+		}
+		if !strings.Contains(err.Error(), "division by zero") {
+			t.Fatalf("NoFuse=%v: unexpected trap message %q", opts.NoFuse, err)
+		}
+	}
+}
+
+func TestFusedParallelForEveryScheduleAndTeam(t *testing.T) {
+	// Fused kernels under #pragma omp parallel for: each worker runs
+	// the kernel over its chunk bounds; every schedule, real and
+	// simulated teams, must produce the dispatch/oracle result.
+	for _, sched := range []string{"", " schedule(static,7)", " schedule(dynamic,3)", " schedule(guided)"} {
+		src := fmt.Sprintf(`
+float x[512], y[512];
+int main(void) {
+    float a = 0.75f;
+    for (int i = 0; i < 512; i++) {
+        x[i] = (float)(i %% 17) * 0.25f;
+        y[i] = (float)(i %% 5);
+    }
+#pragma omp parallel for%s
+    for (int i = 0; i < 512; i++)
+        y[i] = a * x[i] + y[i];
+    return 0;
+}`, sched)
+		// Serial oracle bits.
+		ref := compile(t, src, Options{NoFuse: true})
+		if _, err := ref.RunMain(); err != nil {
+			t.Fatal(err)
+		}
+		want := readFloatArray(t, ref, "y", 512)
+		for _, team := range reduceTeams() {
+			m := compile(t, src, Options{Team: team})
+			if m.Program().FusedKernels() < 1 {
+				t.Fatalf("parallel axpy did not fuse")
+			}
+			if _, err := m.RunMain(); err != nil {
+				t.Fatalf("sched %q team %d (sim=%v): %v", sched, team.Size(), team.Simulated(), err)
+			}
+			got := readFloatArray(t, m, "y", 512)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("sched %q team %d (sim=%v): y[%d] = %v, want %v",
+						sched, team.Size(), team.Simulated(), i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFusedReductionThroughTeam(t *testing.T) {
+	// A fused dot-product reduction dispatched through
+	// rt.Team.ParallelForReduce: integer-exact against the serial
+	// build at every team size; the kernel accumulates per chunk into
+	// the worker's private slot.
+	src := `
+int v[1000], w[1000];
+int out;
+int main(void) {
+    for (int i = 0; i < 1000; i++) {
+        v[i] = i % 89;
+        w[i] = i % 97;
+    }
+    int s = 0;
+#pragma omp parallel for reduction(+:s) schedule(dynamic,13)
+    for (int i = 0; i < 1000; i++)
+        s += v[i] * w[i];
+    out = s;
+    return 0;
+}`
+	ref := compile(t, src, Options{NoFuse: true})
+	if _, err := ref.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.GlobalInt("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, team := range reduceTeams() {
+		// Vectorize extends reduction fusion beyond pure/ICC contexts.
+		m := compile(t, src, Options{Team: team, Vectorize: true})
+		if _, err := m.RunMain(); err != nil {
+			t.Fatalf("team %d (sim=%v): %v", team.Size(), team.Simulated(), err)
+		}
+		got, err := m.GlobalInt("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("team %d (sim=%v): got %d want %d", team.Size(), team.Simulated(), got, want)
+		}
+	}
+}
+
+// readFloatArray reads n cells of a global float array.
+func readFloatArray(t *testing.T, m *Machine, name string, n int) []float64 {
+	t.Helper()
+	p, err := m.GlobalPtr(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.Add(int64(i)).LoadFloat()
+	}
+	return out
+}
+
+func TestFusedBoundsNotHoistableFallsBack(t *testing.T) {
+	// An upper bound read from an array the loop may alias must not be
+	// hoisted: the loop falls back to dispatch and re-reads it per
+	// iteration, shrinking the trip count mid-loop.
+	src := `
+int n[1];
+int w[16];
+int main(void) {
+    n[0] = 10;
+    int s = 0;
+    for (int i = 0; i < n[0]; i++) {
+        n[0] = n[0] - 1;
+        s = s + 1;
+    }
+    return s;   /* 5: bound shrinks as i grows */
+}`
+	got := runBoth(t, src)
+	if got != 5 {
+		t.Fatalf("got %d want 5", got)
+	}
+}
+
+func TestFusedKernelsCountAndParallelComposition(t *testing.T) {
+	// One program, three fusible loops (two init fills + axpy), plus a
+	// non-fusible loop (call in body). The counter reports exactly the
+	// fused ones.
+	src := `
+float x[50], y[50];
+pure float id(float v) { return v; }
+int main(void) {
+    for (int i = 0; i < 50; i++)
+        x[i] = 1.0f;
+    for (int i = 0; i < 50; i++)
+        y[i] = 2.0f;
+    for (int i = 0; i < 50; i++)
+        y[i] = 0.5f * x[i] + y[i];
+    for (int i = 0; i < 50; i++)
+        y[i] = id(y[i]);
+    return 0;
+}`
+	m := compile(t, src, Options{})
+	if _, err := m.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Program().FusedKernels(); got != 3 {
+		t.Fatalf("FusedKernels = %d, want 3", got)
+	}
+}
+
+func TestFusedRaceUnderRealTeams(t *testing.T) {
+	// Many workers over one fused loop on a real team: the race
+	// detector must stay quiet (workers share the parent env read-only
+	// and write disjoint chunk slices).
+	src := `
+float x[4096], y[4096];
+int main(void) {
+    for (int i = 0; i < 4096; i++)
+        x[i] = (float)(i % 31);
+#pragma omp parallel for schedule(dynamic,64)
+    for (int i = 0; i < 4096; i++)
+        y[i] = 2.0f * x[i];
+    return 0;
+}`
+	m := compile(t, src, Options{Team: rt.NewTeam(8)})
+	if _, err := m.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedIntSubtreeInFloatStoreNotMiscompiled(t *testing.T) {
+	// i/2 is C integer division even when stored to a float array; a
+	// float-tape evaluation would yield 0.5 where dispatch/oracle give
+	// 0. The loop must either fuse with integer semantics or fall back
+	// to dispatch — fuseCompare pins bit-equality either way.
+	for _, body := range []string{
+		"y[i] = i / 2;",
+		"y[i] = i % 3;",
+		"y[i] = x[i] + i / 2;",
+	} {
+		src := fmt.Sprintf(`
+float x[32], y[32];
+int main(void) {
+    for (int i = 0; i < 32; i++)
+        x[i] = i * 0.25f;
+    for (int i = 0; i < 32; i++) {
+        %s
+    }
+    return (int)(y[1] * 4.0f) + (int)(y[7] * 4.0f);
+}`, body)
+		fuseCompare(t, src, "y")
+	}
+}
+
+func TestReductionBoundReadingAccumulatorNotHoisted(t *testing.T) {
+	// for (k = 0; k < s; k++) s += x[k]: the bound reads the
+	// accumulator the body mutates, so the dispatch loop self-extends.
+	// The fused reduction kernel must refuse this loop rather than
+	// hoist the bound.
+	src := `
+float x[64];
+float out;
+int main(void) {
+    for (int i = 0; i < 64; i++)
+        x[i] = i < 6 ? 1.0f : 0.0f;
+    float s = 4.0f;
+    for (int k = 0; k < s; k++)
+        s += x[k];
+    out = s;   /* dispatch: the bound grows from 4 to 10 as s grows */
+    return (int)s;
+}`
+	want := runWithTeam(t, src, nil)
+	if want != 10 {
+		t.Fatalf("dispatch baseline = %d, want 10 (self-extending bound)", want)
+	}
+	m := compile(t, src, Options{Vectorize: true})
+	got, err := m.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("vectorized build: got %d, dispatch gives %d (bound must not be hoisted)", got, want)
+	}
+}
+
+func TestPointerStrideOverflowTraps(t *testing.T) {
+	// p + i on a struct pointer multiplies i by the element stride
+	// before the offset check; a product that wraps int64 must trap,
+	// not validate a small bogus offset.
+	src := `
+struct pair { int a; int b; };
+int main(void) {
+    struct pair* p = (struct pair*)malloc(4 * sizeof(struct pair));
+    long long huge = 4611686018427387905; /* 2^62 + 1: *2 wraps to 2 */
+    struct pair* q = p + huge;
+    q->a = 1;
+    return 0;
+}`
+	m := compile(t, src, Options{})
+	_, err := m.RunMain()
+	if err == nil {
+		t.Fatal("wrapped stride product must trap")
+	}
+	if !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("unexpected trap: %v", err)
+	}
+}

@@ -21,6 +21,11 @@ type Program struct {
 	info      *sema.Info
 	backend   Backend
 	vectorize bool
+	noFuse    bool
+	// fusedKernels counts the loops compiled into fused segment-walking
+	// kernels (element-wise and reduction shapes), for the purecc
+	// "fused kernels: N" report line.
+	fusedKernels int
 
 	funcs       map[string]*cfunc
 	globalSlots map[*sema.Symbol]slot
@@ -41,6 +46,7 @@ func CompileProgram(info *sema.Info, opts Options) (*Program, error) {
 		info:        info,
 		backend:     opts.Backend,
 		vectorize:   opts.Vectorize,
+		noFuse:      opts.NoFuse,
 		funcs:       map[string]*cfunc{},
 		globalSlots: map[*sema.Symbol]slot{},
 	}
@@ -83,6 +89,10 @@ func CompileProgram(info *sema.Info, opts Options) (*Program, error) {
 
 // Backend returns the compile backend analog the program was built with.
 func (p *Program) Backend() Backend { return p.backend }
+
+// FusedKernels returns the number of loops compiled into fused
+// segment-walking kernels (0 when built with Options.NoFuse).
+func (p *Program) FusedKernels() int { return p.fusedKernels }
 
 // Info returns the semantic model the program was compiled from.
 func (p *Program) Info() *sema.Info { return p.info }

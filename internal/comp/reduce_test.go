@@ -495,3 +495,184 @@ int main(void) {
 		t.Fatal("oracle must also reject a pointer accumulator")
 	}
 }
+
+func TestReductionMinMaxPragma(t *testing.T) {
+	// Guarded min/max updates run through ParallelForReduce with the
+	// comparison's absorbing identity; every team produces the serial
+	// result. Both the if-pattern and the ?: form, both directions.
+	cases := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"min_if", `
+int a[200];
+int main(void) {
+    for (int i = 0; i < 200; i++)
+        a[i] = (i * 37) % 151 + 10;
+    a[123] = 3;
+    int m = 1000000;
+#pragma omp parallel for reduction(min:m) schedule(dynamic,7)
+    for (int i = 0; i < 200; i++)
+        if (a[i] < m) m = a[i];
+    return m;
+}`, 3},
+		{"max_if", `
+int a[200];
+int main(void) {
+    for (int i = 0; i < 200; i++)
+        a[i] = (i * 37) % 151;
+    a[77] = 9999;
+    int m = -1000000;
+#pragma omp parallel for reduction(max:m)
+    for (int i = 0; i < 200; i++)
+        if (a[i] > m) m = a[i];
+    return m;
+}`, 9999},
+		{"min_ternary", `
+int a[100];
+int main(void) {
+    for (int i = 0; i < 100; i++)
+        a[i] = 500 - i * 3;
+    int m = 1 << 30;
+#pragma omp parallel for reduction(min:m) schedule(static,9)
+    for (int i = 0; i < 100; i++)
+        m = a[i] < m ? a[i] : m;
+    return m;
+}`, 500 - 99*3},
+		{"max_reversed_cond", `
+int a[100];
+int main(void) {
+    for (int i = 0; i < 100; i++)
+        a[i] = (i * 13) % 89;
+    int m = -1;
+#pragma omp parallel for reduction(max:m)
+    for (int i = 0; i < 100; i++)
+        if (m < a[i]) m = a[i];
+    return m;
+}`, 88},
+	}
+	for _, c := range cases {
+		for _, team := range reduceTeams() {
+			got := runWithTeam(t, c.src, team)
+			if got != c.want {
+				t.Errorf("%s on %d workers (sim=%v): got %d want %d",
+					c.name, team.Size(), team.Simulated(), got, c.want)
+			}
+		}
+	}
+}
+
+func TestReductionMinMaxFloat(t *testing.T) {
+	// Float min: comparisons pick among stored (already rounded)
+	// values, so the parallel result is bit-identical to serial at
+	// every team size — no regrouping sensitivity.
+	src := `
+float a[500];
+float out;
+int main(void) {
+    for (int i = 0; i < 500; i++)
+        a[i] = (float)((i * 29) % 211) * 0.5f + 1.0f;
+    a[321] = 0.125f;
+    float m = 1000000.0f;
+#pragma omp parallel for reduction(min:m) schedule(dynamic,11)
+    for (int i = 0; i < 500; i++)
+        if (a[i] < m) m = a[i];
+    out = m;
+    return 0;
+}`
+	read := func(team *rt.Team) float64 {
+		m := compile(t, src, Options{Team: team})
+		if _, err := m.RunMain(); err != nil {
+			t.Fatal(err)
+		}
+		v, err := m.GlobalFloat("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	want := read(rt.NewTeam(1))
+	if want != 0.125 {
+		t.Fatalf("serial min = %v, want 0.125", want)
+	}
+	for _, team := range reduceTeams() {
+		if got := read(team); got != want {
+			t.Errorf("%d workers (sim=%v): got %v want %v", team.Size(), team.Simulated(), got, want)
+		}
+	}
+}
+
+func TestReductionMinMaxEmptyRangeKeepsInitial(t *testing.T) {
+	// An empty iteration range must leave the accumulator untouched
+	// (the identity never leaks out of the private clones).
+	src := `
+int a[4];
+int main(void) {
+    int m = 42;
+    int n = 0;
+#pragma omp parallel for reduction(min:m)
+    for (int i = 0; i < n; i++)
+        if (a[i] < m) m = a[i];
+    return m;
+}`
+	for _, team := range reduceTeams() {
+		if got := runWithTeam(t, src, team); got != 42 {
+			t.Errorf("%d workers (sim=%v): got %d want 42", team.Size(), team.Simulated(), got)
+		}
+	}
+}
+
+func TestReductionMinMaxMissingUpdateRejectedByBoth(t *testing.T) {
+	// A min clause naming a variable with no plain assignment in the
+	// loop is a malformed pragma: compiler and oracle must both reject.
+	src := `
+int main(void) {
+    int m = 7;
+#pragma omp parallel for reduction(min:m)
+    for (int i = 0; i < 10; i++)
+        m += i;
+    return m;
+}`
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(info, Options{}); err == nil {
+		t.Fatal("min clause without a plain assignment must fail compilation")
+	}
+	in, err := interp.New(info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RunMain(); err == nil {
+		t.Fatal("oracle must also reject the malformed min clause")
+	}
+}
+
+func TestReductionMinMaxNonPatternRunsSerial(t *testing.T) {
+	// A plain assignment that is not a guarded min/max update keeps
+	// the loop serial (wrong-direction pattern): the result must be
+	// the sequential one at every team size, never a min-combine of
+	// partials.
+	src := `
+int a[50];
+int main(void) {
+    for (int i = 0; i < 50; i++)
+        a[i] = i;
+    int m = 0;
+#pragma omp parallel for reduction(min:m)
+    for (int i = 0; i < 50; i++)
+        if (a[i] > m) m = a[i];   /* max pattern under a min clause */
+    return m;
+}`
+	for _, team := range reduceTeams() {
+		if got := runWithTeam(t, src, team); got != 49 {
+			t.Errorf("%d workers (sim=%v): got %d want 49 (serial fallback)", team.Size(), team.Simulated(), got)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package comp
 
 import (
+	"math"
 	"strings"
 
 	"purec/internal/ast"
@@ -272,13 +273,30 @@ func (fc *funcCompiler) switchStmt(x *ast.SwitchStmt) stmtFn {
 	}
 }
 
+// fuseReductions reports whether canonical reduction loops compile to
+// fused kernels here: the ICC backend vectorizes extracted pure
+// functions, Options.Vectorize extends that everywhere (the PluTo-SICA
+// analog), and Options.NoFuse turns the whole engine off.
+func (fc *funcCompiler) fuseReductions() bool {
+	return !fc.prog.noFuse &&
+		((fc.prog.backend == BackendICC && fc.cf.pure) || fc.prog.vectorize)
+}
+
 // forStmt compiles a sequential for loop. Inside pure functions the ICC
 // backend first tries to replace canonical reduction loops by fused
-// kernels (the vectorization analog).
+// kernels (the vectorization analog); element-wise affine loop bodies
+// fuse on every backend unless Options.NoFuse.
 func (fc *funcCompiler) forStmt(x *ast.ForStmt) stmtFn {
-	if (fc.prog.backend == BackendICC && fc.cf.pure) || fc.prog.vectorize {
+	if fc.fuseReductions() {
 		if k := fc.tryVectorize(x); k != nil {
+			fc.prog.fusedKernels++
 			return k
+		}
+	}
+	if !fc.prog.noFuse {
+		if cl, kern := fc.tryFuseLoop(x); kern != nil {
+			fc.prog.fusedKernels++
+			return seqKernelStmt(cl, kern)
 		}
 	}
 	var init stmtFn
@@ -323,6 +341,11 @@ type canonicalLoop struct {
 	upper    intFn // inclusive
 	body     ast.Stmt
 	iterSym  *sema.Symbol
+	// lowerX and upperX are the bound expressions (upperX is the raw
+	// condition bound, exclusive under <); the fusion engine checks
+	// them for hoistability before evaluating bounds once per launch.
+	lowerX ast.Expr
+	upperX ast.Expr
 }
 
 func (fc *funcCompiler) canonical(x *ast.ForStmt) (canonicalLoop, bool) {
@@ -344,6 +367,7 @@ func (fc *funcCompiler) canonical(x *ast.ForStmt) (canonicalLoop, bool) {
 		cl.iterSlot = sl.idx
 		cl.iterSym = sym
 		cl.lower = fc.integer(init.Decls[0].Init)
+		cl.lowerX = init.Decls[0].Init
 		iterName = init.Decls[0].Name
 	case *ast.ExprStmt:
 		as, ok := init.X.(*ast.AssignExpr)
@@ -362,6 +386,7 @@ func (fc *funcCompiler) canonical(x *ast.ForStmt) (canonicalLoop, bool) {
 		cl.iterSlot = sl.idx
 		cl.iterSym = sym
 		cl.lower = fc.integer(as.RHS)
+		cl.lowerX = as.RHS
 		iterName = id.Name
 	default:
 		return cl, false
@@ -375,6 +400,7 @@ func (fc *funcCompiler) canonical(x *ast.ForStmt) (canonicalLoop, bool) {
 		return cl, false
 	}
 	ub := fc.integer(condBin.Y)
+	cl.upperX = condBin.Y
 	switch condBin.Op {
 	case token.LSS:
 		cl.upper = func(e *env) int64 { return ub(e) - 1 }
@@ -424,13 +450,40 @@ func runsInline(e *env) bool {
 // parallelFor compiles a loop annotated with #pragma omp parallel for.
 // Iterations are distributed over the team; each worker executes on a
 // cloned environment (private scalars, shared segments), the OpenMP
-// private-variable analog.
+// private-variable analog. A fusible element-wise body skips the
+// per-iteration dispatch entirely: each worker runs the fused kernel
+// over its chunk bounds (composing with every schedule, on real and
+// simulated teams), reading the parent environment's invariants and
+// writing only the shared segments.
 func (fc *funcCompiler) parallelFor(x *ast.ForStmt, pragma string) stmtFn {
 	cl, ok := fc.canonical(x)
 	if !ok {
 		fc.errorf(x, "#pragma omp parallel for requires a canonical loop (int i = lb; i < ub; i++)")
 	}
 	sched, chunk := parseOmpSchedule(pragma)
+	if !fc.prog.noFuse {
+		if fcl, kern := fc.tryFuseLoop(x); kern != nil {
+			fc.prog.fusedKernels++
+			iterSlot := fcl.iterSlot
+			lower, upper := fcl.lower, fcl.upper
+			return func(e *env) ctrl {
+				lo, hi := lower(e), upper(e)
+				if runsInline(e) {
+					kern(e, lo, hi)
+					if hi >= lo {
+						// The dispatch inline loop leaves the last
+						// iteration value in the slot.
+						e.I[iterSlot] = hi
+					}
+					return ctrlNext
+				}
+				e.team.ParallelFor(lo, hi, sched, chunk, func(_ int, clo, chi int64) {
+					kern(e, clo, chi)
+				})
+				return ctrlNext
+			}
+		}
+	}
 	body := fc.stmt(cl.body)
 	iterSlot := cl.iterSlot
 	return func(e *env) ctrl {
@@ -466,10 +519,11 @@ type redClause struct {
 }
 
 // parseOmpReductions extracts the reduction clauses of an omp pragma and
-// maps the operator symbols to tokens. supported is false when any
-// clause uses an operator outside the parallelizable set {+,*,&,|,^}
-// (e.g. "-" or "max") — the loop must then run serially, which is
-// always correct, instead of losing the accumulator updates.
+// maps the operator symbols to tokens; min/max clauses map to the
+// comparison markers LSS/GTR. supported is false when any clause uses
+// an operator outside the parallelizable set {+,*,&,|,^,min,max}
+// (e.g. "-") — the loop must then run serially, which is always
+// correct, instead of losing the accumulator updates.
 func parseOmpReductions(pragma string) (reds []redClause, supported bool) {
 	for _, c := range rt.ParseOmpReductions(pragma) {
 		var op token.Kind
@@ -484,6 +538,10 @@ func parseOmpReductions(pragma string) (reds []redClause, supported bool) {
 			op = token.OR
 		case "^":
 			op = token.XOR
+		case "min":
+			op = token.LSS
+		case "max":
+			op = token.GTR
 		default:
 			return nil, false
 		}
@@ -525,6 +583,9 @@ func declaredInside(n ast.Node) map[*ast.VarDecl]bool {
 // privatizable local slot. A non-scalar accumulator is a compile error
 // (mirroring the interp oracle's validation).
 func (fc *funcCompiler) resolveReduction(body ast.Stmt, c redClause) (r reduction, found, ok bool) {
+	if c.op == token.LSS || c.op == token.GTR {
+		return fc.resolveMinMax(body, c)
+	}
 	inner := declaredInside(body)
 	var sym *sema.Symbol
 	var site *ast.Ident
@@ -608,6 +669,115 @@ func (fc *funcCompiler) resolveReduction(body ast.Stmt, c redClause) (r reductio
 	return reduction{}, true, false
 }
 
+// resolveMinMax binds a min/max reduction clause (op LSS = min,
+// GTR = max) to its accumulator: the loop body must contain a guarded
+// update of the named variable in the clause's direction —
+// `if (x < m) m = x;` or `m = x < m ? x : m;` (see ast.MinMaxUpdate).
+// found reports whether any plain assignment to the name binds the
+// enclosing scope at all (a clause without one is a malformed pragma,
+// mirroring the interp oracle); ok additionally requires the matching
+// pattern and a privatizable local scalar slot — otherwise the loop
+// runs serially, which is always correct.
+//
+// The identity values are the comparison's absorbing elements
+// (MaxInt64/+Inf for min, MinInt64/−Inf for max) and the combine is
+// the strict-comparison fold itself — NaN data never replaces an
+// accumulator, exactly like the guarded update in the loop body.
+func (fc *funcCompiler) resolveMinMax(body ast.Stmt, c redClause) (r reduction, found, ok bool) {
+	inner := declaredInside(body)
+	for _, as := range ast.Assignments(body) {
+		if as.Op != token.ASSIGN {
+			continue
+		}
+		id, okID := as.LHS.(*ast.Ident)
+		if !okID || id.Name != c.name {
+			continue
+		}
+		s := fc.prog.info.Ref[id]
+		if s == nil || (s.Decl != nil && inner[s.Decl]) {
+			continue
+		}
+		found = true
+		break
+	}
+	if !found {
+		return reduction{}, false, false
+	}
+	var site *ast.Ident
+	ast.Walk(body, func(n ast.Node) bool {
+		if site != nil {
+			return false
+		}
+		s, okS := n.(ast.Stmt)
+		if !okS {
+			return true
+		}
+		m, _, dir, okM := ast.MinMaxUpdate(s)
+		if !okM || m.Name != c.name || dir != c.op {
+			return true
+		}
+		sym := fc.prog.info.Ref[m]
+		if sym == nil || (sym.Decl != nil && inner[sym.Decl]) {
+			return true
+		}
+		site = m
+		return false
+	})
+	if site == nil {
+		return reduction{}, true, false
+	}
+	sym := fc.prog.info.Ref[site]
+	if sym.Kind == sema.SymGlobal {
+		return reduction{}, true, false
+	}
+	sl, global := fc.slotOf(sym, site)
+	if global {
+		return reduction{}, true, false
+	}
+	if sl.kind == slotPtr {
+		fc.errorf(site, "reduction accumulator %s must be a scalar", c.name)
+	}
+	idx := sl.idx
+	min := c.op == token.LSS
+	switch sl.kind {
+	case slotInt:
+		identity := int64(math.MaxInt64)
+		if !min {
+			identity = math.MinInt64
+		}
+		return reduction{
+			setIdentity: func(we *env) { we.I[idx] = identity },
+			combine: func(dst, src *env) {
+				if min {
+					if src.I[idx] < dst.I[idx] {
+						dst.I[idx] = src.I[idx]
+					}
+				} else if src.I[idx] > dst.I[idx] {
+					dst.I[idx] = src.I[idx]
+				}
+			},
+		}, true, true
+	case slotFloat:
+		identity := math.Inf(1)
+		if !min {
+			identity = math.Inf(-1)
+		}
+		return reduction{
+			setIdentity: func(we *env) { we.F[idx] = identity },
+			combine: func(dst, src *env) {
+				if min {
+					if src.F[idx] < dst.F[idx] {
+						dst.F[idx] = src.F[idx]
+					}
+				} else if src.F[idx] > dst.F[idx] {
+					dst.F[idx] = src.F[idx]
+				}
+			},
+		}, true, true
+	}
+	return reduction{}, true, false
+}
+
 // parallelReduceFor compiles a loop annotated with
 // #pragma omp parallel for reduction(op:s): iterations are distributed
 // over the team through rt.Team.ParallelForReduce — every worker
@@ -623,9 +793,10 @@ func (fc *funcCompiler) resolveReduction(body ast.Stmt, c redClause) (r reductio
 // floats — and the ICC fused-kernel vectorization of canonical
 // reduction loops in pure functions still applies there.
 //
-// Clauses with operators outside the parallelizable set (e.g. "-",
-// "max") and accumulators that cannot be privatized (globals) compile
-// to serial execution of the loop — always correct, never silently
+// Clauses with operators outside the parallelizable set (e.g. "-"),
+// min/max clauses whose loop body lacks the guarded-update pattern,
+// and accumulators that cannot be privatized (globals) compile to
+// serial execution of the loop — always correct, never silently
 // wrong. A clause naming no matching accumulator update at all is a
 // malformed pragma and a compile error, mirroring parallelFor's
 // canonical-loop diagnostic and the interp oracle's validation.
@@ -649,20 +820,33 @@ func (fc *funcCompiler) parallelReduceFor(x *ast.ForStmt, pragma string) stmtFn 
 		}
 		reds = append(reds, r)
 	}
-	var vec stmtFn
-	if (fc.prog.backend == BackendICC && fc.cf.pure) || fc.prog.vectorize {
-		vec = fc.tryVectorize(x)
+	// A fusible reduction body composes with the parallel runtime: each
+	// worker runs the fused kernel over its chunk bounds, accumulating
+	// into its private clone's identity-initialized accumulator slot
+	// (the body is the single statement updating the clause accumulator,
+	// so the kernel's accumulator and the clause's coincide), and the
+	// partials fold back in worker order exactly like the dispatch path.
+	var vecChunk kernRun
+	if fc.fuseReductions() {
+		if _, kern := fc.reduceKernel(x); kern != nil {
+			vecChunk = kern
+			fc.prog.fusedKernels++
+		}
 	}
 	sched, chunk := parseOmpSchedule(pragma)
 	body := fc.stmt(cl.body)
 	iterSlot := cl.iterSlot
 	return func(e *env) ctrl {
 		if runsInline(e) {
-			if vec != nil {
-				return vec(e)
-			}
 			lo := cl.lower(e)
 			hi := cl.upper(e)
+			if vecChunk != nil {
+				vecChunk(e, lo, hi)
+				if hi >= lo {
+					e.I[iterSlot] = hi
+				}
+				return ctrlNext
+			}
 			for i := lo; i <= hi; i++ {
 				e.I[iterSlot] = i
 				if c := body(e); c == ctrlBreak {
@@ -683,6 +867,10 @@ func (fc *funcCompiler) parallelReduceFor(x *ast.ForStmt, pragma string) stmtFn 
 			},
 			func(_ int, clo, chi int64, acc any) any {
 				we := acc.(*env)
+				if vecChunk != nil {
+					vecChunk(we, clo, chi)
+					return we
+				}
 				for i := clo; i <= chi; i++ {
 					we.I[iterSlot] = i
 					body(we)

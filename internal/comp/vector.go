@@ -7,39 +7,51 @@ import (
 	"purec/internal/types"
 )
 
-// tryVectorize is the ICC-backend analog of automatic vectorization: a
+// reduceKernel is the ICC-backend analog of automatic vectorization: a
 // canonical reduction loop inside an extracted pure function,
 //
 //	for (int k = LB; k < UB; ++k) acc += X[k] * Y[k];
 //
 // (also through a trivial pure helper like mult(a,b), and the indirect
-// ELL form X[s+k] * Y[Z[s+k]]) is compiled into a fused kernel that runs
-// directly over the memory segments instead of dispatching closures per
-// iteration. The paper attributes the pure+ICC advantage on the
-// matrix–matrix multiplication to exactly this: ICC vectorizes the
-// extracted dot function but not the PluTo-inlined loop (Sect. 4.3.1).
-// The kernel preserves C float rounding per iteration, so results are
-// bit-identical to the unvectorized backend.
-func (fc *funcCompiler) tryVectorize(x *ast.ForStmt) stmtFn {
+// ELL form X[s+k] * Y[Z[s+k]]) is compiled into a fused kernel that
+// accumulates directly over the memory segments instead of dispatching
+// closures per iteration. The paper attributes the pure+ICC advantage
+// on the matrix–matrix multiplication to exactly this: ICC vectorizes
+// the extracted dot function but not the PluTo-inlined loop
+// (Sect. 4.3.1). The kernel preserves C float rounding per iteration,
+// so results are bit-identical to the unvectorized backend.
+//
+// The kernel comes back in chunk form — run iterations [lo, hi] on an
+// environment — so sequential loops run it once while parallel
+// reduction regions hand each worker its chunk bounds (see
+// parallelReduceFor).
+func (fc *funcCompiler) reduceKernel(x *ast.ForStmt) (canonicalLoop, kernRun) {
 	cl, ok := fc.canonical(x)
-	if !ok {
-		return nil
+	if !ok || !fc.hoistableBounds(cl) {
+		return cl, nil
 	}
 	stmt := singleStmt(cl.body)
 	if stmt == nil {
-		return nil
+		return cl, nil
 	}
 	es, ok := stmt.(*ast.ExprStmt)
 	if !ok {
-		return nil
+		return cl, nil
 	}
 	as, ok := es.X.(*ast.AssignExpr)
 	if !ok || as.Op != token.ADDASSIGN {
-		return nil
+		return cl, nil
 	}
 	acc, f32, ok := fc.accumulator(as.LHS, cl.iterSym)
 	if !ok {
-		return nil
+		return cl, nil
+	}
+	// The reduction body writes the accumulator every iteration: a
+	// bound that reads it (for (k = 0; k < s; k++) s += x[k];) is not
+	// invariant even though hoistable's scalar test passes — the
+	// dispatch loop re-evaluates it per iteration and self-extends.
+	if acc.sym != nil && (fc.usesSym(cl.lowerX, acc.sym) || fc.usesSym(cl.upperX, acc.sym)) {
+		return cl, nil
 	}
 
 	rhs := stripParens(as.RHS)
@@ -52,25 +64,39 @@ func (fc *funcCompiler) tryVectorize(x *ast.ForStmt) stmtFn {
 			if sig := fc.prog.info.Funcs[call.Fun.Name]; sig != nil && sig.Ret.Kind == types.Float && sig.Ret.CSize == 4 {
 				prodRound = true
 			}
-			return fc.mulKernel(cl, acc, a, b, f32, prodRound)
+			return cl, fc.mulKernel(cl, acc, a, b, f32, prodRound)
 		}
-		return nil
+		return cl, nil
 	}
 	if bin, ok := rhs.(*ast.BinaryExpr); ok && bin.Op == token.MUL {
-		return fc.mulKernel(cl, acc, bin.X, bin.Y, f32, false)
+		return cl, fc.mulKernel(cl, acc, bin.X, bin.Y, f32, false)
 	}
 	// Plain sum: acc += X[k].
 	if ld, ok := fc.matchLoad(rhs, cl.iterSym); ok && !ld.gather {
-		return fc.sumKernel(cl, acc, ld, f32)
+		return cl, fc.sumKernel(acc, ld, f32)
 	}
-	return nil
+	return cl, nil
+}
+
+// tryVectorize wraps reduceKernel for sequential execution (see
+// seqKernelStmt for the bounds and post-loop iterator contract).
+func (fc *funcCompiler) tryVectorize(x *ast.ForStmt) stmtFn {
+	cl, kern := fc.reduceKernel(x)
+	if kern == nil {
+		return nil
+	}
+	return seqKernelStmt(cl, kern)
 }
 
 // accessor abstracts the reduction target: either a float frame slot or
 // an iterator-invariant float memory cell (e.g. C[i][j] in a k-loop).
+// sym is the accumulator's symbol for the frame-slot variant (nil for
+// memory cells) — reduceKernel uses it to reject loops whose bounds
+// read the accumulator the body mutates.
 type accessor struct {
 	get func(*env) float64
 	set func(*env, float64)
+	sym *sema.Symbol
 }
 
 // accumulator matches the reduction target of a vectorizable loop.
@@ -89,6 +115,7 @@ func (fc *funcCompiler) accumulator(lhs ast.Expr, iter *sema.Symbol) (accessor, 
 		return accessor{
 			get: func(e *env) float64 { return e.F[idx] },
 			set: func(e *env, v float64) { e.F[idx] = v },
+			sym: sym,
 		}, sym.Type.CSize == 4, true
 	case *ast.IndexExpr:
 		t := fc.prog.info.ExprType[lhs]
@@ -253,10 +280,24 @@ func (fc *funcCompiler) usesSym(e ast.Expr, sym *sema.Symbol) bool {
 	return found
 }
 
+// prepF validates the stride-1 float cells the load touches over
+// iterations [lo, hi] — one hoisted range check — and returns the raw
+// slice (see kAccess.prep).
+func (l load) prepF(e *env, lo, hi int64) []float64 {
+	a := kAccess{base: l.base, off: l.off, stride: 1, float: true}
+	return a.prep(e, lo, hi).f
+}
+
+// prepI is prepF for integer cells (the gather index array).
+func (l load) prepI(e *env, lo, hi int64) []int64 {
+	a := kAccess{base: l.base, off: l.off, stride: 1}
+	return a.prep(e, lo, hi).i
+}
+
 // mulKernel builds the fused multiply-accumulate kernel for
-// acc += A·B over the canonical loop. prodRound marks that the scalar
+// acc += A·B over iterations [lo, hi]. prodRound marks that the scalar
 // path rounds the product through a float return before accumulating.
-func (fc *funcCompiler) mulKernel(cl canonicalLoop, acc accessor, ax, bx ast.Expr, f32, prodRound bool) stmtFn {
+func (fc *funcCompiler) mulKernel(cl canonicalLoop, acc accessor, ax, bx ast.Expr, f32, prodRound bool) kernRun {
 	la, ok := fc.matchLoad(ax, cl.iterSym)
 	if !ok || !la.isFloat {
 		return nil
@@ -265,21 +306,15 @@ func (fc *funcCompiler) mulKernel(cl canonicalLoop, acc accessor, ax, bx ast.Exp
 	if !ok || !lb.isFloat {
 		return nil
 	}
-	lower, upper := cl.lower, cl.upper
 	switch {
 	case !la.gather && !lb.gather:
-		return func(e *env) ctrl {
-			lo, hi := lower(e), upper(e)
+		return func(e *env, lo, hi int64) {
 			if hi < lo {
-				return ctrlNext
+				return
 			}
 			n := int(hi - lo + 1)
-			pa := la.base(e)
-			pb := lb.base(e)
-			sa := pa.Off + int(la.off(e)+lo)
-			sb := pb.Off + int(lb.off(e)+lo)
-			xs := pa.Seg.F[sa : sa+n]
-			ys := pb.Seg.F[sb : sb+n]
+			xs := la.prepF(e, lo, hi)
+			ys := lb.prepF(e, lo, hi)
 			accv := acc.get(e)
 			switch {
 			case f32 && prodRound:
@@ -299,32 +334,28 @@ func (fc *funcCompiler) mulKernel(cl canonicalLoop, acc accessor, ax, bx ast.Exp
 				}
 			}
 			acc.set(e, accv)
-			return ctrlNext
 		}
 	case !la.gather && lb.gather:
-		return fc.gatherKernel(cl, acc, la, lb, f32)
+		return fc.gatherKernel(acc, la, lb, f32)
 	case la.gather && !lb.gather:
-		return fc.gatherKernel(cl, acc, lb, la, f32)
+		return fc.gatherKernel(acc, lb, la, f32)
 	default:
 		return nil
 	}
 }
 
 // gatherKernel handles acc += X[s+k] * Y[Z[t+k]] (the ELL SpMV shape).
-func (fc *funcCompiler) gatherKernel(cl canonicalLoop, acc accessor, direct, gather load, f32 bool) stmtFn {
-	lower, upper := cl.lower, cl.upper
-	return func(e *env) ctrl {
-		lo, hi := lower(e), upper(e)
+// The direct operand and the index array get hoisted range checks; the
+// gathered target keeps per-element checks, its indices being
+// data-dependent.
+func (fc *funcCompiler) gatherKernel(acc accessor, direct, gather load, f32 bool) kernRun {
+	return func(e *env, lo, hi int64) {
 		if hi < lo {
-			return ctrlNext
+			return
 		}
 		n := int(hi - lo + 1)
-		pd := direct.base(e)
-		sd := pd.Off + int(direct.off(e)+lo)
-		xs := pd.Seg.F[sd : sd+n]
-		pz := gather.base(e)
-		sz := pz.Off + int(gather.off(e)+lo)
-		zs := pz.Seg.I[sz : sz+n]
+		xs := direct.prepF(e, lo, hi)
+		zs := gather.prepI(e, lo, hi)
 		py := gather.gBase(e)
 		yf := py.Seg.F
 		yo := py.Off
@@ -339,25 +370,20 @@ func (fc *funcCompiler) gatherKernel(cl canonicalLoop, acc accessor, direct, gat
 			}
 		}
 		acc.set(e, accv)
-		return ctrlNext
 	}
 }
 
 // sumKernel handles acc += X[s+k].
-func (fc *funcCompiler) sumKernel(cl canonicalLoop, acc accessor, ld load, f32 bool) stmtFn {
+func (fc *funcCompiler) sumKernel(acc accessor, ld load, f32 bool) kernRun {
 	if !ld.isFloat {
 		return nil
 	}
-	lower, upper := cl.lower, cl.upper
-	return func(e *env) ctrl {
-		lo, hi := lower(e), upper(e)
+	return func(e *env, lo, hi int64) {
 		if hi < lo {
-			return ctrlNext
+			return
 		}
 		n := int(hi - lo + 1)
-		p := ld.base(e)
-		s := p.Off + int(ld.off(e)+lo)
-		xs := p.Seg.F[s : s+n]
+		xs := ld.prepF(e, lo, hi)
 		accv := acc.get(e)
 		if f32 {
 			for i := 0; i < n; i++ {
@@ -369,6 +395,5 @@ func (fc *funcCompiler) sumKernel(cl canonicalLoop, acc accessor, ld load, f32 b
 			}
 		}
 		acc.set(e, accv)
-		return ctrlNext
 	}
 }

@@ -51,10 +51,10 @@ const (
 )
 
 // Config controls one pipeline run. The compile-relevant fields (Mode,
-// Defines, Files, Parallelize, Transform, Backend, Vectorize, Memoize,
-// MemoCapacity, MemoShards) form the content-addressed program-cache
-// key; TeamSize, Stdout and the cache controls are run state and never
-// affect the compiled Program.
+// Defines, Files, Parallelize, Transform, Backend, Vectorize, NoFuse,
+// Memoize, MemoCapacity, MemoShards) form the content-addressed
+// program-cache key; TeamSize, Stdout and the cache controls are run
+// state and never affect the compiled Program.
 type Config struct {
 	// Mode selects pure-aware (default) or classic polyhedral
 	// parallelization.
@@ -76,6 +76,13 @@ type Config struct {
 	// Vectorize enables the PluTo-SICA SIMD analog: fused-kernel
 	// compilation of canonical reduction loops anywhere in the program.
 	Vectorize bool
+	// NoFuse disables the kernel-fusion engine (fusion is on by
+	// default): element-wise affine innermost loops and the
+	// ICC/Vectorize reduction kernels then execute through
+	// per-iteration closure dispatch. Results are bit-identical either
+	// way; the knob exists for A/B measurement (purebench Fig K1).
+	// Compile-relevant: part of the program-cache key.
+	NoFuse bool
 	// Memoize wraps calls of memoizable pure functions (scalar
 	// signature, global-free body) behind a concurrency-safe memo table
 	// shared by every Process of the compiled Program. Compile-relevant:
@@ -252,6 +259,7 @@ func (a *Artifact) Compile(cfg Config) (*comp.Program, error) {
 	prog, err := comp.CompileProgram(a.Info, comp.Options{
 		Backend:      cfg.Backend,
 		Vectorize:    cfg.Vectorize,
+		NoFuse:       cfg.NoFuse,
 		Memoize:      cfg.Memoize,
 		Memoizable:   a.Memoizable,
 		MemoCapacity: cfg.MemoCapacity,

@@ -227,3 +227,151 @@ int main(void) {
 		t.Fatalf("tiled reduction: got %d want %d", got, want)
 	}
 }
+
+// TestMinMaxReductionParallelizes pins the ROADMAP follow-up end to
+// end: the canonical min if-pattern is recognized by scop, excluded
+// from the parallelism decision, emitted as reduction(min:m), and the
+// parallel run matches the serial build and the interp oracle exactly.
+func TestMinMaxReductionParallelizes(t *testing.T) {
+	src := `
+int a[4000];
+void setup(void) {
+    for (int i = 0; i < 4000; i++)
+        a[i] = (i * 2654435761) % 100000;
+}
+int main(void) {
+    setup();
+    int m = 1 << 30;
+    for (int i = 0; i < 4000; i++)
+        if (a[i] < m) m = a[i];
+    return m % 251;
+}
+`
+	res, err := Build(src, Config{Parallelize: true, TeamSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Stages.Transformed, "reduction(min:m)") {
+		t.Fatalf("transformed source lacks the min clause:\n%s", res.Stages.Transformed)
+	}
+	var lr *transform.LoopReport
+	for i := range res.Report.Loops {
+		for _, r := range res.Report.Loops[i].Reductions {
+			if r == "min:m" {
+				lr = &res.Report.Loops[i]
+			}
+		}
+	}
+	if lr == nil {
+		t.Fatalf("no loop report carries the min:m reduction: %+v", res.Report.Loops)
+	}
+	if lr.ParallelLevel != 0 {
+		t.Fatalf("min nest not parallel: %+v", *lr)
+	}
+
+	par, err := res.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Build(src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := seq.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := interp.New(res.Info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := in.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != ser || par != oracle {
+		t.Fatalf("parallel=%d serial=%d oracle=%d must all agree", par, ser, oracle)
+	}
+}
+
+// TestMinMaxTernaryRecognized covers the ?: form and the max
+// direction through the same pipeline.
+func TestMinMaxTernaryRecognized(t *testing.T) {
+	src := `
+int a[1000];
+int main(void) {
+    for (int i = 0; i < 1000; i++)
+        a[i] = (i * 37) % 8191;
+    int m = -1;
+    for (int i = 0; i < 1000; i++)
+        m = a[i] > m ? a[i] : m;
+    return m % 127;
+}
+`
+	res, err := Build(src, Config{Parallelize: true, TeamSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Stages.Transformed, "reduction(max:m)") {
+		t.Fatalf("transformed source lacks the max clause:\n%s", res.Stages.Transformed)
+	}
+	par, err := res.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Build(src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := seq.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != ser {
+		t.Fatalf("parallel=%d serial=%d", par, ser)
+	}
+}
+
+// TestMinMaxUsedElsewhereStaysSerial: an accumulator read by another
+// statement in the nest is a real dependence, not a reduction.
+func TestMinMaxUsedElsewhereStaysSerial(t *testing.T) {
+	src := `
+int a[100], b[100];
+int main(void) {
+    for (int i = 0; i < 100; i++)
+        a[i] = i;
+    int m = 1 << 30;
+    for (int i = 0; i < 100; i++) {
+        if (a[i] < m) m = a[i];
+        b[i] = m;
+    }
+    return m;
+}
+`
+	res, err := Build(src, Config{Parallelize: true, TeamSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range res.Report.Loops {
+		for _, r := range lr.Reductions {
+			if r == "min:m" && lr.ParallelLevel >= 0 {
+				t.Fatalf("m is read by b[i]=m; the nest must stay serial: %+v", lr)
+			}
+		}
+	}
+	par, err := res.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Build(src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := seq.Machine.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != ser {
+		t.Fatalf("parallel=%d serial=%d", par, ser)
+	}
+}

@@ -317,7 +317,14 @@ func reductionPragmaError(info *sema.Info, pr *ast.PragmaStmt, f *ast.ForStmt) s
 	for _, c := range rt.ParseOmpReductions(pr.Text) {
 		switch c.Op {
 		case "+", "*", "&", "|", "^":
-			// the parallelized set: validate
+			// the parallelized set: validate below
+		case "min", "max":
+			// min/max clauses bind a plain assignment inside a guarded
+			// update; mirror the compiler's resolveMinMax validation.
+			if msg := minMaxClauseError(info, c, f, inner); msg != "" {
+				return msg
+			}
+			continue
 		default:
 			continue // compiler runs these clauses serially
 		}
@@ -346,6 +353,62 @@ func reductionPragmaError(info *sema.Info, pr *ast.PragmaStmt, f *ast.ForStmt) s
 		}
 	}
 	return ""
+}
+
+// minMaxClauseError validates a reduction(min:m)/reduction(max:m)
+// clause exactly like comp.resolveMinMax: the loop body must contain a
+// plain assignment to the accumulator binding the enclosing scope (no
+// assignment = malformed pragma), and a matching guarded update naming
+// a non-scalar accumulator is an error. A body whose updates merely
+// fail to match the pattern is accepted — the compiler runs that loop
+// serially.
+func minMaxClauseError(info *sema.Info, c rt.ReductionClause, f *ast.ForStmt, inner map[*ast.VarDecl]bool) string {
+	found := false
+	for _, as := range ast.Assignments(f.Body) {
+		if as.Op != token.ASSIGN {
+			continue
+		}
+		id, ok := as.LHS.(*ast.Ident)
+		if !ok || id.Name != c.Var {
+			continue
+		}
+		sym := info.Ref[id]
+		if sym == nil || (sym.Decl != nil && inner[sym.Decl]) {
+			continue
+		}
+		found = true
+		break
+	}
+	if !found {
+		return fmt.Sprintf("reduction(%s:%s) has no matching '%s =' update in the annotated loop", c.Op, c.Var, c.Var)
+	}
+	want := token.LSS
+	if c.Op == "max" {
+		want = token.GTR
+	}
+	msg := ""
+	ast.Walk(f.Body, func(n ast.Node) bool {
+		if msg != "" {
+			return false
+		}
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		m, _, dir, ok := ast.MinMaxUpdate(s)
+		if !ok || m.Name != c.Var || dir != want {
+			return true
+		}
+		sym := info.Ref[m]
+		if sym == nil || (sym.Decl != nil && inner[sym.Decl]) {
+			return true
+		}
+		if sym.IsArray() || sym.Type == nil || sym.Type.IsPtr() {
+			msg = fmt.Sprintf("reduction(%s:%s) names a non-scalar accumulator", c.Op, c.Var)
+		}
+		return false
+	})
+	return msg
 }
 
 func (in *Interp) stmt(s ast.Stmt, fr *frame) ctrl {

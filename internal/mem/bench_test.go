@@ -1,0 +1,41 @@
+package mem
+
+import "testing"
+
+// BenchmarkHeapLoadStore pins the per-access overhead the fused kernels
+// eliminate: copying 4096 cells through per-element Pointer loads and
+// stores (one slice bounds check per access) versus one checked range
+// per operand followed by a raw slice walk. Future perf PRs diff
+// against this in-repo baseline.
+func BenchmarkHeapLoadStore(b *testing.B) {
+	const n = 4096
+	src := NewSegment(CellFloat, n, "src")
+	dst := NewSegment(CellFloat, n, "dst")
+	for i := range src.F {
+		src.F[i] = float64(i)
+	}
+	b.Run("pointer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := Pointer{Seg: src}
+			d := Pointer{Seg: dst}
+			for k := int64(0); k < n; k++ {
+				d.Add(k).StoreFloat(s.Add(k).LoadFloat())
+			}
+		}
+	})
+	b.Run("ranged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			xs, err := src.FloatRange(0, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ys, err := dst.FloatRange(0, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k < n; k++ {
+				ys[k] = xs[k]
+			}
+		}
+	})
+}

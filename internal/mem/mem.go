@@ -86,6 +86,40 @@ func (s *Segment) Len() int {
 	}
 }
 
+// FloatRange validates the half-open cell range [lo, hi) against the
+// segment once and hands back the raw float cells, so bulk kernels can
+// walk the slice directly instead of paying one bounds check per
+// element access. Freed segments, non-float segments and out-of-range
+// bounds report an error (the fused-kernel analog of the per-access
+// traps).
+func (s *Segment) FloatRange(lo, hi int64) ([]float64, error) {
+	if err := s.checkRange(lo, hi, len(s.F), "float"); err != nil {
+		return nil, err
+	}
+	return s.F[lo:hi], nil
+}
+
+// IntRange validates the half-open cell range [lo, hi) once and hands
+// back the raw integer cells; see FloatRange.
+func (s *Segment) IntRange(lo, hi int64) ([]int64, error) {
+	if err := s.checkRange(lo, hi, len(s.I), "int"); err != nil {
+		return nil, err
+	}
+	return s.I[lo:hi], nil
+}
+
+// checkRange is the shared validation of the bulk-range accessors.
+func (s *Segment) checkRange(lo, hi int64, n int, kind string) error {
+	if s.Freed() {
+		return fmt.Errorf("use of freed segment %s", s.Name)
+	}
+	if lo < 0 || hi < lo || hi > int64(n) {
+		return fmt.Errorf("%s range [%d,%d) out of bounds of %s (%d cells)",
+			kind, lo, hi, s.Name, n)
+	}
+	return nil
+}
+
 // Pointer is a C pointer value: a segment and an element offset.
 // The zero Pointer is the NULL pointer.
 type Pointer struct {
@@ -96,8 +130,24 @@ type Pointer struct {
 // IsNull reports whether p is the null pointer.
 func (p Pointer) IsNull() bool { return p.Seg == nil }
 
-// Add returns p advanced by n elements.
+// Add returns p advanced by n elements. The offset arithmetic is
+// unchecked (two's-complement wraparound); compiled pointer arithmetic
+// goes through AddChecked so overflowing offsets trap instead of
+// silently referencing a wrapped cell.
 func (p Pointer) Add(n int64) Pointer { return Pointer{Seg: p.Seg, Off: p.Off + int(n)} }
+
+// AddChecked returns p advanced by n elements, reporting an error when
+// the resulting offset overflows the int range (including platforms
+// where int is narrower than 64 bits) instead of wrapping — the
+// memory-layer analog of the runtime's unsigned-offset schedulers.
+func (p Pointer) AddChecked(n int64) (Pointer, error) {
+	off := int64(p.Off) + n
+	if (n > 0 && off < int64(p.Off)) || (n < 0 && off > int64(p.Off)) ||
+		int64(int(off)) != off {
+		return Pointer{}, fmt.Errorf("pointer arithmetic overflow: %s + %d elements", p, n)
+	}
+	return Pointer{Seg: p.Seg, Off: int(off)}, nil
+}
 
 // Diff returns the element distance p−q; both must reference the same
 // segment (use DiffChecked when that is not guaranteed — for pointers

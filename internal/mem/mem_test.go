@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -157,5 +158,74 @@ func TestAddAssociativityProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRangeAccessors(t *testing.T) {
+	s := NewSegment(CellFloat, 8, "s")
+	for i := range s.F {
+		s.F[i] = float64(i)
+	}
+	xs, err := s.FloatRange(2, 6)
+	if err != nil || len(xs) != 4 || xs[0] != 2 {
+		t.Fatalf("FloatRange(2,6) = %v, %v", xs, err)
+	}
+	// The range is the raw backing storage, not a copy.
+	xs[0] = 42
+	if s.F[2] != 42 {
+		t.Fatal("FloatRange must alias the segment cells")
+	}
+	if _, err := s.FloatRange(2, 9); err == nil {
+		t.Fatal("over-length range must error")
+	}
+	if _, err := s.FloatRange(-1, 3); err == nil {
+		t.Fatal("negative range must error")
+	}
+	if _, err := s.FloatRange(5, 4); err == nil {
+		t.Fatal("inverted range must error")
+	}
+	if ys, err := s.FloatRange(3, 3); err != nil || len(ys) != 0 {
+		t.Fatalf("empty range = %v, %v", ys, err)
+	}
+	if _, err := s.IntRange(0, 1); err == nil {
+		t.Fatal("IntRange on a float segment must error")
+	}
+	i := NewSegment(CellInt, 4, "i")
+	if vs, err := i.IntRange(0, 4); err != nil || len(vs) != 4 {
+		t.Fatalf("IntRange(0,4) = %v, %v", vs, err)
+	}
+}
+
+func TestRangeAccessorsFreedSegment(t *testing.T) {
+	var h Heap
+	p := h.Malloc(CellFloat, 8, "m")
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Seg.FloatRange(0, 1); err == nil {
+		t.Fatal("range over a freed segment must error (use-after-free)")
+	} else if !strings.Contains(err.Error(), "freed") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+}
+
+func TestAddChecked(t *testing.T) {
+	s := NewSegment(CellInt, 4, "s")
+	p := Pointer{Seg: s, Off: 2}
+	q, err := p.AddChecked(1)
+	if err != nil || q.Off != 3 {
+		t.Fatalf("AddChecked(1) = %v, %v", q, err)
+	}
+	q, err = p.AddChecked(-2)
+	if err != nil || q.Off != 0 {
+		t.Fatalf("AddChecked(-2) = %v, %v", q, err)
+	}
+	// Offset overflow past the int64 range must trap, not wrap — the
+	// unchecked Add would silently produce a negative offset here.
+	if _, err := (Pointer{Seg: s, Off: 1}).AddChecked(math.MaxInt64); err == nil {
+		t.Fatal("positive overflow must error")
+	}
+	if _, err := (Pointer{Seg: s, Off: -2}).AddChecked(math.MinInt64); err == nil {
+		t.Fatal("negative overflow must error")
 	}
 }

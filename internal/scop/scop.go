@@ -53,18 +53,28 @@ type SCoP struct {
 }
 
 // Reduction is one recognized reduction accumulator: a canonical
-// `Var op= expr` statement whose scalar accumulator is used nowhere else
-// in the nest. Op is the underlying binary operator (ADD, MUL, AND, OR,
-// XOR — the associative-commutative subset of the OpenMP reduction
-// operators; min/max if-patterns are future work).
+// `Var op= expr` statement, or a guarded min/max update
+// (`if (x < m) m = x;` or its `?:` form), whose scalar accumulator is
+// used nowhere else in the nest. Op is the underlying binary operator
+// (ADD, MUL, AND, OR, XOR — the associative-commutative subset of the
+// OpenMP reduction operators) or the comparison marker of a min/max
+// pattern (LSS = min, GTR = max).
 type Reduction struct {
 	Var string
 	Op  token.Kind
 }
 
 // ClauseOp renders the operator as it appears in an OpenMP reduction
-// clause.
-func (r Reduction) ClauseOp() string { return r.Op.String() }
+// clause ("min"/"max" for the if-pattern reductions).
+func (r Reduction) ClauseOp() string {
+	switch r.Op {
+	case token.LSS:
+		return "min"
+	case token.GTR:
+		return "max"
+	}
+	return r.Op.String()
+}
 
 // Iters returns the iterator names outermost-first.
 func (s *SCoP) Iters() []string { return s.Nest.Iters }
@@ -410,6 +420,21 @@ func (d *detector) recognizeReductions(sc *SCoP, body []ast.Stmt) {
 		}
 	}
 	for k, s := range body {
+		// Guarded min/max updates (if-pattern and ?: form): the
+		// ROADMAP follow-up of the op= reductions below. The marker
+		// operator is LSS for min, GTR for max.
+		if m, _, op, ok := ast.MinMaxUpdate(s); ok {
+			own := 0
+			for _, id := range ast.Idents(s) {
+				if id.Name == m.Name {
+					own++
+				}
+			}
+			if uses[m.Name] == own {
+				d.tagReduction(sc, k, m, op)
+			}
+			continue
+		}
 		es, ok := s.(*ast.ExprStmt)
 		if !ok {
 			continue
@@ -426,40 +451,48 @@ func (d *detector) recognizeReductions(sc *SCoP, body []ast.Stmt) {
 		if !ok {
 			continue
 		}
-		sym := d.info.Ref[id]
-		if sym == nil || sym.Kind == sema.SymGlobal || sym.IsArray() ||
-			sym.Type == nil || sym.Type.IsPtr() {
-			continue
-		}
-		switch sym.Type.Kind {
-		case types.Int:
-			// every recognized op applies
-		case types.Float:
-			if op != token.ADD && op != token.MUL {
-				continue
-			}
-		default:
-			continue
-		}
 		if uses[id.Name] != 1 {
 			// The accumulator is read or written elsewhere in the nest
 			// (or inside its own right-hand side): a real dependence.
 			continue
 		}
-		arr := "scalar:" + id.Name
-		st := sc.Nest.Stmts[k]
-		for i := range st.Writes {
-			if st.Writes[i].Array == arr {
-				st.Writes[i].Reduction = true
-			}
-		}
-		for i := range st.Reads {
-			if st.Reads[i].Array == arr {
-				st.Reads[i].Reduction = true
-			}
-		}
-		sc.Reductions = append(sc.Reductions, Reduction{Var: id.Name, Op: op})
+		d.tagReduction(sc, k, id, op)
 	}
+}
+
+// tagReduction validates the accumulator symbol, tags its scalar
+// accesses in body statement k as reduction accesses (removing them
+// from the parallelism decision) and records the clause. Float
+// accumulators support +, * and the min/max comparison markers.
+func (d *detector) tagReduction(sc *SCoP, k int, id *ast.Ident, op token.Kind) {
+	sym := d.info.Ref[id]
+	if sym == nil || sym.Kind == sema.SymGlobal || sym.IsArray() ||
+		sym.Type == nil || sym.Type.IsPtr() {
+		return
+	}
+	switch sym.Type.Kind {
+	case types.Int:
+		// every recognized op applies
+	case types.Float:
+		if op != token.ADD && op != token.MUL && op != token.LSS && op != token.GTR {
+			return
+		}
+	default:
+		return
+	}
+	arr := "scalar:" + id.Name
+	st := sc.Nest.Stmts[k]
+	for i := range st.Writes {
+		if st.Writes[i].Array == arr {
+			st.Writes[i].Reduction = true
+		}
+	}
+	for i := range st.Reads {
+		if st.Reads[i].Array == arr {
+			st.Reads[i].Reduction = true
+		}
+	}
+	sc.Reductions = append(sc.Reductions, Reduction{Var: id.Name, Op: op})
 }
 
 // isNestParam reports whether name is an integer scalar that is not
@@ -529,6 +562,24 @@ func (b *bodyBuilder) statement(s ast.Stmt, seq int) (*poly.Statement, bool) {
 			return nil, false
 		}
 		return st, true
+	case *ast.IfStmt:
+		// The one conditional a SCoP body admits: a guarded min/max
+		// accumulator update. The accumulator gets a read-modify-write
+		// access pair (the guard reads it, the branch may write it);
+		// the data expression is read once per occurrence, like the
+		// source. Whether the statement parallelizes is decided later
+		// by recognizeReductions plus dependence analysis.
+		if m, data, _, ok := ast.MinMaxUpdate(x); ok {
+			if !b.lhs(m, st, true) {
+				return nil, false
+			}
+			if !b.expr(data, st, false) || !b.expr(data, st, false) {
+				return nil, false
+			}
+			return st, true
+		}
+		b.d.rejectf(s.Pos(), "conditional in SCoP body is not a canonical min/max update (if (x < m) m = x;)")
+		return nil, false
 	case *ast.EmptyStmt:
 		return st, true
 	default:

@@ -429,3 +429,72 @@ int main(void) {
 		t.Fatalf("want 2 reductions, got %v", reds)
 	}
 }
+
+func TestMinMaxIfPatternRecognized(t *testing.T) {
+	src := `
+int a[100];
+int main(void) {
+    int m = 1 << 30;
+    for (int i = 0; i < 100; i++)
+        if (a[i] < m) m = a[i];
+    return m;
+}
+`
+	res, _ := detect(t, src)
+	if len(res.SCoPs) != 1 {
+		t.Fatalf("want 1 SCoP, got %d (rejections: %v)", len(res.SCoPs), res.Rejections)
+	}
+	sc := res.SCoPs[0]
+	if len(sc.Reductions) != 1 || sc.Reductions[0].Var != "m" || sc.Reductions[0].ClauseOp() != "min" {
+		t.Fatalf("reductions = %+v, want min:m", sc.Reductions)
+	}
+	// The accumulator accesses must be reduction-tagged so dependence
+	// analysis ignores them.
+	tagged := false
+	for _, st := range sc.Nest.Stmts {
+		for _, a := range st.Accesses() {
+			if a.Array == "scalar:m" && a.Reduction {
+				tagged = true
+			}
+		}
+	}
+	if !tagged {
+		t.Fatal("scalar:m accesses are not reduction-tagged")
+	}
+}
+
+func TestMinMaxTernaryMaxRecognized(t *testing.T) {
+	src := `
+int a[100];
+int main(void) {
+    int m = 0;
+    for (int i = 0; i < 100; i++)
+        m = a[i] > m ? a[i] : m;
+    return m;
+}
+`
+	res, _ := detect(t, src)
+	if len(res.SCoPs) != 1 {
+		t.Fatalf("want 1 SCoP, got %d (rejections: %v)", len(res.SCoPs), res.Rejections)
+	}
+	sc := res.SCoPs[0]
+	if len(sc.Reductions) != 1 || sc.Reductions[0].ClauseOp() != "max" {
+		t.Fatalf("reductions = %+v, want max:m", sc.Reductions)
+	}
+}
+
+func TestNonCanonicalIfStillRejected(t *testing.T) {
+	// A general conditional is still outside the SCoP grammar.
+	src := `
+int a[100], b[100];
+int main(void) {
+    for (int i = 0; i < 100; i++)
+        if (a[i] > 0) b[i] = 1;
+    return 0;
+}
+`
+	res, _ := detect(t, src)
+	if len(res.SCoPs) != 0 {
+		t.Fatalf("general conditional must not form a SCoP, got %d", len(res.SCoPs))
+	}
+}
