@@ -4,19 +4,22 @@
 //
 // Usage:
 //
-//	purebench [-fig all|2|3|...|11|m1|m2|r1|k1] [-cores 1,2,4,8,16,32,64] [-reps 3]
+//	purebench [-fig all|2|3|...|11|m1|m2|r1|k1|a1] [-cores 1,2,4,8,16,32,64] [-reps 3]
 //	          [-matmul-n 160] [-heat-n 160] [-heat-steps 30]
 //	          [-sat-pix 2000] [-sat-bands 12] [-sat-iters 48]
 //	          [-lama-rows 12000] [-lama-nnz 16] [-memo-classes 24]
-//	          [-reduce-n 400000] [-kern-n 65536] [-kern-reps 50] [-quick]
+//	          [-reduce-n 400000] [-kern-n 65536] [-kern-reps 50]
+//	          [-hist-n 400000] [-hist-bins 16,256,4096,65536] [-quick]
 //
 // Figures m1/m2 are the pure-call memoization scenario (quantized
 // satellite retrieval with and without the shared memo table); figure
 // r1 is the parallel scalar-reduction scenario (quickstart sum and
 // extracted dot kernels, serial vs reduction builds); figure k1 is
 // the kernel-fusion A/B (axpy, copy, 1-D stencil and extracted-dot
-// matmul with the fusion engine off and on). All extend the paper's
-// evaluation.
+// matmul with the fusion engine off and on); figure a1 is the
+// array-reduction scenario (hist[data[i]]++ with privatized per-worker
+// copies, swept over -hist-bins to expose the combine overhead). All
+// extend the paper's evaluation.
 //
 // Each figure prints as an aligned table: one row per program variant,
 // one column per simulated core count.
@@ -33,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all or one of 2..11")
+	fig := flag.String("fig", "all", "figure to regenerate: all, one of 2..11, or m1/m2/r1/k1/a1 (comma-separable)")
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,2,4,8,16,32,64)")
 	reps := flag.Int("reps", 0, "repetitions per measurement (default 3)")
 	quick := flag.Bool("quick", false, "tiny workloads for a fast smoke run")
@@ -49,6 +52,8 @@ func main() {
 	reduceN := flag.Int("reduce-n", 0, "iteration/vector length of the reduction scenario")
 	kernN := flag.Int("kern-n", 0, "vector length of the kernel-fusion scenario (fig k1)")
 	kernReps := flag.Int("kern-reps", 0, "sweeps per run of the kernel-fusion scenario (fig k1)")
+	histN := flag.Int("hist-n", 0, "element count of the array-reduction scenario (fig a1)")
+	histBins := flag.String("hist-bins", "", "comma-separated bin counts of the array-reduction scenario (fig a1)")
 	flag.Parse()
 
 	p := bench.Default()
@@ -81,13 +86,25 @@ func main() {
 	setIf(&p.ReduceN, *reduceN)
 	setIf(&p.KernN, *kernN)
 	setIf(&p.KernReps, *kernReps)
+	setIf(&p.HistN, *histN)
+	if *histBins != "" {
+		var bins []int
+		for _, part := range strings.Split(*histBins, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 {
+				fatalf("bad -hist-bins value %q", part)
+			}
+			bins = append(bins, v)
+		}
+		p.HistBins = bins
+	}
 
 	want := map[string]bool{}
 	if *fig == "all" {
 		for i := 2; i <= 11; i++ {
 			want[strconv.Itoa(i)] = true
 		}
-		want["m1"], want["m2"], want["r1"], want["k1"] = true, true, true, true
+		want["m1"], want["m2"], want["r1"], want["k1"], want["a1"] = true, true, true, true, true
 	} else {
 		for _, part := range strings.Split(*fig, ",") {
 			want[strings.ToLower(strings.TrimSpace(part))] = true
@@ -173,6 +190,13 @@ func main() {
 			fatalf("kernels: %v", err)
 		}
 		fmt.Println(d.FigK1())
+	}
+	if want["a1"] {
+		d, err := bench.CollectHistogram(p)
+		if err != nil {
+			fatalf("histogram: %v", err)
+		}
+		fmt.Println(d.FigA1().Render())
 	}
 }
 

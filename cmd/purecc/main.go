@@ -29,9 +29,11 @@
 //	-emit stage           print a stage instead of running:
 //	                      stripped|expanded|marked|transformed|final|report|pure
 //	                      (report lists each nest's parallel level,
-//	                      reduction clauses, and — for serial nests —
+//	                      reduction clauses — scalar "+:s" and array
+//	                      "+:hist[]" forms — and, for serial nests,
 //	                      the reason, e.g. "serialized by scalar write
-//	                      to s")
+//	                      to s" or the offending access of a near-miss
+//	                      array reduction)
 //	-time                 print the wall time of main()
 //	-runs N               execute main N times, each in a fresh Process
 //	                      of the one compiled Program (default 1)

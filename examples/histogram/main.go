@@ -1,0 +1,103 @@
+// Histogram: the array-reduction demo — `hist[data[i]]++`, a bin-count
+// over a data array, writes the hist array through a data-dependent
+// subscript every iteration, which classically serializes the loop
+// (two iterations may hit the same bin). purec recognizes the update
+// as an array reduction and parallelizes it end to end: the polyhedral
+// stage drops the accumulator array's carried dependences, the
+// transformer emits #pragma omp parallel for reduction(+:hist[]), and
+// the runtime gives every worker a private zero-initialized copy of
+// hist, combining the copies element-wise in worker order after the
+// join (see examples/histogram/README.md for the privatization and
+// determinism details).
+//
+//	go run ./examples/histogram
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"purec"
+)
+
+const src = `#include <stdio.h>
+#define N 100000
+#define BINS 32
+
+int data[N];
+
+void initdata(void) {
+    for (int i = 0; i < N; i++)
+        data[i] = (i * 1103515245 + 12345) % BINS;
+}
+
+int main(void) {
+    initdata();
+    int hist[BINS];
+    for (int b = 0; b < BINS; b++)
+        hist[b] = 0;
+    for (int i = 0; i < N; i++)
+        hist[data[i]]++;
+    int checksum = 0;
+    for (int b = 0; b < BINS; b++)
+        checksum += hist[b] * (b + 1);
+    printf("bins: %d  checksum: %d\n", BINS, checksum);
+    return 0;
+}
+`
+
+func main() {
+	// Parallel build: the bin-count loop parallelizes even though every
+	// iteration writes the hist array.
+	par, err := purec.Build(src, purec.Config{
+		Parallelize: true,
+		TeamSize:    8,
+		Stdout:      os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== transformed source (array-reduction clause inserted) ===")
+	for _, line := range strings.Split(par.Stages.Transformed, "\n") {
+		if strings.Contains(line, "#pragma omp") {
+			fmt.Println(strings.TrimSpace(line))
+		}
+	}
+
+	fmt.Println("\n=== running on 8 workers ===")
+	if _, err := par.Machine.RunMain(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Serial baseline: integer array reductions are bit-identical at
+	// every team size, so both runs print the same checksum.
+	seq, err := purec.Build(src, purec.Config{Stdout: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== serial baseline (identical checksum) ===")
+	if _, err := seq.Machine.RunMain(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A counterexample: reading the histogram through a second
+	// subscript is NOT a reduction, and the report names the offending
+	// read.
+	diag, err := purec.Build(`
+int a[1000], b[1000];
+int main(void) {
+    int hist[16];
+    for (int i = 0; i < 1000; i++)
+        hist[a[i]] = hist[b[i]] + 1;
+    return 0;
+}
+`, purec.Config{Parallelize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== why a near-miss stays serial ===")
+	fmt.Print(diag.Report.String())
+}

@@ -498,3 +498,37 @@ func TestMatmulKernMatchesReference(t *testing.T) {
 		}
 	}
 }
+
+// --- Histogram (array reduction) ---
+
+func TestHistogramMatchesReference(t *testing.T) {
+	const n, bins = 3000, 24
+	res := build(t, HistogramSrc, HistogramDefines(n, bins),
+		core.Config{Parallelize: true, TeamSize: 8})
+	ref := HistogramRef(n, bins)
+	p, err := res.Machine.GlobalPtr("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < bins; b++ {
+		if got := p.Add(int64(b)).LoadInt(); got != ref[b] {
+			t.Errorf("bin %d: got %d want %d", b, got, ref[b])
+		}
+	}
+}
+
+func TestHistogramHotLoopParallelized(t *testing.T) {
+	res := build(t, HistogramSrc, HistogramDefines(1000, 16),
+		core.Config{Parallelize: true})
+	found := false
+	for _, lr := range res.Report.Loops {
+		for _, r := range lr.Reductions {
+			if r == "+:hist[]" && lr.ParallelLevel == 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("histogram hot loop not parallelized as an array reduction: %+v", res.Report.Loops)
+	}
+}

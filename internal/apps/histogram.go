@@ -1,0 +1,60 @@
+package apps
+
+import "fmt"
+
+// HistogramSrc is the array-reduction workload: a bin-count over a
+// data array — the hot loop of vector-quantized clustering pipelines
+// (counting points per cluster assignment). The middle loop writes
+// hist[data[i]]++ through a data-dependent subscript, which PR 5's
+// array-reduction stage turns into
+// #pragma omp parallel for reduction(+:hist[]): every worker fills a
+// private identity-initialized copy of hist and the copies combine
+// element-wise after the join. The accumulator is an integer array, so
+// the parallel result is bit-identical to the serial build at every
+// team size and schedule.
+//
+// The local hist scratch copies out to the global out array so tests
+// and the bench harness can read the result after run() returns.
+const HistogramSrc = `
+int data[N];
+int out[BINS];
+
+void initdata(void) {
+    for (int i = 0; i < N; i++)
+        data[i] = (i * 1103515245 + 12345) % BINS;
+}
+
+int run(void) {
+    int hist[BINS];
+    for (int b = 0; b < BINS; b++)
+        hist[b] = 0;
+    for (int i = 0; i < N; i++)
+        hist[data[i]]++;
+    for (int b = 0; b < BINS; b++)
+        out[b] = hist[b];
+    return 0;
+}
+
+int main(void) {
+    initdata();
+    return run();
+}
+`
+
+// HistogramDefines injects the element count and bin count.
+func HistogramDefines(n, bins int) map[string]string {
+	return map[string]string{
+		"N":    fmt.Sprintf("%d", n),
+		"BINS": fmt.Sprintf("%d", bins),
+	}
+}
+
+// HistogramRef computes the expected bin counts (exact at every team
+// size: integer array reductions are bit-identical by contract).
+func HistogramRef(n, bins int) []int64 {
+	hist := make([]int64, bins)
+	for i := 0; i < n; i++ {
+		hist[(int64(i)*1103515245+12345)%int64(bins)]++
+	}
+	return hist
+}

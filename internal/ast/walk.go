@@ -174,7 +174,7 @@ func Assignments(n Node) []*AssignExpr {
 }
 
 // MinMaxUpdate matches the canonical guarded min/max accumulator
-// update statements:
+// update statements with a plain scalar accumulator:
 //
 //	if (x < m) m = x;            (if-pattern; also with m on the left)
 //	m = x < m ? x : m;           (conditional form; also keep-current)
@@ -182,12 +182,31 @@ func Assignments(n Node) []*AssignExpr {
 // returning the accumulator identifier m (the assignment target), the
 // data expression x, and the direction: token.LSS for a minimum
 // ("replace m when the data is smaller"), token.GTR for a maximum.
-// Only strict comparisons qualify — with <= or >= a tie overwrites the
-// accumulator, which is not the fold the parallel combine performs
-// (observable through float signed zeros). The data expression must be
-// syntactically identical everywhere it appears in the pattern.
+// It is MinMaxUpdateLV restricted to identifier targets.
 func MinMaxUpdate(s Stmt) (m *Ident, data Expr, dir token.Kind, ok bool) {
-	fail := func() (*Ident, Expr, token.Kind, bool) { return nil, nil, 0, false }
+	target, data, dir, ok := MinMaxUpdateLV(s)
+	if !ok {
+		return nil, nil, 0, false
+	}
+	id, okID := unparen(target).(*Ident)
+	if !okID {
+		return nil, nil, 0, false
+	}
+	return id, data, dir, true
+}
+
+// MinMaxUpdateLV generalizes MinMaxUpdate to any lvalue target,
+// covering the array-element accumulators of array reductions
+// (`if (x < lo[b[i]]) lo[b[i]] = x;` and its `?:` form). The target
+// expression must be syntactically identical everywhere it appears in
+// the pattern (compared by printed form), and the data expression must
+// not mention the target's base variable at all — a read of the
+// accumulator array through another subscript is a real dependence,
+// not a reduction. Only strict comparisons qualify — with <= or >= a
+// tie overwrites the accumulator, which is not the fold the parallel
+// combine performs (observable through float signed zeros).
+func MinMaxUpdateLV(s Stmt) (target Expr, data Expr, dir token.Kind, ok bool) {
+	fail := func() (Expr, Expr, token.Kind, bool) { return nil, nil, 0, false }
 	switch x := s.(type) {
 	case *IfStmt:
 		if x.Else != nil {
@@ -201,26 +220,28 @@ func MinMaxUpdate(s Stmt) (m *Ident, data Expr, dir token.Kind, ok bool) {
 		if as == nil || as.Op != token.ASSIGN {
 			return fail()
 		}
-		m, okM := unparen(as.LHS).(*Ident)
-		if !okM {
+		target = unparen(as.LHS)
+		base := BaseIdent(target)
+		if base == nil {
 			return fail()
 		}
-		data, smaller, okD := relAgainst(cond, m.Name)
+		data, smaller, okD := relAgainstExpr(cond, target, base.Name)
 		if !okD || PrintExpr(unparen(as.RHS)) != PrintExpr(data) {
 			return fail()
 		}
 		// The if-form takes the data when the condition holds.
 		if smaller {
-			return m, data, token.LSS, true
+			return target, data, token.LSS, true
 		}
-		return m, data, token.GTR, true
+		return target, data, token.GTR, true
 	case *ExprStmt:
 		as, okA := x.X.(*AssignExpr)
 		if !okA || as.Op != token.ASSIGN {
 			return fail()
 		}
-		m, okM := unparen(as.LHS).(*Ident)
-		if !okM {
+		target = unparen(as.LHS)
+		base := BaseIdent(target)
+		if base == nil {
 			return fail()
 		}
 		ce, okCE := unparen(as.RHS).(*CondExpr)
@@ -231,17 +252,17 @@ func MinMaxUpdate(s Stmt) (m *Ident, data Expr, dir token.Kind, ok bool) {
 		if !okC {
 			return fail()
 		}
-		data, smaller, okD := relAgainst(cond, m.Name)
+		data, smaller, okD := relAgainstExpr(cond, target, base.Name)
 		if !okD {
 			return fail()
 		}
 		then, els := unparen(ce.Then), unparen(ce.Else)
-		dataS := PrintExpr(data)
+		dataS, targetS := PrintExpr(data), PrintExpr(target)
 		takeData := false
 		switch {
-		case PrintExpr(then) == dataS && isIdent(els, m.Name):
+		case PrintExpr(then) == dataS && PrintExpr(els) == targetS:
 			takeData = true // m = cond ? x : m
-		case isIdent(then, m.Name) && PrintExpr(els) == dataS:
+		case PrintExpr(then) == targetS && PrintExpr(els) == dataS:
 			takeData = false // m = cond ? m : x
 		default:
 			return fail()
@@ -249,35 +270,48 @@ func MinMaxUpdate(s Stmt) (m *Ident, data Expr, dir token.Kind, ok bool) {
 		// takeData: data replaces m exactly when the condition holds;
 		// otherwise the condition holding keeps m.
 		if takeData == smaller {
-			return m, data, token.LSS, true
+			return target, data, token.LSS, true
 		}
-		return m, data, token.GTR, true
+		return target, data, token.GTR, true
 	}
 	return fail()
 }
 
-// relAgainst interprets a strict comparison with the accumulator name
-// on one side: it returns the other side (the data expression) and
-// whether a true condition means the data is smaller than the
-// accumulator.
-func relAgainst(cond *BinaryExpr, name string) (data Expr, smaller, ok bool) {
+// BaseIdent returns the base identifier of an lvalue expression: the
+// identifier itself, or the root array of an index chain like
+// A[i][j]. Nil when the expression has no identifier base.
+func BaseIdent(e Expr) *Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *Ident:
+			return x
+		case *IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// relAgainstExpr interprets a strict comparison with the accumulator
+// lvalue on one side (matched by printed form): it returns the other
+// side (the data expression) and whether a true condition means the
+// data is smaller than the accumulator. The data side must not mention
+// the accumulator's base variable.
+func relAgainstExpr(cond *BinaryExpr, target Expr, baseName string) (data Expr, smaller, ok bool) {
 	if cond.Op != token.LSS && cond.Op != token.GTR {
 		return nil, false, false
 	}
+	targetS := PrintExpr(target)
 	switch {
-	case isIdent(unparen(cond.X), name) && !mentions(cond.Y, name):
+	case PrintExpr(unparen(cond.X)) == targetS && !mentions(cond.Y, baseName):
 		// m < x: data larger when true; m > x: data smaller.
 		return cond.Y, cond.Op == token.GTR, true
-	case isIdent(unparen(cond.Y), name) && !mentions(cond.X, name):
+	case PrintExpr(unparen(cond.Y)) == targetS && !mentions(cond.X, baseName):
 		// x < m: data smaller when true; x > m: data larger.
 		return cond.X, cond.Op == token.LSS, true
 	}
 	return nil, false, false
-}
-
-func isIdent(e Expr, name string) bool {
-	id, ok := unparen(e).(*Ident)
-	return ok && id.Name == name
 }
 
 func mentions(e Expr, name string) bool {
@@ -311,7 +345,10 @@ func singleAssign(s Stmt) *AssignExpr {
 	return as
 }
 
-func unparen(e Expr) Expr {
+// Unparen strips any number of enclosing parentheses from an
+// expression — the shared helper behind every structural matcher that
+// must see through (x).
+func Unparen(e Expr) Expr {
 	for {
 		p, ok := e.(*ParenExpr)
 		if !ok {
@@ -320,6 +357,8 @@ func unparen(e Expr) Expr {
 		e = p.X
 	}
 }
+
+func unparen(e Expr) Expr { return Unparen(e) }
 
 // RewriteExpr applies f to every expression under n bottom-up, replacing
 // each expression by f's result. It covers the expression positions of all

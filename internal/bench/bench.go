@@ -44,6 +44,13 @@ type Params struct {
 	// copy, 1-D stencil): vector length and sweep count per run.
 	KernN    int
 	KernReps int
+	// HistN is the element count of the array-reduction scenario
+	// (Fig A1: bin-count over a data array) and HistBins the bin
+	// counts it sweeps — the private-copy allocation and the
+	// worker-ordered combine both scale with the bin count, so the
+	// sweep exposes where combine overhead eats the parallel speedup.
+	HistN    int
+	HistBins []int
 	Cores    []int
 	Reps     int
 }
@@ -66,6 +73,8 @@ func Default() Params {
 		ReduceN:     400000,
 		KernN:       65536,
 		KernReps:    50,
+		HistN:       400000,
+		HistBins:    []int{16, 256, 4096, 65536},
 		Cores:       []int{1, 2, 4, 8, 16, 32, 64},
 		Reps:        3,
 	}
@@ -86,6 +95,8 @@ func Quick() Params {
 		ReduceN:     20000,
 		KernN:       2048,
 		KernReps:    3,
+		HistN:       20000,
+		HistBins:    []int{8, 64},
 		Cores:       []int{1, 2, 4},
 		Reps:        1,
 	}

@@ -180,3 +180,34 @@ func TestCollectKernelsQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestCollectHistogramQuick(t *testing.T) {
+	p := Quick()
+	d, err := CollectHistogram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Par) != len(p.HistBins) {
+		t.Fatalf("want %d curves, got %d", len(p.HistBins), len(d.Par))
+	}
+	for _, bins := range p.HistBins {
+		if d.Seq[bins] <= 0 {
+			t.Fatalf("missing sequential baseline for %d bins", bins)
+		}
+	}
+	f := d.FigA1()
+	if f.Kind != "speedup" || len(f.Series) != len(p.HistBins) {
+		t.Fatalf("FigA1: %+v", f)
+	}
+	for _, s := range f.Series {
+		for _, c := range f.Cores {
+			if s.Times[c] <= 0 {
+				t.Fatalf("series %s cores %d: no speedup value", s.Name, c)
+			}
+		}
+	}
+	out := f.Render()
+	if !strings.Contains(out, "Fig A1") || !strings.Contains(out, "hist[] reduction") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

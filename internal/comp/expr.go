@@ -768,15 +768,7 @@ func collectSubs(e ast.Expr) ([]ast.Expr, ast.Expr) {
 	}
 }
 
-func stripParens(e ast.Expr) ast.Expr {
-	for {
-		p, ok := e.(*ast.ParenExpr)
-		if !ok {
-			return e
-		}
-		e = p.X
-	}
-}
+func stripParens(e ast.Expr) ast.Expr { return ast.Unparen(e) }
 
 // mallocCall compiles (T*)malloc(bytes): the segment kind and cell count
 // derive from the cast's element type.

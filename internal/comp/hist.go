@@ -1,0 +1,564 @@
+package comp
+
+// Array reductions: #pragma omp parallel for reduction(op:A[]) marks a
+// loop updating a function-local array through a data-dependent
+// subscript (hist[a[i]]++, lo[b[i]] = x < lo[b[i]] ? x : lo[b[i]]).
+// Each worker receives a fresh identity-initialized private copy of
+// the array's segment (installed into the cloned environment's pointer
+// slot, so the unchanged loop body transparently updates the copy) and
+// the partial arrays fold back element-wise in worker order 0..n-1
+// through rt.Team.ParallelForReduceArray.
+//
+// Accumulators that cannot be privatized — global arrays, pointer
+// bases with unknown extent or aliasing — compile to serial execution
+// of the loop: always correct, never silently wrong. A clause naming
+// no matching update at all is a malformed pragma and a compile
+// error, mirroring the interp oracle's validation.
+//
+// The canonical histogram body additionally compiles to a fused
+// gather-update kernel (tryHistKernel): one hoisted range check for
+// the subscript operand, raw-slice walking for the index values, and a
+// per-element bounds check on the data-dependent target cell — the
+// PR 4 fused-kernel contract applied to the privatized copies.
+
+import (
+	"math"
+
+	"purec/internal/ast"
+	"purec/internal/mem"
+	"purec/internal/sema"
+	"purec/internal/token"
+	"purec/internal/types"
+)
+
+// resolveArrayReduction binds a reduction(op:A[]) clause to the
+// updated array's pointer slot. found reports whether any matching
+// update of A exists in the loop body at all (a clause without one is
+// a malformed pragma); ok additionally requires a privatizable
+// function-local declared array of int/float elements.
+func (fc *funcCompiler) resolveArrayReduction(body ast.Stmt, c redClause) (r reduction, found, ok bool) {
+	if c.op == token.LSS || c.op == token.GTR {
+		return fc.resolveArrayMinMax(body, c)
+	}
+	inner := declaredInside(body)
+	site := fc.findArrayUpdate(body, c, inner)
+	if site == nil {
+		return reduction{}, false, false
+	}
+	return fc.arrayReductionFor(site, c.op)
+}
+
+// findArrayUpdate locates the base identifier of an update of array
+// c.name with the clause's operator: a compound assignment
+// `A[e] op= v`, or — for the + clause — `A[e]++`/`A[e]--` (both are
+// sum contributions; the decrement accumulates a negative partial).
+// Loop-local shadows of the name do not bind the clause.
+func (fc *funcCompiler) findArrayUpdate(body ast.Stmt, c redClause, inner map[*ast.VarDecl]bool) *ast.Ident {
+	var site *ast.Ident
+	ast.Walk(body, func(n ast.Node) bool {
+		if site != nil {
+			return false
+		}
+		var ix *ast.IndexExpr
+		switch x := n.(type) {
+		case *ast.AssignExpr:
+			bin, okOp := x.Op.AssignBinOp()
+			if !okOp || bin != c.op {
+				return true
+			}
+			ix, _ = stripParens(x.LHS).(*ast.IndexExpr)
+		case *ast.PostfixExpr:
+			if c.op != token.ADD || (x.Op != token.INC && x.Op != token.DEC) {
+				return true
+			}
+			ix, _ = stripParens(x.X).(*ast.IndexExpr)
+		case *ast.UnaryExpr:
+			if c.op != token.ADD || (x.Op != token.INC && x.Op != token.DEC) {
+				return true
+			}
+			ix, _ = stripParens(x.X).(*ast.IndexExpr)
+		default:
+			return true
+		}
+		if ix == nil {
+			return true
+		}
+		base := ast.BaseIdent(ix)
+		if base == nil || base.Name != c.name {
+			return true
+		}
+		sym := fc.prog.info.Ref[base]
+		if sym == nil || (sym.Decl != nil && inner[sym.Decl]) {
+			return true
+		}
+		site = base
+		return false
+	})
+	return site
+}
+
+// resolveArrayMinMax binds a reduction(min:A[])/reduction(max:A[])
+// clause: the loop body must contain a guarded update of an element of
+// A in the clause's direction (ast.MinMaxUpdateLV with an index-chain
+// target). found mirrors the scalar resolveMinMax contract — any plain
+// assignment to an element of A binds the clause; a body whose
+// assignments merely fail the pattern runs serially.
+func (fc *funcCompiler) resolveArrayMinMax(body ast.Stmt, c redClause) (r reduction, found, ok bool) {
+	inner := declaredInside(body)
+	for _, as := range ast.Assignments(body) {
+		if as.Op != token.ASSIGN {
+			continue
+		}
+		ix, okIx := stripParens(as.LHS).(*ast.IndexExpr)
+		if !okIx {
+			continue
+		}
+		base := ast.BaseIdent(ix)
+		if base == nil || base.Name != c.name {
+			continue
+		}
+		sym := fc.prog.info.Ref[base]
+		if sym == nil || (sym.Decl != nil && inner[sym.Decl]) {
+			continue
+		}
+		found = true
+		break
+	}
+	if !found {
+		return reduction{}, false, false
+	}
+	var site *ast.Ident
+	ast.Walk(body, func(n ast.Node) bool {
+		if site != nil {
+			return false
+		}
+		s, okS := n.(ast.Stmt)
+		if !okS {
+			return true
+		}
+		target, _, dir, okM := ast.MinMaxUpdateLV(s)
+		if !okM || dir != c.op {
+			return true
+		}
+		ix, okIx := target.(*ast.IndexExpr)
+		if !okIx {
+			return true
+		}
+		base := ast.BaseIdent(ix)
+		if base == nil || base.Name != c.name {
+			return true
+		}
+		sym := fc.prog.info.Ref[base]
+		if sym == nil || (sym.Decl != nil && inner[sym.Decl]) {
+			return true
+		}
+		site = base
+		return false
+	})
+	if site == nil {
+		return reduction{}, true, false
+	}
+	return fc.arrayReductionFor(site, c.op)
+}
+
+// arrayReductionFor builds the privatize/combine pair for the array
+// whose base identifier is site. found is always true here; ok
+// requires a function-local declared array of int/float elements
+// reachable through a frame pointer slot.
+func (fc *funcCompiler) arrayReductionFor(site *ast.Ident, op token.Kind) (r reduction, found, ok bool) {
+	sym := fc.prog.info.Ref[site]
+	if sym.Kind == sema.SymGlobal || !sym.IsArray() || sym.Type == nil {
+		// Global arrays live in Process storage shared by every worker;
+		// pointer bases may alias anything and their extent is unknown.
+		// Both run serially.
+		return reduction{}, true, false
+	}
+	sl, global := fc.slotOf(sym, site)
+	if global || sl.kind != slotPtr {
+		return reduction{}, true, false
+	}
+	elem := sym.Type.BaseElem()
+	if elem == nil {
+		return reduction{}, true, false
+	}
+	idx := sl.idx
+	name := site.Name
+	switch elem.Kind {
+	case types.Int:
+		var identity int64
+		var fold func(a, b int64) int64
+		switch op {
+		case token.ADD:
+			identity, fold = 0, func(a, b int64) int64 { return a + b }
+		case token.MUL:
+			identity, fold = 1, func(a, b int64) int64 { return a * b }
+		case token.AND:
+			identity, fold = -1, func(a, b int64) int64 { return a & b }
+		case token.OR:
+			identity, fold = 0, func(a, b int64) int64 { return a | b }
+		case token.XOR:
+			identity, fold = 0, func(a, b int64) int64 { return a ^ b }
+		case token.LSS:
+			identity = math.MaxInt64
+			fold = func(a, b int64) int64 {
+				if b < a {
+					return b
+				}
+				return a
+			}
+		case token.GTR:
+			identity = math.MinInt64
+			fold = func(a, b int64) int64 {
+				if b > a {
+					return b
+				}
+				return a
+			}
+		default:
+			return reduction{}, true, false
+		}
+		return reduction{
+			setIdentity: func(we *env) {
+				seg := privateCopy(we, idx, mem.CellInt, name)
+				if identity != 0 {
+					for i := range seg.I {
+						seg.I[i] = identity
+					}
+				}
+			},
+			combine: func(dst, src *env) {
+				d, s := combineSlicesInt(dst, src, idx, name)
+				for i := range d {
+					d[i] = fold(d[i], s[i])
+				}
+			},
+		}, true, true
+	case types.Float:
+		var identity float64
+		var fold func(a, b float64) float64
+		switch op {
+		case token.ADD:
+			identity, fold = 0, func(a, b float64) float64 { return a + b }
+		case token.MUL:
+			identity, fold = 1, func(a, b float64) float64 { return a * b }
+		case token.LSS:
+			// Strict-comparison folds: NaN partials never replace an
+			// accumulator, exactly like the guarded update in the body.
+			identity = math.Inf(1)
+			fold = func(a, b float64) float64 {
+				if b < a {
+					return b
+				}
+				return a
+			}
+		case token.GTR:
+			identity = math.Inf(-1)
+			fold = func(a, b float64) float64 {
+				if b > a {
+					return b
+				}
+				return a
+			}
+		default:
+			return reduction{}, true, false
+		}
+		// C float accumulators round every stored value through
+		// float32; the combine is a store and rounds the same way.
+		// Min/max pick among already-rounded stored values, which the
+		// rounding maps to themselves.
+		if elem.CSize == 4 {
+			inner := fold
+			fold = func(a, b float64) float64 { return float64(float32(inner(a, b))) }
+		}
+		return reduction{
+			setIdentity: func(we *env) {
+				seg := privateCopy(we, idx, mem.CellFloat, name)
+				if identity != 0 {
+					for i := range seg.F {
+						seg.F[i] = identity
+					}
+				}
+			},
+			combine: func(dst, src *env) {
+				d, s := combineSlicesFloat(dst, src, idx, name)
+				for i := range d {
+					d[i] = fold(d[i], s[i])
+				}
+			},
+		}, true, true
+	}
+	return reduction{}, true, false
+}
+
+// privateCopy replaces the worker environment's pointer slot with a
+// fresh private segment sized like the parent's array; the caller
+// fills the identity when it is nonzero (fresh segments are zeroed).
+func privateCopy(we *env, idx int, kind mem.CellKind, name string) *mem.Segment {
+	p := we.P[idx]
+	if p.IsNull() || p.Seg.Freed() {
+		rtPanic("array reduction accumulator %s is not allocated", name)
+	}
+	seg := mem.NewSegment(kind, p.Seg.Len(), p.Seg.Name+" (reduction private)")
+	we.P[idx] = mem.Pointer{Seg: seg}
+	return seg
+}
+
+// combineSlicesInt fetches the parent and private integer cells of the
+// accumulator slot for the worker-ordered combine.
+func combineSlicesInt(dst, src *env, idx int, name string) (d, s []int64) {
+	dp, sp := dst.P[idx], src.P[idx]
+	if dp.IsNull() || sp.IsNull() || len(dp.Seg.I) != len(sp.Seg.I) {
+		rtPanic("array reduction accumulator %s changed under the loop", name)
+	}
+	return dp.Seg.I, sp.Seg.I
+}
+
+// combineSlicesFloat is combineSlicesInt for float accumulators.
+func combineSlicesFloat(dst, src *env, idx int, name string) (d, s []float64) {
+	dp, sp := dst.P[idx], src.P[idx]
+	if dp.IsNull() || sp.IsNull() || len(dp.Seg.F) != len(sp.Seg.F) {
+		rtPanic("array reduction accumulator %s changed under the loop", name)
+	}
+	return dp.Seg.F, sp.Seg.F
+}
+
+// ----------------------------------------------------------------------------
+// Fused gather-update kernel
+
+// tryHistKernel recognizes the canonical array-reduction body — a
+// single statement updating a 1-D array through an int-array gather
+// subscript:
+//
+//	A[B[affine(i)]]++            (and --)
+//	A[B[affine(i)]] op= inv      (op ∈ + - * & | ^; float: + - *)
+//
+// and compiles it into a fused kernel: the subscript operand B gets
+// one hoisted range check per launch (mem.Segment.IntRange) and is
+// walked as a raw slice; the data-dependent target cell gets a
+// per-element bounds check that traps exactly like the dispatch
+// backend's per-access checks. Float updates compute in float64 and
+// round through float32 at 4-byte stores — bit-identical to dispatch.
+//
+// The kernel reads the target array through the environment's pointer
+// slot, so running it on a worker's cloned environment transparently
+// updates that worker's private copy.
+func (fc *funcCompiler) tryHistKernel(x *ast.ForStmt) (canonicalLoop, kernRun) {
+	cl, ok := fc.canonical(x)
+	if !ok || !fc.hoistableBounds(cl) {
+		return cl, nil
+	}
+	stmt := singleStmt(cl.body)
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return cl, nil
+	}
+	var target *ast.IndexExpr
+	var op token.Kind
+	var rhsX ast.Expr // nil for ++/--
+	switch u := es.X.(type) {
+	case *ast.AssignExpr:
+		bin, okOp := u.Op.AssignBinOp()
+		if !okOp {
+			return cl, nil
+		}
+		switch bin {
+		case token.ADD, token.SUB, token.MUL, token.AND, token.OR, token.XOR:
+			op = bin
+		default:
+			// Division/modulo/shift keep their per-iteration trap
+			// semantics on the dispatch path.
+			return cl, nil
+		}
+		target, _ = stripParens(u.LHS).(*ast.IndexExpr)
+		rhsX = u.RHS
+	case *ast.PostfixExpr:
+		if u.Op != token.INC && u.Op != token.DEC {
+			return cl, nil
+		}
+		if u.Op == token.INC {
+			op = token.ADD
+		} else {
+			op = token.SUB
+		}
+		target, _ = stripParens(u.X).(*ast.IndexExpr)
+	case *ast.UnaryExpr:
+		if u.Op != token.INC && u.Op != token.DEC {
+			return cl, nil
+		}
+		if u.Op == token.INC {
+			op = token.ADD
+		} else {
+			op = token.SUB
+		}
+		target, _ = stripParens(u.X).(*ast.IndexExpr)
+	default:
+		return cl, nil
+	}
+	if target == nil {
+		return cl, nil
+	}
+	baseID, ok := stripParens(target.X).(*ast.Ident)
+	if !ok {
+		return cl, nil // only 1-D bases: a nested index chain means 2-D
+	}
+	sym := fc.symOf(baseID)
+	if sym == nil {
+		return cl, nil
+	}
+	if sym.IsArray() && len(sym.Dims) != 1 {
+		return cl, nil
+	}
+	if !sym.IsArray() {
+		bt := fc.prog.info.ExprType[ast.Expr(baseID)]
+		if bt == nil || !bt.IsPtr() || bt.Elem == nil || elemStride(bt.Elem) != 1 {
+			return cl, nil
+		}
+	}
+	elemT := fc.prog.info.ExprType[ast.Expr(target)]
+	if elemT == nil || (elemT.Kind != types.Int && elemT.Kind != types.Float) {
+		return cl, nil
+	}
+	float := elemT.Kind == types.Float
+	if float && op != token.ADD && op != token.SUB && op != token.MUL {
+		return cl, nil
+	}
+	if float && rhsX == nil {
+		// Float ++/-- stores unrounded in the dispatch backend (unlike
+		// compound assignment); keep those on the dispatch path rather
+		// than replicate the corner case.
+		return cl, nil
+	}
+	// The gather subscript: an int-element access affine in the
+	// iterator (B[i], B[2*i+c], pointer chains included).
+	subIx, ok := stripParens(target.Index).(*ast.IndexExpr)
+	if !ok {
+		return cl, nil
+	}
+	idxAcc, ok := fc.matchKAccess(subIx, cl.iterSym)
+	if !ok || idxAcc.float {
+		return cl, nil
+	}
+	// The update value: 1 for ++/--, otherwise a hoistable invariant.
+	var rhsI intFn
+	var rhsF fltFn
+	switch {
+	case rhsX == nil:
+		// constant 1
+	case !fc.hoistable(rhsX, cl.iterSym) || !fc.effectFree(rhsX):
+		return cl, nil
+	case float:
+		rhsF = fc.num(rhsX)
+	default:
+		t := fc.prog.info.ExprType[stripParens(rhsX)]
+		if t == nil || t.Kind != types.Int {
+			return cl, nil
+		}
+		rhsI = fc.integer(rhsX)
+	}
+	base := fc.ptr(baseID)
+	f32 := float && elemT.CSize == 4
+	if float {
+		return cl, emitHistFloat(base, idxAcc, op, rhsF, f32)
+	}
+	return cl, emitHistInt(base, idxAcc, op, rhsI)
+}
+
+// histCell converts the data-dependent target cell index to a slice
+// index, trapping on int overflow like the dispatch backend's checked
+// pointer arithmetic (the slice bounds check then traps negative and
+// out-of-range cells exactly like per-access checks).
+func histCell(off, bin int64) int {
+	cell := off + bin
+	if (bin > 0 && cell < off) || (bin < 0 && cell > off) || int64(int(cell)) != cell {
+		rtPanic("pointer arithmetic overflow: offset %d + %d elements", off, bin)
+	}
+	return int(cell)
+}
+
+// emitHistInt emits the integer gather-update kernel.
+func emitHistInt(base ptrFn, idxAcc kAccess, op token.Kind, rhs intFn) kernRun {
+	return func(e *env, lo, hi int64) {
+		if hi < lo {
+			return
+		}
+		is := idxAcc.prep(e, lo, hi)
+		p := base(e)
+		if p.IsNull() {
+			rtPanic("null pointer operand in fused loop")
+		}
+		dst := p.Seg.I
+		off := int64(p.Off)
+		n := int(hi - lo + 1)
+		v := int64(1)
+		if rhs != nil {
+			v = rhs(e)
+		}
+		ix, ss := is.i, is.stride
+		switch op {
+		case token.ADD:
+			for t, si := 0, 0; t < n; t, si = t+1, si+ss {
+				dst[histCell(off, ix[si])] += v
+			}
+		case token.SUB:
+			for t, si := 0, 0; t < n; t, si = t+1, si+ss {
+				dst[histCell(off, ix[si])] -= v
+			}
+		case token.MUL:
+			for t, si := 0, 0; t < n; t, si = t+1, si+ss {
+				dst[histCell(off, ix[si])] *= v
+			}
+		case token.AND:
+			for t, si := 0, 0; t < n; t, si = t+1, si+ss {
+				dst[histCell(off, ix[si])] &= v
+			}
+		case token.OR:
+			for t, si := 0, 0; t < n; t, si = t+1, si+ss {
+				dst[histCell(off, ix[si])] |= v
+			}
+		case token.XOR:
+			for t, si := 0, 0; t < n; t, si = t+1, si+ss {
+				dst[histCell(off, ix[si])] ^= v
+			}
+		}
+	}
+}
+
+// emitHistFloat emits the float gather-update kernel: float64
+// arithmetic, float32 rounding at 4-byte stores, like the dispatch
+// backend.
+func emitHistFloat(base ptrFn, idxAcc kAccess, op token.Kind, rhs fltFn, f32 bool) kernRun {
+	return func(e *env, lo, hi int64) {
+		if hi < lo {
+			return
+		}
+		is := idxAcc.prep(e, lo, hi)
+		p := base(e)
+		if p.IsNull() {
+			rtPanic("null pointer operand in fused loop")
+		}
+		dst := p.Seg.F
+		off := int64(p.Off)
+		n := int(hi - lo + 1)
+		v := 1.0
+		if rhs != nil {
+			v = rhs(e)
+		}
+		ix, ss := is.i, is.stride
+		for t, si := 0, 0; t < n; t, si = t+1, si+ss {
+			c := histCell(off, ix[si])
+			var nv float64
+			switch op {
+			case token.ADD:
+				nv = dst[c] + v
+			case token.SUB:
+				nv = dst[c] - v
+			default:
+				nv = dst[c] * v
+			}
+			if f32 {
+				nv = float64(float32(nv))
+			}
+			dst[c] = nv
+		}
+	}
+}

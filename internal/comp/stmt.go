@@ -298,6 +298,10 @@ func (fc *funcCompiler) forStmt(x *ast.ForStmt) stmtFn {
 			fc.prog.fusedKernels++
 			return seqKernelStmt(cl, kern)
 		}
+		if cl, kern := fc.tryHistKernel(x); kern != nil {
+			fc.prog.fusedKernels++
+			return seqKernelStmt(cl, kern)
+		}
 	}
 	var init stmtFn
 	if x.Init != nil {
@@ -512,15 +516,18 @@ func (fc *funcCompiler) parallelFor(x *ast.ForStmt, pragma string) stmtFn {
 }
 
 // redClause is one parsed reduction(op:var) clause entry with the
-// operator resolved to its token.
+// operator resolved to its token. array marks the privatized-array
+// form reduction(op:A[]) — name then holds the bare array name.
 type redClause struct {
-	op   token.Kind // ADD, MUL, AND, OR, XOR
-	name string
+	op    token.Kind // ADD, MUL, AND, OR, XOR; LSS/GTR for min/max
+	name  string
+	array bool
 }
 
 // parseOmpReductions extracts the reduction clauses of an omp pragma and
 // maps the operator symbols to tokens; min/max clauses map to the
-// comparison markers LSS/GTR. supported is false when any clause uses
+// comparison markers LSS/GTR, and a [] suffix on the variable selects
+// the array-reduction form. supported is false when any clause uses
 // an operator outside the parallelizable set {+,*,&,|,^,min,max}
 // (e.g. "-") — the loop must then run serially, which is always
 // correct, instead of losing the accumulator updates.
@@ -545,7 +552,8 @@ func parseOmpReductions(pragma string) (reds []redClause, supported bool) {
 		default:
 			return nil, false
 		}
-		reds = append(reds, redClause{op: op, name: c.Var})
+		name, isArr := strings.CutSuffix(c.Var, "[]")
+		reds = append(reds, redClause{op: op, name: name, array: isArr})
 	}
 	return reds, true
 }
@@ -810,14 +818,26 @@ func (fc *funcCompiler) parallelReduceFor(x *ast.ForStmt, pragma string) stmtFn 
 		return fc.stmt(x)
 	}
 	reds := make([]reduction, 0, len(clauses))
+	hasArray := false
 	for _, c := range clauses {
-		r, found, ok := fc.resolveReduction(x.Body, c)
+		var r reduction
+		var found, ok bool
+		if c.array {
+			r, found, ok = fc.resolveArrayReduction(x.Body, c)
+		} else {
+			r, found, ok = fc.resolveReduction(x.Body, c)
+		}
 		if !found {
-			fc.errorf(x, "reduction clause names %s, but the loop has no matching '%s %s=' update", c.name, c.name, c.op)
+			if c.array {
+				fc.errorf(x, "reduction clause names %s[], but the loop has no matching '%s[...] %s=' update", c.name, c.name, c.op)
+			} else {
+				fc.errorf(x, "reduction clause names %s, but the loop has no matching '%s %s=' update", c.name, c.name, c.op)
+			}
 		}
 		if !ok {
 			return fc.stmt(x)
 		}
+		hasArray = hasArray || c.array
 		reds = append(reds, r)
 	}
 	// A fusible reduction body composes with the parallel runtime: each
@@ -826,8 +846,17 @@ func (fc *funcCompiler) parallelReduceFor(x *ast.ForStmt, pragma string) stmtFn 
 	// (the body is the single statement updating the clause accumulator,
 	// so the kernel's accumulator and the clause's coincide), and the
 	// partials fold back in worker order exactly like the dispatch path.
+	// Array-reduction bodies use the gather-update kernel: the worker's
+	// cloned pointer slot aims it at the private copy.
 	var vecChunk kernRun
-	if fc.fuseReductions() {
+	if hasArray {
+		if !fc.prog.noFuse {
+			if _, kern := fc.tryHistKernel(x); kern != nil {
+				vecChunk = kern
+				fc.prog.fusedKernels++
+			}
+		}
+	} else if fc.fuseReductions() {
 		if _, kern := fc.reduceKernel(x); kern != nil {
 			vecChunk = kern
 			fc.prog.fusedKernels++
@@ -857,32 +886,42 @@ func (fc *funcCompiler) parallelReduceFor(x *ast.ForStmt, pragma string) stmtFn 
 			}
 			return ctrlNext
 		}
-		e.team.ParallelForReduce(cl.lower(e), cl.upper(e), sched, chunk,
-			func(int) any {
-				we := e.clone()
-				for _, r := range reds {
-					r.setIdentity(we)
-				}
+		init := func(int) any {
+			we := e.clone()
+			for _, r := range reds {
+				r.setIdentity(we)
+			}
+			return we
+		}
+		bodyFn := func(_ int, clo, chi int64, acc any) any {
+			we := acc.(*env)
+			if vecChunk != nil {
+				vecChunk(we, clo, chi)
 				return we
-			},
-			func(_ int, clo, chi int64, acc any) any {
-				we := acc.(*env)
-				if vecChunk != nil {
-					vecChunk(we, clo, chi)
-					return we
-				}
-				for i := clo; i <= chi; i++ {
-					we.I[iterSlot] = i
-					body(we)
-				}
-				return we
-			},
-			func(_ int, acc any) {
-				we := acc.(*env)
-				for _, r := range reds {
-					r.combine(e, we)
-				}
-			})
+			}
+			for i := clo; i <= chi; i++ {
+				we.I[iterSlot] = i
+				body(we)
+			}
+			return we
+		}
+		combineFn := func(_ int, acc any) {
+			we := acc.(*env)
+			for _, r := range reds {
+				r.combine(e, we)
+			}
+		}
+		if hasArray {
+			// Array reductions allocate O(len) private copies: the
+			// lazy-allocating runtime entry point skips workers that
+			// never receive a chunk and charges the element-wise
+			// combine pass on the simulated critical path.
+			e.team.ParallelForReduceArray(cl.lower(e), cl.upper(e), sched, chunk,
+				init, bodyFn, combineFn)
+		} else {
+			e.team.ParallelForReduce(cl.lower(e), cl.upper(e), sched, chunk,
+				init, bodyFn, combineFn)
+		}
 		return ctrlNext
 	}
 }

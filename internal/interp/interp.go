@@ -315,6 +315,17 @@ func reductionPragmaError(info *sema.Info, pr *ast.PragmaStmt, f *ast.ForStmt) s
 		return true
 	})
 	for _, c := range rt.ParseOmpReductions(pr.Text) {
+		if name, isArr := strings.CutSuffix(c.Var, "[]"); isArr {
+			// Array-reduction clause (reduction(+:hist[])): the loop
+			// must update an element of the named array with the
+			// clause's operator — mirroring comp.resolveArrayReduction.
+			// Accumulators the compiler cannot privatize (globals,
+			// pointer bases) run serially there and are accepted here.
+			if msg := arrayClauseError(info, c.Op, name, f, inner); msg != "" {
+				return msg
+			}
+			continue
+		}
 		switch c.Op {
 		case "+", "*", "&", "|", "^":
 			// the parallelized set: validate below
@@ -353,6 +364,89 @@ func reductionPragmaError(info *sema.Info, pr *ast.PragmaStmt, f *ast.ForStmt) s
 		}
 	}
 	return ""
+}
+
+// arrayClauseError validates an array-reduction clause
+// reduction(op:A[]) exactly like the compiler's resolver: for the
+// associative-commutative operators the loop body must contain a
+// matching `A[e] op= v` update (the + clause also accepts
+// `A[e]++`/`A[e]--`, both sum contributions); for min/max it must
+// contain a plain assignment to an element of A. Operators outside
+// the parallelized set are skipped (the compiler runs those clauses
+// serially). Loop-local shadows of the array name never bind a
+// clause.
+func arrayClauseError(info *sema.Info, op, name string, f *ast.ForStmt, inner map[*ast.VarDecl]bool) string {
+	var want token.Kind
+	switch op {
+	case "+":
+		want = token.ADD
+	case "*":
+		want = token.MUL
+	case "&":
+		want = token.AND
+	case "|":
+		want = token.OR
+	case "^":
+		want = token.XOR
+	case "min", "max":
+		// Mirror resolveArrayMinMax's "found": a plain assignment to an
+		// element of the array binds the clause; whether it matches the
+		// guarded pattern only decides parallel vs serial execution.
+		for _, as := range ast.Assignments(f.Body) {
+			if as.Op != token.ASSIGN {
+				continue
+			}
+			if bindsArrayElement(info, as.LHS, name, inner) {
+				return ""
+			}
+		}
+		return fmt.Sprintf("reduction(%s:%s[]) has no matching '%s[...] =' update in the annotated loop", op, name, name)
+	default:
+		return "" // compiler runs these clauses serially
+	}
+	found := false
+	ast.Walk(f.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignExpr:
+			if bin, ok := x.Op.AssignBinOp(); ok && bin == want &&
+				bindsArrayElement(info, x.LHS, name, inner) {
+				found = true
+			}
+		case *ast.PostfixExpr:
+			if want == token.ADD && (x.Op == token.INC || x.Op == token.DEC) &&
+				bindsArrayElement(info, x.X, name, inner) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if want == token.ADD && (x.Op == token.INC || x.Op == token.DEC) &&
+				bindsArrayElement(info, x.X, name, inner) {
+				found = true
+			}
+		}
+		return !found
+	})
+	if !found {
+		return fmt.Sprintf("reduction(%s:%s[]) has no matching '%s[...] %s=' update in the annotated loop", op, name, name, op)
+	}
+	return ""
+}
+
+// bindsArrayElement reports whether e is an index expression whose
+// base is the named enclosing-scope variable.
+func bindsArrayElement(info *sema.Info, e ast.Expr, name string, inner map[*ast.VarDecl]bool) bool {
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	base := ast.BaseIdent(ix)
+	if base == nil || base.Name != name {
+		return false
+	}
+	sym := info.Ref[base]
+	return sym != nil && (sym.Decl == nil || !inner[sym.Decl])
 }
 
 // minMaxClauseError validates a reduction(min:m)/reduction(max:m)

@@ -13,16 +13,39 @@ type Access struct {
 	Write bool
 	// Reduction marks the access as part of a recognized reduction
 	// statement (s op= expr for an associative-commutative op whose only
-	// uses in the nest are that compound assignment). Dependences whose
-	// endpoints are both reduction accesses do not serialize the nest:
-	// the runtime privatizes the accumulator per worker and combines in
-	// a fixed order after the loop.
+	// uses in the nest are that compound assignment; array reductions
+	// like hist[a[i]]++ tag their star accesses the same way).
+	// Dependences whose endpoints are both reduction accesses do not
+	// serialize the nest: the runtime privatizes the accumulator per
+	// worker and combines in a fixed order after the loop.
 	Reduction bool
+	// Star marks a data-dependent subscript (a gather/scatter like
+	// hist[a[i]] whose cell cannot be expressed affinely). A star
+	// access conservatively may touch any cell of the array, so
+	// dependence analysis pairs it with every other access of the same
+	// array without subscript equations.
+	Star bool
+	// Expr is the printed source form of the access ("hist[a[i]]"),
+	// set for star accesses so diagnostics can name the offending
+	// read; empty for ordinary affine accesses.
+	Expr string
 }
 
-// String renders the access like "A[i][j+1]".
+// String renders the access like "A[i][j+1]"; star accesses render
+// their source form with a [*] marker.
 func (a Access) String() string {
 	var b strings.Builder
+	if a.Star {
+		if a.Expr != "" {
+			b.WriteString(a.Expr)
+		} else {
+			b.WriteString(a.Array + "[*]")
+		}
+		if a.Write {
+			b.WriteString(" (write)")
+		}
+		return b.String()
+	}
 	b.WriteString(a.Array)
 	for _, s := range a.Subs {
 		fmt.Fprintf(&b, "[%s]", s.String())
@@ -219,7 +242,7 @@ func AnalyzeDeps(n *Nest) []*Dep {
 					if a1.Array != a2.Array || (!a1.Write && !a2.Write) {
 						continue
 					}
-					if len(a1.Subs) != len(a2.Subs) {
+					if !a1.Star && !a2.Star && len(a1.Subs) != len(a2.Subs) {
 						continue
 					}
 					deps = append(deps, depsForPair(n, s1, s2, a1, a2)...)
@@ -246,9 +269,14 @@ func depsForPair(n *Nest, s1, s2 *Statement, a1, a2 Access) []*Dep {
 		base.Add(Constraint{Expr: c.Expr.Rename(rename(srcSuffix)), Rel: c.Rel})
 		base.Add(Constraint{Expr: c.Expr.Rename(rename(dstSuffix)), Rel: c.Rel})
 	}
-	for k := range a1.Subs {
-		eq := a1.Subs[k].Rename(rename(srcSuffix)).Sub(a2.Subs[k].Rename(rename(dstSuffix)))
-		base.AddEQ(eq)
+	// A star access may touch any cell, so no subscript equation can
+	// constrain the dependence polyhedron: every instance pair that the
+	// ordering admits conflicts conservatively.
+	if !a1.Star && !a2.Star {
+		for k := range a1.Subs {
+			eq := a1.Subs[k].Rename(rename(srcSuffix)).Sub(a2.Subs[k].Rename(rename(dstSuffix)))
+			base.AddEQ(eq)
+		}
 	}
 	kind := classifyDep(a1, a2)
 	reduction := a1.Reduction && a2.Reduction

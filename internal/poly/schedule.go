@@ -144,7 +144,8 @@ func ApplySkew(n *Nest, l int, f int64) *Nest {
 }
 
 func substAccess(a Access, subst func(Affine) Affine) Access {
-	na := Access{Array: a.Array, Write: a.Write}
+	na := Access{Array: a.Array, Write: a.Write,
+		Reduction: a.Reduction, Star: a.Star, Expr: a.Expr}
 	for _, s := range a.Subs {
 		na.Subs = append(na.Subs, subst(s))
 	}

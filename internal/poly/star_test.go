@@ -1,0 +1,80 @@
+package poly
+
+import "testing"
+
+// starNest builds for (i = 0..99) with one statement carrying the
+// given accesses of array A.
+func starNest(writes, reads []Access) *Nest {
+	n := &Nest{Iters: []string{"i"}, Domain: NewSystem()}
+	n.Domain.AddLowerBound("i", NewAffine(0))
+	n.Domain.AddUpperBound("i", NewAffine(99))
+	n.Stmts = []*Statement{{ID: 0, Writes: writes, Reads: reads}}
+	return n
+}
+
+func TestStarWriteSelfDependence(t *testing.T) {
+	// A star write (A[idx[i]] = ...) may hit the same cell in two
+	// iterations: the analysis must report a carried output dependence
+	// even though the access pairs with itself.
+	n := starNest([]Access{{Array: "A", Star: true, Write: true}}, nil)
+	deps := AnalyzeDeps(n)
+	carried := false
+	for _, d := range deps {
+		if d.Level == 1 && d.Kind == Output {
+			carried = true
+		}
+	}
+	if !carried {
+		t.Fatalf("star write self-dependence missing: %v", deps)
+	}
+	if ParallelLevels(n, deps)[0] {
+		t.Error("star write must serialize the loop")
+	}
+}
+
+func TestStarReductionDependencesDoNotSerialize(t *testing.T) {
+	// Reduction-tagged star accesses (hist[a[i]]++ recognized as an
+	// array reduction) carry dependences, but the privatizing runtime
+	// dissolves them: the level must stay parallel.
+	n := starNest(
+		[]Access{{Array: "A", Star: true, Write: true, Reduction: true}},
+		[]Access{{Array: "A", Star: true, Reduction: true}})
+	deps := AnalyzeDeps(n)
+	if len(deps) == 0 {
+		t.Fatal("reduction star accesses must still report their dependences")
+	}
+	for _, d := range deps {
+		if !d.Reduction {
+			t.Errorf("dependence %v not marked reduction", d)
+		}
+	}
+	if !ParallelLevels(n, deps)[0] {
+		t.Error("reduction dependences must not serialize the loop")
+	}
+}
+
+func TestStarPairsWithAffineAccess(t *testing.T) {
+	// A star access must conflict with an affine access of the same
+	// array even though their subscript counts differ — skipping the
+	// pair (the pre-star behaviour for mismatched dimensions) would
+	// drop a real dependence.
+	n := starNest(
+		[]Access{{Array: "A", Star: true, Write: true, Reduction: true}},
+		nil)
+	n.Stmts = append(n.Stmts, &Statement{ID: 1, Seq: 1, Reads: []Access{
+		{Array: "A", Subs: []Affine{Var("i")}},
+	}})
+	deps := AnalyzeDeps(n)
+	crossPair := false
+	for _, d := range deps {
+		if d.Src != d.Dst && d.Array == "A" && !d.Reduction {
+			crossPair = true
+		}
+	}
+	if !crossPair {
+		t.Fatalf("star write and affine read of A must conflict: %v", deps)
+	}
+	if ParallelLevels(n, deps)[0] {
+		t.Error("the non-reduction read must serialize the loop")
+	}
+}

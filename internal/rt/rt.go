@@ -310,18 +310,72 @@ type ReduceBody func(w int, lo, hi int64, acc any) any
 // combine, leaving the reduction target untouched.
 func (t *Team) ParallelForReduce(lo, hi int64, sched Schedule, chunk int,
 	init func(w int) any, body ReduceBody, combine func(w int, acc any)) {
+	t.reduceLoop(lo, hi, sched, chunk, init, false, body, combine)
+}
+
+// ParallelForReduceArray executes an array-reduction loop
+// (hist[a[i]]++ with a privatized array): like ParallelForReduce, but
+// the per-worker private accumulator — a whole identity-initialized
+// array copy — is allocated lazily, on the worker's first chunk, and
+// the combine pass visits only workers that executed work. Allocating
+// and folding an O(len) copy per worker is the dominant overhead of
+// array reductions (the paper-scale tradeoff purebench Fig A1
+// measures), so workers that never receive a chunk must not pay it.
+//
+// alloc(w) returns worker w's private copy (must be non-nil); body
+// folds a chunk into it; after the join combine(w, acc) runs in worker
+// order 0..n-1 on the calling goroutine, skipping workers whose alloc
+// never ran. In simulated mode chunks execute sequentially with
+// accumulators assigned round-robin in chunk order (deterministic at a
+// fixed team size under every schedule, exactly like
+// ParallelForReduce) and the combine pass — O(len · active workers),
+// running serially after the barrier — is charged on the region's
+// critical path.
+//
+// An empty range (hi < lo) returns without calling alloc, body or
+// combine, leaving the reduction target untouched.
+func (t *Team) ParallelForReduceArray(lo, hi int64, sched Schedule, chunk int,
+	alloc func(w int) any, body ReduceBody, combine func(w int, acc any)) {
+	t.reduceLoop(lo, hi, sched, chunk, alloc, true, body, combine)
+}
+
+// reduceLoop is the shared engine behind ParallelForReduce (eager
+// accumulators: alloc runs for every worker up front, combine visits
+// every worker) and ParallelForReduceArray (lazy: alloc runs on a
+// worker's first chunk, combine skips workers that never worked).
+// Both contracts share the deterministic sim-mode accumulation, the
+// sim combine-on-critical-path accounting and the schedule dispatch,
+// so the subtle parts exist exactly once.
+func (t *Team) reduceLoop(lo, hi int64, sched Schedule, chunk int,
+	alloc func(w int) any, lazy bool, body ReduceBody, combine func(w int, acc any)) {
 	if hi < lo {
 		return
 	}
 	accs := make([]any, t.n)
-	for w := range accs {
-		accs[w] = init(w)
+	used := make([]bool, t.n)
+	if !lazy {
+		for w := range accs {
+			accs[w] = alloc(w)
+			used[w] = true
+		}
+	}
+	get := func(w int) any {
+		if !used[w] {
+			accs[w] = alloc(w)
+			used[w] = true
+		}
+		return accs[w]
 	}
 	if lo == math.MinInt64 && hi == math.MaxInt64 {
-		accs[0] = body(0, lo, lo, accs[0])
+		accs[0] = body(0, lo, lo, get(0))
 		lo++
 	}
-	wrapped := func(w int, clo, chi int64) { accs[w] = body(w, clo, chi, accs[w]) }
+	wrapped := func(w int, clo, chi int64) { accs[w] = body(w, clo, chi, get(w)) }
+	finish := func(w int) {
+		if used[w] {
+			combine(w, accs[w])
+		}
+	}
 	switch {
 	case t.sim:
 		// Deterministic accumulation: chunks are produced in a fixed
@@ -332,13 +386,13 @@ func (t *Team) ParallelForReduce(lo, hi int64, sched Schedule, chunk int,
 		simWrapped := func(_ int, clo, chi int64) {
 			a := k % t.n
 			k++
-			accs[a] = body(a, clo, chi, accs[a])
+			accs[a] = body(a, clo, chi, get(a))
 		}
 		sp := normRange(lo, hi)
 		t.simFor(sp, sched, chunk, simWrapped)
 		start := time.Now()
 		for w := range accs {
-			combine(w, accs[w])
+			finish(w)
 		}
 		d := time.Since(start)
 		t.mu.Lock()
@@ -363,7 +417,7 @@ func (t *Team) ParallelForReduce(lo, hi int64, sched Schedule, chunk int,
 	// only touched by worker w's goroutine, and wg.Wait in the scheduler
 	// ordered those writes before this read.
 	for w := range accs {
-		combine(w, accs[w])
+		finish(w)
 	}
 }
 
@@ -457,9 +511,45 @@ func argmin(ds []time.Duration) int {
 	return best
 }
 
+// panicBox carries the first panic raised inside a worker goroutine
+// across the join, so a trap in a parallel region (an out-of-bounds
+// store through a data-dependent subscript, say) surfaces on the
+// calling goroutine as the same runtime error a sequential loop would
+// raise — instead of crashing the process from a goroutine nobody can
+// recover. A panicking worker stops executing its remaining chunks;
+// the siblings drain theirs before the re-raise, so which side
+// effects landed is schedule-dependent, exactly like OpenMP.
+type panicBox struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+// protect runs f, capturing its panic (first writer wins).
+func (b *panicBox) protect(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.mu.Lock()
+			if !b.set {
+				b.val, b.set = r, true
+			}
+			b.mu.Unlock()
+		}
+	}()
+	f()
+}
+
+// rethrow re-raises the captured panic on the calling goroutine.
+func (b *panicBox) rethrow() {
+	if b.set {
+		panic(b.val)
+	}
+}
+
 // staticFor assigns worker w the w-th contiguous block; with an
 // explicit chunk (schedule(static,c)) chunks go round-robin instead.
 func (t *Team) staticFor(sp span, chunk int, body Body) {
+	var box panicBox
 	if chunk >= 1 {
 		uchunk := sp.uchunk(chunk)
 		// Worker w owns chunks w, w+n, w+2n, ... of the chunk grid.
@@ -475,19 +565,22 @@ func (t *Team) staticFor(sp span, chunk int, body Body) {
 			wg.Add(1)
 			go func(w uint64) {
 				defer wg.Done()
-				for ck := w; ck < nchunks; {
-					start := ck * uchunk
-					end := sp.chunkEnd(start, uchunk)
-					clo, chi := sp.seg(start, end)
-					body(int(w), clo, chi)
-					if ck > math.MaxUint64-n {
-						break // next chunk index would wrap (unreachable in practice)
+				box.protect(func() {
+					for ck := w; ck < nchunks; {
+						start := ck * uchunk
+						end := sp.chunkEnd(start, uchunk)
+						clo, chi := sp.seg(start, end)
+						body(int(w), clo, chi)
+						if ck > math.MaxUint64-n {
+							break // next chunk index would wrap (unreachable in practice)
+						}
+						ck += n
 					}
-					ck += n
-				}
+				})
 			}(w)
 		}
 		wg.Wait()
+		box.rethrow()
 		return
 	}
 	per := sp.total / uint64(t.n)
@@ -507,10 +600,11 @@ func (t *Team) staticFor(sp span, chunk int, body Body) {
 		wg.Add(1)
 		go func(w int, lo, hi int64) {
 			defer wg.Done()
-			body(w, lo, hi)
+			box.protect(func() { body(w, lo, hi) })
 		}(w, wLo, wHi)
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // dynamicFor hands out chunks from a shared counter. Claims go through
@@ -518,32 +612,37 @@ func (t *Team) staticFor(sp span, chunk int, body Body) {
 // count — a blind fetch-add could wrap the counter when the range ends
 // near the top of the offset space and re-issue already-executed chunks.
 func (t *Team) dynamicFor(sp span, uchunk uint64, body Body) {
+	var box panicBox
 	var next atomic.Uint64
 	var wg sync.WaitGroup
 	for w := 0; w < t.n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
-				start := next.Load()
-				if start >= sp.total {
-					return
+			box.protect(func() {
+				for {
+					start := next.Load()
+					if start >= sp.total {
+						return
+					}
+					end := sp.chunkEnd(start, uchunk)
+					if !next.CompareAndSwap(start, end+1) {
+						continue
+					}
+					clo, chi := sp.seg(start, end)
+					body(w, clo, chi)
 				}
-				end := sp.chunkEnd(start, uchunk)
-				if !next.CompareAndSwap(start, end+1) {
-					continue
-				}
-				clo, chi := sp.seg(start, end)
-				body(w, clo, chi)
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // guidedFor hands out exponentially shrinking chunks of at least
 // minChunk iterations (the OpenMP schedule(guided,c) clause).
 func (t *Team) guidedFor(sp span, minChunk uint64, body Body) {
+	var box panicBox
 	var mu sync.Mutex
 	cur := uint64(0)
 	var wg sync.WaitGroup
@@ -551,27 +650,30 @@ func (t *Team) guidedFor(sp span, minChunk uint64, body Body) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				if cur >= sp.total {
+			box.protect(func() {
+				for {
+					mu.Lock()
+					if cur >= sp.total {
+						mu.Unlock()
+						return
+					}
+					remaining := sp.total - cur
+					chunk := remaining / uint64(2*t.n)
+					if chunk < minChunk {
+						chunk = minChunk
+					}
+					if chunk > remaining {
+						chunk = remaining
+					}
+					start := cur
+					cur += chunk
 					mu.Unlock()
-					return
+					clo, chi := sp.seg(start, start+chunk-1)
+					body(w, clo, chi)
 				}
-				remaining := sp.total - cur
-				chunk := remaining / uint64(2*t.n)
-				if chunk < minChunk {
-					chunk = minChunk
-				}
-				if chunk > remaining {
-					chunk = remaining
-				}
-				start := cur
-				cur += chunk
-				mu.Unlock()
-				clo, chi := sp.seg(start, start+chunk-1)
-				body(w, clo, chi)
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
+	box.rethrow()
 }

@@ -46,22 +46,28 @@ type SCoP struct {
 	PureCalls []*ast.CallExpr
 	// Reductions lists the recognized reduction accumulators of the body
 	// (s op= expr statements whose accumulator has no other use in the
-	// nest). Their scalar accesses are tagged in Nest and excluded from
+	// nest, and array updates like hist[a[i]]++ whose array is used
+	// nowhere else). Their accesses are tagged in Nest and excluded from
 	// the parallelism decision; the transformer emits a reduction clause
 	// for them.
 	Reductions []Reduction
 }
 
 // Reduction is one recognized reduction accumulator: a canonical
-// `Var op= expr` statement, or a guarded min/max update
-// (`if (x < m) m = x;` or its `?:` form), whose scalar accumulator is
-// used nowhere else in the nest. Op is the underlying binary operator
-// (ADD, MUL, AND, OR, XOR — the associative-commutative subset of the
-// OpenMP reduction operators) or the comparison marker of a min/max
-// pattern (LSS = min, GTR = max).
+// `Var op= expr` statement, a guarded min/max update
+// (`if (x < m) m = x;` or its `?:` form), or — with IsArray — an
+// array-element update (`A[f(i)] op= e`, `A[f(i)]++`/`--`, guarded
+// min/max on `A[f(i)]`) of a local array used nowhere else in the
+// nest. Op is the underlying binary operator (ADD, MUL, AND, OR,
+// XOR — the associative-commutative subset of the OpenMP reduction
+// operators; `--` counts as ADD of a negative contribution) or the
+// comparison marker of a min/max pattern (LSS = min, GTR = max).
 type Reduction struct {
 	Var string
 	Op  token.Kind
+	// IsArray marks an array reduction: the runtime privatizes a full
+	// per-worker copy of the array and combines element-wise.
+	IsArray bool
 }
 
 // ClauseOp renders the operator as it appears in an OpenMP reduction
@@ -74,6 +80,16 @@ func (r Reduction) ClauseOp() string {
 		return "max"
 	}
 	return r.Op.String()
+}
+
+// ClauseVar renders the clause's variable name: array reductions carry
+// a [] suffix ("hist[]") so the executing backends know to privatize a
+// whole array rather than one scalar slot.
+func (r Reduction) ClauseVar() string {
+	if r.IsArray {
+		return r.Var + "[]"
+	}
+	return r.Var
 }
 
 // Iters returns the iterator names outermost-first.
@@ -367,6 +383,7 @@ func (d *detector) buildBody(sc *SCoP, body []ast.Stmt) bool {
 	sc.Nest = nest
 	sc.PureCalls = b.calls
 	d.recognizeReductions(sc, body)
+	d.recognizeArrayReductions(sc, body, b.arrayCands)
 
 	// Listing-5 check: arrays passed to pure functions must not be
 	// written anywhere in the nest.
@@ -397,6 +414,16 @@ var reductionOps = map[token.Kind]token.Kind{
 	token.ANDASSIGN: token.AND,
 	token.ORASSIGN:  token.OR,
 	token.XORASSIGN: token.XOR,
+}
+
+// binReductionOps is the same associative-commutative subset keyed by
+// the underlying binary operator.
+var binReductionOps = map[token.Kind]bool{
+	token.ADD: true,
+	token.MUL: true,
+	token.AND: true,
+	token.OR:  true,
+	token.XOR: true,
 }
 
 // recognizeReductions finds canonical reduction statements in the
@@ -495,6 +522,96 @@ func (d *detector) tagReduction(sc *SCoP, k int, id *ast.Ident, op token.Kind) {
 	sc.Reductions = append(sc.Reductions, Reduction{Var: id.Name, Op: op})
 }
 
+// recognizeArrayReductions promotes the body builder's array-update
+// candidates (A[e] op= v, A[e]++/--, guarded min/max on A[e]) to array
+// reductions: A must be a function-local declared array whose every
+// appearance in the nest body sits inside those candidate statements,
+// and all candidates must agree on one associative-commutative
+// operator (or one min/max direction). Qualifying arrays get their
+// accesses tagged poly.Access.Reduction — dissolving the conservative
+// star self-dependences — and a Reduction{IsArray: true} entry, which
+// the transformer renders as a reduction(op:A[]) clause.
+//
+// Global arrays, pointer bases and arrays read elsewhere in the nest
+// (the hist[a[i]] = hist[b[i]] + 1 near-miss) stay untagged: their
+// star dependences serialize the nest and the transformer's
+// SerialReason names the offending access.
+func (d *detector) recognizeArrayReductions(sc *SCoP, body []ast.Stmt, cands []arrayCand) {
+	if len(cands) == 0 {
+		return
+	}
+	uses := map[string]int{}
+	for _, s := range body {
+		for _, id := range ast.Idents(s) {
+			uses[id.Name]++
+		}
+	}
+	byArr := map[string][]arrayCand{}
+	var order []string
+	for _, c := range cands {
+		if _, seen := byArr[c.base.Name]; !seen {
+			order = append(order, c.base.Name)
+		}
+		byArr[c.base.Name] = append(byArr[c.base.Name], c)
+	}
+	for _, name := range order {
+		cs := byArr[name]
+		op := cs[0].op
+		sameOp := true
+		own := 0
+		for _, c := range cs {
+			if c.op != op {
+				sameOp = false
+			}
+			for _, id := range ast.Idents(body[c.stmt]) {
+				if id.Name == name {
+					own++
+				}
+			}
+		}
+		// Mixed operators on one array cannot share a single combine;
+		// a use outside the candidate statements is a real dependence.
+		if !sameOp || uses[name] != own {
+			continue
+		}
+		sym := d.info.Ref[cs[0].base]
+		if sym == nil || sym.Kind == sema.SymGlobal || !sym.IsArray() || sym.Type == nil {
+			// Only function-local declared arrays privatize through the
+			// per-worker frame clone; globals and pointer bases (whose
+			// extent and aliasing are unknown) stay serial.
+			continue
+		}
+		elem := sym.Type.BaseElem()
+		if elem == nil {
+			continue
+		}
+		switch elem.Kind {
+		case types.Int:
+			// every recognized op applies
+		case types.Float:
+			if op != token.ADD && op != token.MUL && op != token.LSS && op != token.GTR {
+				continue
+			}
+		default:
+			continue
+		}
+		for _, c := range cs {
+			st := sc.Nest.Stmts[c.stmt]
+			for i := range st.Writes {
+				if st.Writes[i].Array == name {
+					st.Writes[i].Reduction = true
+				}
+			}
+			for i := range st.Reads {
+				if st.Reads[i].Array == name {
+					st.Reads[i].Reduction = true
+				}
+			}
+		}
+		sc.Reductions = append(sc.Reductions, Reduction{Var: name, Op: op, IsArray: true})
+	}
+}
+
 // isNestParam reports whether name is an integer scalar that is not
 // assigned anywhere inside the candidate nest, making it a structure
 // parameter of the polyhedron.
@@ -551,6 +668,23 @@ type bodyBuilder struct {
 	iters    map[string]bool
 	calls    []*ast.CallExpr
 	nextID   int
+	// starOK, while set, lets indexAccess fall back to conservative
+	// star accesses for data-dependent subscripts (hist[a[i]]). It is
+	// only enabled for statements whose store target is such an access
+	// — the array-update family recognizeReductions may later tag as
+	// array reductions.
+	starOK bool
+	// arrayCands are the array-update statements (A[e] op= v, ++/--,
+	// guarded min/max on A[e]) found in the body; recognizeReductions
+	// promotes them to array reductions when the array qualifies.
+	arrayCands []arrayCand
+}
+
+// arrayCand is one candidate array-reduction update statement.
+type arrayCand struct {
+	stmt int        // body statement index
+	base *ast.Ident // the updated array's base identifier
+	op   token.Kind // ADD/MUL/AND/OR/XOR, or LSS/GTR for min/max
 }
 
 func (b *bodyBuilder) statement(s ast.Stmt, seq int) (*poly.Statement, bool) {
@@ -558,6 +692,17 @@ func (b *bodyBuilder) statement(s ast.Stmt, seq int) (*poly.Statement, bool) {
 	b.nextID++
 	switch x := s.(type) {
 	case *ast.ExprStmt:
+		// Guarded min/max on an array element in its ?: form
+		// (lo[b[i]] = x < lo[b[i]] ? x : lo[b[i]]): an array-reduction
+		// candidate, handled like the if-form below.
+		if target, data, dir, ok := ast.MinMaxUpdateLV(x); ok {
+			if ix, okIx := target.(*ast.IndexExpr); okIx {
+				return st, b.minMaxArrayUpdate(st, seq, ix, data, dir)
+			}
+		}
+		if done, ok := b.starUpdate(x.X, st, seq); done {
+			return st, ok
+		}
 		if !b.expr(x.X, st, true) {
 			return nil, false
 		}
@@ -569,14 +714,19 @@ func (b *bodyBuilder) statement(s ast.Stmt, seq int) (*poly.Statement, bool) {
 		// the data expression is read once per occurrence, like the
 		// source. Whether the statement parallelizes is decided later
 		// by recognizeReductions plus dependence analysis.
-		if m, data, _, ok := ast.MinMaxUpdate(x); ok {
-			if !b.lhs(m, st, true) {
-				return nil, false
+		if target, data, dir, ok := ast.MinMaxUpdateLV(x); ok {
+			if m, okM := target.(*ast.Ident); okM {
+				if !b.lhs(m, st, true) {
+					return nil, false
+				}
+				if !b.expr(data, st, false) || !b.expr(data, st, false) {
+					return nil, false
+				}
+				return st, true
 			}
-			if !b.expr(data, st, false) || !b.expr(data, st, false) {
-				return nil, false
+			if ix, okIx := target.(*ast.IndexExpr); okIx {
+				return st, b.minMaxArrayUpdate(st, seq, ix, data, dir)
 			}
-			return st, true
 		}
 		b.d.rejectf(s.Pos(), "conditional in SCoP body is not a canonical min/max update (if (x < m) m = x;)")
 		return nil, false
@@ -587,6 +737,154 @@ func (b *bodyBuilder) statement(s ast.Stmt, seq int) (*poly.Statement, bool) {
 		return nil, false
 	}
 }
+
+// minMaxArrayUpdate records the accesses of a guarded min/max update
+// whose target is an array element (affine or data-dependent
+// subscript) and registers the array-reduction candidate.
+func (b *bodyBuilder) minMaxArrayUpdate(st *poly.Statement, seq int, target *ast.IndexExpr, data ast.Expr, dir token.Kind) bool {
+	base := ast.BaseIdent(target)
+	if base == nil {
+		b.d.rejectf(target.Pos(), "array base must be a named array")
+		return false
+	}
+	b.starOK = true
+	defer func() { b.starOK = false }()
+	// The guard reads the element, the branch may write it; the data
+	// expression is read twice, like the source.
+	if !b.indexAccess(target, st, true) || !b.indexAccess(target, st, false) {
+		return false
+	}
+	if !b.expr(data, st, false) || !b.expr(data, st, false) {
+		return false
+	}
+	if countAccesses(st, base.Name) == 2 {
+		// Exactly the target's read-modify-write pair: any further
+		// access of the array (a subscript like lo[lo[i]] reading the
+		// accumulator) is a real dependence, not a reduction.
+		b.arrayCands = append(b.arrayCands, arrayCand{stmt: seq, base: base, op: dir})
+	}
+	return true
+}
+
+// countAccesses counts the statement's accesses of the named array.
+func countAccesses(st *poly.Statement, name string) int {
+	n := 0
+	for _, a := range st.Writes {
+		if a.Array == name {
+			n++
+		}
+	}
+	for _, a := range st.Reads {
+		if a.Array == name {
+			n++
+		}
+	}
+	return n
+}
+
+// starUpdate handles body statements whose store target is an array
+// access with a data-dependent subscript — `A[e]++`, `A[e]--`,
+// `A[e] op= v` and the near-miss plain `A[e] = v`. done reports
+// whether the statement was consumed (the caller falls back to the
+// affine path otherwise); updates with an associative-commutative
+// operator additionally register an array-reduction candidate.
+func (b *bodyBuilder) starUpdate(e ast.Expr, st *poly.Statement, seq int) (done, ok bool) {
+	var target *ast.IndexExpr
+	var compoundOp token.Kind
+	var candOp token.Kind
+	var rhs ast.Expr
+	switch x := e.(type) {
+	case *ast.AssignExpr:
+		ix, okIx := stripParens(x.LHS).(*ast.IndexExpr)
+		if !okIx || b.subsAffine(ix) {
+			return false, false
+		}
+		target, rhs = ix, x.RHS
+		if x.Op != token.ASSIGN {
+			bin, okOp := x.Op.AssignBinOp()
+			if !okOp {
+				return false, false
+			}
+			compoundOp = bin
+			if binReductionOps[bin] {
+				candOp = bin
+			}
+		}
+	case *ast.PostfixExpr:
+		ix, okIx := stripParens(x.X).(*ast.IndexExpr)
+		if !okIx || b.subsAffine(ix) || (x.Op != token.INC && x.Op != token.DEC) {
+			return false, false
+		}
+		// ++/-- are += 1 / -= 1: both sum contributions, so both map to
+		// the + clause (the decrement accumulates a negative partial).
+		target, compoundOp, candOp = ix, token.ADD, token.ADD
+	case *ast.UnaryExpr:
+		ix, okIx := stripParens(x.X).(*ast.IndexExpr)
+		if !okIx || b.subsAffine(ix) || (x.Op != token.INC && x.Op != token.DEC) {
+			return false, false
+		}
+		target, compoundOp, candOp = ix, token.ADD, token.ADD
+	default:
+		return false, false
+	}
+	base := ast.BaseIdent(target)
+	if base == nil {
+		b.d.rejectf(target.Pos(), "array base must be a named array")
+		return true, false
+	}
+	b.starOK = true
+	defer func() { b.starOK = false }()
+	if !b.indexAccess(target, st, true) {
+		return true, false
+	}
+	if compoundOp != 0 {
+		// Read-modify-write: the update reads the cell it writes.
+		if !b.indexAccess(target, st, false) {
+			return true, false
+		}
+	}
+	if rhs != nil && !b.expr(rhs, st, false) {
+		return true, false
+	}
+	// A reduction candidate's accesses of the array must be exactly
+	// the target's read-modify-write pair. A further read — the
+	// right-hand side or a subscript reading the accumulator, as in
+	// hist[a[i]] += hist[b[i]] or hist[hist[i]]++ — is a real
+	// dependence; registering such a statement would let the tagging
+	// pass dissolve it and miscompile the nest.
+	if candOp != 0 && countAccesses(st, base.Name) == 2 {
+		b.arrayCands = append(b.arrayCands, arrayCand{stmt: seq, base: base, op: candOp})
+	}
+	return true, true
+}
+
+// subsAffine reports whether every subscript of the index chain is an
+// affine expression of the nest's iterators and parameters.
+func (b *bodyBuilder) subsAffine(e *ast.IndexExpr) bool {
+	subs, _ := collectIndexChain(e)
+	for _, sub := range subs {
+		if _, err := poly.FromExpr(sub, b.classify); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// collectIndexChain flattens A[e1][e2]... into its subscripts and base.
+func collectIndexChain(e *ast.IndexExpr) ([]ast.Expr, ast.Expr) {
+	var subs []ast.Expr
+	base := ast.Expr(e)
+	for {
+		ix, ok := base.(*ast.IndexExpr)
+		if !ok {
+			return subs, base
+		}
+		subs = append([]ast.Expr{ix.Index}, subs...)
+		base = ix.X
+	}
+}
+
+func stripParens(e ast.Expr) ast.Expr { return ast.Unparen(e) }
 
 // expr collects accesses of e into st; topLevel allows one assignment.
 func (b *bodyBuilder) expr(e ast.Expr, st *poly.Statement, topLevel bool) bool {
@@ -668,18 +966,12 @@ func (b *bodyBuilder) lhs(e ast.Expr, st *poly.Statement, compound bool) bool {
 	}
 }
 
-// indexAccess records A[e1][e2]... with affine subscripts.
+// indexAccess records A[e1][e2]... with affine subscripts. With
+// starOK set, a data-dependent subscript (hist[a[i]]) degrades to a
+// conservative star access instead of rejecting the nest; the
+// subscript expressions are then validated as ordinary reads.
 func (b *bodyBuilder) indexAccess(e *ast.IndexExpr, st *poly.Statement, write bool) bool {
-	var subs []ast.Expr
-	base := ast.Expr(e)
-	for {
-		ix, ok := base.(*ast.IndexExpr)
-		if !ok {
-			break
-		}
-		subs = append([]ast.Expr{ix.Index}, subs...)
-		base = ix.X
-	}
+	subs, base := collectIndexChain(e)
 	id, ok := base.(*ast.Ident)
 	if !ok {
 		b.d.rejectf(e.Pos(), "array base must be a named array")
@@ -689,8 +981,27 @@ func (b *bodyBuilder) indexAccess(e *ast.IndexExpr, st *poly.Statement, write bo
 	for _, sub := range subs {
 		a, err := poly.FromExpr(sub, b.classify)
 		if err != nil {
-			b.d.rejectf(sub.Pos(), "non-affine subscript: %v", err)
-			return false
+			if !b.starOK {
+				b.d.rejectf(sub.Pos(), "non-affine subscript: %v", err)
+				return false
+			}
+			// Data-dependent cell: record a star access and validate
+			// the subscripts as reads of their own (a[i] in
+			// hist[a[i]] is a plain affine read of a).
+			for _, s := range subs {
+				if !b.expr(s, st, false) {
+					return false
+				}
+			}
+			acc.Subs = nil
+			acc.Star = true
+			acc.Expr = ast.PrintExpr(e)
+			if write {
+				st.Writes = append(st.Writes, acc)
+			} else {
+				st.Reads = append(st.Reads, acc)
+			}
+			return true
 		}
 		acc.Subs = append(acc.Subs, a)
 		// Subscript expressions may themselves read arrays — forbid.

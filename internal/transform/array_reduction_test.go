@@ -1,0 +1,129 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArrayReductionPragmaEmitted(t *testing.T) {
+	src := `
+int data[100];
+int main(void) {
+    int hist[16];
+    for (int i = 0; i < 100; i++)
+        hist[data[i]]++;
+    return hist[0];
+}
+`
+	info, scops := prep(t, src)
+	rep, err := Parallelize(scops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr *LoopReport
+	for i := range rep.Loops {
+		if len(rep.Loops[i].Reductions) > 0 {
+			lr = &rep.Loops[i]
+		}
+	}
+	if lr == nil {
+		t.Fatalf("no loop report carries a reduction clause: %+v", rep.Loops)
+	}
+	if lr.ParallelLevel != 0 {
+		t.Errorf("parallel level = %d, want 0 (reduction deps must not serialize)", lr.ParallelLevel)
+	}
+	if len(lr.Reductions) != 1 || lr.Reductions[0] != "+:hist[]" {
+		t.Errorf("reductions = %v, want [+:hist[]]", lr.Reductions)
+	}
+	if !strings.Contains(lr.Pragma, "reduction(+:hist[])") {
+		t.Errorf("pragma %q lacks reduction(+:hist[])", lr.Pragma)
+	}
+	_ = info
+}
+
+// TestArrayReductionNearMissNamesOffendingRead is the regression test
+// for the SerialReason bugfix: a near-miss like
+// hist[a[i]] = hist[b[i]] + 1 must name the offending read instead of
+// the generic array-dependence message.
+func TestArrayReductionNearMissNamesOffendingRead(t *testing.T) {
+	src := `
+int a[100], b[100];
+int main(void) {
+    int hist[16];
+    for (int i = 0; i < 100; i++)
+        hist[a[i]] = hist[b[i]] + 1;
+    return hist[0];
+}
+`
+	_, scops := prep(t, src)
+	rep, err := Parallelize(scops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Loops) != 1 {
+		t.Fatalf("loops = %+v", rep.Loops)
+	}
+	lr := rep.Loops[0]
+	if lr.ParallelLevel != -1 {
+		t.Fatalf("near-miss nest must stay serial, got level %d", lr.ParallelLevel)
+	}
+	if !strings.Contains(lr.SerialReason, "hist[b[i]]") {
+		t.Errorf("SerialReason %q does not name the offending read hist[b[i]]", lr.SerialReason)
+	}
+	if strings.Contains(lr.SerialReason, "serialized by loop-carried dependences on") {
+		t.Errorf("SerialReason %q is still the generic array-dependence message", lr.SerialReason)
+	}
+	// The rendered report must carry the same message.
+	if !strings.Contains(rep.String(), "hist[b[i]]") {
+		t.Errorf("report rendering lost the diagnostic:\n%s", rep.String())
+	}
+}
+
+func TestArrayReductionScatterWriteStaysSerial(t *testing.T) {
+	// A scatter store that is not an update (out[idx[i]] = i) must
+	// serialize: two iterations may target the same cell, so order
+	// matters. The conservative star self-dependence enforces it.
+	src := `
+int idx[100];
+int main(void) {
+    int out[16];
+    for (int i = 0; i < 100; i++)
+        out[idx[i]] = i;
+    return out[0];
+}
+`
+	_, scops := prep(t, src)
+	rep, err := Parallelize(scops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Loops) != 1 || rep.Loops[0].ParallelLevel != -1 {
+		t.Fatalf("scatter store must stay serial: %+v", rep.Loops)
+	}
+}
+
+func TestArrayReductionMinMaxPragma(t *testing.T) {
+	src := `
+int data[100], bin[100];
+int main(void) {
+    int lo[8];
+    for (int i = 0; i < 100; i++)
+        if (data[i] < lo[bin[i]]) lo[bin[i]] = data[i];
+    return lo[0];
+}
+`
+	_, scops := prep(t, src)
+	rep, err := Parallelize(scops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pragma string
+	for _, lr := range rep.Loops {
+		if lr.Pragma != "" {
+			pragma = lr.Pragma
+		}
+	}
+	if !strings.Contains(pragma, "reduction(min:lo[])") {
+		t.Errorf("pragma %q lacks reduction(min:lo[])", pragma)
+	}
+}

@@ -162,10 +162,10 @@ func transformOne(sc *scop.SCoP, opts Options) (LoopReport, error) {
 	}
 	lr.ParallelLevel = parIdx
 	for _, r := range sc.Reductions {
-		lr.Reductions = append(lr.Reductions, r.ClauseOp()+":"+r.Var)
+		lr.Reductions = append(lr.Reductions, r.ClauseOp()+":"+r.ClauseVar())
 	}
 	if parIdx < 0 {
-		lr.SerialReason = serialReason(deps, tripSuppressed, opts)
+		lr.SerialReason = serialReason(nest, deps, tripSuppressed, opts)
 	}
 
 	newLoop, pragma := buildLoops(gen, parIdx, opts, sc)
@@ -175,7 +175,7 @@ func transformOne(sc *scop.SCoP, opts Options) (LoopReport, error) {
 }
 
 // serialReason explains why no loop level carries the OpenMP pragma.
-func serialReason(deps []*poly.Dep, tripSuppressed bool, opts Options) string {
+func serialReason(nest *poly.Nest, deps []*poly.Dep, tripSuppressed bool, opts Options) string {
 	// A scalar write that did not qualify as a reduction serializes
 	// every level — the most common and most actionable cause, so it is
 	// reported first.
@@ -196,6 +196,15 @@ func serialReason(deps []*poly.Dep, tripSuppressed bool, opts Options) string {
 			strings.Join(sortedKeys(scalars), ", "))
 	}
 	if len(arrays) > 0 {
+		// Near-miss array reductions get a precise diagnostic: when the
+		// serializing array is accessed through data-dependent
+		// subscripts (hist[a[i]] = hist[b[i]] + 1), name the offending
+		// access instead of the generic array-dependence message.
+		for _, name := range sortedKeys(arrays) {
+			if msg := starAccessReason(nest, name); msg != "" {
+				return msg
+			}
+		}
 		return fmt.Sprintf("serialized by loop-carried dependences on %s",
 			strings.Join(sortedKeys(arrays), ", "))
 	}
@@ -203,6 +212,62 @@ func serialReason(deps []*poly.Dep, tripSuppressed bool, opts Options) string {
 		return fmt.Sprintf("parallel loop suppressed: constant trip count below the profitability threshold (%d)", opts.minTrip())
 	}
 	return "no dependence-free loop level"
+}
+
+// starAccessReason builds the near-miss array-reduction diagnostic for
+// one serializing array: it names the un-tagged star access — the read
+// or write that kept the nest from qualifying — and the statement it
+// sits in. Empty when the array has no star accesses (an ordinary
+// affine dependence).
+func starAccessReason(nest *poly.Nest, array string) string {
+	var offending *poly.Access
+	var inStmt string
+	// Prefer naming a non-reduction read through a subscript other
+	// than the statement's own write target (the common near-miss is
+	// a read through a second subscript); then any such read; then
+	// the write itself.
+	for pass := 0; pass < 3 && offending == nil; pass++ {
+		for _, st := range nest.Stmts {
+			writeExprs := map[string]bool{}
+			for _, w := range st.Writes {
+				if w.Array == array {
+					writeExprs[w.Expr] = true
+				}
+			}
+			accs := st.Reads
+			if pass == 2 {
+				accs = st.Writes
+			}
+			for i := range accs {
+				a := &accs[i]
+				if a.Array != array || !a.Star || a.Reduction {
+					continue
+				}
+				if pass == 0 && writeExprs[a.Expr] {
+					continue // the target's own read-modify-write read
+				}
+				offending = a
+				inStmt = strings.TrimSpace(st.Label)
+				break
+			}
+			if offending != nil {
+				break
+			}
+		}
+	}
+	if offending == nil {
+		return ""
+	}
+	kind := "read of"
+	if offending.Write {
+		kind = "write to"
+	}
+	src := offending.Expr
+	if src == "" {
+		src = array + "[*]"
+	}
+	return fmt.Sprintf("serialized by %s %s in %q: %s is updated through a data-dependent subscript, but this access keeps it from qualifying as an array reduction (every access of %s in the nest must be the same `%s[expr] op= e` update of one operator)",
+		kind, src, inStmt, array, array, array)
 }
 
 func sortedKeys(m map[string]bool) []string {
@@ -323,7 +388,7 @@ func ompPragma(gen *poly.GenNest, k int, opts Options, reds []scop.Reduction) st
 	}
 	clauses := make([]string, 0, len(reds))
 	for _, r := range reds {
-		clauses = append(clauses, "reduction("+r.ClauseOp()+":"+r.Var+")")
+		clauses = append(clauses, "reduction("+r.ClauseOp()+":"+r.ClauseVar()+")")
 	}
 	sort.Strings(clauses)
 	for _, c := range clauses {
