@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	purebench [-fig all|2|3|...|11|m1|m2|r1|k1|a1] [-cores 1,2,4,8,16,32,64] [-reps 3]
+//	purebench [-fig all|2|3|...|11|m1|m2|r1|k1|a1|t1] [-cores 1,2,4,8,16,32,64] [-reps 3]
 //	          [-matmul-n 160] [-heat-n 160] [-heat-steps 30]
 //	          [-sat-pix 2000] [-sat-bands 12] [-sat-iters 48]
 //	          [-lama-rows 12000] [-lama-nnz 16] [-memo-classes 24]
 //	          [-reduce-n 400000] [-kern-n 65536] [-kern-reps 50]
 //	          [-hist-n 400000] [-hist-bins 16,256,4096,65536] [-quick]
+//	          [-json dir] [-check dir]
 //
 // Figures m1/m2 are the pure-call memoization scenario (quantized
 // satellite retrieval with and without the shared memo table); figure
@@ -18,17 +19,28 @@
 // the kernel-fusion A/B (axpy, copy, 1-D stencil and extracted-dot
 // matmul with the fusion engine off and on); figure a1 is the
 // array-reduction scenario (hist[data[i]]++ with privatized per-worker
-// copies, swept over -hist-bins to expose the combine overhead). All
-// extend the paper's evaluation.
+// copies, swept over -hist-bins to expose the combine overhead);
+// figure t1 is the statement-engine A/B (closure trees vs linearized
+// tapes with fusion off, plus the fused build, over the element-wise
+// kernels and a deliberately non-canonical branchy body). All extend
+// the paper's evaluation.
 //
 // Each figure prints as an aligned table: one row per program variant,
 // one column per simulated core count.
+//
+// -json writes each collected figure additionally as BENCH_<FIG>.json
+// into the given directory (k1/a1/r1/t1 only — the figures with a
+// machine-readable export). -check instead compares the fresh numbers
+// against committed BENCH_<FIG>.json baselines in the given directory
+// and exits non-zero on a large regression; both flags may be
+// combined.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -36,7 +48,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, one of 2..11, or m1/m2/r1/k1/a1 (comma-separable)")
+	fig := flag.String("fig", "all", "figure to regenerate: all, one of 2..11, or m1/m2/r1/k1/a1/t1 (comma-separable)")
+	jsonDir := flag.String("json", "", "directory receiving BENCH_<FIG>.json exports (k1/a1/r1/t1)")
+	checkDir := flag.String("check", "", "directory holding baseline BENCH_<FIG>.json files to compare against")
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,2,4,8,16,32,64)")
 	reps := flag.Int("reps", 0, "repetitions per measurement (default 3)")
 	quick := flag.Bool("quick", false, "tiny workloads for a fast smoke run")
@@ -104,10 +118,34 @@ func main() {
 		for i := 2; i <= 11; i++ {
 			want[strconv.Itoa(i)] = true
 		}
-		want["m1"], want["m2"], want["r1"], want["k1"], want["a1"] = true, true, true, true, true
+		want["m1"], want["m2"], want["r1"], want["k1"], want["a1"], want["t1"] = true, true, true, true, true, true
 	} else {
 		for _, part := range strings.Split(*fig, ",") {
 			want[strings.ToLower(strings.TrimSpace(part))] = true
+		}
+	}
+
+	// handleJSON exports and/or baseline-checks a figure's
+	// machine-readable form, per the -json/-check flags.
+	var regressions []string
+	handleJSON := func(jf *bench.JSONFigure) {
+		if *jsonDir != "" {
+			path, err := jf.Write(*jsonDir)
+			if err != nil {
+				fatalf("json: %v", err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *checkDir != "" {
+			base, err := bench.ReadJSONFigure(filepath.Join(*checkDir, jf.Filename()))
+			if err != nil {
+				fatalf("check: %v", err)
+			}
+			if bad := bench.CheckBaseline(jf, base); bad != nil {
+				regressions = append(regressions, bad...)
+			} else {
+				fmt.Printf("baseline check passed: %s\n", jf.Filename())
+			}
 		}
 	}
 
@@ -183,6 +221,7 @@ func main() {
 			fatalf("reduction: %v", err)
 		}
 		fmt.Println(d.FigR1().Render())
+		handleJSON(d.JSON())
 	}
 	if want["k1"] {
 		d, err := bench.CollectKernels(p)
@@ -190,6 +229,7 @@ func main() {
 			fatalf("kernels: %v", err)
 		}
 		fmt.Println(d.FigK1())
+		handleJSON(d.JSON())
 	}
 	if want["a1"] {
 		d, err := bench.CollectHistogram(p)
@@ -197,6 +237,21 @@ func main() {
 			fatalf("histogram: %v", err)
 		}
 		fmt.Println(d.FigA1().Render())
+		handleJSON(d.JSON())
+	}
+	if want["t1"] {
+		d, err := bench.CollectTape(p)
+		if err != nil {
+			fatalf("tape: %v", err)
+		}
+		fmt.Println(d.FigT1())
+		handleJSON(d.JSON())
+	}
+	for _, m := range regressions {
+		fmt.Fprintln(os.Stderr, "purebench: regression: "+m)
+	}
+	if len(regressions) > 0 {
+		os.Exit(1)
 	}
 }
 

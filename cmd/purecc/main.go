@@ -7,7 +7,14 @@
 //	purecc [flags] file.c
 //
 //	-mode pure|pluto      parallelizer mode (default pure)
-//	-backend gcc|icc      execution backend analog (default gcc)
+//	-backend LIST         comma-separated compile selections: the
+//	                      compiler analog (gcc or icc, default gcc)
+//	                      and/or the statement engine (closure or
+//	                      tape, default closure) — e.g. -backend
+//	                      icc,tape. The tape engine linearizes
+//	                      statement bodies into flat bytecode run by a
+//	                      switch-dispatch loop; results are
+//	                      bit-identical to the closure engine
 //	-cores N              worker count for parallel regions (default 1)
 //	-seq                  disable parallelization (sequential baseline)
 //	-tile                 enable rectangular tiling (PluTo-SICA analog)
@@ -69,7 +76,7 @@ func (d defineFlags) Set(s string) error {
 
 func main() {
 	mode := flag.String("mode", "pure", "parallelizer mode: pure or pluto")
-	backend := flag.String("backend", "gcc", "execution backend: gcc or icc")
+	backend := flag.String("backend", "gcc", "comma-separated: compiler analog (gcc|icc) and/or statement engine (closure|tape)")
 	cores := flag.Int("cores", 1, "worker count")
 	seq := flag.Bool("seq", false, "disable parallelization")
 	tile := flag.Bool("tile", false, "enable rectangular tiling")
@@ -123,13 +130,19 @@ func main() {
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
-	switch *backend {
-	case "gcc":
-		cfg.Backend = comp.BackendGCC
-	case "icc":
-		cfg.Backend = comp.BackendICC
-	default:
-		fatalf("unknown backend %q", *backend)
+	for _, sel := range strings.Split(*backend, ",") {
+		switch strings.TrimSpace(sel) {
+		case "gcc":
+			cfg.Backend = comp.BackendGCC
+		case "icc":
+			cfg.Backend = comp.BackendICC
+		case "closure":
+			cfg.Engine = comp.EngineClosure
+		case "tape":
+			cfg.Engine = comp.EngineTape
+		default:
+			fatalf("unknown backend %q (want gcc, icc, closure or tape)", sel)
+		}
 	}
 
 	prog, art, _, err := core.BuildProgram(string(src), cfg)
@@ -160,6 +173,10 @@ func main() {
 		fmt.Printf("memoizable pure functions: %s\n", strings.Join(sortedNames(art.Memoizable), ", "))
 		fmt.Printf("SCoPs: %d\n", art.SCoPs)
 		fmt.Printf("fused kernels: %d\n", prog.FusedKernels())
+		if instrs, consts, temps := prog.TapeStats(); prog.Engine() == comp.EngineTape {
+			fmt.Printf("tape: %d instructions, %d pooled constants, %d temp slots\n",
+				instrs, consts, temps)
+		}
 		if art.Report != nil {
 			fmt.Print(art.Report.String())
 		}

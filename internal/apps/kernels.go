@@ -140,6 +140,42 @@ int main(void) {
 }
 `
 
+// NoncanonSrc is the deliberately non-canonical Fig T1 workload: the
+// loop body declares a local and branches per element, so it neither
+// fuses (no single element-wise statement) nor vectorizes (no
+// reduction shape) — every iteration runs on the statement engine,
+// making the closure-vs-tape dispatch cost the whole measurement.
+const NoncanonSrc = `
+float *x, *y;
+
+void initvec(void) {
+    x = (float*)malloc(N * sizeof(float));
+    y = (float*)malloc(N * sizeof(float));
+    for (int i = 0; i < N; i++) {
+        x[i] = (float)(i % 13) * 0.25f;
+        y[i] = (float)(i % 7) * 0.5f;
+    }
+}
+
+int run(void) {
+    for (int r = 0; r < REPS; r++) {
+        for (int i = 0; i < N; i++) {
+            float v = x[i];
+            if (v > 2.5f)
+                y[i] = v * 0.5f + y[i] * 0.25f;
+            else
+                y[i] = v + 0.125f;
+        }
+    }
+    return 0;
+}
+
+int main(void) {
+    initvec();
+    return run();
+}
+`
+
 // KernDefines injects the vector length and sweep count of the K1
 // element-wise kernels.
 func KernDefines(n, reps int) map[string]string {
@@ -161,6 +197,28 @@ func KernRefAxpy(n, reps int) []float32 {
 	for r := 0; r < reps; r++ {
 		for i := 0; i < n; i++ {
 			y[i] = float32(float64(a)*float64(x[i]) + float64(y[i]))
+		}
+	}
+	return y
+}
+
+// KernRefNoncanon computes the Noncanon result after reps sweeps with
+// the execution model's float semantics.
+func KernRefNoncanon(n, reps int) []float32 {
+	x := make([]float32, n)
+	y := make([]float32, n)
+	for i := 0; i < n; i++ {
+		x[i] = float32(float64(i%13) * 0.25)
+		y[i] = float32(float64(i%7) * 0.5)
+	}
+	for r := 0; r < reps; r++ {
+		for i := 0; i < n; i++ {
+			v := x[i]
+			if v > 2.5 {
+				y[i] = float32(float64(v)*0.5 + float64(y[i])*0.25)
+			} else {
+				y[i] = float32(float64(v) + 0.125)
+			}
 		}
 	}
 	return y

@@ -268,13 +268,16 @@ func measureSeq(v variant, reps int) (float64, error) {
 	return s.Times[1], nil
 }
 
-// timeIt returns the mean adjusted time of reps runs: wall time minus
-// the real duration of simulated regions plus their simulated duration.
+// timeIt returns the best (minimum) adjusted time of reps runs: wall
+// time minus the real duration of simulated regions plus their
+// simulated duration. The minimum rejects scheduler and GC noise —
+// a slow outlier rep says nothing about the code under test — which
+// keeps the figure ratios and the CI baseline check stable.
 func timeIt(reps int, team *rt.Team, f func() error) (float64, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	var total time.Duration
+	var best time.Duration
 	if team != nil {
 		team.TakeSim() // drop stale accounting
 	}
@@ -289,17 +292,20 @@ func timeIt(reps int, team *rt.Team, f func() error) (float64, error) {
 			real, virt := team.TakeSim()
 			wall = wall - real + virt
 		}
-		total += wall
+		if i == 0 || wall < best {
+			best = wall
+		}
 	}
-	return total.Seconds() / float64(reps), nil
+	return best.Seconds(), nil
 }
 
-// timeItPrepared runs prep untimed before each timed run.
+// timeItPrepared runs prep untimed before each timed run; like timeIt
+// it reports the best (minimum) rep.
 func timeItPrepared(reps int, team *rt.Team, prep, f func() error) (float64, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	var total time.Duration
+	var best time.Duration
 	for i := 0; i < reps; i++ {
 		if err := prep(); err != nil {
 			return 0, err
@@ -317,9 +323,11 @@ func timeItPrepared(reps int, team *rt.Team, prep, f func() error) (float64, err
 			real, virt := team.TakeSim()
 			wall = wall - real + virt
 		}
-		total += wall
+		if i == 0 || wall < best {
+			best = wall
+		}
 	}
-	return total.Seconds() / float64(reps), nil
+	return best.Seconds(), nil
 }
 
 func sortedCores(cs []int) []int {

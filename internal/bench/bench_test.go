@@ -181,6 +181,30 @@ func TestCollectKernelsQuick(t *testing.T) {
 	}
 }
 
+func TestCollectTapeQuick(t *testing.T) {
+	d, err := CollectTape(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Workloads) != 4 {
+		t.Fatalf("want 4 workloads, got %d", len(d.Workloads))
+	}
+	for _, w := range d.Workloads {
+		if w.Closure <= 0 || w.Tape <= 0 || w.Fused <= 0 {
+			t.Errorf("%s: non-positive times: %+v", w.Name, w)
+		}
+		if w.Speedup() <= 0 {
+			t.Errorf("%s: non-positive speedup", w.Name)
+		}
+	}
+	out := d.FigT1()
+	for _, want := range []string{"Fig T1", "axpy", "copy", "stencil", "noncanon", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FigT1 output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCollectHistogramQuick(t *testing.T) {
 	p := Quick()
 	d, err := CollectHistogram(p)

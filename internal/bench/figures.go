@@ -560,6 +560,97 @@ func (d *KernelData) FigK1() string {
 	return b.String()
 }
 
+// TapeResult is one Fig T1 workload: the same program measured on the
+// closure engine and the tape engine with fusion off (pure dispatch
+// cost), plus the default fused build as the reference point.
+type TapeResult struct {
+	Name    string
+	Closure float64 // seconds, EngineClosure + NoFuse
+	Tape    float64 // seconds, EngineTape + NoFuse
+	Fused   float64 // seconds, default build (closure engine, fusion on)
+}
+
+// Speedup is the closure/tape throughput ratio on the unfused builds.
+func (r TapeResult) Speedup() float64 {
+	if r.Tape <= 0 {
+		return 0
+	}
+	return r.Closure / r.Tape
+}
+
+// TapeData carries the statement-engine A/B measurements (Fig T1).
+type TapeData struct {
+	P         Params
+	Workloads []TapeResult
+}
+
+// CollectTape measures the Fig T1 workloads — the K1 element-wise
+// kernels plus the deliberately non-canonical branchy body — on both
+// statement engines with fusion disabled, isolating exactly the
+// dispatch cost the tape removes, and on the default fused build for
+// scale. Results are bit-identical across all three builds by the
+// engine contract; the non-canonical body never fuses, so its fused
+// column equals closure dispatch and the tape column is the only win
+// available to it.
+func CollectTape(p Params) (*TapeData, error) {
+	d := &TapeData{P: p}
+	kd := apps.KernDefines(p.KernN, p.KernReps)
+	workloads := []struct {
+		name string
+		src  string
+	}{
+		{"axpy", apps.AxpySrc},
+		{"copy", apps.CopySrc},
+		{"stencil", apps.StencilSrc},
+		{"noncanon", apps.NoncanonSrc},
+	}
+	for _, w := range workloads {
+		r := TapeResult{Name: w.name}
+		var err error
+		r.Closure, err = measureSeq(variant{
+			name: w.name + " closure", src: w.src, defs: kd,
+			init: "initvec", entry: "run",
+			cfg: core.Config{NoFuse: true, Engine: comp.EngineClosure},
+		}, p.Reps)
+		if err != nil {
+			return nil, err
+		}
+		r.Tape, err = measureSeq(variant{
+			name: w.name + " tape", src: w.src, defs: kd,
+			init: "initvec", entry: "run",
+			cfg: core.Config{NoFuse: true, Engine: comp.EngineTape},
+		}, p.Reps)
+		if err != nil {
+			return nil, err
+		}
+		r.Fused, err = measureSeq(variant{
+			name: w.name + " fused", src: w.src, defs: kd,
+			init: "initvec", entry: "run",
+			cfg: core.Config{},
+		}, p.Reps)
+		if err != nil {
+			return nil, err
+		}
+		d.Workloads = append(d.Workloads, r)
+	}
+	return d, nil
+}
+
+// FigT1 renders the closure-vs-tape-vs-fused table.
+func (d *TapeData) FigT1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig T1 — statement engines: closure dispatch vs linearized tape (N=%d, %d sweeps)\n",
+		d.P.KernN, d.P.KernReps)
+	b.WriteString("[seconds per run, fusion off in the closure and tape columns; speedup = closure/tape]\n")
+	fmt.Fprintf(&b, "%-12s%14s%14s%14s%10s\n", "workload", "closure", "tape", "fused", "speedup")
+	for _, r := range d.Workloads {
+		fmt.Fprintf(&b, "%-12s%14.4f%14.4f%14.4f%9.1fx\n", r.Name, r.Closure, r.Tape, r.Fused, r.Speedup())
+	}
+	b.WriteString("note: all three builds produce bit-identical outputs (engine contract)\n")
+	b.WriteString("note: the non-canonical branchy body cannot fuse — the tape engine is its only dispatch win\n")
+	return b.String()
+}
+
 // LamaData carries the ELL SpMV measurements (Figs. 10 and 11).
 type LamaData struct {
 	P      Params

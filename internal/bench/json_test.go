@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := &JSONFigure{Fig: "T1", Title: "engines",
+		Points: []JSONPoint{
+			{Workload: "noncanon/closure", Cores: 1, Seconds: 0.5, NsPerOp: 10},
+			{Workload: "noncanon/tape", Cores: 1, Seconds: 0.1, NsPerOp: 2, Speedup: 5},
+		}}
+	if f.Filename() != "BENCH_T1.json" {
+		t.Fatalf("filename: %s", f.Filename())
+	}
+	dir := t.TempDir()
+	path, err := f.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadJSONFigure(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fig != f.Fig || len(g.Points) != 2 || g.Points[1].Speedup != 5 {
+		t.Fatalf("round trip: %+v", g)
+	}
+}
+
+func TestCheckBaseline(t *testing.T) {
+	base := &JSONFigure{Fig: "T1", Points: []JSONPoint{
+		{Workload: "noncanon/tape", Cores: 1, Speedup: 4},
+		{Workload: "axpy/tape", Cores: 1, Speedup: 2},
+	}}
+	// Same speedups: clean.
+	if bad := CheckBaseline(base, base); bad != nil {
+		t.Fatalf("self-check: %v", bad)
+	}
+	// Noise within the generous threshold: clean.
+	cur := &JSONFigure{Fig: "T1", Points: []JSONPoint{
+		{Workload: "noncanon/tape", Cores: 1, Speedup: 1.1},
+		{Workload: "axpy/tape", Cores: 1, Speedup: 0.6},
+	}}
+	if bad := CheckBaseline(cur, base); bad != nil {
+		t.Fatalf("within threshold: %v", bad)
+	}
+	// Collapse below a quarter of baseline: flagged.
+	cur.Points[0].Speedup = 0.9
+	bad := CheckBaseline(cur, base)
+	if len(bad) != 1 || !strings.Contains(bad[0], "noncanon/tape") {
+		t.Fatalf("regression not flagged: %v", bad)
+	}
+	// Missing point: flagged.
+	cur.Points = cur.Points[1:]
+	bad = CheckBaseline(cur, base)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("missing point not flagged: %v", bad)
+	}
+}
+
+func TestTapeDataJSON(t *testing.T) {
+	d := &TapeData{P: Params{KernN: 100, KernReps: 2},
+		Workloads: []TapeResult{{Name: "noncanon", Closure: 0.4, Tape: 0.1, Fused: 0.4}}}
+	jf := d.JSON()
+	if jf.Fig != "T1" || len(jf.Points) != 3 {
+		t.Fatalf("points: %+v", jf)
+	}
+	tapePt := jf.Points[1]
+	if tapePt.Workload != "noncanon/tape" || tapePt.Speedup != 4 {
+		t.Fatalf("tape point: %+v", tapePt)
+	}
+	if tapePt.NsPerOp != 0.1*1e9/200 {
+		t.Fatalf("ns/op: %v", tapePt.NsPerOp)
+	}
+}

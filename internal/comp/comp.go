@@ -59,6 +59,31 @@ var backendNames = [...]string{"gcc", "icc"}
 // String returns the backend name.
 func (b Backend) String() string { return backendNames[b] }
 
+// Engine selects the statement execution engine compiled programs run
+// on. Both engines share the trap primitives and float32 store-rounding
+// points, so results and failure behavior are bit-identical; only the
+// dispatch cost differs.
+type Engine int
+
+// Engines.
+const (
+	// EngineClosure executes statement/expression trees of Go closures
+	// (the default, one closure call per AST node).
+	EngineClosure Engine = iota
+	// EngineTape linearizes statements into flat bytecode tapes executed
+	// by a switch-dispatch loop: constants pooled, locals and temps in
+	// fixed frame slots, control flow via relative jumps. Calls, malloc,
+	// switch statements, parallel-region launches and fused kernels
+	// escape into pooled closures; everything else runs instruction by
+	// instruction with no per-node allocation or interface calls.
+	EngineTape
+)
+
+var engineNames = [...]string{"closure", "tape"}
+
+// String returns the engine name.
+func (e Engine) String() string { return engineNames[e] }
+
 // Options configure compilation. Backend and Vectorize shape the
 // Program; Team and Stdout seed the initial Process of a Machine built
 // with Compile (CompileProgram ignores them).
@@ -96,6 +121,11 @@ type Options struct {
 	// and as an escape hatch. Compile-relevant: part of the
 	// program-cache key.
 	NoFuse bool
+	// Engine selects closure-tree or linearized-tape execution for
+	// statement dispatch (fused kernels apply under both). Bit-identical
+	// results either way. Compile-relevant: part of the program-cache
+	// key.
+	Engine Engine
 }
 
 // slotKind is the storage class of a frame slot.
@@ -174,9 +204,12 @@ type cfunc struct {
 	params     []slot
 	arrays     []arrayAlloc
 	body       stmtFn
-	retKind    slotKind
-	retVoid    bool
-	pure       bool
+	// tape is the body's main instruction tape under EngineTape (nil
+	// under EngineClosure); kept for stats and unit inspection.
+	tape    *tape
+	retKind slotKind
+	retVoid bool
+	pure    bool
 	// memoizable marks verified pure functions whose calls may be served
 	// from the memo table (set only when compiling with Options.Memoize).
 	memoizable bool

@@ -27,6 +27,9 @@ type funcCompiler struct {
 	// GCC/ICC -O2 inlining analog, see tryInline).
 	paramBind   map[*sema.Symbol]valueFns
 	inlineDepth int
+	// talloc manages the temp register space shared by the function's
+	// tapes when compiling under EngineTape (nil under EngineClosure).
+	talloc *tapeAlloc
 }
 
 func (fc *funcCompiler) errorf(n ast.Node, format string, args ...any) {
@@ -113,7 +116,11 @@ func (fc *funcCompiler) compile() (err error) {
 			fc.cf.retKind = k
 		}
 	}
-	fc.cf.body = fc.block(fc.cf.decl.Body)
+	if fc.prog.engine == EngineTape {
+		fc.compileTapeBody()
+	} else {
+		fc.cf.body = fc.block(fc.cf.decl.Body)
+	}
 	return nil
 }
 
@@ -208,11 +215,11 @@ func (fc *funcCompiler) intExpr(e ast.Expr) intFn {
 			return val.i(e)
 		}
 	case *ast.CondExpr:
-		c := fc.integer(x.Cond)
+		c := fc.cond(x.Cond)
 		a := fc.integer(x.Then)
 		b := fc.integer(x.Else)
 		return func(e *env) int64 {
-			if c(e) != 0 {
+			if c(e) {
 				return a(e)
 			}
 			return b(e)

@@ -672,6 +672,7 @@ var kernelShapes = []kernelShape{
 	{"copy", emitCopy},
 	{"scale", emitScale},
 	{"triad", emitTriad},
+	{"stencil3", emitStencil3},
 }
 
 // tapeIs matches the kernel tape against an opcode signature.
@@ -849,6 +850,80 @@ func emitTriad(k *fusedKernel) kernRun {
 		zs, zss := fr.loads[z].i, fr.loads[z].stride
 		for t, c, xi, zi := 0, 0, 0, 0; t < fr.n; t, c, xi, zi = t+1, c+ds, xi+xss, zi+zss {
 			dst[c] = a*xs[xi] + zs[zi]
+		}
+	}
+}
+
+// emitStencil3 handles the 3-point stencil family
+// Y[i] = c * (A[i-1] + B[i] + C[i+1]): three loads summed
+// left-associatively, optionally scaled by an invariant on either
+// side. The edge handling hoists into the per-operand range checks
+// (each shifted slice is validated once per launch), leaving a
+// check-free interior walk with no tape interpretation. The scale
+// multiplies in the matched operand order so NaN payload propagation
+// stays bit-identical to the dispatch path.
+func emitStencil3(k *fusedKernel) kernRun {
+	scaled, invFirst := true, true
+	switch {
+	case k.tapeIs(opInv, opLoad, opLoad, opAdd, opLoad, opAdd, opMul):
+	case k.tapeIs(opLoad, opLoad, opAdd, opLoad, opAdd, opInv, opMul):
+		invFirst = false
+	case k.tapeIs(opLoad, opLoad, opAdd, opLoad, opAdd):
+		scaled = false
+	default:
+		return nil
+	}
+	if len(k.loads) != 3 {
+		return nil
+	}
+	if k.float {
+		return func(e *env, lo, hi int64) {
+			if hi < lo {
+				return
+			}
+			fr := k.prepFrame(e, lo, hi)
+			a := 1.0
+			if scaled {
+				a = fr.invF[0]
+			}
+			dst, ds := fr.dst.f, fr.dst.stride
+			xs, xss := fr.loads[0].f, fr.loads[0].stride
+			ys, yss := fr.loads[1].f, fr.loads[1].stride
+			zs, zss := fr.loads[2].f, fr.loads[2].stride
+			for t, c, xi, yi, zi := 0, 0, 0, 0, 0; t < fr.n; t, c, xi, yi, zi = t+1, c+ds, xi+xss, yi+yss, zi+zss {
+				v := xs[xi] + ys[yi] + zs[zi]
+				switch {
+				case scaled && invFirst:
+					v = a * v
+				case scaled:
+					v = v * a
+				}
+				if fr.f32 {
+					v = float64(float32(v))
+				}
+				dst[c] = v
+			}
+		}
+	}
+	return func(e *env, lo, hi int64) {
+		if hi < lo {
+			return
+		}
+		fr := k.prepFrame(e, lo, hi)
+		a := int64(1)
+		if scaled {
+			a = fr.invI[0]
+		}
+		dst, ds := fr.dst.i, fr.dst.stride
+		xs, xss := fr.loads[0].i, fr.loads[0].stride
+		ys, yss := fr.loads[1].i, fr.loads[1].stride
+		zs, zss := fr.loads[2].i, fr.loads[2].stride
+		for t, c, xi, yi, zi := 0, 0, 0, 0, 0; t < fr.n; t, c, xi, yi, zi = t+1, c+ds, xi+xss, yi+yss, zi+zss {
+			v := xs[xi] + ys[yi] + zs[zi]
+			if scaled {
+				v = a * v
+			}
+			dst[c] = v
 		}
 	}
 }

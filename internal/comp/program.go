@@ -20,12 +20,17 @@ import (
 type Program struct {
 	info      *sema.Info
 	backend   Backend
+	engine    Engine
 	vectorize bool
 	noFuse    bool
 	// fusedKernels counts the loops compiled into fused segment-walking
 	// kernels (element-wise and reduction shapes), for the purecc
 	// "fused kernels: N" report line.
 	fusedKernels int
+	// Tape-backend size counters (EngineTape only), for the purecc
+	// "tape:" report line: total instruction words, pooled constants and
+	// temp registers across all function tapes.
+	tapeInstrs, tapeConsts, tapeTemps int
 
 	funcs       map[string]*cfunc
 	globalSlots map[*sema.Symbol]slot
@@ -45,6 +50,7 @@ func CompileProgram(info *sema.Info, opts Options) (*Program, error) {
 	p := &Program{
 		info:        info,
 		backend:     opts.Backend,
+		engine:      opts.Engine,
 		vectorize:   opts.Vectorize,
 		noFuse:      opts.NoFuse,
 		funcs:       map[string]*cfunc{},
@@ -89,6 +95,23 @@ func CompileProgram(info *sema.Info, opts Options) (*Program, error) {
 
 // Backend returns the compile backend analog the program was built with.
 func (p *Program) Backend() Backend { return p.backend }
+
+// Engine returns the statement execution engine the program was built
+// with.
+func (p *Program) Engine() Engine { return p.engine }
+
+// TapeStats returns the linearized-backend size counters: total
+// instruction words, pooled constants and temp registers across all
+// function tapes (all zero under EngineClosure).
+func (p *Program) TapeStats() (instrs, consts, temps int) {
+	return p.tapeInstrs, p.tapeConsts, p.tapeTemps
+}
+
+// noteTape accumulates one compiled tape into the size counters.
+func (p *Program) noteTape(tp *tape) {
+	p.tapeInstrs += len(tp.code)
+	p.tapeConsts += len(tp.constI) + len(tp.constF)
+}
 
 // FusedKernels returns the number of loops compiled into fused
 // segment-walking kernels (0 when built with Options.NoFuse).

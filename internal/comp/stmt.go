@@ -302,6 +302,10 @@ func (fc *funcCompiler) forStmt(x *ast.ForStmt) stmtFn {
 			fc.prog.fusedKernels++
 			return seqKernelStmt(cl, kern)
 		}
+		if cl, _, _, kern := fc.minMaxKernel(x); kern != nil {
+			fc.prog.fusedKernels++
+			return seqKernelStmt(cl, kern)
+		}
 	}
 	var init stmtFn
 	if x.Init != nil {
@@ -488,7 +492,7 @@ func (fc *funcCompiler) parallelFor(x *ast.ForStmt, pragma string) stmtFn {
 			}
 		}
 	}
-	body := fc.stmt(cl.body)
+	body := fc.loopBody(cl.body)
 	iterSlot := cl.iterSlot
 	return func(e *env) ctrl {
 		lo := cl.lower(e)
@@ -862,8 +866,18 @@ func (fc *funcCompiler) parallelReduceFor(x *ast.ForStmt, pragma string) stmtFn 
 			fc.prog.fusedKernels++
 		}
 	}
+	// Min/max clauses fuse on every backend (like the element-wise
+	// kernels): the fold is the clause's own guarded update, so the
+	// kernel must match the single clause's accumulator and direction.
+	if vecChunk == nil && !hasArray && !fc.prog.noFuse && len(clauses) == 1 {
+		c := clauses[0]
+		if _, name, dir, kern := fc.minMaxKernel(x); kern != nil && name == c.name && dir == c.op {
+			vecChunk = kern
+			fc.prog.fusedKernels++
+		}
+	}
 	sched, chunk := parseOmpSchedule(pragma)
-	body := fc.stmt(cl.body)
+	body := fc.loopBody(cl.body)
 	iterSlot := cl.iterSlot
 	return func(e *env) ctrl {
 		if runsInline(e) {

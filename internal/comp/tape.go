@@ -1,0 +1,752 @@
+package comp
+
+// Linearized bytecode backend: statement/expression trees flatten into
+// a flat instruction array executed by one switch-dispatch loop, with
+// constants pooled and every operand materialized in fixed frame slots
+// — no per-node closures and no interface calls on the hot path.
+//
+// The tape contract mirrors the closure backend bit for bit:
+//
+//   - every operand is materialized into a temp register at the moment
+//     the corresponding closure leaf would run, so side effects inside
+//     subexpressions observe the same intermediate state;
+//   - float arithmetic is float64 with tRoundF emitted at exactly the
+//     closure backend's float32 store-rounding points (4-byte stores,
+//     declarations, returns, casts);
+//   - traps reuse the same primitives (rtPanic messages, addScaled,
+//     DiffChecked, raw Load/Store panics recovered by Process.CallInt),
+//     so bounds, overflow, use-after-free poisoning and cross-segment
+//     pointer diffs fail identically to dispatch and the interp oracle.
+//
+// Temp registers extend the function frame beyond its locals, so worker
+// clones privatize them for free and execution allocates nothing. Temps
+// never live across a statement boundary, which lets nested tapes (the
+// bodies of parallel regions run on the same environment) reuse the
+// same register space.
+//
+// Constructs with heavyweight semantics — calls (inlining, memoization),
+// malloc, printf/free/srand, switch statements, parallel regions and
+// fused kernels — escape into pooled closures compiled by the regular
+// backend; the surrounding control flow still runs on the tape.
+
+import (
+	"math"
+
+	"purec/internal/mem"
+)
+
+// nullPtr is the null pointer constant stored by tNullP/tIntToPtr.
+var nullPtr mem.Pointer
+
+// topcode is a tape instruction opcode. (The t prefix keeps the set
+// disjoint from the fused-kernel postfix opcodes in kernel.go.)
+type topcode uint8
+
+const (
+	tNop topcode = iota
+
+	// Integer register ops: a = destination, b/c = operands.
+	tConstI // I[a] = constI[b]
+	tMovI   // I[a] = I[b]
+	tAddI   // I[a] = I[b] + I[c]
+	tSubI
+	tMulI
+	tDivI // traps "integer division by zero"
+	tRemI // traps "integer modulo by zero"
+	tAndI
+	tOrI
+	tXorI
+	tShlI
+	tShrI
+	tChkDiv0 // traps "integer division by zero" when I[b] == 0
+	tChkRem0 // traps "integer modulo by zero" when I[b] == 0
+	tNegI    // I[a] = -I[b]
+	tCmplI   // I[a] = ^I[b]
+	tNotI    // I[a] = 1 if I[b] == 0 else 0
+	tEqI     // I[a] = 1 if I[b] == I[c] else 0 (…tGeI likewise)
+	tNeI
+	tLtI
+	tLeI
+	tGtI
+	tGeI
+
+	// Float register ops.
+	tConstF // F[a] = constF[b]
+	tMovF
+	tAddF
+	tSubF
+	tMulF
+	tDivF
+	tNegF
+	tRoundF // F[a] = float64(float32(F[b])) — C float store rounding
+	tI2F    // F[a] = float64(I[b])
+	tF2I    // I[a] = int64(F[b]) — C truncation
+	tTstF   // I[a] = 1 if F[b] != 0 else 0
+	tEqF    // I[a] = 1 if F[b] == F[c] else 0 (…tGeF likewise)
+	tNeF
+	tLtF
+	tLeF
+	tGtF
+	tGeF
+
+	// Global slot access (globals live in Process storage).
+	tLdGI // I[a] = gI[b]
+	tStGI // gI[a] = I[b]
+	tLdGF
+	tStGF
+	tLdGP
+	tStGP
+
+	// Pointer ops.
+	tMovP
+	tNullP    // P[a] = null
+	tTstP     // I[a] = 1 if !P[b].IsNull() else 0
+	tIntToPtr // P[a] = null when I[b] == 0, else traps (int→ptr cast)
+	tPtrIdx   // P[a] = P[b].Add(I[c]*aux) — unchecked address arithmetic
+	tPtrOff   // P[a] = P[b].Add(I[c])
+	tPtrImm   // P[a] = P[b].Add(aux)
+	tPtrAdd   // P[a] = addScaled(P[b], I[c], aux) — checked ptr value arith
+	tPtrSub   // P[a] = addScaled(P[b], -I[c], aux)
+	tPtrDiff  // I[a] = P[b].DiffChecked(P[c]) / aux
+	tPtrEq    // I[a] = 1 if P[b] == P[c] else 0 (whole-Pointer equality)
+	tPtrNe
+	tPtrLt // I[a] = 1 if P[b].Off < P[c].Off else 0 (…tPtrGe likewise)
+	tPtrLe
+	tPtrGt
+	tPtrGe
+
+	// Memory access through a pointer register. Bounds and use-after-
+	// free poisoning trap inside mem exactly as in the closure backend.
+	tLdInd  // I[a] = P[b].LoadInt()
+	tLdIndF // F[a] = P[b].LoadFloat()
+	tLdIndP // P[a] = P[b].LoadPtr()
+	tStInd  // P[a].StoreInt(I[b])
+	tStIndF // P[a].StoreFloat(F[b])
+	tStIndP // P[a].StorePtr(P[b])
+
+	// Control flow: taken jumps do pc += a (relative, patched).
+	tJmp
+	tJz  // when I[b] == 0
+	tJnz // when I[b] != 0
+	tRet
+	tRetI // retI = I[a]; return
+	tRetF
+	tRetP
+	tBrk  // return ctrlBreak (break with no enclosing tape loop)
+	tCont // return ctrlContinue
+
+	// Closure escapes: calls, malloc, effects, statements with
+	// heavyweight semantics. b indexes the pool.
+	tCallI // I[a] = intFns[b](e)
+	tCallF // F[a] = fltFns[b](e)
+	tCallP // P[a] = ptrFns[b](e)
+	tEff   // effFns[b](e)
+	tStmt  // run stmts[b]; break jumps by a, continue by c
+
+	// ------------------------------------------------------------------
+	// Fused superinstructions, produced only by the peephole optimizer
+	// (tapeopt.go), never by the front end. Each one is semantically the
+	// exact instruction sequence it replaces — same operand evaluation
+	// order, same trap points, same float64 arithmetic and float32
+	// rounding — with writes of dead temp registers elided.
+
+	// Integer ops with an immediate operand in aux.
+	tAddII // I[a] = I[b] + aux
+	tRsbII // I[a] = aux - I[b]
+	tMulII
+	tDivII // I[a] = I[b] / aux — only emitted with aux != 0
+	tRemII
+	tAndII
+	tOrII
+	tXorII
+	tShlII // I[a] = I[b] << uint(aux)
+	tShrII
+	tEqII // I[a] = 1 if I[b] == aux else 0 (…tGeII likewise)
+	tNeII
+	tLtII
+	tLeII
+	tGtII
+	tGeII
+
+	// Float ops against a pooled constant: c indexes constF.
+	tAddFC // F[a] = F[b] + constF[c]
+	tSubFC
+	tRsbFC // F[a] = constF[c] - F[b]
+	tMulFC
+	tDivFC
+	tRdivFC // F[a] = constF[c] / F[b]
+	tEqFC   // I[a] = 1 if F[b] == constF[c] else 0 (…tGeFC likewise)
+	tNeFC
+	tLtFC
+	tLeFC
+	tGtFC
+	tGeFC
+
+	// Fused multiply-add. The explicit float64 conversion around the
+	// product pins the closure backend's two separate roundings — Go may
+	// not contract the expression into an FMA.
+	tMulAddF  // F[a] = float64(F[b]*F[c]) + F[aux]
+	tMulAddFC // F[a] = float64(F[b]*constF[c]) + F[aux]
+	tAddMulF  // F[a] = F[aux] + float64(F[b]*F[c])
+	tAddMulFC // F[a] = F[aux] + float64(F[b]*constF[c])
+
+	// Fused compare-and-branch: pc += a when the predicate (negated by
+	// the flag) holds. Int predicates carry the negate flag in aux
+	// (reg-reg) or c (immediate, aux = constant); float predicates are
+	// never negated away (NaN), so all six exist and the flag picks the
+	// jz/jnz sense exactly: jump iff pred != flag.
+	tJeqI  // pred I[b] == I[c], negate in aux
+	tJltI  // pred I[b] < I[c]
+	tJleI  // pred I[b] <= I[c]
+	tJeqII // pred I[b] == aux, negate in c
+	tJltII
+	tJleII
+	tJeqF // pred F[b] == F[c], negate in aux
+	tJneF
+	tJltF
+	tJleF
+	tJgtF
+	tJgeF
+	tJeqFC // pred F[b] == constF[c], negate in aux
+	tJneFC
+	tJltFC
+	tJleFC
+	tJgtFC
+	tJgeFC
+	tJzF      // when F[b] == 0
+	tJnzF     // when F[b] != 0
+	tJzP      // when P[b].IsNull()
+	tJnzP     // when !P[b].IsNull()
+	tIncJltII // I[b]++; jump when I[b] < aux (rotated loop tail)
+
+	// Indexed memory superinstructions: base reload + index arithmetic +
+	// access in one step. b = base (global P slot on the G forms, frame
+	// P slot otherwise), c = index I slot, aux = element stride; a is the
+	// loaded destination or stored value slot. The address is
+	// Off + int(I[c]*aux) — exactly Pointer.Add — and the raw Seg access
+	// panics identically to Load/Store on every bad pointer.
+	tLdGIdx  // I[a] = gP[b].Seg.I[Off+I[c]*aux]
+	tLdGIdxF // F[a] = gP[b].Seg.F[Off+I[c]*aux]
+	tLdGIdxP
+	tLdGIdxFR // tLdGIdxF then float32 store rounding
+	tStGIdx   // gP[b].Seg.I[Off+I[c]*aux] = I[a]
+	tStGIdxF
+	tStGIdxP
+	tStGIdxFR // stores float64(float32(F[a]))
+	tLdIdx    // I[a] = P[b].Seg.I[Off+I[c]*aux]
+	tLdIdxF
+	tLdIdxP
+	tLdIdxFR
+	tStIdx // P[b].Seg.I[Off+I[c]*aux] = I[a]
+	tStIdxF
+	tStIdxP
+	tStIdxFR
+)
+
+// tapeCtrlRet marks a tStmt break/continue offset with no enclosing
+// tape loop: the ctrl propagates out of the tape instead of jumping.
+const tapeCtrlRet = int32(math.MinInt32)
+
+// tinstr is one tape instruction word.
+type tinstr struct {
+	op      topcode
+	a, b, c int32
+	aux     int64
+}
+
+// tape is one compiled instruction sequence plus its pools. The main
+// body of a function compiles to one tape; each parallel-region body
+// compiles to its own tape sharing the function's temp register space.
+type tape struct {
+	code   []tinstr
+	constI []int64
+	constF []float64
+
+	// closure escape pools
+	intFns []intFn
+	fltFns []fltFn
+	ptrFns []ptrFn
+	effFns []func(*env)
+	stmts  []stmtFn
+
+	// first temp register of each kind (frame slots below these are
+	// locals/params, which the optimizer must treat as always live)
+	tmpI, tmpF, tmpP int32
+}
+
+// stmtFn adapts the tape to the closure backend's statement interface.
+func (tp *tape) stmtFn() stmtFn {
+	return func(e *env) ctrl { return tp.exec(e) }
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// exec runs the tape on an environment. Falling off the end of the
+// code is normal completion (ctrlNext). The frame slices are hoisted
+// into locals: an env's I/F/P headers never change after creation
+// (escapes mutate elements in place, workers run on clones).
+func (tp *tape) exec(e *env) ctrl {
+	code := tp.code
+	I, F, P := e.I, e.F, e.P
+	cf := tp.constF
+	for pc := 0; pc < len(code); {
+		in := code[pc]
+		switch in.op {
+		case tNop:
+		case tConstI:
+			I[in.a] = tp.constI[in.b]
+		case tMovI:
+			I[in.a] = I[in.b]
+		case tAddI:
+			I[in.a] = I[in.b] + I[in.c]
+		case tSubI:
+			I[in.a] = I[in.b] - I[in.c]
+		case tMulI:
+			I[in.a] = I[in.b] * I[in.c]
+		case tDivI:
+			d := I[in.c]
+			if d == 0 {
+				rtPanic("integer division by zero")
+			}
+			I[in.a] = I[in.b] / d
+		case tRemI:
+			d := I[in.c]
+			if d == 0 {
+				rtPanic("integer modulo by zero")
+			}
+			I[in.a] = I[in.b] % d
+		case tChkDiv0:
+			if I[in.b] == 0 {
+				rtPanic("integer division by zero")
+			}
+		case tChkRem0:
+			if I[in.b] == 0 {
+				rtPanic("integer modulo by zero")
+			}
+		case tAndI:
+			I[in.a] = I[in.b] & I[in.c]
+		case tOrI:
+			I[in.a] = I[in.b] | I[in.c]
+		case tXorI:
+			I[in.a] = I[in.b] ^ I[in.c]
+		case tShlI:
+			I[in.a] = I[in.b] << uint(I[in.c])
+		case tShrI:
+			I[in.a] = I[in.b] >> uint(I[in.c])
+		case tNegI:
+			I[in.a] = -I[in.b]
+		case tCmplI:
+			I[in.a] = ^I[in.b]
+		case tNotI:
+			I[in.a] = b2i(I[in.b] == 0)
+		case tEqI:
+			I[in.a] = b2i(I[in.b] == I[in.c])
+		case tNeI:
+			I[in.a] = b2i(I[in.b] != I[in.c])
+		case tLtI:
+			I[in.a] = b2i(I[in.b] < I[in.c])
+		case tLeI:
+			I[in.a] = b2i(I[in.b] <= I[in.c])
+		case tGtI:
+			I[in.a] = b2i(I[in.b] > I[in.c])
+		case tGeI:
+			I[in.a] = b2i(I[in.b] >= I[in.c])
+
+		case tAddII:
+			I[in.a] = I[in.b] + in.aux
+		case tRsbII:
+			I[in.a] = in.aux - I[in.b]
+		case tMulII:
+			I[in.a] = I[in.b] * in.aux
+		case tDivII:
+			I[in.a] = I[in.b] / in.aux
+		case tRemII:
+			I[in.a] = I[in.b] % in.aux
+		case tAndII:
+			I[in.a] = I[in.b] & in.aux
+		case tOrII:
+			I[in.a] = I[in.b] | in.aux
+		case tXorII:
+			I[in.a] = I[in.b] ^ in.aux
+		case tShlII:
+			I[in.a] = I[in.b] << uint(in.aux)
+		case tShrII:
+			I[in.a] = I[in.b] >> uint(in.aux)
+		case tEqII:
+			I[in.a] = b2i(I[in.b] == in.aux)
+		case tNeII:
+			I[in.a] = b2i(I[in.b] != in.aux)
+		case tLtII:
+			I[in.a] = b2i(I[in.b] < in.aux)
+		case tLeII:
+			I[in.a] = b2i(I[in.b] <= in.aux)
+		case tGtII:
+			I[in.a] = b2i(I[in.b] > in.aux)
+		case tGeII:
+			I[in.a] = b2i(I[in.b] >= in.aux)
+
+		case tConstF:
+			F[in.a] = cf[in.b]
+		case tMovF:
+			F[in.a] = F[in.b]
+		case tAddF:
+			F[in.a] = F[in.b] + F[in.c]
+		case tSubF:
+			F[in.a] = F[in.b] - F[in.c]
+		case tMulF:
+			F[in.a] = F[in.b] * F[in.c]
+		case tDivF:
+			F[in.a] = F[in.b] / F[in.c]
+		case tNegF:
+			F[in.a] = -F[in.b]
+		case tRoundF:
+			F[in.a] = float64(float32(F[in.b]))
+		case tI2F:
+			F[in.a] = float64(I[in.b])
+		case tF2I:
+			I[in.a] = int64(F[in.b])
+		case tTstF:
+			I[in.a] = b2i(F[in.b] != 0)
+		case tEqF:
+			I[in.a] = b2i(F[in.b] == F[in.c])
+		case tNeF:
+			I[in.a] = b2i(F[in.b] != F[in.c])
+		case tLtF:
+			I[in.a] = b2i(F[in.b] < F[in.c])
+		case tLeF:
+			I[in.a] = b2i(F[in.b] <= F[in.c])
+		case tGtF:
+			I[in.a] = b2i(F[in.b] > F[in.c])
+		case tGeF:
+			I[in.a] = b2i(F[in.b] >= F[in.c])
+
+		case tAddFC:
+			F[in.a] = F[in.b] + cf[in.c]
+		case tSubFC:
+			F[in.a] = F[in.b] - cf[in.c]
+		case tRsbFC:
+			F[in.a] = cf[in.c] - F[in.b]
+		case tMulFC:
+			F[in.a] = F[in.b] * cf[in.c]
+		case tDivFC:
+			F[in.a] = F[in.b] / cf[in.c]
+		case tRdivFC:
+			F[in.a] = cf[in.c] / F[in.b]
+		case tEqFC:
+			I[in.a] = b2i(F[in.b] == cf[in.c])
+		case tNeFC:
+			I[in.a] = b2i(F[in.b] != cf[in.c])
+		case tLtFC:
+			I[in.a] = b2i(F[in.b] < cf[in.c])
+		case tLeFC:
+			I[in.a] = b2i(F[in.b] <= cf[in.c])
+		case tGtFC:
+			I[in.a] = b2i(F[in.b] > cf[in.c])
+		case tGeFC:
+			I[in.a] = b2i(F[in.b] >= cf[in.c])
+
+		case tMulAddF:
+			F[in.a] = float64(F[in.b]*F[in.c]) + F[in.aux]
+		case tMulAddFC:
+			F[in.a] = float64(F[in.b]*cf[in.c]) + F[in.aux]
+		case tAddMulF:
+			F[in.a] = F[in.aux] + float64(F[in.b]*F[in.c])
+		case tAddMulFC:
+			F[in.a] = F[in.aux] + float64(F[in.b]*cf[in.c])
+
+		case tLdGI:
+			I[in.a] = e.p.gI[in.b]
+		case tStGI:
+			e.p.gI[in.a] = I[in.b]
+		case tLdGF:
+			F[in.a] = e.p.gF[in.b]
+		case tStGF:
+			e.p.gF[in.a] = F[in.b]
+		case tLdGP:
+			P[in.a] = e.p.gP[in.b]
+		case tStGP:
+			e.p.gP[in.a] = P[in.b]
+
+		case tMovP:
+			P[in.a] = P[in.b]
+		case tNullP:
+			P[in.a] = nullPtr
+		case tTstP:
+			I[in.a] = b2i(!P[in.b].IsNull())
+		case tIntToPtr:
+			if I[in.b] != 0 {
+				rtPanic("cast of non-zero integer to pointer")
+			}
+			P[in.a] = nullPtr
+		case tPtrIdx:
+			P[in.a] = P[in.b].Add(I[in.c] * in.aux)
+		case tPtrOff:
+			P[in.a] = P[in.b].Add(I[in.c])
+		case tPtrImm:
+			P[in.a] = P[in.b].Add(in.aux)
+		case tPtrAdd:
+			P[in.a] = addScaled(P[in.b], I[in.c], in.aux)
+		case tPtrSub:
+			P[in.a] = addScaled(P[in.b], -I[in.c], in.aux)
+		case tPtrDiff:
+			d, err := P[in.b].DiffChecked(P[in.c])
+			if err != nil {
+				rtPanic("%v", err)
+			}
+			I[in.a] = d / in.aux
+		case tPtrEq:
+			I[in.a] = b2i(P[in.b] == P[in.c])
+		case tPtrNe:
+			I[in.a] = b2i(P[in.b] != P[in.c])
+		case tPtrLt:
+			I[in.a] = b2i(P[in.b].Off < P[in.c].Off)
+		case tPtrLe:
+			I[in.a] = b2i(P[in.b].Off <= P[in.c].Off)
+		case tPtrGt:
+			I[in.a] = b2i(P[in.b].Off > P[in.c].Off)
+		case tPtrGe:
+			I[in.a] = b2i(P[in.b].Off >= P[in.c].Off)
+
+		case tLdInd:
+			I[in.a] = P[in.b].LoadInt()
+		case tLdIndF:
+			F[in.a] = P[in.b].LoadFloat()
+		case tLdIndP:
+			P[in.a] = P[in.b].LoadPtr()
+		case tStInd:
+			P[in.a].StoreInt(I[in.b])
+		case tStIndF:
+			P[in.a].StoreFloat(F[in.b])
+		case tStIndP:
+			P[in.a].StorePtr(P[in.b])
+
+		case tLdGIdx:
+			p := e.p.gP[in.b]
+			I[in.a] = p.Seg.I[p.Off+int(I[in.c]*in.aux)]
+		case tLdGIdxF:
+			p := e.p.gP[in.b]
+			F[in.a] = p.Seg.F[p.Off+int(I[in.c]*in.aux)]
+		case tLdGIdxP:
+			p := e.p.gP[in.b]
+			P[in.a] = p.Seg.P[p.Off+int(I[in.c]*in.aux)]
+		case tLdGIdxFR:
+			p := e.p.gP[in.b]
+			F[in.a] = float64(float32(p.Seg.F[p.Off+int(I[in.c]*in.aux)]))
+		case tStGIdx:
+			p := e.p.gP[in.b]
+			p.Seg.I[p.Off+int(I[in.c]*in.aux)] = I[in.a]
+		case tStGIdxF:
+			p := e.p.gP[in.b]
+			p.Seg.F[p.Off+int(I[in.c]*in.aux)] = F[in.a]
+		case tStGIdxP:
+			p := e.p.gP[in.b]
+			p.Seg.P[p.Off+int(I[in.c]*in.aux)] = P[in.a]
+		case tStGIdxFR:
+			p := e.p.gP[in.b]
+			p.Seg.F[p.Off+int(I[in.c]*in.aux)] = float64(float32(F[in.a]))
+		case tLdIdx:
+			p := P[in.b]
+			I[in.a] = p.Seg.I[p.Off+int(I[in.c]*in.aux)]
+		case tLdIdxF:
+			p := P[in.b]
+			F[in.a] = p.Seg.F[p.Off+int(I[in.c]*in.aux)]
+		case tLdIdxP:
+			p := P[in.b]
+			P[in.a] = p.Seg.P[p.Off+int(I[in.c]*in.aux)]
+		case tLdIdxFR:
+			p := P[in.b]
+			F[in.a] = float64(float32(p.Seg.F[p.Off+int(I[in.c]*in.aux)]))
+		case tStIdx:
+			p := P[in.b]
+			p.Seg.I[p.Off+int(I[in.c]*in.aux)] = I[in.a]
+		case tStIdxF:
+			p := P[in.b]
+			p.Seg.F[p.Off+int(I[in.c]*in.aux)] = F[in.a]
+		case tStIdxP:
+			p := P[in.b]
+			p.Seg.P[p.Off+int(I[in.c]*in.aux)] = P[in.a]
+		case tStIdxFR:
+			p := P[in.b]
+			p.Seg.F[p.Off+int(I[in.c]*in.aux)] = float64(float32(F[in.a]))
+
+		case tJmp:
+			pc += int(in.a)
+			continue
+		case tJz:
+			if I[in.b] == 0 {
+				pc += int(in.a)
+				continue
+			}
+		case tJnz:
+			if I[in.b] != 0 {
+				pc += int(in.a)
+				continue
+			}
+		case tJeqI:
+			if (I[in.b] == I[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJltI:
+			if (I[in.b] < I[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJleI:
+			if (I[in.b] <= I[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJeqII:
+			if (I[in.b] == in.aux) != (in.c != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJltII:
+			if (I[in.b] < in.aux) != (in.c != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJleII:
+			if (I[in.b] <= in.aux) != (in.c != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJeqF:
+			if (F[in.b] == F[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJneF:
+			if (F[in.b] != F[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJltF:
+			if (F[in.b] < F[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJleF:
+			if (F[in.b] <= F[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJgtF:
+			if (F[in.b] > F[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJgeF:
+			if (F[in.b] >= F[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJeqFC:
+			if (F[in.b] == cf[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJneFC:
+			if (F[in.b] != cf[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJltFC:
+			if (F[in.b] < cf[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJleFC:
+			if (F[in.b] <= cf[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJgtFC:
+			if (F[in.b] > cf[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJgeFC:
+			if (F[in.b] >= cf[in.c]) != (in.aux != 0) {
+				pc += int(in.a)
+				continue
+			}
+		case tJzF:
+			if F[in.b] == 0 {
+				pc += int(in.a)
+				continue
+			}
+		case tJnzF:
+			if F[in.b] != 0 {
+				pc += int(in.a)
+				continue
+			}
+		case tJzP:
+			if P[in.b].IsNull() {
+				pc += int(in.a)
+				continue
+			}
+		case tJnzP:
+			if !P[in.b].IsNull() {
+				pc += int(in.a)
+				continue
+			}
+		case tIncJltII:
+			v := I[in.b] + 1
+			I[in.b] = v
+			if v < in.aux {
+				pc += int(in.a)
+				continue
+			}
+		case tRet:
+			return ctrlReturn
+		case tRetI:
+			e.retI = I[in.a]
+			return ctrlReturn
+		case tRetF:
+			e.retF = F[in.a]
+			return ctrlReturn
+		case tRetP:
+			e.retP = P[in.a]
+			return ctrlReturn
+		case tBrk:
+			return ctrlBreak
+		case tCont:
+			return ctrlContinue
+
+		case tCallI:
+			I[in.a] = tp.intFns[in.b](e)
+		case tCallF:
+			F[in.a] = tp.fltFns[in.b](e)
+		case tCallP:
+			P[in.a] = tp.ptrFns[in.b](e)
+		case tEff:
+			tp.effFns[in.b](e)
+		case tStmt:
+			switch tp.stmts[in.b](e) {
+			case ctrlReturn:
+				return ctrlReturn
+			case ctrlBreak:
+				if in.a == tapeCtrlRet {
+					return ctrlBreak
+				}
+				pc += int(in.a)
+				continue
+			case ctrlContinue:
+				if in.c == tapeCtrlRet {
+					return ctrlContinue
+				}
+				pc += int(in.c)
+				continue
+			}
+		}
+		pc++
+	}
+	return ctrlNext
+}

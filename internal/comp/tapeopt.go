@@ -1,0 +1,1268 @@
+package comp
+
+// Peephole optimizer over finished tapes. The front end emits one
+// instruction per closure-backend node, which keeps the translation
+// auditable but pays switch dispatch for every temp-register move. The
+// passes here fuse those sequences into the superinstructions declared
+// in tape.go, cutting the dispatch count per source statement roughly
+// in half to a third.
+//
+// Every rewrite preserves the tape contract exactly:
+//
+//   - liveness of temp registers is computed over the real control-flow
+//     graph, and a write is only elided when the register is provably
+//     dead (frame slots below the temp base — locals and parameters —
+//     are always live);
+//   - windows never cross a jump target (leader), a closure escape, or
+//     an instruction that could observe or clobber the moved value, so
+//     on every path the fused form reads the same values the expanded
+//     form read;
+//   - trapping instructions are never deleted, reordered relative to
+//     other traps or stores, or given new operands: immediate division
+//     folds only happen for nonzero constants, and the indexed memory
+//     forms compute Off + int(idx*stride) exactly like Pointer.Add so
+//     bad pointers panic with the identical runtime error;
+//   - float arithmetic stays float64 with the same operation order:
+//     constant operands fold only where IEEE 754 makes the swap exact
+//     (never when the constant is NaN), and the multiply-add fusions
+//     keep two roundings via an explicit float64 conversion.
+
+import "math"
+
+// optimize runs fusion passes to a fixpoint. Every successful rewrite
+// nops at least one instruction and compaction removes the nops, so the
+// loop strictly shrinks the tape and terminates.
+func (tp *tape) optimize() {
+	for {
+		tp.compact()
+		if len(tp.code) == 0 {
+			return
+		}
+		lv := tp.analyze()
+		if !tp.peephole(lv) {
+			return
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Instruction descriptors: which fields hold frame-slot reads/writes.
+
+type tfield uint8
+
+const (
+	fA tfield = iota
+	fB
+	fC
+	fAux
+)
+
+const (
+	tfPure    = 1 << iota // no trap, no memory/global/control effect
+	tfBarrier             // closure escape: unknown global/memory effects
+	tfJump                // transfers control (incl. conditional)
+	tfExit                // leaves the tape (no fallthrough successor)
+	tfGWrite              // writes a global scalar/pointer slot
+)
+
+// tdesc describes one opcode for the optimizer. rI/rF/rP list the
+// instruction fields holding read slots of each kind; wI/wF/wP the
+// field holding the written slot (or -1).
+type tdesc struct {
+	rI, rF, rP []tfield
+	wI, wF, wP int8
+	flags      uint8
+}
+
+var tdescs [256]tdesc
+
+func tdef(ops []topcode, d tdesc) {
+	for _, op := range ops {
+		tdescs[op] = d
+	}
+}
+
+func init() {
+	for i := range tdescs {
+		tdescs[i] = tdesc{wI: -1, wF: -1, wP: -1}
+	}
+	w := func(f tfield) int8 { return int8(f) }
+	no := int8(-1)
+
+	tdef([]topcode{tNop}, tdesc{wI: no, wF: no, wP: no, flags: tfPure})
+	tdef([]topcode{tConstI}, tdesc{wI: w(fA), wF: no, wP: no, flags: tfPure})
+	tdef([]topcode{tMovI, tNegI, tCmplI, tNotI},
+		tdesc{rI: []tfield{fB}, wI: w(fA), wF: no, wP: no, flags: tfPure})
+	tdef([]topcode{tAddI, tSubI, tMulI, tAndI, tOrI, tXorI, tShlI, tShrI,
+		tEqI, tNeI, tLtI, tLeI, tGtI, tGeI},
+		tdesc{rI: []tfield{fB, fC}, wI: w(fA), wF: no, wP: no, flags: tfPure})
+	tdef([]topcode{tDivI, tRemI},
+		tdesc{rI: []tfield{fB, fC}, wI: w(fA), wF: no, wP: no})
+	tdef([]topcode{tChkDiv0, tChkRem0},
+		tdesc{rI: []tfield{fB}, wI: no, wF: no, wP: no})
+	// tDivII/tRemII are pure: they are only created with aux != 0.
+	tdef([]topcode{tAddII, tRsbII, tMulII, tDivII, tRemII, tAndII, tOrII,
+		tXorII, tShlII, tShrII, tEqII, tNeII, tLtII, tLeII, tGtII, tGeII},
+		tdesc{rI: []tfield{fB}, wI: w(fA), wF: no, wP: no, flags: tfPure})
+
+	tdef([]topcode{tConstF}, tdesc{wI: no, wF: w(fA), wP: no, flags: tfPure})
+	tdef([]topcode{tMovF, tNegF, tRoundF},
+		tdesc{rF: []tfield{fB}, wI: no, wF: w(fA), wP: no, flags: tfPure})
+	tdef([]topcode{tAddF, tSubF, tMulF, tDivF},
+		tdesc{rF: []tfield{fB, fC}, wI: no, wF: w(fA), wP: no, flags: tfPure})
+	tdef([]topcode{tAddFC, tSubFC, tRsbFC, tMulFC, tDivFC, tRdivFC},
+		tdesc{rF: []tfield{fB}, wI: no, wF: w(fA), wP: no, flags: tfPure})
+	tdef([]topcode{tMulAddF, tAddMulF},
+		tdesc{rF: []tfield{fB, fC, fAux}, wI: no, wF: w(fA), wP: no, flags: tfPure})
+	tdef([]topcode{tMulAddFC, tAddMulFC},
+		tdesc{rF: []tfield{fB, fAux}, wI: no, wF: w(fA), wP: no, flags: tfPure})
+	tdef([]topcode{tI2F}, tdesc{rI: []tfield{fB}, wI: no, wF: w(fA), wP: no, flags: tfPure})
+	tdef([]topcode{tF2I, tTstF}, tdesc{rF: []tfield{fB}, wI: w(fA), wF: no, wP: no, flags: tfPure})
+	tdef([]topcode{tEqF, tNeF, tLtF, tLeF, tGtF, tGeF},
+		tdesc{rF: []tfield{fB, fC}, wI: w(fA), wF: no, wP: no, flags: tfPure})
+	tdef([]topcode{tEqFC, tNeFC, tLtFC, tLeFC, tGtFC, tGeFC},
+		tdesc{rF: []tfield{fB}, wI: w(fA), wF: no, wP: no, flags: tfPure})
+
+	tdef([]topcode{tLdGI}, tdesc{wI: w(fA), wF: no, wP: no, flags: tfPure})
+	tdef([]topcode{tLdGF}, tdesc{wI: no, wF: w(fA), wP: no, flags: tfPure})
+	tdef([]topcode{tLdGP}, tdesc{wI: no, wF: no, wP: w(fA), flags: tfPure})
+	tdef([]topcode{tStGI}, tdesc{rI: []tfield{fB}, wI: no, wF: no, wP: no, flags: tfGWrite})
+	tdef([]topcode{tStGF}, tdesc{rF: []tfield{fB}, wI: no, wF: no, wP: no, flags: tfGWrite})
+	tdef([]topcode{tStGP}, tdesc{rP: []tfield{fB}, wI: no, wF: no, wP: no, flags: tfGWrite})
+
+	tdef([]topcode{tMovP}, tdesc{rP: []tfield{fB}, wI: no, wF: no, wP: w(fA), flags: tfPure})
+	tdef([]topcode{tNullP}, tdesc{wI: no, wF: no, wP: w(fA), flags: tfPure})
+	tdef([]topcode{tTstP}, tdesc{rP: []tfield{fB}, wI: w(fA), wF: no, wP: no, flags: tfPure})
+	tdef([]topcode{tIntToPtr}, tdesc{rI: []tfield{fB}, wI: no, wF: no, wP: w(fA)})
+	tdef([]topcode{tPtrIdx, tPtrOff},
+		tdesc{rP: []tfield{fB}, rI: []tfield{fC}, wI: no, wF: no, wP: w(fA), flags: tfPure})
+	tdef([]topcode{tPtrImm}, tdesc{rP: []tfield{fB}, wI: no, wF: no, wP: w(fA), flags: tfPure})
+	tdef([]topcode{tPtrAdd, tPtrSub},
+		tdesc{rP: []tfield{fB}, rI: []tfield{fC}, wI: no, wF: no, wP: w(fA)})
+	tdef([]topcode{tPtrDiff}, tdesc{rP: []tfield{fB, fC}, wI: w(fA), wF: no, wP: no})
+	tdef([]topcode{tPtrEq, tPtrNe, tPtrLt, tPtrLe, tPtrGt, tPtrGe},
+		tdesc{rP: []tfield{fB, fC}, wI: w(fA), wF: no, wP: no, flags: tfPure})
+
+	tdef([]topcode{tLdInd}, tdesc{rP: []tfield{fB}, wI: w(fA), wF: no, wP: no})
+	tdef([]topcode{tLdIndF}, tdesc{rP: []tfield{fB}, wI: no, wF: w(fA), wP: no})
+	tdef([]topcode{tLdIndP}, tdesc{rP: []tfield{fB}, wI: no, wF: no, wP: w(fA)})
+	tdef([]topcode{tStInd}, tdesc{rP: []tfield{fA}, rI: []tfield{fB}, wI: no, wF: no, wP: no})
+	tdef([]topcode{tStIndF}, tdesc{rP: []tfield{fA}, rF: []tfield{fB}, wI: no, wF: no, wP: no})
+	tdef([]topcode{tStIndP}, tdesc{rP: []tfield{fA, fB}, wI: no, wF: no, wP: no})
+
+	tdef([]topcode{tLdGIdx}, tdesc{rI: []tfield{fC}, wI: w(fA), wF: no, wP: no})
+	tdef([]topcode{tLdGIdxF, tLdGIdxFR}, tdesc{rI: []tfield{fC}, wI: no, wF: w(fA), wP: no})
+	tdef([]topcode{tLdGIdxP}, tdesc{rI: []tfield{fC}, wI: no, wF: no, wP: w(fA)})
+	tdef([]topcode{tStGIdx}, tdesc{rI: []tfield{fA, fC}, wI: no, wF: no, wP: no})
+	tdef([]topcode{tStGIdxF, tStGIdxFR},
+		tdesc{rF: []tfield{fA}, rI: []tfield{fC}, wI: no, wF: no, wP: no})
+	tdef([]topcode{tStGIdxP}, tdesc{rP: []tfield{fA}, rI: []tfield{fC}, wI: no, wF: no, wP: no})
+	tdef([]topcode{tLdIdx}, tdesc{rP: []tfield{fB}, rI: []tfield{fC}, wI: w(fA), wF: no, wP: no})
+	tdef([]topcode{tLdIdxF, tLdIdxFR}, tdesc{rP: []tfield{fB}, rI: []tfield{fC}, wI: no, wF: w(fA), wP: no})
+	tdef([]topcode{tLdIdxP}, tdesc{rP: []tfield{fB}, rI: []tfield{fC}, wI: no, wF: no, wP: w(fA)})
+	tdef([]topcode{tStIdx}, tdesc{rI: []tfield{fA, fC}, rP: []tfield{fB}, wI: no, wF: no, wP: no})
+	tdef([]topcode{tStIdxF, tStIdxFR},
+		tdesc{rF: []tfield{fA}, rI: []tfield{fC}, rP: []tfield{fB}, wI: no, wF: no, wP: no})
+	tdef([]topcode{tStIdxP}, tdesc{rP: []tfield{fA, fB}, rI: []tfield{fC}, wI: no, wF: no, wP: no})
+
+	tdef([]topcode{tJmp}, tdesc{wI: no, wF: no, wP: no, flags: tfJump | tfExit})
+	tdef([]topcode{tJz, tJnz}, tdesc{rI: []tfield{fB}, wI: no, wF: no, wP: no, flags: tfJump})
+	tdef([]topcode{tJeqI, tJltI, tJleI},
+		tdesc{rI: []tfield{fB, fC}, wI: no, wF: no, wP: no, flags: tfJump})
+	tdef([]topcode{tJeqII, tJltII, tJleII},
+		tdesc{rI: []tfield{fB}, wI: no, wF: no, wP: no, flags: tfJump})
+	tdef([]topcode{tJeqF, tJneF, tJltF, tJleF, tJgtF, tJgeF,
+		tJeqFC, tJneFC, tJltFC, tJleFC, tJgtFC, tJgeFC, tJzF, tJnzF},
+		tdesc{rF: []tfield{fB}, wI: no, wF: no, wP: no, flags: tfJump})
+	tdef([]topcode{tJeqF, tJneF, tJltF, tJleF, tJgtF, tJgeF},
+		tdesc{rF: []tfield{fB, fC}, wI: no, wF: no, wP: no, flags: tfJump})
+	tdef([]topcode{tJzP, tJnzP}, tdesc{rP: []tfield{fB}, wI: no, wF: no, wP: no, flags: tfJump})
+	tdef([]topcode{tIncJltII}, tdesc{rI: []tfield{fB}, wI: w(fB), wF: no, wP: no, flags: tfJump})
+	tdef([]topcode{tRet, tBrk, tCont}, tdesc{wI: no, wF: no, wP: no, flags: tfExit})
+	tdef([]topcode{tRetI}, tdesc{rI: []tfield{fA}, wI: no, wF: no, wP: no, flags: tfExit})
+	tdef([]topcode{tRetF}, tdesc{rF: []tfield{fA}, wI: no, wF: no, wP: no, flags: tfExit})
+	tdef([]topcode{tRetP}, tdesc{rP: []tfield{fA}, wI: no, wF: no, wP: no, flags: tfExit})
+
+	// Escapes touch no temp registers: closure-compiled code works on
+	// the locals below the temp base, and nested tapes fully
+	// rematerialize their operands. tCall* results land in a temp.
+	tdef([]topcode{tCallI}, tdesc{wI: w(fA), wF: no, wP: no, flags: tfBarrier})
+	tdef([]topcode{tCallF}, tdesc{wI: no, wF: w(fA), wP: no, flags: tfBarrier})
+	tdef([]topcode{tCallP}, tdesc{wI: no, wF: no, wP: w(fA), flags: tfBarrier})
+	tdef([]topcode{tEff}, tdesc{wI: no, wF: no, wP: no, flags: tfBarrier})
+	tdef([]topcode{tStmt}, tdesc{wI: no, wF: no, wP: no, flags: tfBarrier | tfJump})
+}
+
+func tfieldVal(in *tinstr, f tfield) int32 {
+	switch f {
+	case fA:
+		return in.a
+	case fB:
+		return in.b
+	case fC:
+		return in.c
+	default:
+		return int32(in.aux)
+	}
+}
+
+func tfieldSet(in *tinstr, f tfield, v int32) {
+	switch f {
+	case fA:
+		in.a = v
+	case fB:
+		in.b = v
+	case fC:
+		in.c = v
+	default:
+		in.aux = int64(v)
+	}
+}
+
+// slot kind selectors for the generic helpers below
+const (
+	tkI = iota
+	tkF
+	tkP
+)
+
+func (d *tdesc) reads(kind int) []tfield {
+	switch kind {
+	case tkI:
+		return d.rI
+	case tkF:
+		return d.rF
+	default:
+		return d.rP
+	}
+}
+
+func (d *tdesc) writeField(kind int) int8 {
+	switch kind {
+	case tkI:
+		return d.wI
+	case tkF:
+		return d.wF
+	default:
+		return d.wP
+	}
+}
+
+func instrReads(in *tinstr, kind int, slot int32) bool {
+	for _, f := range tdescs[in.op].reads(kind) {
+		if tfieldVal(in, f) == slot {
+			return true
+		}
+	}
+	return false
+}
+
+func instrWrites(in *tinstr, kind int, slot int32) bool {
+	wf := tdescs[in.op].writeField(kind)
+	return wf >= 0 && tfieldVal(in, tfield(wf)) == slot
+}
+
+// substReads replaces every read of slot from with to. The write field
+// is left alone.
+func substReads(in *tinstr, kind int, from, to int32) {
+	d := &tdescs[in.op]
+	wf := d.writeField(kind)
+	for _, f := range d.reads(kind) {
+		if int8(f) != wf && tfieldVal(in, f) == from {
+			tfieldSet(in, f, to)
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Control flow and liveness
+
+// succs appends the successor pcs of the instruction at pc (an offset
+// landing at len(code) is normal fall-off and not a successor).
+func (tp *tape) succs(pc int, buf []int) []int {
+	in := &tp.code[pc]
+	n := len(tp.code)
+	add := func(t int) []int {
+		if t >= 0 && t < n {
+			buf = append(buf, t)
+		}
+		return buf
+	}
+	d := &tdescs[in.op]
+	if in.op == tStmt {
+		buf = add(pc + 1)
+		if in.a != tapeCtrlRet {
+			buf = add(pc + int(in.a))
+		}
+		if in.c != tapeCtrlRet {
+			buf = add(pc + int(in.c))
+		}
+		return buf
+	}
+	if d.flags&tfExit != 0 {
+		if in.op == tJmp {
+			return add(pc + int(in.a))
+		}
+		return buf
+	}
+	if d.flags&tfJump != 0 {
+		buf = add(pc + 1)
+		return add(pc + int(in.a))
+	}
+	return add(pc + 1)
+}
+
+// leaders marks every jump target. Index len(code) is the implicit
+// exit block.
+func (tp *tape) leaders() []bool {
+	n := len(tp.code)
+	ld := make([]bool, n+1)
+	ld[0] = true
+	for pc := range tp.code {
+		in := &tp.code[pc]
+		d := &tdescs[in.op]
+		mark := func(off int32) {
+			if t := pc + int(off); t >= 0 && t <= n {
+				ld[t] = true
+			}
+		}
+		if in.op == tStmt {
+			if in.a != tapeCtrlRet {
+				mark(in.a)
+			}
+			if in.c != tapeCtrlRet {
+				mark(in.c)
+			}
+		} else if d.flags&tfJump != 0 {
+			mark(in.a)
+		}
+	}
+	return ld
+}
+
+type tbits []uint64
+
+func (b tbits) get(i int32) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+func (b tbits) set(i int32)      { b[i>>6] |= 1 << uint(i&63) }
+
+func (b tbits) orInto(o tbits) bool {
+	changed := false
+	for i, w := range o {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// tlive holds per-pc live-in temp sets per kind, plus the leaders.
+type tlive struct {
+	tp               *tape
+	inI, inF, inP    []tbits
+	ld               []bool
+	maxI, maxF, maxP int32
+}
+
+// liveOut reports whether the temp slot is live after pc. Slots below
+// the temp base are always live; slots the tape never reads are dead.
+func (lv *tlive) liveOut(pc int, kind int, slot int32) bool {
+	var base int32
+	var sets []tbits
+	var max int32
+	switch kind {
+	case tkI:
+		base, sets, max = lv.tp.tmpI, lv.inI, lv.maxI
+	case tkF:
+		base, sets, max = lv.tp.tmpF, lv.inF, lv.maxF
+	default:
+		base, sets, max = lv.tp.tmpP, lv.inP, lv.maxP
+	}
+	if slot < base {
+		return true
+	}
+	if slot >= max {
+		return false
+	}
+	var buf [3]int
+	for _, s := range lv.tp.succs(pc, buf[:0]) {
+		if sets[s].get(slot) {
+			return true
+		}
+	}
+	return false
+}
+
+// analyze computes backward liveness of temp registers over the tape's
+// control-flow graph (a standard dataflow fixpoint).
+func (tp *tape) analyze() *tlive {
+	n := len(tp.code)
+	lv := &tlive{tp: tp, ld: tp.leaders()}
+	for pc := range tp.code {
+		in := &tp.code[pc]
+		d := &tdescs[in.op]
+		grow := func(kind int, max *int32) {
+			for _, f := range d.reads(kind) {
+				if v := tfieldVal(in, f); v >= *max {
+					*max = v + 1
+				}
+			}
+			if wf := d.writeField(kind); wf >= 0 {
+				if v := tfieldVal(in, tfield(wf)); v >= *max {
+					*max = v + 1
+				}
+			}
+		}
+		grow(tkI, &lv.maxI)
+		grow(tkF, &lv.maxF)
+		grow(tkP, &lv.maxP)
+	}
+	alloc := func(max int32) []tbits {
+		words := int(max+63) / 64
+		sets := make([]tbits, n)
+		backing := make([]uint64, n*words)
+		for i := range sets {
+			sets[i] = backing[i*words : (i+1)*words]
+		}
+		return sets
+	}
+	lv.inI, lv.inF, lv.inP = alloc(lv.maxI), alloc(lv.maxF), alloc(lv.maxP)
+
+	scratch := struct{ i, f, p tbits }{
+		make(tbits, int(lv.maxI+63)/64),
+		make(tbits, int(lv.maxF+63)/64),
+		make(tbits, int(lv.maxP+63)/64),
+	}
+	var buf [3]int
+	for changed := true; changed; {
+		changed = false
+		for pc := n - 1; pc >= 0; pc-- {
+			in := &tp.code[pc]
+			d := &tdescs[in.op]
+			for i := range scratch.i {
+				scratch.i[i] = 0
+			}
+			for i := range scratch.f {
+				scratch.f[i] = 0
+			}
+			for i := range scratch.p {
+				scratch.p[i] = 0
+			}
+			for _, s := range tp.succs(pc, buf[:0]) {
+				scratch.i.orInto(lv.inI[s])
+				scratch.f.orInto(lv.inF[s])
+				scratch.p.orInto(lv.inP[s])
+			}
+			step := func(kind int, set tbits, base int32) {
+				if wf := d.writeField(kind); wf >= 0 {
+					if v := tfieldVal(in, tfield(wf)); v >= base {
+						set[v>>6] &^= 1 << uint(v&63)
+					}
+				}
+				for _, f := range d.reads(kind) {
+					if v := tfieldVal(in, f); v >= base {
+						set.set(v)
+					}
+				}
+			}
+			step(tkI, scratch.i, tp.tmpI)
+			step(tkF, scratch.f, tp.tmpF)
+			step(tkP, scratch.p, tp.tmpP)
+			if lv.inI[pc].orInto(scratch.i) {
+				changed = true
+			}
+			if lv.inF[pc].orInto(scratch.f) {
+				changed = true
+			}
+			if lv.inP[pc].orInto(scratch.p) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// ----------------------------------------------------------------------------
+// Compaction
+
+// compact removes tNop instructions and remaps every relative jump
+// offset (including tStmt break/continue offsets) across the removal.
+func (tp *tape) compact() {
+	n := len(tp.code)
+	newpc := make([]int, n+1)
+	k := 0
+	for i := 0; i < n; i++ {
+		newpc[i] = k
+		if tp.code[i].op != tNop {
+			k++
+		}
+	}
+	newpc[n] = k
+	if k == n {
+		return
+	}
+	out := make([]tinstr, 0, k)
+	for i := 0; i < n; i++ {
+		in := tp.code[i]
+		if in.op == tNop {
+			continue
+		}
+		remap := func(off int32) int32 {
+			return int32(newpc[i+int(off)] - newpc[i])
+		}
+		if in.op == tStmt {
+			if in.a != tapeCtrlRet {
+				in.a = remap(in.a)
+			}
+			if in.c != tapeCtrlRet {
+				in.c = remap(in.c)
+			}
+		} else if tdescs[in.op].flags&tfJump != 0 {
+			in.a = remap(in.a)
+		}
+		out = append(out, in)
+	}
+	tp.code = out
+}
+
+// ----------------------------------------------------------------------------
+// Constant pool access (optimizer side — the compiler's maps are gone)
+
+func (tp *tape) constIIdx(v int64) int32 {
+	for i, x := range tp.constI {
+		if x == v {
+			return int32(i)
+		}
+	}
+	tp.constI = append(tp.constI, v)
+	return int32(len(tp.constI) - 1)
+}
+
+func (tp *tape) constFIdx(v float64) int32 {
+	bits := math.Float64bits(v)
+	for i, x := range tp.constF {
+		if math.Float64bits(x) == bits {
+			return int32(i)
+		}
+	}
+	tp.constF = append(tp.constF, v)
+	return int32(len(tp.constF) - 1)
+}
+
+// ----------------------------------------------------------------------------
+// The peephole pass
+
+// tapeOptWindow caps forward/backward scans. Windows are short by
+// design: temps die within a statement, so fusible pairs sit close.
+const tapeOptWindow = 12
+
+// peephole makes one forward scan, applying every applicable rewrite.
+// Leaders and liveness come from before the scan; all rewrites either
+// shrink a live range or (compare→branch, copy propagation) extend a
+// read by at most the distance to a consumer across instructions the
+// scan verified to not touch the slot, which no later pattern in the
+// same pass can observe incorrectly (deadness queries are tied to
+// writes, and writes of the slot stop every scan).
+func (tp *tape) peephole(lv *tlive) bool {
+	changed := false
+	for i := range tp.code {
+		switch tp.code[i].op {
+		case tNop:
+			continue
+		case tConstI:
+			changed = tp.foldConstI(i, lv) || changed
+		case tConstF:
+			changed = tp.foldConstF(i, lv) || changed
+		case tPtrIdx, tPtrOff:
+			changed = tp.fuseIndexed(i, lv) || changed
+		case tMulF, tMulFC:
+			changed = tp.fuseMulAdd(i, lv) || changed
+		case tRoundF:
+			changed = tp.fuseRoundStore(i, lv) || changed
+		case tLdGIdxF, tLdIdxF:
+			changed = tp.fuseLoadRound(i, lv) || changed
+		case tAddII:
+			changed = tp.fuseIncJlt(i, lv) || changed
+		}
+		in := &tp.code[i]
+		d := &tdescs[in.op]
+		if in.op != tNop {
+			if d.wI >= 0 || d.wF >= 0 || d.wP >= 0 {
+				changed = tp.fuseCmpBranch(i, lv) || changed
+				changed = tp.elimMov(i, lv) || changed
+			}
+			switch in.op {
+			case tMovI, tMovF, tMovP:
+				changed = tp.copyProp(i, lv) || changed
+			}
+			changed = tp.elimDead(i, lv) || changed
+		}
+	}
+	return changed
+}
+
+// deadOrRedefined reports that temp slot is not consumed beyond pc:
+// either liveness proves it dead after pc, or the instruction at pc
+// itself redefines it (so later readers see the new value).
+func (tp *tape) deadOrRedefined(lv *tlive, pc int, kind int, slot int32) bool {
+	if instrWrites(&tp.code[pc], kind, slot) {
+		return true
+	}
+	return !lv.liveOut(pc, kind, slot)
+}
+
+func (tp *tape) isTmp(kind int, slot int32) bool {
+	switch kind {
+	case tkI:
+		return slot >= tp.tmpI
+	case tkF:
+		return slot >= tp.tmpF
+	default:
+		return slot >= tp.tmpP
+	}
+}
+
+// elimDead nops a pure instruction whose only effect is writing dead
+// temp registers.
+func (tp *tape) elimDead(i int, lv *tlive) bool {
+	in := &tp.code[i]
+	d := &tdescs[in.op]
+	if d.flags&tfPure == 0 || in.op == tNop {
+		return false
+	}
+	hasW := false
+	for kind := tkI; kind <= tkP; kind++ {
+		wf := d.writeField(kind)
+		if wf < 0 {
+			continue
+		}
+		hasW = true
+		slot := tfieldVal(in, tfield(wf))
+		if !tp.isTmp(kind, slot) || lv.liveOut(i, kind, slot) {
+			return false
+		}
+	}
+	if !hasW {
+		return false
+	}
+	*in = tinstr{}
+	return true
+}
+
+// foldConstI folds [tConstI t,K][op … t …] into an immediate form when
+// t is a dead-after temp. Constant-constant chains fold back into
+// tConstI, constant branches into tJmp/nothing, and a passing
+// tChkDiv0/tChkRem0 on a nonzero constant disappears.
+func (tp *tape) foldConstI(i int, lv *tlive) bool {
+	if i+1 >= len(tp.code) || lv.ld[i+1] {
+		return false
+	}
+	in, nx := &tp.code[i], &tp.code[i+1]
+	t := in.a
+	if !tp.isTmp(tkI, t) {
+		return false
+	}
+	k := tp.constI[in.b]
+
+	// A nonzero constant divisor check always passes.
+	if (nx.op == tChkDiv0 || nx.op == tChkRem0) && nx.b == t && k != 0 {
+		*nx = tinstr{}
+		return true
+	}
+
+	if !tp.deadOrRedefined(lv, i+1, tkI, t) {
+		return false
+	}
+	switch nx.op {
+	case tJz:
+		if nx.b != t {
+			return false
+		}
+		if k == 0 {
+			*nx = tinstr{op: tJmp, a: nx.a}
+		} else {
+			*nx = tinstr{}
+		}
+		*in = tinstr{}
+		return true
+	case tJnz:
+		if nx.b != t {
+			return false
+		}
+		if k != 0 {
+			*nx = tinstr{op: tJmp, a: nx.a}
+		} else {
+			*nx = tinstr{}
+		}
+		*in = tinstr{}
+		return true
+	case tMovI:
+		if nx.b != t {
+			return false
+		}
+		*nx = tinstr{op: tConstI, a: nx.a, b: in.b}
+		*in = tinstr{}
+		return true
+	}
+
+	// Constant-constant chain: an immediate op consuming t.
+	if immK, ok := tapeEvalImm(nx, k); ok && nx.b == t {
+		*nx = tinstr{op: tConstI, a: nx.a, b: tp.constIIdx(immK)}
+		*in = tinstr{}
+		return true
+	}
+
+	type immMap struct {
+		right, left topcode // 0 = not foldable on that side
+	}
+	m, ok := map[topcode]immMap{
+		tAddI: {tAddII, tAddII},
+		tSubI: {tAddII, tRsbII}, // b - K == b + (-K) in two's complement
+		tMulI: {tMulII, tMulII},
+		tDivI: {tDivII, 0},
+		tRemI: {tRemII, 0},
+		tAndI: {tAndII, tAndII},
+		tOrI:  {tOrII, tOrII},
+		tXorI: {tXorII, tXorII},
+		tShlI: {tShlII, 0},
+		tShrI: {tShrII, 0},
+		tEqI:  {tEqII, tEqII},
+		tNeI:  {tNeII, tNeII},
+		tLtI:  {tLtII, tGtII}, // K < x  ⇔  x > K
+		tLeI:  {tLeII, tGeII},
+		tGtI:  {tGtII, tLtII},
+		tGeI:  {tGeII, tLeII},
+	}[nx.op]
+	if !ok {
+		return false
+	}
+	aux := k
+	if nx.op == tSubI && nx.c == t {
+		aux = -k
+	}
+	switch {
+	case nx.c == t && nx.b != t && m.right != 0:
+		if (nx.op == tDivI || nx.op == tRemI) && k == 0 {
+			return false
+		}
+		*nx = tinstr{op: m.right, a: nx.a, b: nx.b, aux: aux}
+	case nx.b == t && nx.c != t && m.left != 0:
+		*nx = tinstr{op: m.left, a: nx.a, b: nx.c, aux: k}
+	default:
+		return false
+	}
+	*in = tinstr{}
+	return true
+}
+
+// tapeEvalImm evaluates an immediate integer op applied to constant k,
+// mirroring exec exactly.
+func tapeEvalImm(in *tinstr, k int64) (int64, bool) {
+	switch in.op {
+	case tAddII:
+		return k + in.aux, true
+	case tRsbII:
+		return in.aux - k, true
+	case tMulII:
+		return k * in.aux, true
+	case tDivII:
+		return k / in.aux, true
+	case tRemII:
+		return k % in.aux, true
+	case tAndII:
+		return k & in.aux, true
+	case tOrII:
+		return k | in.aux, true
+	case tXorII:
+		return k ^ in.aux, true
+	case tShlII:
+		return k << uint(in.aux), true
+	case tShrII:
+		return k >> uint(in.aux), true
+	case tEqII:
+		return b2i(k == in.aux), true
+	case tNeII:
+		return b2i(k != in.aux), true
+	case tLtII:
+		return b2i(k < in.aux), true
+	case tLeII:
+		return b2i(k <= in.aux), true
+	case tGtII:
+		return b2i(k > in.aux), true
+	case tGeII:
+		return b2i(k >= in.aux), true
+	}
+	return 0, false
+}
+
+// foldConstF folds [tConstF t,K][float op … t …] into the FC forms.
+// Swapping a constant to the right of + and * is exact in IEEE 754
+// unless the constant is NaN (payload propagation may be order-
+// dependent); mirrored compares are exact including NaN.
+func (tp *tape) foldConstF(i int, lv *tlive) bool {
+	if i+1 >= len(tp.code) || lv.ld[i+1] {
+		return false
+	}
+	in, nx := &tp.code[i], &tp.code[i+1]
+	t := in.a
+	if !tp.isTmp(tkF, t) {
+		return false
+	}
+	k := tp.constF[in.b]
+	kidx := in.b
+
+	// Compares write an int register; arithmetic writes a float one.
+	// Redefinition of t can only happen through the float write field.
+	dead := tp.deadOrRedefined(lv, i+1, tkF, t)
+	if !dead {
+		return false
+	}
+
+	switch nx.op {
+	case tMovF:
+		if nx.b != t {
+			return false
+		}
+		*nx = tinstr{op: tConstF, a: nx.a, b: kidx}
+		*in = tinstr{}
+		return true
+	case tRoundF:
+		if nx.b != t {
+			return false
+		}
+		*nx = tinstr{op: tConstF, a: nx.a, b: tp.constFIdx(float64(float32(k)))}
+		*in = tinstr{}
+		return true
+	}
+
+	type fcMap struct {
+		right, left topcode
+		swapNaN     bool // left form commutes operands — unsafe for NaN K
+	}
+	m, ok := map[topcode]fcMap{
+		tAddF: {tAddFC, tAddFC, true},
+		tSubF: {tSubFC, tRsbFC, false},
+		tMulF: {tMulFC, tMulFC, true},
+		tDivF: {tDivFC, tRdivFC, false},
+		tEqF:  {tEqFC, tEqFC, false}, // symmetric predicates are exact
+		tNeF:  {tNeFC, tNeFC, false},
+		tLtF:  {tLtFC, tGtFC, false}, // K < x  ⇔  x > K, incl. NaN
+		tLeF:  {tLeFC, tGeFC, false},
+		tGtF:  {tGtFC, tLtFC, false},
+		tGeF:  {tGeFC, tLeFC, false},
+	}[nx.op]
+	if !ok {
+		return false
+	}
+	switch {
+	case nx.c == t && nx.b != t:
+		*nx = tinstr{op: m.right, a: nx.a, b: nx.b, c: kidx}
+	case nx.b == t && nx.c != t:
+		if m.swapNaN && math.IsNaN(k) {
+			return false
+		}
+		*nx = tinstr{op: m.left, a: nx.a, b: nx.c, c: kidx}
+	default:
+		return false
+	}
+	*in = tinstr{}
+	return true
+}
+
+// fuseCmpBranch rewrites [compare t,…][tJz/tJnz t] into one fused
+// compare-and-branch. Int predicates reduce to eq/lt/le with a negate
+// flag (exact); float predicates keep all six and only negate the
+// branch sense, which is NaN-exact by construction.
+func (tp *tape) fuseCmpBranch(i int, lv *tlive) bool {
+	if i+1 >= len(tp.code) || lv.ld[i+1] {
+		return false
+	}
+	in, nx := &tp.code[i], &tp.code[i+1]
+	if nx.op != tJz && nx.op != tJnz {
+		return false
+	}
+	t := in.a
+	if nx.b != t || !tp.isTmp(tkI, t) || lv.liveOut(i+1, tkI, t) {
+		return false
+	}
+	neg := nx.op == tJz
+	var out tinstr
+	switch in.op {
+	case tNotI:
+		// [tNotI t,v][jz t] ⇔ jump when v != 0.
+		if neg {
+			out = tinstr{op: tJnz, a: nx.a, b: in.b}
+		} else {
+			out = tinstr{op: tJz, a: nx.a, b: in.b}
+		}
+	case tTstF:
+		if neg {
+			out = tinstr{op: tJzF, a: nx.a, b: in.b}
+		} else {
+			out = tinstr{op: tJnzF, a: nx.a, b: in.b}
+		}
+	case tTstP:
+		if neg {
+			out = tinstr{op: tJzP, a: nx.a, b: in.b}
+		} else {
+			out = tinstr{op: tJnzP, a: nx.a, b: in.b}
+		}
+	case tEqI, tNeI, tLtI, tLeI, tGtI, tGeI:
+		m := map[topcode]struct {
+			op   topcode
+			flip bool
+		}{
+			tEqI: {tJeqI, false}, tNeI: {tJeqI, true},
+			tLtI: {tJltI, false}, tGeI: {tJltI, true},
+			tLeI: {tJleI, false}, tGtI: {tJleI, true},
+		}[in.op]
+		out = tinstr{op: m.op, a: nx.a, b: in.b, c: in.c, aux: b2i(neg != m.flip)}
+	case tEqII, tNeII, tLtII, tLeII, tGtII, tGeII:
+		m := map[topcode]struct {
+			op   topcode
+			flip bool
+		}{
+			tEqII: {tJeqII, false}, tNeII: {tJeqII, true},
+			tLtII: {tJltII, false}, tGeII: {tJltII, true},
+			tLeII: {tJleII, false}, tGtII: {tJleII, true},
+		}[in.op]
+		out = tinstr{op: m.op, a: nx.a, b: in.b, c: int32(b2i(neg != m.flip)), aux: in.aux}
+	case tEqF, tNeF, tLtF, tLeF, tGtF, tGeF:
+		op := map[topcode]topcode{
+			tEqF: tJeqF, tNeF: tJneF, tLtF: tJltF,
+			tLeF: tJleF, tGtF: tJgtF, tGeF: tJgeF,
+		}[in.op]
+		out = tinstr{op: op, a: nx.a, b: in.b, c: in.c, aux: b2i(neg)}
+	case tEqFC, tNeFC, tLtFC, tLeFC, tGtFC, tGeFC:
+		op := map[topcode]topcode{
+			tEqFC: tJeqFC, tNeFC: tJneFC, tLtFC: tJltFC,
+			tLeFC: tJleFC, tGtFC: tJgtFC, tGeFC: tJgeFC,
+		}[in.op]
+		out = tinstr{op: op, a: nx.a, b: in.b, c: in.c, aux: b2i(neg)}
+	default:
+		return false
+	}
+	*nx = out
+	*in = tinstr{}
+	return true
+}
+
+// elimMov retargets [op → t][tMov* v,t] into op writing v directly
+// when t is a dead-after temp. Operands are read before the result is
+// written, so this is exact even when op reads v.
+func (tp *tape) elimMov(i int, lv *tlive) bool {
+	if i+1 >= len(tp.code) || lv.ld[i+1] {
+		return false
+	}
+	in, nx := &tp.code[i], &tp.code[i+1]
+	var kind int
+	switch nx.op {
+	case tMovI:
+		kind = tkI
+	case tMovF:
+		kind = tkF
+	case tMovP:
+		kind = tkP
+	default:
+		return false
+	}
+	d := &tdescs[in.op]
+	wf := d.writeField(kind)
+	if wf != int8(fA) || d.flags&tfJump != 0 {
+		return false
+	}
+	t := in.a
+	if nx.b != t || nx.a == t || !tp.isTmp(kind, t) || lv.liveOut(i+1, kind, t) {
+		return false
+	}
+	in.a = nx.a
+	*nx = tinstr{}
+	return true
+}
+
+// scanStop reports instructions a forward value-motion scan cannot
+// cross: control flow, closure escapes, and jump targets.
+func (tp *tape) scanStop(j int, lv *tlive) bool {
+	if lv.ld[j] {
+		return true
+	}
+	return tdescs[tp.code[j].op].flags&(tfBarrier|tfJump|tfExit) != 0
+}
+
+// copyProp forwards [tMov* t,v] into the first consumer of t within
+// the window, when nothing in between touches t or v and t dies at the
+// consumer.
+func (tp *tape) copyProp(i int, lv *tlive) bool {
+	in := &tp.code[i]
+	var kind int
+	switch in.op {
+	case tMovI:
+		kind = tkI
+	case tMovF:
+		kind = tkF
+	case tMovP:
+		kind = tkP
+	default:
+		return false
+	}
+	t, v := in.a, in.b
+	if t == v || !tp.isTmp(kind, t) {
+		return false
+	}
+	for j := i + 1; j < len(tp.code) && j <= i+tapeOptWindow; j++ {
+		if tp.scanStop(j, lv) {
+			return false
+		}
+		nx := &tp.code[j]
+		if instrReads(nx, kind, t) {
+			if !tp.deadOrRedefined(lv, j, kind, t) {
+				return false
+			}
+			substReads(nx, kind, t, v)
+			*in = tinstr{}
+			return true
+		}
+		if instrWrites(nx, kind, t) || instrWrites(nx, kind, v) {
+			return false
+		}
+	}
+	return false
+}
+
+// fuseMulAdd turns a float multiply whose dead temp feeds a later
+// tAddF into one fused multiply-add, preserving operand order (the
+// product stays on the side it occupied in the addition) and both
+// roundings.
+func (tp *tape) fuseMulAdd(i int, lv *tlive) bool {
+	in := &tp.code[i]
+	t := in.a
+	if !tp.isTmp(tkF, t) {
+		return false
+	}
+	m1, m2 := in.b, in.c
+	regMul := in.op == tMulF
+	for j := i + 1; j < len(tp.code) && j <= i+tapeOptWindow; j++ {
+		if tp.scanStop(j, lv) {
+			return false
+		}
+		nx := &tp.code[j]
+		if instrReads(nx, tkF, t) {
+			if nx.op != tAddF || !tp.deadOrRedefined(lv, j, tkF, t) {
+				return false
+			}
+			var out tinstr
+			switch {
+			case nx.b == t && nx.c != t:
+				if regMul {
+					out = tinstr{op: tMulAddF, a: nx.a, b: m1, c: m2, aux: int64(nx.c)}
+				} else {
+					out = tinstr{op: tMulAddFC, a: nx.a, b: m1, c: m2, aux: int64(nx.c)}
+				}
+			case nx.c == t && nx.b != t:
+				if regMul {
+					out = tinstr{op: tAddMulF, a: nx.a, b: m1, c: m2, aux: int64(nx.b)}
+				} else {
+					out = tinstr{op: tAddMulFC, a: nx.a, b: m1, c: m2, aux: int64(nx.b)}
+				}
+			default:
+				return false
+			}
+			*nx = out
+			*in = tinstr{}
+			return true
+		}
+		if instrWrites(nx, tkF, t) || instrWrites(nx, tkF, m1) ||
+			(regMul && instrWrites(nx, tkF, m2)) {
+			return false
+		}
+	}
+	return false
+}
+
+// fuseIndexed collapses [base load p][tPtrIdx/tPtrOff p,p,idx][access
+// through p] into one indexed superinstruction. The base producer —
+// tLdGP (global array) or tMovP (frame slot) — may sit a few
+// instructions back; the scan only crosses instructions that cannot
+// change the base slot or the producer's source, so the fused re-read
+// yields the identical pointer. Address arithmetic and the raw segment
+// access match Pointer.Add + Load/Store panic for panic.
+func (tp *tape) fuseIndexed(i int, lv *tlive) bool {
+	if i+1 >= len(tp.code) || lv.ld[i] || lv.ld[i+1] {
+		return false
+	}
+	idx := &tp.code[i]
+	d := idx.a     // pointer register the access reads
+	s := idx.b     // pointer register holding the base
+	st := int64(1) // element stride
+	if idx.op == tPtrIdx {
+		st = idx.aux
+	}
+	if !tp.isTmp(tkP, d) || !tp.isTmp(tkP, s) {
+		return false
+	}
+	nx := &tp.code[i+1]
+	var isLoad bool
+	switch nx.op {
+	case tLdInd, tLdIndF, tLdIndP:
+		if nx.b != d {
+			return false
+		}
+		isLoad = true
+	case tStInd, tStIndF, tStIndP:
+		if nx.a != d {
+			return false
+		}
+	default:
+		return false
+	}
+	if !tp.deadOrRedefined(lv, i+1, tkP, d) {
+		return false
+	}
+	if s != d && lv.liveOut(i+1, tkP, s) {
+		return false
+	}
+
+	// Find the producer of the base register.
+	prod := -1
+	for j := i - 1; j >= 0 && j >= i-tapeOptWindow; j-- {
+		pj := &tp.code[j]
+		if pj.op == tLdGP && pj.a == s {
+			prod = j
+			break
+		}
+		if pj.op == tMovP && pj.a == s {
+			prod = j
+			break
+		}
+		if instrReads(pj, tkP, s) || instrWrites(pj, tkP, s) {
+			return false
+		}
+		if tdescs[pj.op].flags&(tfBarrier|tfJump|tfExit|tfGWrite) != 0 {
+			return false
+		}
+		// Positions between producer and access must not be entered
+		// sideways; the producer itself may be a leader (the fused
+		// access re-reads the same unchanged base).
+		if lv.ld[j] {
+			return false
+		}
+	}
+	if prod < 0 {
+		return false
+	}
+	pr := &tp.code[prod]
+	global := pr.op == tLdGP
+	base := pr.b
+	if !global {
+		// Frame-slot base: its value must be unchanged up to the access.
+		for j := prod + 1; j < i; j++ {
+			if instrWrites(&tp.code[j], tkP, base) {
+				return false
+			}
+		}
+	}
+
+	var out tinstr
+	if isLoad {
+		ops := map[topcode][2]topcode{
+			tLdInd:  {tLdGIdx, tLdIdx},
+			tLdIndF: {tLdGIdxF, tLdIdxF},
+			tLdIndP: {tLdGIdxP, tLdIdxP},
+		}[nx.op]
+		op := ops[1]
+		if global {
+			op = ops[0]
+		}
+		out = tinstr{op: op, a: nx.a, b: base, c: idx.c, aux: st}
+	} else {
+		ops := map[topcode][2]topcode{
+			tStInd:  {tStGIdx, tStIdx},
+			tStIndF: {tStGIdxF, tStIdxF},
+			tStIndP: {tStGIdxP, tStIdxP},
+		}[nx.op]
+		op := ops[1]
+		if global {
+			op = ops[0]
+		}
+		out = tinstr{op: op, a: nx.b, b: base, c: idx.c, aux: st}
+	}
+	*nx = out
+	*idx = tinstr{}
+	*pr = tinstr{}
+	return true
+}
+
+// fuseRoundStore merges [tRoundF t,src][indexed float store of t] into
+// the round-while-storing forms.
+func (tp *tape) fuseRoundStore(i int, lv *tlive) bool {
+	if i+1 >= len(tp.code) || lv.ld[i+1] {
+		return false
+	}
+	in, nx := &tp.code[i], &tp.code[i+1]
+	t := in.a
+	if !tp.isTmp(tkF, t) {
+		return false
+	}
+	var op topcode
+	switch nx.op {
+	case tStGIdxF:
+		op = tStGIdxFR
+	case tStIdxF:
+		op = tStIdxFR
+	default:
+		return false
+	}
+	if nx.a != t || lv.liveOut(i+1, tkF, t) {
+		return false
+	}
+	nx.op = op
+	nx.a = in.b
+	*in = tinstr{}
+	return true
+}
+
+// fuseLoadRound merges [indexed float load t][tRoundF v,t] into the
+// rounding load forms (float32 array reads feeding float declarations).
+func (tp *tape) fuseLoadRound(i int, lv *tlive) bool {
+	if i+1 >= len(tp.code) || lv.ld[i+1] {
+		return false
+	}
+	in, nx := &tp.code[i], &tp.code[i+1]
+	t := in.a
+	if !tp.isTmp(tkF, t) || nx.op != tRoundF || nx.b != t {
+		return false
+	}
+	if !tp.deadOrRedefined(lv, i+1, tkF, t) {
+		return false
+	}
+	switch in.op {
+	case tLdGIdxF:
+		in.op = tLdGIdxFR
+	case tLdIdxF:
+		in.op = tLdIdxFR
+	default:
+		return false
+	}
+	in.a = nx.a
+	*nx = tinstr{}
+	return true
+}
+
+// fuseIncJlt merges a rotated loop tail [tAddII v,v,1][tJltII v < N]
+// into one increment-test-branch. v may be a local: the fused form
+// performs the identical write.
+func (tp *tape) fuseIncJlt(i int, lv *tlive) bool {
+	if i+1 >= len(tp.code) || lv.ld[i+1] {
+		return false
+	}
+	in, nx := &tp.code[i], &tp.code[i+1]
+	if in.a != in.b || in.aux != 1 {
+		return false
+	}
+	if nx.op != tJltII || nx.b != in.a || nx.c != 0 {
+		return false
+	}
+	*nx = tinstr{op: tIncJltII, a: nx.a, b: in.a, aux: nx.aux}
+	*in = tinstr{}
+	return true
+}

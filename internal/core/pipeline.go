@@ -51,8 +51,8 @@ const (
 )
 
 // Config controls one pipeline run. The compile-relevant fields (Mode,
-// Defines, Files, Parallelize, Transform, Backend, Vectorize, NoFuse,
-// Memoize, MemoCapacity, MemoShards) form the content-addressed
+// Defines, Files, Parallelize, Transform, Backend, Engine, Vectorize,
+// NoFuse, Memoize, MemoCapacity, MemoShards) form the content-addressed
 // program-cache key; TeamSize, Stdout and the cache controls are run
 // state and never affect the compiled Program.
 type Config struct {
@@ -73,6 +73,10 @@ type Config struct {
 	Transform transform.Options
 	// Backend selects the GCC or ICC compile analog.
 	Backend comp.Backend
+	// Engine selects closure-tree (default) or linearized-tape statement
+	// execution in the compiled Program. Results are bit-identical either
+	// way. Compile-relevant: part of the program-cache key.
+	Engine comp.Engine
 	// Vectorize enables the PluTo-SICA SIMD analog: fused-kernel
 	// compilation of canonical reduction loops anywhere in the program.
 	Vectorize bool
@@ -258,6 +262,7 @@ func Front(src string, cfg Config) (*Artifact, error) {
 func (a *Artifact) Compile(cfg Config) (*comp.Program, error) {
 	prog, err := comp.CompileProgram(a.Info, comp.Options{
 		Backend:      cfg.Backend,
+		Engine:       cfg.Engine,
 		Vectorize:    cfg.Vectorize,
 		NoFuse:       cfg.NoFuse,
 		Memoize:      cfg.Memoize,

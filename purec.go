@@ -116,6 +116,16 @@ const (
 	BackendICC = comp.BackendICC
 )
 
+// Engine selects closure-tree (default) or linearized-tape statement
+// execution in the compiled Program; results are bit-identical.
+type Engine = comp.Engine
+
+// Execution engines.
+const (
+	EngineClosure = comp.EngineClosure
+	EngineTape    = comp.EngineTape
+)
+
 // Build runs the complete compiler chain of the paper's Fig. 1 on src
 // and pairs the compiled Program with one fresh Process as
 // Result.Machine. Builds hit the program cache when (src, cfg) was seen
