@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	purebench [-fig all|2|3|...|11|m1|m2|r1|k1|a1|t1] [-cores 1,2,4,8,16,32,64] [-reps 3]
+//	purebench [-fig all|2|3|...|11|m1|m2|r1|k1|a1|t1|b1] [-cores 1,2,4,8,16,32,64] [-reps 3]
 //	          [-matmul-n 160] [-heat-n 160] [-heat-steps 30]
 //	          [-sat-pix 2000] [-sat-bands 12] [-sat-iters 48]
 //	          [-lama-rows 12000] [-lama-nnz 16] [-memo-classes 24]
 //	          [-reduce-n 400000] [-kern-n 65536] [-kern-reps 50]
-//	          [-hist-n 400000] [-hist-bins 16,256,4096,65536] [-quick]
+//	          [-hist-n 400000] [-hist-bins 16,256,4096,65536]
+//	          [-bce-n 96] [-bce-reps 20000] [-gather-m 2048] [-quick]
 //	          [-json dir] [-check dir]
 //
 // Figures m1/m2 are the pure-call memoization scenario (quantized
@@ -22,14 +23,16 @@
 // copies, swept over -hist-bins to expose the combine overhead);
 // figure t1 is the statement-engine A/B (closure trees vs linearized
 // tapes with fusion off, plus the fused build, over the element-wise
-// kernels and a deliberately non-canonical branchy body). All extend
-// the paper's evaluation.
+// kernels and a deliberately non-canonical branchy body); figure b1
+// is the bounds-check-elimination A/B (checked vs proven builds of the
+// element-wise kernels and a gather, plus the proven-vs-opaque gather
+// parallelization scenario). All extend the paper's evaluation.
 //
 // Each figure prints as an aligned table: one row per program variant,
 // one column per simulated core count.
 //
 // -json writes each collected figure additionally as BENCH_<FIG>.json
-// into the given directory (k1/a1/r1/t1 only — the figures with a
+// into the given directory (k1/a1/r1/t1/b1 only — the figures with a
 // machine-readable export). -check instead compares the fresh numbers
 // against committed BENCH_<FIG>.json baselines in the given directory
 // and exits non-zero on a large regression; both flags may be
@@ -48,8 +51,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, one of 2..11, or m1/m2/r1/k1/a1/t1 (comma-separable)")
-	jsonDir := flag.String("json", "", "directory receiving BENCH_<FIG>.json exports (k1/a1/r1/t1)")
+	fig := flag.String("fig", "all", "figure to regenerate: all, one of 2..11, or m1/m2/r1/k1/a1/t1/b1 (comma-separable)")
+	jsonDir := flag.String("json", "", "directory receiving BENCH_<FIG>.json exports (k1/a1/r1/t1/b1)")
 	checkDir := flag.String("check", "", "directory holding baseline BENCH_<FIG>.json files to compare against")
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,2,4,8,16,32,64)")
 	reps := flag.Int("reps", 0, "repetitions per measurement (default 3)")
@@ -68,6 +71,9 @@ func main() {
 	kernReps := flag.Int("kern-reps", 0, "sweeps per run of the kernel-fusion scenario (fig k1)")
 	histN := flag.Int("hist-n", 0, "element count of the array-reduction scenario (fig a1)")
 	histBins := flag.String("hist-bins", "", "comma-separated bin counts of the array-reduction scenario (fig a1)")
+	bceN := flag.Int("bce-n", 0, "vector length of the launch-visibility rows (fig b1)")
+	bceReps := flag.Int("bce-reps", 0, "sweeps per run of the launch-visibility rows (fig b1)")
+	gatherM := flag.Int("gather-m", 0, "gathered-table length of the gather rows (fig b1)")
 	flag.Parse()
 
 	p := bench.Default()
@@ -101,6 +107,9 @@ func main() {
 	setIf(&p.KernN, *kernN)
 	setIf(&p.KernReps, *kernReps)
 	setIf(&p.HistN, *histN)
+	setIf(&p.BCEN, *bceN)
+	setIf(&p.BCEReps, *bceReps)
+	setIf(&p.GatherM, *gatherM)
 	if *histBins != "" {
 		var bins []int
 		for _, part := range strings.Split(*histBins, ",") {
@@ -118,7 +127,7 @@ func main() {
 		for i := 2; i <= 11; i++ {
 			want[strconv.Itoa(i)] = true
 		}
-		want["m1"], want["m2"], want["r1"], want["k1"], want["a1"], want["t1"] = true, true, true, true, true, true
+		want["m1"], want["m2"], want["r1"], want["k1"], want["a1"], want["t1"], want["b1"] = true, true, true, true, true, true, true
 	} else {
 		for _, part := range strings.Split(*fig, ",") {
 			want[strings.ToLower(strings.TrimSpace(part))] = true
@@ -245,6 +254,14 @@ func main() {
 			fatalf("tape: %v", err)
 		}
 		fmt.Println(d.FigT1())
+		handleJSON(d.JSON())
+	}
+	if want["b1"] {
+		d, err := bench.CollectBCE(p)
+		if err != nil {
+			fatalf("bce: %v", err)
+		}
+		fmt.Println(d.FigB1())
 		handleJSON(d.JSON())
 	}
 	for _, m := range regressions {

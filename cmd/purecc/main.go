@@ -32,6 +32,17 @@
 //	                      table shared by all processes of the program
 //	-memo-capacity N      bound the memo table entry count (default
 //	                      65536)
+//	-analyze              print the value-range analysis report instead
+//	                      of running: bounds proofs feed check elision
+//	                      and gather parallelization; findings cover
+//	                      definite/possible out-of-bounds subscripts,
+//	                      reads of uninitialized scalars, and dead
+//	                      guards, each with the interval derivation. A
+//	                      definite out-of-bounds access is a compile
+//	                      error (exit 1)
+//	-nobce                keep every runtime check even when the
+//	                      analysis proved it redundant (bit-identical;
+//	                      for Fig B1 and debugging)
 //	-D NAME=VALUE         define an object-like macro (repeatable)
 //	-emit stage           print a stage instead of running:
 //	                      stripped|expanded|marked|transformed|final|report|pure
@@ -86,6 +97,8 @@ func main() {
 	schedule := flag.String("schedule", "", "OpenMP schedule clause")
 	memoize := flag.Bool("memo", false, "memoize calls of memoizable pure functions")
 	memoCap := flag.Int("memo-capacity", 0, "memo table entry bound (0 = default)")
+	analyze := flag.Bool("analyze", false, "print the value-range analysis report instead of running")
+	noBCE := flag.Bool("nobce", false, "keep runtime checks the analysis proved redundant")
 	emit := flag.String("emit", "", "print a pipeline stage instead of running")
 	timed := flag.Bool("time", false, "print wall time of main()")
 	runs := flag.Int("runs", 1, "execute main N times, each in a fresh process")
@@ -118,6 +131,7 @@ func main() {
 		},
 		Vectorize:    *vectorize,
 		NoFuse:       !*fuse,
+		NoBCE:        *noBCE,
 		Memoize:      *memoize,
 		MemoCapacity: *memoCap,
 		Stdout:       os.Stdout,
@@ -150,6 +164,21 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	if *analyze {
+		if art.VRA == nil || len(art.VRA.Findings) == 0 {
+			fmt.Println("value-range analysis: no findings")
+		} else {
+			for _, f := range art.VRA.Findings {
+				fmt.Println(f)
+			}
+		}
+		fmt.Printf("elided checks: %d\n", prog.ElidedChecks())
+		if art.VRA != nil && art.VRA.HasDefiniteOOB() {
+			fatalf("program contains a definite out-of-bounds access")
+		}
+		return
+	}
+
 	switch *emit {
 	case "":
 		// run below
@@ -173,6 +202,7 @@ func main() {
 		fmt.Printf("memoizable pure functions: %s\n", strings.Join(sortedNames(art.Memoizable), ", "))
 		fmt.Printf("SCoPs: %d\n", art.SCoPs)
 		fmt.Printf("fused kernels: %d\n", prog.FusedKernels())
+		fmt.Printf("elided checks: %d\n", prog.ElidedChecks())
 		if instrs, consts, temps := prog.TapeStats(); prog.Engine() == comp.EngineTape {
 			fmt.Printf("tape: %d instructions, %d pooled constants, %d temp slots\n",
 				instrs, consts, temps)

@@ -1,0 +1,223 @@
+// Command purelint enforces the repository's guest-memory access
+// discipline on the Go sources: every read or write of a mem.Segment's
+// backing slices outside internal/mem must go through the package's
+// checked accessors (Load*/Store*, *Range, Trusted*Range), and pointer
+// offsets must move through AddChecked/DiffChecked rather than raw
+// field arithmetic.
+//
+// Usage:
+//
+//	purelint [packages-or-dirs...]   (default: ./...)
+//
+// Rules (outside internal/mem):
+//
+//	rawmem: indexing or subslicing a Segment backing slice directly
+//	        (p.Seg.I[k], seg.F[a:b], …) bypasses the bounds/freed
+//	        discipline the mem accessors centralize
+//	rawoff: arithmetic on a raw .Off field (p.Off + k) or forging a
+//	        Pointer literal with an explicit Off bypasses
+//	        AddChecked/DiffChecked overflow handling
+//
+// Sites that are deliberate — hot dispatch loops that re-validate by
+// construction, oracle scans — carry an audit note:
+//
+//	//lint:rawmem <why this site is safe>        (this or next line)
+//	//lint:file-rawmem <why this file is safe>   (whole file)
+//
+// Taking a whole-slice alias (xs := p.Seg.F) is legal: the alias cannot
+// trap by itself, and the Go runtime bounds-checks any later index.
+// purelint prints one line per violation and exits non-zero if any
+// exist, so it slots into CI next to go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "/...")
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") && d.Name() != "." {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	sort.Strings(files)
+
+	var bad []string
+	for _, path := range files {
+		// internal/mem owns the raw representation; the discipline the
+		// lint enforces is that everyone else goes through it.
+		if strings.Contains(filepath.ToSlash(path), "internal/mem/") {
+			continue
+		}
+		msgs, err := lintFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		bad = append(bad, msgs...)
+	}
+	for _, m := range bad {
+		fmt.Println(m)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "purelint: %d violation(s)\n", len(bad))
+		os.Exit(1)
+	}
+}
+
+func lintFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	waived := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if strings.HasPrefix(text, "lint:file-rawmem") {
+				return nil, nil
+			}
+			if strings.HasPrefix(text, "lint:rawmem") {
+				// The note covers its own line and the next one, so it
+				// can trail the statement or sit right above it.
+				line := fset.Position(c.Pos()).Line
+				waived[line] = true
+				waived[line+1] = true
+			}
+		}
+	}
+	var msgs []string
+	report := func(pos token.Pos, rule, msg string) {
+		p := fset.Position(pos)
+		if waived[p.Line] {
+			return
+		}
+		msgs = append(msgs, fmt.Sprintf("%s: %s: %s", p, rule, msg))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IndexExpr:
+			if segSlice(x.X) {
+				report(x.Pos(), "rawmem",
+					"raw Segment slice index bypasses the mem accessors (use Load*/Store* or a *Range view)")
+			}
+		case *ast.SliceExpr:
+			if segSlice(x.X) {
+				report(x.Pos(), "rawmem",
+					"raw Segment subslice bypasses the mem accessors (use FloatRange/IntRange or a Trusted*Range)")
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD || x.Op == token.SUB || x.Op == token.MUL {
+				if offField(x.X) || offField(x.Y) {
+					report(x.Pos(), "rawoff",
+						"raw .Off arithmetic bypasses AddChecked/DiffChecked")
+				}
+			}
+		case *ast.CompositeLit:
+			if pointerLit(x) && hasField(x, "Off") && hasField(x, "Seg") {
+				report(x.Pos(), "rawoff",
+					"forged Pointer with explicit Off bypasses AddChecked")
+			}
+		}
+		return true
+	})
+	return msgs, nil
+}
+
+// segSlice reports whether e is a Segment backing-slice field: a
+// selector .I/.F/.P whose receiver is itself a .Seg selector or an
+// identifier conventionally naming a segment.
+func segSlice(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "I", "F", "P":
+	default:
+		return false
+	}
+	switch recv := sel.X.(type) {
+	case *ast.SelectorExpr:
+		return recv.Sel.Name == "Seg"
+	case *ast.Ident:
+		return recv.Name == "seg" || recv.Name == "Seg"
+	}
+	return false
+}
+
+// offField reports whether e (modulo parens) selects a field named Off.
+func offField(e ast.Expr) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Off"
+}
+
+// pointerLit reports whether the composite literal's type names
+// Pointer (mem.Pointer or a local alias).
+func pointerLit(x *ast.CompositeLit) bool {
+	switch t := x.Type.(type) {
+	case *ast.Ident:
+		return t.Name == "Pointer"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "Pointer"
+	}
+	return false
+}
+
+// hasField reports whether the composite literal sets the named field.
+func hasField(x *ast.CompositeLit, name string) bool {
+	for _, el := range x.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "purelint: "+format+"\n", args...)
+	os.Exit(1)
+}

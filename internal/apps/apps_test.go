@@ -532,3 +532,20 @@ func TestHistogramHotLoopParallelized(t *testing.T) {
 		t.Fatalf("histogram hot loop not parallelized as an array reduction: %+v", res.Report.Loops)
 	}
 }
+
+// --- Fig B1 gather workload ---
+
+func TestGatherMatchesReferenceSerialAndParallel(t *testing.T) {
+	const n, m, reps = 256, 64, 3
+	defs := GatherDefines(n, m, reps)
+	want := GatherRef(n, m)
+	for _, par := range []bool{false, true} {
+		res := build(t, GatherSrc, defs, core.Config{Parallelize: par})
+		got := readFVec(t, res, "y", n)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Parallelize=%v: y[%d] = %v, want %v (must be bit-identical)", par, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -51,8 +51,17 @@ type Params struct {
 	// sweep exposes where combine overhead eats the parallel speedup.
 	HistN    int
 	HistBins []int
-	Cores    []int
-	Reps     int
+	// BCEN and BCEReps size the launch-visibility rows of Fig B1: a
+	// tiny vector swept many times, so the per-launch range checks the
+	// bounds proofs elide are a measurable share of each run.
+	BCEN    int
+	BCEReps int
+	// GatherM is the gathered-table length of the Fig B1 gather
+	// y[i] = x[idx[i]] (the output length and sweep count reuse
+	// KernN/KernReps).
+	GatherM int
+	Cores   []int
+	Reps    int
 }
 
 // Default returns laptop-scaled parameters preserving the paper's
@@ -75,6 +84,9 @@ func Default() Params {
 		KernReps:    50,
 		HistN:       400000,
 		HistBins:    []int{16, 256, 4096, 65536},
+		BCEN:        96,
+		BCEReps:     20000,
+		GatherM:     2048,
 		Cores:       []int{1, 2, 4, 8, 16, 32, 64},
 		Reps:        3,
 	}
@@ -97,6 +109,9 @@ func Quick() Params {
 		KernReps:    3,
 		HistN:       20000,
 		HistBins:    []int{8, 64},
+		BCEN:        32,
+		BCEReps:     200,
+		GatherM:     256,
 		Cores:       []int{1, 2, 4},
 		Reps:        1,
 	}

@@ -173,6 +173,40 @@ func (d *TapeData) JSON() *JSONFigure {
 	return jf
 }
 
+// JSON exports Fig B1 (bounds-check elimination: checked-vs-elided
+// serial A/Bs plus the gather parallelization curve).
+func (d *BCEData) JSON() *JSONFigure {
+	jf := &JSONFigure{Fig: "B1",
+		Title: fmt.Sprintf("bounds-check elimination (launch rows N=%d, %d sweeps; gather N=%d from %d)",
+			d.P.BCEN, d.P.BCEReps, d.P.KernN, d.P.GatherM)}
+	for _, r := range d.Kernels {
+		ops := float64(d.P.BCEN) * float64(d.P.BCEReps)
+		if r.Name == "gather" {
+			ops = float64(d.P.KernN) * float64(d.P.KernReps)
+		}
+		jf.Points = append(jf.Points,
+			kernPoint(r.Name+"/checked", r.Checked, ops, 0),
+			kernPoint(r.Name+"/elided", r.Elided, ops, r.Speedup()))
+	}
+	jf.Points = append(jf.Points,
+		kernPoint("gather opaque serial", d.GatherSerial, float64(d.P.KernN)*float64(d.P.KernReps), 0))
+	for _, c := range sortedCores(d.P.Cores) {
+		t, ok := d.GatherPar.Times[c]
+		if !ok {
+			continue
+		}
+		sp := 0.0
+		if t > 0 && d.GatherSerial > 0 {
+			sp = d.GatherSerial / t
+		}
+		jf.Points = append(jf.Points, JSONPoint{
+			Workload: "gather proven (parallel)", Cores: c, Schedule: "default",
+			Seconds: t, Speedup: sp, Sim: c > 1,
+		})
+	}
+	return jf
+}
+
 // JSON exports Fig R1 (parallel scalar-reduction speedups).
 func (d *ReduceData) JSON() *JSONFigure {
 	f := d.FigR1()

@@ -671,7 +671,7 @@ func cString(p mem.Pointer) string {
 	}
 	var b strings.Builder
 	for off := p.Off; off < len(p.Seg.I); off++ {
-		c := p.Seg.I[off]
+		c := p.Seg.I[off] //lint:rawmem NUL scan bounded by len() on the same slice; freed checked above
 		if c == 0 {
 			break
 		}

@@ -126,6 +126,16 @@ type Options struct {
 	// results either way. Compile-relevant: part of the program-cache
 	// key.
 	Engine Engine
+	// Proofs is the value-range analysis' proven-in-bounds access set,
+	// keyed by the syntax nodes of the compiled model (vra.Result.Proofs
+	// over the same sema.Info). Accesses in the set may have their
+	// runtime range checks elided; nil disables elision entirely.
+	Proofs map[ast.Expr]bool
+	// NoBCE keeps every runtime range check even for proven accesses.
+	// Bit-identical results either way (an elided check provably never
+	// fires); the knob exists for A/B measurement (purebench Fig B1).
+	// Compile-relevant: part of the program-cache key.
+	NoBCE bool
 }
 
 // slotKind is the storage class of a frame slot.

@@ -704,7 +704,7 @@ func (fc *funcCompiler) ptr(e ast.Expr) ptrFn {
 	case *ast.StringLit:
 		seg := mem.NewSegment(mem.CellInt, len(x.Value)+1, "string")
 		for i := 0; i < len(x.Value); i++ {
-			seg.I[i] = int64(x.Value[i])
+			seg.I[i] = int64(x.Value[i]) //lint:rawmem fresh segment sized len+1, i < len by the loop bound
 		}
 		p := mem.Pointer{Seg: seg}
 		return func(*env) mem.Pointer { return p }

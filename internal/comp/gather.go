@@ -1,0 +1,155 @@
+package comp
+
+import (
+	"purec/internal/ast"
+	"purec/internal/token"
+	"purec/internal/types"
+)
+
+// This file fuses pure-gather map loops
+//
+//	for (i = lo; i </<= hi; i++) y[a*i+b] = x[idx[c*i+d]];
+//
+// into segment-walking kernels. The destination and the index array are
+// affine operands (one hoisted range check each, elidable under a
+// bounds proof like every kAccess); the gathered read x[idx[...]] is
+// data-dependent, so it pays a per-element bounds test — unless the
+// value-range analysis proved the index array's contents inside x's
+// extent, in which case the test is elided and the loop body is a bare
+// indexed copy. The elided and checked variants are bit-identical
+// whenever the checked one does not trap, which the proof guarantees.
+
+// tryGatherKernel recognizes the gather map shape; nil kernel when the
+// loop does not match (the caller tries the other kernel families and
+// finally falls back to closure dispatch).
+func (fc *funcCompiler) tryGatherKernel(x *ast.ForStmt) (canonicalLoop, kernRun) {
+	cl, ok := fc.canonical(x)
+	if !ok || !fc.hoistableBounds(cl) {
+		return cl, nil
+	}
+	es, ok := singleStmt(cl.body).(*ast.ExprStmt)
+	if !ok {
+		return cl, nil
+	}
+	as, ok := es.X.(*ast.AssignExpr)
+	if !ok || as.Op != token.ASSIGN {
+		return cl, nil
+	}
+	dst, ok := fc.matchKAccess(as.LHS, cl.iterSym)
+	if !ok {
+		return cl, nil
+	}
+	gx, ok := stripParens(as.RHS).(*ast.IndexExpr)
+	if !ok {
+		return cl, nil
+	}
+	// The gathered array: a 1-D base whose element kind matches the
+	// store exactly (implicit conversions stay on the dispatch path),
+	// invariant and effect-free so it hoists to one evaluation.
+	elemT := fc.prog.info.ExprType[ast.Expr(gx)]
+	if elemT == nil || (elemT.Kind != types.Int && elemT.Kind != types.Float) {
+		return cl, nil
+	}
+	float := elemT.Kind == types.Float
+	if float != dst.float {
+		return cl, nil
+	}
+	if baseID, okID := stripParens(gx.X).(*ast.Ident); okID {
+		if sym := fc.symOf(baseID); sym != nil && sym.IsArray() && len(sym.Dims) != 1 {
+			return cl, nil
+		}
+	}
+	bt := fc.prog.info.ExprType[gx.X]
+	if bt == nil || !bt.IsPtr() || bt.Elem == nil || elemStride(bt.Elem) != 1 {
+		return cl, nil
+	}
+	if fc.usesSym(gx.X, cl.iterSym) || !fc.effectFree(gx.X) {
+		return cl, nil
+	}
+	// The data-dependent subscript: an affine int access idx[c*i+d].
+	subIx, ok := stripParens(gx.Index).(*ast.IndexExpr)
+	if !ok {
+		return cl, nil
+	}
+	idxAcc, ok := fc.matchKAccess(subIx, cl.iterSym)
+	if !ok || idxAcc.float {
+		return cl, nil
+	}
+	trusted := fc.prog.proven(ast.Expr(gx))
+	fc.countElided(dst, idxAcc)
+	if trusted {
+		fc.prog.elidedChecks++ // the per-element gather bounds test
+	}
+	return cl, emitGather(fc.ptr(gx.X), dst, idxAcc, float, trusted, ast.PrintExpr(gx))
+}
+
+// emitGather builds the kernel. src is the gathered array's hoisted
+// base pointer; trusted elides the per-element bounds test.
+func emitGather(src ptrFn, dst, idxAcc kAccess, float, trusted bool, expr string) kernRun {
+	return func(e *env, lo, hi int64) {
+		if hi < lo {
+			return
+		}
+		n := int(hi - lo + 1)
+		ds := dst.prep(e, lo, hi)
+		is := idxAcc.prep(e, lo, hi)
+		p := src(e)
+		if p.IsNull() {
+			rtPanic("null pointer operand in fused loop")
+		}
+		if p.Seg.Freed() {
+			rtPanic("use of freed segment %s", p.Seg.Name)
+		}
+		off := int64(p.Off)
+		ix, ss := is.i, is.stride
+		if float {
+			xs := p.Seg.F
+			ys, ds2 := ds.f, ds.stride
+			if trusted {
+				if dst.f32 {
+					for t, si, di := 0, 0, 0; t < n; t, si, di = t+1, si+ss, di+ds2 {
+						ys[di] = float64(float32(xs[off+ix[si]]))
+					}
+				} else {
+					for t, si, di := 0, 0, 0; t < n; t, si, di = t+1, si+ss, di+ds2 {
+						ys[di] = xs[off+ix[si]]
+					}
+				}
+				return
+			}
+			for t, si, di := 0, 0, 0; t < n; t, si, di = t+1, si+ss, di+ds2 {
+				c := gatherCell(off, ix[si], len(xs), expr)
+				if dst.f32 {
+					ys[di] = float64(float32(xs[c]))
+				} else {
+					ys[di] = xs[c]
+				}
+			}
+			return
+		}
+		xs := p.Seg.I
+		ys, ds2 := ds.i, ds.stride
+		if trusted {
+			for t, si, di := 0, 0, 0; t < n; t, si, di = t+1, si+ss, di+ds2 {
+				ys[di] = xs[off+ix[si]]
+			}
+			return
+		}
+		for t, si, di := 0, 0, 0; t < n; t, si, di = t+1, si+ss, di+ds2 {
+			ys[di] = xs[gatherCell(off, ix[si], len(xs), expr)]
+		}
+	}
+}
+
+// gatherCell converts a data-dependent element index to a validated
+// cell index, trapping like the dispatch backend's per-access checks.
+func gatherCell(off, idx int64, n int, expr string) int {
+	cell := off + idx
+	if (idx > 0 && cell < off) || (idx < 0 && cell > off) || int64(int(cell)) != cell {
+		rtPanic("pointer arithmetic overflow: offset %d + %d elements", off, idx)
+	}
+	if cell < 0 || cell >= int64(n) {
+		rtPanic("gather read %s: cell %d out of bounds (%d cells)", expr, cell, n)
+	}
+	return int(cell)
+}

@@ -222,7 +222,7 @@ func (fc *funcCompiler) arrayReductionFor(site *ast.Ident, op token.Kind) (r red
 				seg := privateCopy(we, idx, mem.CellInt, name)
 				if identity != 0 {
 					for i := range seg.I {
-						seg.I[i] = identity
+						seg.I[i] = identity //lint:rawmem range loop over a fresh private copy
 					}
 				}
 			},
@@ -275,7 +275,7 @@ func (fc *funcCompiler) arrayReductionFor(site *ast.Ident, op token.Kind) (r red
 				seg := privateCopy(we, idx, mem.CellFloat, name)
 				if identity != 0 {
 					for i := range seg.F {
-						seg.F[i] = identity
+						seg.F[i] = identity //lint:rawmem range loop over a fresh private copy
 					}
 				}
 			},
@@ -457,6 +457,7 @@ func (fc *funcCompiler) tryHistKernel(x *ast.ForStmt) (canonicalLoop, kernRun) {
 	}
 	base := fc.ptr(baseID)
 	f32 := float && elemT.CSize == 4
+	fc.countElided(idxAcc)
 	if float {
 		return cl, emitHistFloat(base, idxAcc, op, rhsF, f32)
 	}

@@ -46,6 +46,15 @@ type kAccess struct {
 	stride int64 // constant iterator coefficient, 0 = invariant access
 	float  bool
 	f32    bool // stored C type is 4 bytes (float32 rounding at stores)
+	// trusted marks an operand whose per-launch range check the
+	// value-range analysis discharged at compile time: every subscript
+	// the loop can form is proven inside the array extent, and the
+	// analysis' escape reasoning guarantees the underlying segment
+	// cannot have been freed (a pointer that ever reaches free() is
+	// escaped and unprovable). prep then skips the range check; the
+	// null-pointer check stays, and the Go slice expression remains the
+	// memory-safety backstop.
+	trusted bool
 }
 
 // tape opcodes. The tape is the postfix form of the loop body's
@@ -159,6 +168,17 @@ func seqKernelStmt(cl canonicalLoop, kern kernRun) stmtFn {
 			e.I[iterSlot] = hi + 1
 		}
 		return ctrlNext
+	}
+}
+
+// countElided bumps the program's elided-check counter for every
+// trusted operand: each one is a runtime range-check site the
+// value-range analysis discharged at compile time.
+func (fc *funcCompiler) countElided(accs ...kAccess) {
+	for _, a := range accs {
+		if a.trusted {
+			fc.prog.elidedChecks++
+		}
 	}
 }
 
@@ -412,9 +432,10 @@ func (fc *funcCompiler) matchKAccess(e ast.Expr, iter *sema.Symbol) (kAccess, bo
 				return kAccess{}, false
 			}
 			acc := kAccess{
-				base:  fc.ptr(id),
-				float: t.Kind == types.Float,
-				f32:   t.Kind == types.Float && t.CSize == 4,
+				base:    fc.ptr(id),
+				float:   t.Kind == types.Float,
+				f32:     t.Kind == types.Float && t.CSize == 4,
+				trusted: fc.prog.proven(e),
 			}
 			dimStride := int64(1)
 			var offs []intFn
@@ -455,11 +476,12 @@ func (fc *funcCompiler) matchKAccess(e ast.Expr, iter *sema.Symbol) (kAccess, bo
 		return kAccess{}, false
 	}
 	return kAccess{
-		base:   fc.ptr(x.X),
-		off:    inv,
-		stride: coef,
-		float:  bt.Elem.Kind == types.Float,
-		f32:    bt.Elem.Kind == types.Float && bt.Elem.CSize == 4,
+		base:    fc.ptr(x.X),
+		off:     inv,
+		stride:  coef,
+		float:   bt.Elem.Kind == types.Float,
+		f32:     bt.Elem.Kind == types.Float && bt.Elem.CSize == 4,
+		trusted: fc.prog.proven(e),
 	}, true
 }
 
@@ -593,6 +615,16 @@ func (a *kAccess) prep(e *env, lo, hi int64) kslice {
 	last := off + a.stride*hi
 	var s kslice
 	s.stride = int(a.stride)
+	if a.trusted {
+		// The range check was discharged at compile time (see the
+		// kAccess.trusted contract); only the slice handoff remains.
+		if a.float {
+			s.f = p.Seg.TrustedFloatRange(first, last+1)
+		} else {
+			s.i = p.Seg.TrustedIntRange(first, last+1)
+		}
+		return s
+	}
 	if a.float {
 		xs, err := p.Seg.FloatRange(first, last+1)
 		if err != nil {
@@ -647,6 +679,8 @@ func (k *fusedKernel) prepFrame(e *env, lo, hi int64) kframe {
 // emitFused selects the kernel body: a specialized loop for the common
 // shapes, the generic tape walker otherwise.
 func (fc *funcCompiler) emitFused(k *fusedKernel) kernRun {
+	fc.countElided(k.store)
+	fc.countElided(k.loads...)
 	for _, sh := range kernelShapes {
 		if r := sh.emit(k); r != nil {
 			return r

@@ -27,6 +27,13 @@ type Program struct {
 	// kernels (element-wise and reduction shapes), for the purecc
 	// "fused kernels: N" report line.
 	fusedKernels int
+	// proofs is the value-range analysis' proven-in-bounds access set
+	// (Options.Proofs); noBCE keeps checks despite proofs, and
+	// elidedChecks counts the runtime checks compilation dropped, for
+	// the purecc "elided checks: N" report line.
+	proofs       map[ast.Expr]bool
+	noBCE        bool
+	elidedChecks int
 	// Tape-backend size counters (EngineTape only), for the purecc
 	// "tape:" report line: total instruction words, pooled constants and
 	// temp registers across all function tapes.
@@ -53,6 +60,8 @@ func CompileProgram(info *sema.Info, opts Options) (*Program, error) {
 		engine:      opts.Engine,
 		vectorize:   opts.Vectorize,
 		noFuse:      opts.NoFuse,
+		proofs:      opts.Proofs,
+		noBCE:       opts.NoBCE,
 		funcs:       map[string]*cfunc{},
 		globalSlots: map[*sema.Symbol]slot{},
 	}
@@ -116,6 +125,17 @@ func (p *Program) noteTape(tp *tape) {
 // FusedKernels returns the number of loops compiled into fused
 // segment-walking kernels (0 when built with Options.NoFuse).
 func (p *Program) FusedKernels() int { return p.fusedKernels }
+
+// ElidedChecks returns the number of runtime range checks compilation
+// dropped on the strength of value-range bounds proofs (0 when built
+// with Options.NoBCE or without proofs).
+func (p *Program) ElidedChecks() int { return p.elidedChecks }
+
+// proven reports whether the access expression carries a bounds proof
+// the compiler may act on.
+func (p *Program) proven(e ast.Expr) bool {
+	return !p.noBCE && p.proofs[e]
+}
 
 // Info returns the semantic model the program was compiled from.
 func (p *Program) Info() *sema.Info { return p.info }

@@ -298,6 +298,10 @@ func (fc *funcCompiler) forStmt(x *ast.ForStmt) stmtFn {
 			fc.prog.fusedKernels++
 			return seqKernelStmt(cl, kern)
 		}
+		if cl, kern := fc.tryGatherKernel(x); kern != nil {
+			fc.prog.fusedKernels++
+			return seqKernelStmt(cl, kern)
+		}
 		if cl, kern := fc.tryHistKernel(x); kern != nil {
 			fc.prog.fusedKernels++
 			return seqKernelStmt(cl, kern)
@@ -470,7 +474,15 @@ func (fc *funcCompiler) parallelFor(x *ast.ForStmt, pragma string) stmtFn {
 	}
 	sched, chunk := parseOmpSchedule(pragma)
 	if !fc.prog.noFuse {
-		if fcl, kern := fc.tryFuseLoop(x); kern != nil {
+		fcl, kern := fc.tryFuseLoop(x)
+		if kern == nil {
+			// Proven-bounded gather nests arrive here once the
+			// polyhedral stage parallelizes them; chunked gather kernels
+			// are safe because chunks partition the store range and the
+			// gathered array is only read.
+			fcl, kern = fc.tryGatherKernel(x)
+		}
+		if kern != nil {
 			fc.prog.fusedKernels++
 			iterSlot := fcl.iterSlot
 			lower, upper := fcl.lower, fcl.upper

@@ -1,5 +1,10 @@
 package comp
 
+//lint:file-rawmem the dispatch loop's indexed load/store opcodes rely on the
+// Go runtime's slice bounds check, recovered by Process.CallInt into the same
+// trap the mem accessors raise (see the tape contract below) — routing the
+// hot path through mem would re-add the call overhead the tape exists to cut.
+
 // Linearized bytecode backend: statement/expression trees flatten into
 // a flat instruction array executed by one switch-dispatch loop, with
 // constants pooled and every operand materialized in fixed frame slots

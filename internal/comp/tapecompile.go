@@ -480,6 +480,11 @@ func (tc *tapeCompiler) tapeFor(x *ast.ForStmt) {
 			tc.escapeStmt(seqKernelStmt(cl, kern))
 			return
 		}
+		if cl, kern := fc.tryGatherKernel(x); kern != nil {
+			fc.prog.fusedKernels++
+			tc.escapeStmt(seqKernelStmt(cl, kern))
+			return
+		}
 		if cl, kern := fc.tryHistKernel(x); kern != nil {
 			fc.prog.fusedKernels++
 			tc.escapeStmt(seqKernelStmt(cl, kern))

@@ -34,6 +34,7 @@ import (
 	"purec/internal/scop"
 	"purec/internal/sema"
 	"purec/internal/transform"
+	"purec/internal/vra"
 )
 
 // Mode selects which parallelizer the chain models.
@@ -52,9 +53,9 @@ const (
 
 // Config controls one pipeline run. The compile-relevant fields (Mode,
 // Defines, Files, Parallelize, Transform, Backend, Engine, Vectorize,
-// NoFuse, Memoize, MemoCapacity, MemoShards) form the content-addressed
-// program-cache key; TeamSize, Stdout and the cache controls are run
-// state and never affect the compiled Program.
+// NoFuse, NoBCE, Memoize, MemoCapacity, MemoShards) form the
+// content-addressed program-cache key; TeamSize, Stdout and the cache
+// controls are run state and never affect the compiled Program.
 type Config struct {
 	// Mode selects pure-aware (default) or classic polyhedral
 	// parallelization.
@@ -87,6 +88,14 @@ type Config struct {
 	// way; the knob exists for A/B measurement (purebench Fig K1).
 	// Compile-relevant: part of the program-cache key.
 	NoFuse bool
+	// NoBCE disables bounds-check elimination (elision is on by
+	// default): the compiled Program then keeps every runtime range
+	// check even for accesses the value-range analysis proved safe.
+	// Results are bit-identical either way — elision is only applied to
+	// checks that provably never fire — so the knob exists for A/B
+	// measurement (purebench Fig B1) and for debugging the analysis.
+	// Compile-relevant: part of the program-cache key.
+	NoBCE bool
 	// Memoize wraps calls of memoizable pure functions (scalar
 	// signature, global-free body) behind a concurrency-safe memo table
 	// shared by every Process of the compiled Program. Compile-relevant:
@@ -140,6 +149,10 @@ type Artifact struct {
 	// Info is the semantic model of the final source; the Compile step
 	// turns it into an executable comp.Program.
 	Info *sema.Info
+	// VRA is the value-range analysis of the final source: the bounds
+	// proofs the Compile step uses for check elimination, and the
+	// diagnostics purecc -analyze reports.
+	VRA *vra.Result
 }
 
 // Result is a finished build: the front-end artifact plus one compiled
@@ -199,6 +212,12 @@ func Front(src string, cfg Config) (*Artifact, error) {
 		res.Pure = append(res.Pure, name)
 	}
 
+	// Value-range analysis on the original model. Its findings carry the
+	// positions the user wrote, so they are what Artifact.VRA reports;
+	// the bounds proofs are recomputed on the final model below because
+	// they must key off the syntax nodes the Compile step lowers.
+	early := vra.Analyze(info)
+
 	if cfg.Parallelize {
 		sres := scop.DetectWith(info, pres, scop.Options{AllowPureCalls: cfg.Mode == ModePure})
 		if len(sres.Errors) > 0 {
@@ -207,6 +226,12 @@ func Front(src string, cfg Config) (*Artifact, error) {
 		}
 		res.SCoPs = len(sres.SCoPs)
 		res.Rejections = sres.Rejections
+		// A star read whose subscript interval is proven inside the read
+		// array's extent can never trap, so the polyhedral stage may
+		// parallelize its nest (gather parallelization). This runs before
+		// pragma marking and call substitution so every real call is
+		// still visible to the analysis.
+		markBoundedStars(sres.SCoPs, early)
 		scop.MarkPragmas(sres.SCoPs)
 		// Temporarily hide the pure calls from the polyhedral stage.
 		subs := make([][]scop.Substitution, len(sres.SCoPs))
@@ -251,20 +276,57 @@ func Front(src string, cfg Config) (*Artifact, error) {
 		return nil, fmt.Errorf("internal: final source does not re-check: %v", err)
 	}
 	res.Info = finalInfo
+	// Re-run the value-range analysis on the final model for the bounds
+	// proofs (keyed to the nodes Compile lowers), but keep the findings
+	// from the original model: their positions match the user's source.
+	res.VRA = vra.Analyze(finalInfo)
+	res.VRA.Findings = early.Findings
 	for name := range purity.Memoizable(finalInfo) {
 		res.Memoizable = append(res.Memoizable, name)
 	}
 	return res, nil
 }
 
+// markBoundedStars transfers the analysis' bounds proofs onto the star
+// accesses of the detected nests: a proven read is downgraded to
+// Bounded (parallelization-safe), an unproven one keeps the derivation
+// note for the LoopReport.SerialReason diagnostic.
+func markBoundedStars(scops []*scop.SCoP, res *vra.Result) {
+	for _, sc := range scops {
+		for _, st := range sc.Nest.Stmts {
+			for i := range st.Reads {
+				a := &st.Reads[i]
+				if !a.Star || a.Ref == nil {
+					continue
+				}
+				e, ok := a.Ref.(ast.Expr)
+				if !ok {
+					continue
+				}
+				if res.Proven(e) {
+					a.Bounded = true
+				} else {
+					a.Note = res.Note(e)
+				}
+			}
+		}
+	}
+}
+
 // Compile turns the front-end artifact into an immutable, shareable
 // executable Program — the "GCC/ICC" step of Fig. 1.
 func (a *Artifact) Compile(cfg Config) (*comp.Program, error) {
+	var proofs map[ast.Expr]bool
+	if a.VRA != nil {
+		proofs = a.VRA.Proofs()
+	}
 	prog, err := comp.CompileProgram(a.Info, comp.Options{
 		Backend:      cfg.Backend,
 		Engine:       cfg.Engine,
 		Vectorize:    cfg.Vectorize,
 		NoFuse:       cfg.NoFuse,
+		NoBCE:        cfg.NoBCE,
+		Proofs:       proofs,
 		Memoize:      cfg.Memoize,
 		Memoizable:   a.Memoizable,
 		MemoCapacity: cfg.MemoCapacity,

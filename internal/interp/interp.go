@@ -879,7 +879,7 @@ func (in *Interp) eval(e ast.Expr, fr *frame) Value {
 	case *ast.StringLit:
 		seg := mem.NewSegment(mem.CellInt, len(x.Value)+1, "string")
 		for i := 0; i < len(x.Value); i++ {
-			seg.I[i] = int64(x.Value[i])
+			seg.I[i] = int64(x.Value[i]) //lint:rawmem fresh segment sized len+1, i < len by the loop bound
 		}
 		return PtrV(mem.Pointer{Seg: seg})
 	case *ast.Ident:
@@ -1378,8 +1378,9 @@ func (in *Interp) printf(x *ast.CallExpr, fr *frame) {
 				// other stale access.
 				panic(fmt.Sprintf("use after free of %s", p.Seg.Name))
 			}
+			//lint:rawmem NUL scan bounded by len() on the same slice; freed checked above
 			for off := p.Off; off < len(p.Seg.I) && p.Seg.I[off] != 0; off++ {
-				b.WriteByte(byte(p.Seg.I[off]))
+				b.WriteByte(byte(p.Seg.I[off])) //lint:rawmem same bounded scan
 			}
 		}
 	}

@@ -29,6 +29,21 @@ type Access struct {
 	// set for star accesses so diagnostics can name the offending
 	// read; empty for ordinary affine accesses.
 	Expr string
+	// Index names the index array of a gather-shaped star access
+	// (the "idx" of x[idx[i]]), when the subscript has that shape.
+	Index string
+	// Ref is the source syntax node (an ast.Expr) of a star access, the
+	// key under which the value-range analysis records bounds proofs.
+	// Typed as any so the polyhedral layer stays syntax-free.
+	Ref any
+	// Bounded marks a star read proven in-bounds by the value-range
+	// analysis: it can never trap, so a nest whose only star accesses
+	// are bounded reads (with no write to the same arrays) is safe to
+	// parallelize.
+	Bounded bool
+	// Note carries the analysis' explanation when the proof failed
+	// ("idx range unknown", or the derived interval vs the extent).
+	Note string
 }
 
 // String renders the access like "A[i][j+1]"; star accesses render

@@ -981,13 +981,16 @@ func (b *bodyBuilder) indexAccess(e *ast.IndexExpr, st *poly.Statement, write bo
 	for _, sub := range subs {
 		a, err := poly.FromExpr(sub, b.classify)
 		if err != nil {
-			if !b.starOK {
+			if !b.starOK && !(!write && b.gatherShape(subs)) {
 				b.d.rejectf(sub.Pos(), "non-affine subscript: %v", err)
 				return false
 			}
 			// Data-dependent cell: record a star access and validate
 			// the subscripts as reads of their own (a[i] in
-			// hist[a[i]] is a plain affine read of a).
+			// hist[a[i]] is a plain affine read of a). A gather-shaped
+			// read (x[idx[i]]) is accepted even outside the array-update
+			// family: it stays a conservative star unless the
+			// value-range analysis later proves it bounded.
 			for _, s := range subs {
 				if !b.expr(s, st, false) {
 					return false
@@ -996,6 +999,8 @@ func (b *bodyBuilder) indexAccess(e *ast.IndexExpr, st *poly.Statement, write bo
 			acc.Subs = nil
 			acc.Star = true
 			acc.Expr = ast.PrintExpr(e)
+			acc.Index = indexArrayName(subs)
+			acc.Ref = ast.Expr(e)
 			if write {
 				st.Writes = append(st.Writes, acc)
 			} else {
@@ -1012,6 +1017,42 @@ func (b *bodyBuilder) indexAccess(e *ast.IndexExpr, st *poly.Statement, write bo
 		st.Reads = append(st.Reads, acc)
 	}
 	return true
+}
+
+// gatherShape reports whether every subscript in the chain is either
+// affine or a one-level load of a named integer array (the idx[i] of
+// x[idx[i]]) — the data-dependent read form the value-range analysis
+// can try to prove bounded.
+func (b *bodyBuilder) gatherShape(subs []ast.Expr) bool {
+	for _, sub := range subs {
+		if _, err := poly.FromExpr(sub, b.classify); err == nil {
+			continue
+		}
+		ix, ok := ast.Unparen(sub).(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		if _, ok := ast.Unparen(ix.X).(*ast.Ident); !ok {
+			return false
+		}
+		if _, err := poly.FromExpr(ix.Index, b.classify); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// indexArrayName names the index array of the first data-dependent
+// subscript in the chain ("" when the subscript has no such shape).
+func indexArrayName(subs []ast.Expr) string {
+	for _, sub := range subs {
+		if ix, ok := ast.Unparen(sub).(*ast.IndexExpr); ok {
+			if id, ok := ast.Unparen(ix.X).(*ast.Ident); ok {
+				return id.Name
+			}
+		}
+	}
+	return ""
 }
 
 func (b *bodyBuilder) identRead(x *ast.Ident, st *poly.Statement) bool {

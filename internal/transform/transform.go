@@ -124,6 +124,17 @@ func transformOne(sc *scop.SCoP, opts Options) (LoopReport, error) {
 		}
 	}
 
+	// A data-dependent read the value-range analysis could not prove
+	// in-bounds may trap mid-nest; running its iterations concurrently
+	// would reorder the trap against the stores of other iterations, so
+	// the nest is forced serial for trap parity with the interpreter.
+	// Proven-bounded star reads (poly.Access.Bounded) cannot trap and
+	// impose nothing.
+	forced := unprovenStarRead(nest)
+	if forced != nil {
+		par = make([]bool, len(par))
+	}
+
 	var gen *poly.GenNest
 	var err error
 	if opts.Tile && poly.Permutable(nest, deps) && nest.Depth() >= 2 {
@@ -165,7 +176,7 @@ func transformOne(sc *scop.SCoP, opts Options) (LoopReport, error) {
 		lr.Reductions = append(lr.Reductions, r.ClauseOp()+":"+r.ClauseVar())
 	}
 	if parIdx < 0 {
-		lr.SerialReason = serialReason(nest, deps, tripSuppressed, opts)
+		lr.SerialReason = serialReason(nest, deps, forced, tripSuppressed, opts)
 	}
 
 	newLoop, pragma := buildLoops(gen, parIdx, opts, sc)
@@ -174,8 +185,23 @@ func transformOne(sc *scop.SCoP, opts Options) (LoopReport, error) {
 	return lr, nil
 }
 
+// unprovenStarRead returns the first non-reduction star read the
+// value-range analysis did not prove in-bounds (nil when every
+// data-dependent read is proven or reduction-tagged).
+func unprovenStarRead(nest *poly.Nest) *poly.Access {
+	for _, st := range nest.Stmts {
+		for i := range st.Reads {
+			a := &st.Reads[i]
+			if a.Star && !a.Reduction && !a.Bounded {
+				return a
+			}
+		}
+	}
+	return nil
+}
+
 // serialReason explains why no loop level carries the OpenMP pragma.
-func serialReason(nest *poly.Nest, deps []*poly.Dep, tripSuppressed bool, opts Options) string {
+func serialReason(nest *poly.Nest, deps []*poly.Dep, forced *poly.Access, tripSuppressed bool, opts Options) string {
 	// A scalar write that did not qualify as a reduction serializes
 	// every level — the most common and most actionable cause, so it is
 	// reported first.
@@ -207,6 +233,17 @@ func serialReason(nest *poly.Nest, deps []*poly.Dep, tripSuppressed bool, opts O
 		}
 		return fmt.Sprintf("serialized by loop-carried dependences on %s",
 			strings.Join(sortedKeys(arrays), ", "))
+	}
+	if forced != nil {
+		note := forced.Note
+		if note == "" {
+			if forced.Index != "" {
+				note = forced.Index + " range unknown"
+			} else {
+				note = "index range unknown"
+			}
+		}
+		return fmt.Sprintf("serialized by read %s: %s", forced.Expr, note)
 	}
 	if tripSuppressed {
 		return fmt.Sprintf("parallel loop suppressed: constant trip count below the profitability threshold (%d)", opts.minTrip())
