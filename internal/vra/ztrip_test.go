@@ -1,0 +1,40 @@
+package vra
+
+import (
+	"testing"
+
+	"purec/internal/ast"
+	"purec/internal/parser"
+	"purec/internal/sema"
+)
+
+const ztripSrc = `
+int a[10];
+int n;
+
+int main() {
+    int last = 20;
+    for (int i = 0; i < n; i++) { last = i; }
+    a[last] = 1;
+    return 0;
+}
+`
+
+// A canonical loop that executes zero times (n is a never-stored global,
+// so its value is 0) must not let body-assigned values leak past the
+// loop: last is 20 at the access, which is out of bounds for a[10].
+func TestZeroTripLoopPostState(t *testing.T) {
+	file, err := parser.Parse("ztrip.pc", ztripSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze(info)
+	for e := range res.Proofs() {
+		t.Errorf("UNSOUND proof for %s", ast.PrintExpr(e))
+	}
+	t.Logf("findings:\n%s", renderAll(res))
+}
