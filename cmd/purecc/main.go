@@ -43,6 +43,10 @@
 //	-nobce                keep every runtime check even when the
 //	                      analysis proved it redundant (bit-identical;
 //	                      for Fig B1 and debugging)
+//	-noalias              disable the points-to analysis: pointer-based
+//	                      accesses stay conservative, so nests using
+//	                      them serialize and keep their checks
+//	                      (bit-identical; for A/B and debugging)
 //	-D NAME=VALUE         define an object-like macro (repeatable)
 //	-emit stage           print a stage instead of running:
 //	                      stripped|expanded|marked|transformed|final|report|pure
@@ -50,8 +54,10 @@
 //	                      reduction clauses — scalar "+:s" and array
 //	                      "+:hist[]" forms — and, for serial nests,
 //	                      the reason, e.g. "serialized by scalar write
-//	                      to s" or the offending access of a near-miss
-//	                      array reduction)
+//	                      to s", a write through an unresolved pointer,
+//	                      or the offending access of a near-miss array
+//	                      reduction — plus per-nest alias notes showing
+//	                      how each pointer access was resolved)
 //	-time                 print the wall time of main()
 //	-runs N               execute main N times, each in a fresh Process
 //	                      of the one compiled Program (default 1)
@@ -99,6 +105,7 @@ func main() {
 	memoCap := flag.Int("memo-capacity", 0, "memo table entry bound (0 = default)")
 	analyze := flag.Bool("analyze", false, "print the value-range analysis report instead of running")
 	noBCE := flag.Bool("nobce", false, "keep runtime checks the analysis proved redundant")
+	noAlias := flag.Bool("noalias", false, "disable the points-to analysis (pointer nests stay serial)")
 	emit := flag.String("emit", "", "print a pipeline stage instead of running")
 	timed := flag.Bool("time", false, "print wall time of main()")
 	runs := flag.Int("runs", 1, "execute main N times, each in a fresh process")
@@ -132,6 +139,7 @@ func main() {
 		Vectorize:    *vectorize,
 		NoFuse:       !*fuse,
 		NoBCE:        *noBCE,
+		NoAlias:      *noAlias,
 		Memoize:      *memoize,
 		MemoCapacity: *memoCap,
 		Stdout:       os.Stdout,

@@ -24,6 +24,18 @@
 //	//lint:rawmem <why this site is safe>        (this or next line)
 //	//lint:file-rawmem <why this file is safe>   (whole file)
 //
+// When the walked tree contains internal/core/cache.go, purelint also
+// enforces cache-key completeness:
+//
+//	cachekey: every field of core.Config, comp.Options and
+//	          transform.Options must either be hashed by cacheKey
+//	          (appear as cfg.<Field> — directly or through a local
+//	          alias like t := cfg.Transform) or carry a waiver note
+//	          //lint:cachekey <why this field cannot affect codegen>
+//	          in its doc comment. A codegen-affecting knob that is
+//	          missing from the hash would let two differently-compiled
+//	          programs share one cache slot.
+//
 // Taking a whole-slice alias (xs := p.Seg.F) is legal: the alias cannot
 // trap by itself, and the Go runtime bounds-checks any later index.
 // purelint prints one line per violation and exits non-zero if any
@@ -86,6 +98,11 @@ func main() {
 		}
 		bad = append(bad, msgs...)
 	}
+	ckMsgs, err := checkCacheKey(files)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bad = append(bad, ckMsgs...)
 	for _, m := range bad {
 		fmt.Println(m)
 	}
@@ -215,6 +232,164 @@ func hasField(x *ast.CompositeLit, name string) bool {
 		}
 	}
 	return false
+}
+
+// ----------------------------------------------------------------------------
+// cachekey: program-cache key completeness
+
+// cacheKeyStructs are the option structs whose fields shape compiled
+// Programs; the rule checks each declared field against the set of
+// fields cacheKey actually hashes.
+var cacheKeyStructs = []struct{ file, typeName string }{
+	{"internal/core/pipeline.go", "Config"},
+	{"internal/comp/comp.go", "Options"},
+	{"internal/transform/transform.go", "Options"},
+}
+
+// checkCacheKey runs the cachekey rule when the walked file set
+// contains the cache implementation (so linting an unrelated subtree
+// stays silent). Field-name matching is deliberately flat: a hashed
+// Config field and a comp.Options field of the same name (Backend,
+// Engine, NoFuse, …) are the same knob — the pipeline copies one into
+// the other — so one hash write covers both declarations.
+func checkCacheKey(files []string) ([]string, error) {
+	bySuffix := func(sfx string) string {
+		for _, f := range files {
+			if strings.HasSuffix(filepath.ToSlash(f), sfx) {
+				return f
+			}
+		}
+		return ""
+	}
+	cachePath := bySuffix("internal/core/cache.go")
+	if cachePath == "" {
+		return nil, nil
+	}
+	hashed, err := hashedFields(cachePath)
+	if err != nil {
+		return nil, err
+	}
+	if len(hashed) == 0 {
+		return []string{cachePath + ": cachekey: cacheKey hashes no cfg fields (rule cannot verify completeness)"}, nil
+	}
+	var msgs []string
+	for _, tgt := range cacheKeyStructs {
+		path := bySuffix(tgt.file)
+		if path == "" {
+			continue
+		}
+		m, err := checkStructHashed(path, tgt.typeName, hashed)
+		if err != nil {
+			return nil, err
+		}
+		msgs = append(msgs, m...)
+	}
+	return msgs, nil
+}
+
+// hashedFields parses the cacheKey function and returns the names of
+// every field it hashes: selectors on cfg itself plus selectors on
+// locals assigned from a cfg field (t := cfg.Transform; t.Tile …).
+func hashedFields(cachePath string) (map[string]bool, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, cachePath, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	var body *ast.BlockStmt
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "cacheKey" {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		return nil, fmt.Errorf("%s: cacheKey function not found", cachePath)
+	}
+	aliases := map[string]bool{"cfg": true}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			sel, ok := rhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if recv, ok := sel.X.(*ast.Ident); ok && aliases[recv.Name] {
+				if lhs, ok := as.Lhs[i].(*ast.Ident); ok {
+					aliases[lhs.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	hashed := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if recv, ok := sel.X.(*ast.Ident); ok && aliases[recv.Name] {
+			hashed[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return hashed, nil
+}
+
+// checkStructHashed reports fields of the named struct that are neither
+// hashed by cacheKey nor waived with //lint:cachekey in the field's doc
+// or trailing comment.
+func checkStructHashed(path, typeName string, hashed map[string]bool) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var st *ast.StructType
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok || ts.Name.Name != typeName {
+			return true
+		}
+		if s, ok := ts.Type.(*ast.StructType); ok {
+			st = s
+		}
+		return false
+	})
+	if st == nil {
+		return nil, fmt.Errorf("%s: struct %s not found", path, typeName)
+	}
+	waived := func(fl *ast.Field) bool {
+		for _, cg := range []*ast.CommentGroup{fl.Doc, fl.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "lint:cachekey") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var msgs []string
+	for _, fl := range st.Fields.List {
+		for _, name := range fl.Names {
+			if hashed[name.Name] || waived(fl) {
+				continue
+			}
+			p := fset.Position(name.Pos())
+			msgs = append(msgs, fmt.Sprintf(
+				"%s: cachekey: %s.%s is not hashed by cacheKey and carries no //lint:cachekey waiver (a codegen-affecting knob missing from the key corrupts the program cache)",
+				p, typeName, name.Name))
+		}
+	}
+	return msgs, nil
 }
 
 func fatalf(format string, args ...any) {

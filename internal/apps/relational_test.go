@@ -1,0 +1,80 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"purec/internal/core"
+)
+
+// relDefs sizes the relational workloads small enough for tests but
+// large enough to clear no thresholds (MinParallelTrip is disabled in
+// build()).
+func relDefs() map[string]string { return RelationalDefines(96, 112, 16, 2) }
+
+// TestDerivedSubscriptParallelizesAndElides pins the derived-iterator
+// acceptance shape: j = i + K proves through the affine relation, the
+// nest parallelizes, and the substituted body fuses with its checks
+// elided.
+func TestDerivedSubscriptParallelizesAndElides(t *testing.T) {
+	res := build(t, DerivedSrc, relDefs(), core.Config{Parallelize: true, TeamSize: 3})
+	assertParallel(t, res, "run")
+	if res.Program.ElidedChecks() == 0 {
+		t.Error("derived-subscript build elided no checks")
+	}
+}
+
+// TestClampGatherParallelizesAndElides pins the ?:-clamp acceptance
+// shape: the clamped index proves via path-sensitive refinement, the
+// star read upgrades to Bounded, and the clamped gather kernel elides
+// its per-element test.
+func TestClampGatherParallelizesAndElides(t *testing.T) {
+	res := build(t, ClampGatherSrc, relDefs(), core.Config{Parallelize: true, TeamSize: 3})
+	assertParallel(t, res, "run")
+	if res.Program.ElidedChecks() == 0 {
+		t.Error("clamp-gather build elided no checks")
+	}
+}
+
+// TestPtrScaleParallelizesWithAliasProof pins the no-alias acceptance
+// shape: p and q resolve to disjoint regions, the nest parallelizes,
+// and the report carries the resolution notes.
+func TestPtrScaleParallelizesWithAliasProof(t *testing.T) {
+	res := build(t, PtrScaleSrc, relDefs(), core.Config{Parallelize: true, TeamSize: 3})
+	assertParallel(t, res, "run")
+	if res.Program.ElidedChecks() == 0 {
+		t.Error("pointer-operand build elided no checks")
+	}
+	rep := res.Report.String()
+	if !strings.Contains(rep, "alias: p -> x") {
+		t.Errorf("report must name the alias resolution:\n%s", rep)
+	}
+}
+
+// TestAliasedPairStaysSerial pins the soundness edge: overlapping
+// pointers into one array must serialize — the alias resolution renames
+// both to x and the dependence analysis finds the carried dependence.
+func TestAliasedPairStaysSerial(t *testing.T) {
+	res := build(t, AliasedPairSrc, relDefs(), core.Config{Parallelize: true, TeamSize: 3})
+	for _, l := range res.Report.Loops {
+		if l.Func != "run" {
+			continue
+		}
+		if l.ParallelLevel >= 0 {
+			t.Fatalf("aliased pair must stay serial: %+v", l)
+		}
+		if l.SerialReason == "" {
+			t.Error("serial nest must carry a reason")
+		}
+	}
+}
+
+func assertParallel(t *testing.T, res *core.Result, fn string) {
+	t.Helper()
+	for _, l := range res.Report.Loops {
+		if l.Func == fn && l.ParallelLevel >= 0 {
+			return
+		}
+	}
+	t.Fatalf("no parallel nest in %s: %+v", fn, res.Report.Loops)
+}

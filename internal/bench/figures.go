@@ -693,6 +693,12 @@ func CollectBCE(p Params) (*BCEData, error) {
 	d := &BCEData{P: p}
 	bd := apps.KernDefines(p.BCEN, p.BCEReps)
 	gd := apps.GatherDefines(p.KernN, p.GatherM, p.KernReps)
+	// The relational rows (PR 8) run at gather length: their proofs come
+	// from the relational layer — the derived subscript through the
+	// affine relation (it needs the parallelizer's forward substitution
+	// to fuse), the clamped gather through path-sensitive refinement,
+	// and the pointer loop through the points-to resolution.
+	rd := apps.RelationalDefines(p.KernN, p.KernN+16, 16, p.KernReps)
 	workloads := []struct {
 		name string
 		src  string
@@ -703,6 +709,9 @@ func CollectBCE(p Params) (*BCEData, error) {
 		{"axpy (tape)", apps.AxpySrc, bd, core.Config{Engine: comp.EngineTape}},
 		{"stencil", apps.StencilSrc, bd, core.Config{}},
 		{"gather", apps.GatherSrc, gd, core.Config{}},
+		{"derived", apps.DerivedSrc, rd, core.Config{Parallelize: true}},
+		{"gather (clamp)", apps.ClampGatherSrc, rd, core.Config{}},
+		{"ptr-scale", apps.PtrScaleSrc, rd, core.Config{}},
 	}
 	for _, w := range workloads {
 		r := BCEResult{Name: w.name}
@@ -755,8 +764,11 @@ func CollectBCE(p Params) (*BCEData, error) {
 
 // initOf maps a Fig B1 source to its init entry point.
 func initOf(src string) string {
-	if src == apps.GatherSrc || src == apps.GatherOpaqueSrc {
+	switch src {
+	case apps.GatherSrc, apps.GatherOpaqueSrc:
 		return "initgather"
+	case apps.DerivedSrc, apps.ClampGatherSrc, apps.PtrScaleSrc:
+		return "initrel"
 	}
 	return "initvec"
 }

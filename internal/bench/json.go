@@ -181,7 +181,9 @@ func (d *BCEData) JSON() *JSONFigure {
 			d.P.BCEN, d.P.BCEReps, d.P.KernN, d.P.GatherM)}
 	for _, r := range d.Kernels {
 		ops := float64(d.P.BCEN) * float64(d.P.BCEReps)
-		if r.Name == "gather" {
+		switch r.Name {
+		case "gather", "derived", "gather (clamp)", "ptr-scale":
+			// Full-length rows (the relational rows share the gather's N).
 			ops = float64(d.P.KernN) * float64(d.P.KernReps)
 		}
 		jf.Points = append(jf.Points,

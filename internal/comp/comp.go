@@ -90,8 +90,10 @@ func (e Engine) String() string { return engineNames[e] }
 type Options struct {
 	Backend Backend
 	// Team executes parallel regions; nil means a single worker.
+	//lint:cachekey run state: seeds the initial Process, never the Program
 	Team *rt.Team
 	// Stdout receives printf output (defaults to os.Stdout).
+	//lint:cachekey run state: seeds the initial Process, never the Program
 	Stdout io.Writer
 	// Vectorize applies the fused-kernel compilation to canonical
 	// reduction loops everywhere, not only inside pure functions — the
@@ -106,6 +108,7 @@ type Options struct {
 	// Memoizable optionally supplies the precomputed memoizable set for
 	// Memoize (the pipeline already ran the analysis for its artifact);
 	// nil means CompileProgram derives it from the checked model itself.
+	//lint:cachekey derived deterministically from the hashed source by the purity analysis
 	Memoizable []string
 	// MemoCapacity bounds the memo table entry count (0 selects
 	// memo.DefaultCapacity).
@@ -130,6 +133,7 @@ type Options struct {
 	// keyed by the syntax nodes of the compiled model (vra.Result.Proofs
 	// over the same sema.Info). Accesses in the set may have their
 	// runtime range checks elided; nil disables elision entirely.
+	//lint:cachekey derived deterministically from the hashed source by the value-range analysis (NoBCE gates its use and is hashed)
 	Proofs map[ast.Expr]bool
 	// NoBCE keeps every runtime range check even for proven accesses.
 	// Bit-identical results either way (an elided check provably never

@@ -1,6 +1,8 @@
 package comp
 
 import (
+	"math"
+
 	"purec/internal/ast"
 	"purec/internal/token"
 	"purec/internal/types"
@@ -9,6 +11,10 @@ import (
 // This file fuses pure-gather map loops
 //
 //	for (i = lo; i </<= hi; i++) y[a*i+b] = x[idx[c*i+d]];
+//
+// and their ?:-clamped variants
+//
+//	y[a*i+b] = x[idx[c*i+d] < L ? L : (idx[c*i+d] > H ? H : idx[c*i+d])];
 //
 // into segment-walking kernels. The destination and the index array are
 // affine operands (one hoisted range check each, elidable under a
@@ -66,8 +72,13 @@ func (fc *funcCompiler) tryGatherKernel(x *ast.ForStmt) (canonicalLoop, kernRun)
 	if fc.usesSym(gx.X, cl.iterSym) || !fc.effectFree(gx.X) {
 		return cl, nil
 	}
-	// The data-dependent subscript: an affine int access idx[c*i+d].
-	subIx, ok := stripParens(gx.Index).(*ast.IndexExpr)
+	// The data-dependent subscript: an affine int access idx[c*i+d],
+	// possibly wrapped in a ?:-min/max clamp with constant bounds.
+	idxExpr, clampLo, clampHi, okC := matchClamp(stripParens(gx.Index))
+	if !okC {
+		return cl, nil
+	}
+	subIx, ok := idxExpr.(*ast.IndexExpr)
 	if !ok {
 		return cl, nil
 	}
@@ -80,12 +91,94 @@ func (fc *funcCompiler) tryGatherKernel(x *ast.ForStmt) (canonicalLoop, kernRun)
 	if trusted {
 		fc.prog.elidedChecks++ // the per-element gather bounds test
 	}
-	return cl, emitGather(fc.ptr(gx.X), dst, idxAcc, float, trusted, ast.PrintExpr(gx))
+	return cl, emitGather(fc.ptr(gx.X), dst, idxAcc, float, trusted, clampLo, clampHi, ast.PrintExpr(gx))
+}
+
+// matchClamp peels a ?:-min/max clamp off a gather subscript:
+//
+//	v < L ? L : rest   (lower clamp; also L > v ? L : rest)
+//	v > H ? H : rest   (upper clamp; also H < v ? H : rest)
+//
+// where rest is v itself or a nested clamp of the same v, compared
+// syntactically. It returns the clamped access v and the accumulated
+// bounds (math.MinInt64/MaxInt64 when a side is unclamped); a
+// non-ternary subscript passes through with open bounds. ok is false
+// for ternaries that are not clamps — those stay on the dispatch path.
+func matchClamp(e ast.Expr) (inner ast.Expr, lo, hi int64, ok bool) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	ce, isCond := e.(*ast.CondExpr)
+	if !isCond {
+		return e, lo, hi, true
+	}
+	cond, isBin := stripParens(ce.Cond).(*ast.BinaryExpr)
+	if !isBin {
+		return nil, 0, 0, false
+	}
+	v, bound, op := stripParens(cond.X), stripParens(cond.Y), cond.Op
+	k, isLit := intLitValue(bound)
+	if !isLit {
+		// Mirrored form: L > v ? L : rest.
+		if k2, isLit2 := intLitValue(v); isLit2 {
+			v, k, isLit = bound, k2, true
+			switch op {
+			case token.LSS:
+				op = token.GTR
+			case token.GTR:
+				op = token.LSS
+			default:
+				return nil, 0, 0, false
+			}
+		}
+	}
+	if !isLit {
+		return nil, 0, 0, false
+	}
+	// The taken arm must be the bound constant.
+	if tk, isTk := intLitValue(stripParens(ce.Then)); !isTk || tk != k {
+		return nil, 0, 0, false
+	}
+	rest, rlo, rhi, okR := matchClamp(stripParens(ce.Else))
+	if !okR || ast.PrintExpr(rest) != ast.PrintExpr(v) {
+		return nil, 0, 0, false
+	}
+	switch op {
+	case token.LSS:
+		lo = k
+	case token.GTR:
+		hi = k
+	default:
+		return nil, 0, 0, false
+	}
+	if rlo > lo {
+		lo = rlo
+	}
+	if rhi < hi {
+		hi = rhi
+	}
+	return rest, lo, hi, true
+}
+
+// intLitValue evaluates an integer literal, allowing a leading unary
+// minus.
+func intLitValue(e ast.Expr) (int64, bool) {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.SUB {
+		if v, ok2 := intLitValue(stripParens(u.X)); ok2 {
+			return -v, true
+		}
+		return 0, false
+	}
+	lit, ok := e.(*ast.IntLit)
+	if !ok {
+		return 0, false
+	}
+	return lit.Value, true
 }
 
 // emitGather builds the kernel. src is the gathered array's hoisted
-// base pointer; trusted elides the per-element bounds test.
-func emitGather(src ptrFn, dst, idxAcc kAccess, float, trusted bool, expr string) kernRun {
+// base pointer; trusted elides the per-element bounds test; clampLo and
+// clampHi apply the subscript's ?:-clamp (open sides are the int64
+// extremes, so clamping is unconditional and branch-predictable).
+func emitGather(src ptrFn, dst, idxAcc kAccess, float, trusted bool, clampLo, clampHi int64, expr string) kernRun {
 	return func(e *env, lo, hi int64) {
 		if hi < lo {
 			return
@@ -102,23 +195,32 @@ func emitGather(src ptrFn, dst, idxAcc kAccess, float, trusted bool, expr string
 		}
 		off := int64(p.Off)
 		ix, ss := is.i, is.stride
+		clamp := func(v int64) int64 {
+			if v < clampLo {
+				return clampLo
+			}
+			if v > clampHi {
+				return clampHi
+			}
+			return v
+		}
 		if float {
 			xs := p.Seg.F
 			ys, ds2 := ds.f, ds.stride
 			if trusted {
 				if dst.f32 {
 					for t, si, di := 0, 0, 0; t < n; t, si, di = t+1, si+ss, di+ds2 {
-						ys[di] = float64(float32(xs[off+ix[si]]))
+						ys[di] = float64(float32(xs[off+clamp(ix[si])]))
 					}
 				} else {
 					for t, si, di := 0, 0, 0; t < n; t, si, di = t+1, si+ss, di+ds2 {
-						ys[di] = xs[off+ix[si]]
+						ys[di] = xs[off+clamp(ix[si])]
 					}
 				}
 				return
 			}
 			for t, si, di := 0, 0, 0; t < n; t, si, di = t+1, si+ss, di+ds2 {
-				c := gatherCell(off, ix[si], len(xs), expr)
+				c := gatherCell(off, clamp(ix[si]), len(xs), expr)
 				if dst.f32 {
 					ys[di] = float64(float32(xs[c]))
 				} else {
@@ -131,12 +233,12 @@ func emitGather(src ptrFn, dst, idxAcc kAccess, float, trusted bool, expr string
 		ys, ds2 := ds.i, ds.stride
 		if trusted {
 			for t, si, di := 0, 0, 0; t < n; t, si, di = t+1, si+ss, di+ds2 {
-				ys[di] = xs[off+ix[si]]
+				ys[di] = xs[off+clamp(ix[si])]
 			}
 			return
 		}
 		for t, si, di := 0, 0, 0; t < n; t, si, di = t+1, si+ss, di+ds2 {
-			ys[di] = xs[gatherCell(off, ix[si], len(xs), expr)]
+			ys[di] = xs[gatherCell(off, clamp(ix[si]), len(xs), expr)]
 		}
 	}
 }

@@ -163,15 +163,25 @@ func (fc *funcCompiler) resolveArrayMinMax(body ast.Stmt, c redClause) (r reduct
 
 // arrayReductionFor builds the privatize/combine pair for the array
 // whose base identifier is site. found is always true here; ok
-// requires a function-local declared array of int/float elements
+// requires a function-local declared array — or a single-level local
+// pointer the alias analysis resolved, which the transformer only
+// tags when its target region is known — of int/float elements
 // reachable through a frame pointer slot.
 func (fc *funcCompiler) arrayReductionFor(site *ast.Ident, op token.Kind) (r reduction, found, ok bool) {
 	sym := fc.prog.info.Ref[site]
-	if sym.Kind == sema.SymGlobal || !sym.IsArray() || sym.Type == nil {
-		// Global arrays live in Process storage shared by every worker;
-		// pointer bases may alias anything and their extent is unknown.
-		// Both run serially.
+	if sym == nil || sym.Kind == sema.SymGlobal || sym.Type == nil {
+		// Global bases live in Process storage shared by every worker;
+		// they run serially.
 		return reduction{}, true, false
+	}
+	if !sym.IsArray() {
+		// A local pointer base qualifies when it is single-level: its
+		// slot then holds a pointer into the target region, and the
+		// privatize/combine pair below works on the pointed-to segment
+		// exactly as it does for a decayed local array.
+		if !sym.Type.IsPtr() || sym.Type.Elem == nil || sym.Type.Elem.IsPtr() {
+			return reduction{}, true, false
+		}
 	}
 	sl, global := fc.slotOf(sym, site)
 	if global || sl.kind != slotPtr {
@@ -299,7 +309,11 @@ func privateCopy(we *env, idx int, kind mem.CellKind, name string) *mem.Segment 
 		rtPanic("array reduction accumulator %s is not allocated", name)
 	}
 	seg := mem.NewSegment(kind, p.Seg.Len(), p.Seg.Name+" (reduction private)")
-	we.P[idx] = mem.Pointer{Seg: seg}
+	// Keep the slot's element offset: a pointer base like p = &a[4] must
+	// index the private segment exactly as it indexed the shared one, or
+	// the combine would fold shifted cells.
+	//lint:rawmem repointing the slot at an equal-length private segment; p.Off was validated when p was built
+	we.P[idx] = mem.Pointer{Seg: seg, Off: p.Off}
 	return seg
 }
 

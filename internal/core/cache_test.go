@@ -64,10 +64,17 @@ func TestProgramCacheHit(t *testing.T) {
 	} else if r5.CacheHit {
 		t.Fatal("Defines change must miss the cache")
 	}
+	cfg6 := cfg
+	cfg6.NoAlias = true
+	if r6, err := Build(matmulSrc, cfg6); err != nil {
+		t.Fatal(err)
+	} else if r6.CacheHit || r6.Program == r1.Program {
+		t.Fatal("NoAlias change must miss the cache (it changes which nests parallelize)")
+	}
 
 	hits, misses := cache.Stats()
-	if hits != 2 || misses != 3 {
-		t.Fatalf("stats = %d hits / %d misses, want 2/3", hits, misses)
+	if hits != 2 || misses != 4 {
+		t.Fatalf("stats = %d hits / %d misses, want 2/4", hits, misses)
 	}
 
 	// Cached programs still execute correctly per Process.

@@ -53,7 +53,7 @@ const (
 
 // Config controls one pipeline run. The compile-relevant fields (Mode,
 // Defines, Files, Parallelize, Transform, Backend, Engine, Vectorize,
-// NoFuse, NoBCE, Memoize, MemoCapacity, MemoShards) form the
+// NoFuse, NoBCE, NoAlias, Memoize, MemoCapacity, MemoShards) form the
 // content-addressed program-cache key; TeamSize, Stdout and the cache
 // controls are run state and never affect the compiled Program.
 type Config struct {
@@ -96,6 +96,14 @@ type Config struct {
 	// measurement (purebench Fig B1) and for debugging the analysis.
 	// Compile-relevant: part of the program-cache key.
 	NoBCE bool
+	// NoAlias disables the points-to analysis (alias resolution is on
+	// by default): the SCoP detector then treats every pointer-based
+	// access conservatively, so nests reading or writing through
+	// pointers stay serial and their checks stay in place. Results are
+	// bit-identical either way; the knob exists for A/B measurement and
+	// for debugging the analysis.
+	// Compile-relevant: part of the program-cache key.
+	NoAlias bool
 	// Memoize wraps calls of memoizable pure functions (scalar
 	// signature, global-free body) behind a concurrency-safe memo table
 	// shared by every Process of the compiled Program. Compile-relevant:
@@ -109,13 +117,17 @@ type Config struct {
 	MemoShards int
 	// TeamSize is the OpenMP thread-count analog (cores in the paper's
 	// figures).
+	//lint:cachekey run state: sizes the Process team, never the Program
 	TeamSize int
 	// Stdout receives printf output of the compiled program.
+	//lint:cachekey run state: seeds the Process, never the Program
 	Stdout io.Writer
 	// NoCache bypasses the program cache for this build.
+	//lint:cachekey cache control: decides whether to consult the cache, not what is compiled
 	NoCache bool
 	// Cache overrides the cache used for this build (nil means the
 	// package-level DefaultCache).
+	//lint:cachekey cache control: selects which cache to consult, not what is compiled
 	Cache *ProgramCache
 }
 
@@ -219,7 +231,18 @@ func Front(src string, cfg Config) (*Artifact, error) {
 	early := vra.Analyze(info)
 
 	if cfg.Parallelize {
-		sres := scop.DetectWith(info, pres, scop.Options{AllowPureCalls: cfg.Mode == ModePure})
+		// The alias oracle hands the detector the early analysis's
+		// points-to facts; both run over the same model, so symbols
+		// match. The guard keeps a typed-nil oracle out of the
+		// interface value.
+		var oracle scop.AliasOracle
+		if !cfg.NoAlias && early.Alias != nil {
+			oracle = early.Alias
+		}
+		sres := scop.DetectWith(info, pres, scop.Options{
+			AllowPureCalls: cfg.Mode == ModePure,
+			Aliases:        oracle,
+		})
 		if len(sres.Errors) > 0 {
 			// Listing-5 violations are hard errors in the paper's pass.
 			return nil, fmt.Errorf("scop: %v", sres.Errors[0])

@@ -44,6 +44,21 @@ type Access struct {
 	// Note carries the analysis' explanation when the proof failed
 	// ("idx range unknown", or the derived interval vs the extent).
 	Note string
+	// Via names the source pointer of an access the alias analysis
+	// resolved to its points-to region: Array then holds the region
+	// name (the pointer's constant element offset folded into the
+	// first subscript), so accesses through different pointers into
+	// one region pair up in dependence analysis. It is also set, with
+	// Array left as the pointer name, on accesses the analysis could
+	// not resolve. Empty for direct array accesses.
+	Via string
+	// MayAlias marks an access through a pointer the alias analysis
+	// could not resolve to a unique region. Such an access may touch
+	// any array, so the transformer force-serializes the nest when the
+	// access is a write — or a read beside any array write — because
+	// concurrent iterations could reorder conflicting touches of the
+	// hidden target region.
+	MayAlias bool
 }
 
 // String renders the access like "A[i][j+1]"; star accesses render

@@ -51,6 +51,27 @@ type SCoP struct {
 	// the parallelism decision; the transformer emits a reduction clause
 	// for them.
 	Reductions []Reduction
+	// PrivateScalars are body-local scalar definitions (`int j = e;`
+	// and single-assignment `j = e;` forms) recognized as
+	// iteration-private: each iteration defines the scalar before any
+	// use, so it carries no cross-iteration dependence. The
+	// transformer lists them in the pragma's private(...) clause; the
+	// execution backends privatize them through the per-worker
+	// environment clone.
+	PrivateScalars []string
+	// AliasNotes records, per pointer accessed in the body, the
+	// points-to resolution the detector applied (exact region, may
+	// set, or unknown) for -emit report diagnostics.
+	AliasNotes []string
+	// SubstPrivates maps decl-form private scalars whose initializer
+	// stayed affine in the iterators through the whole body (`int j =
+	// i + 5;`, never clamped or reassigned) to that initializer. The
+	// transformer forward-substitutes them into their uses, so a body
+	// like `int j = i + k; y[i] = x[j];` collapses to the single
+	// statement the kernel fuser recognizes. Substitution is
+	// value-preserving: an affine initializer is pure integer
+	// arithmetic, so re-evaluation per use cannot trap or diverge.
+	SubstPrivates map[string]ast.Expr
 }
 
 // Reduction is one recognized reduction accumulator: a canonical
@@ -114,6 +135,30 @@ type Options struct {
 	// classic polyhedral front end (PluTo without the pure stage) and
 	// rejects every loop containing any call — including malloc.
 	AllowPureCalls bool
+	// Aliases, when set, resolves guest pointers to their points-to
+	// regions (internal/vra's flow-insensitive alias analysis
+	// satisfies the interface). Accesses through exactly-resolved
+	// pointers are renamed to their region for dependence analysis —
+	// two pointers into one array then conflict, and provably disjoint
+	// ones do not — while unresolved pointer accesses are marked
+	// poly.Access.MayAlias for the transformer's conservative
+	// serialization. A nil oracle (analysis disabled) marks every
+	// pointer access MayAlias — never treating distinct pointer names
+	// as distinct arrays, which could hide a real conflict.
+	Aliases AliasOracle
+}
+
+// AliasOracle is the points-to interface SCoP detection consults for
+// pointer-based accesses. internal/vra's AliasResult implements it.
+type AliasOracle interface {
+	// ResolveExact returns the unique target region and constant
+	// element offset of a pointer, when the analysis proved them.
+	ResolveExact(sym *sema.Symbol) (region string, off int64, ok bool)
+	// MayPointTo returns the may-point-to region set of a pointer;
+	// nil means the pointer may point anywhere.
+	MayPointTo(sym *sema.Symbol) []string
+	// Describe renders the pointer's points-to fact for diagnostics.
+	Describe(sym *sema.Symbol) string
 }
 
 // Detect scans every function body for SCoPs with the paper's pure-call
@@ -357,7 +402,8 @@ func (d *detector) buildBody(sc *SCoP, body []ast.Stmt) bool {
 		// Rebind bound fields for later AST regeneration.
 	}
 
-	b := &bodyBuilder{d: d, sc: sc, classify: classify, iters: iters}
+	b := &bodyBuilder{d: d, sc: sc, classify: classify, iters: iters,
+		priv: map[string]privScalar{}, ptrSyms: map[string]*sema.Symbol{}}
 	for seq, s := range body {
 		st, ok := b.statement(s, seq)
 		if !ok {
@@ -382,11 +428,28 @@ func (d *detector) buildBody(sc *SCoP, body []ast.Stmt) bool {
 	}
 	sc.Nest = nest
 	sc.PureCalls = b.calls
+	sc.PrivateScalars = b.privClause
+	inClause := map[string]bool{}
+	for _, n := range b.privClause {
+		inClause[n] = true
+	}
+	for name, init := range b.declInit {
+		if p := b.priv[name]; p.isAffine && !inClause[name] {
+			if sc.SubstPrivates == nil {
+				sc.SubstPrivates = map[string]ast.Expr{}
+			}
+			sc.SubstPrivates[name] = init
+		}
+	}
 	d.recognizeReductions(sc, body)
 	d.recognizeArrayReductions(sc, body, b.arrayCands)
+	renamed := d.resolvePointerAccesses(sc, b)
+	d.dropConflictingRegionReductions(sc, renamed)
 
 	// Listing-5 check: arrays passed to pure functions must not be
-	// written anywhere in the nest.
+	// written anywhere in the nest. Pointer arguments and writes are
+	// compared by resolved region, so passing p (= &a[0]) while
+	// assigning a is caught like passing a itself.
 	writes := map[string]bool{}
 	for _, st := range nest.Stmts {
 		for _, w := range st.Writes {
@@ -395,7 +458,11 @@ func (d *detector) buildBody(sc *SCoP, body []ast.Stmt) bool {
 	}
 	for _, call := range b.calls {
 		for _, arg := range call.Args {
-			if base := arrayArgBase(d.info, arg); base != "" && writes[base] {
+			base := arrayArgBase(d.info, arg)
+			if r, ok := renamed[base]; ok {
+				base = r
+			}
+			if base != "" && writes[base] {
 				d.errorf(call.Pos(),
 					"array %s is passed to pure function %s and assigned in the same loop nest (Listing 5); parallelization would change results",
 					base, call.Fun.Name)
@@ -532,10 +599,14 @@ func (d *detector) tagReduction(sc *SCoP, k int, id *ast.Ident, op token.Kind) {
 // star self-dependences — and a Reduction{IsArray: true} entry, which
 // the transformer renders as a reduction(op:A[]) clause.
 //
-// Global arrays, pointer bases and arrays read elsewhere in the nest
-// (the hist[a[i]] = hist[b[i]] + 1 near-miss) stay untagged: their
-// star dependences serialize the nest and the transformer's
-// SerialReason names the offending access.
+// Single-level pointer bases (float *p with p[e] op= v) qualify too:
+// the runtime privatizes whatever segment the pointer addresses, and
+// the alias resolution pass keeps the tagging sound (an unresolved
+// pointer stays MayAlias and serializes; a resolved one conflicts by
+// region name with any other access of its target). Global arrays and
+// arrays read elsewhere in the nest (the hist[a[i]] = hist[b[i]] + 1
+// near-miss) stay untagged: their star dependences serialize the nest
+// and the transformer's SerialReason names the offending access.
 func (d *detector) recognizeArrayReductions(sc *SCoP, body []ast.Stmt, cands []arrayCand) {
 	if len(cands) == 0 {
 		return
@@ -575,11 +646,24 @@ func (d *detector) recognizeArrayReductions(sc *SCoP, body []ast.Stmt, cands []a
 			continue
 		}
 		sym := d.info.Ref[cs[0].base]
-		if sym == nil || sym.Kind == sema.SymGlobal || !sym.IsArray() || sym.Type == nil {
-			// Only function-local declared arrays privatize through the
-			// per-worker frame clone; globals and pointer bases (whose
-			// extent and aliasing are unknown) stay serial.
+		if sym == nil || sym.Kind == sema.SymGlobal || sym.Type == nil {
+			// Global accumulators live in Process storage shared by all
+			// workers; the per-worker frame clone cannot privatize them.
 			continue
+		}
+		if !sym.IsArray() {
+			// Pointer bases privatize through their frame pointer slot
+			// (the worker's clone is repointed at a private segment) —
+			// but only single-level pointers: privatizing a row-pointer
+			// table would still share the rows. Whether the target
+			// region is disjoint from everything else the nest touches
+			// is the alias resolution pass's concern: an unresolved
+			// pointer's accesses stay MayAlias and the transformer
+			// serializes the nest; a resolved one pairs with any other
+			// access of its region as an ordinary dependence.
+			if !sym.Type.IsPtr() || sym.Type.Elem == nil || sym.Type.Elem.IsPtr() {
+				continue
+			}
 		}
 		elem := sym.Type.BaseElem()
 		if elem == nil {
@@ -610,6 +694,148 @@ func (d *detector) recognizeArrayReductions(sc *SCoP, body []ast.Stmt, cands []a
 		}
 		sc.Reductions = append(sc.Reductions, Reduction{Var: name, Op: op, IsArray: true})
 	}
+}
+
+// resolvePointerAccesses consults the alias oracle for every pointer
+// used as an access base in the body. Exactly-resolved pointers get
+// their accesses renamed to the target region — the pointer's constant
+// element offset folded into the first (outermost) subscript — so
+// dependence analysis sees through the indirection: two pointers into
+// one array then conflict, and provably disjoint regions do not.
+// Unresolved pointers get their accesses marked MayAlias; the
+// transformer serializes such nests conservatively when a write is
+// involved. The returned map records the applied renames (pointer name
+// → region name).
+//
+// The pass runs after reduction recognition, which matches accesses by
+// source name. Reduction tags survive the rename, and a conflict
+// between a tagged pointer access and another access of the same
+// region surfaces as an ordinary (non-reduction) dependence that
+// serializes the nest.
+func (d *detector) resolvePointerAccesses(sc *SCoP, b *bodyBuilder) map[string]string {
+	renamed := map[string]string{}
+	if len(b.ptrOrder) == 0 {
+		return renamed
+	}
+	if d.opts.Aliases == nil {
+		// No oracle (analysis disabled): every pointer access is
+		// conservatively unresolved. Treating pointer names as distinct
+		// arrays here would hide real conflicts — two pointers into one
+		// segment must not look independent to the dependence analysis.
+		for _, name := range b.ptrOrder {
+			desc := name + " may point anywhere (alias analysis disabled)"
+			sc.AliasNotes = append(sc.AliasNotes, desc)
+			markMayAlias(sc.Nest, name, desc)
+		}
+		return renamed
+	}
+	for _, name := range b.ptrOrder {
+		sym := b.ptrSyms[name]
+		if region, off, ok := d.opts.Aliases.ResolveExact(sym); ok {
+			renamed[name] = region
+			note := fmt.Sprintf("%s -> %s", name, region)
+			if off != 0 {
+				note = fmt.Sprintf("%s -> %s[+%d]", name, region, off)
+			}
+			sc.AliasNotes = append(sc.AliasNotes,
+				note+" (exact: accesses analyzed as "+region+")")
+			renameAccesses(sc.Nest, name, region, off)
+			continue
+		}
+		desc := d.opts.Aliases.Describe(sym)
+		sc.AliasNotes = append(sc.AliasNotes, desc+" (unresolved: conservative)")
+		markMayAlias(sc.Nest, name, desc)
+	}
+	return renamed
+}
+
+// renameAccesses rewrites every access through the named pointer to
+// the resolved region, folding the constant element offset into the
+// outermost subscript.
+func renameAccesses(nest *poly.Nest, name, region string, off int64) {
+	upd := func(a *poly.Access) {
+		if a.Via != name || a.Array != name {
+			return
+		}
+		a.Array = region
+		if !a.Star && off != 0 && len(a.Subs) > 0 {
+			a.Subs[0] = a.Subs[0].Add(poly.NewAffine(off))
+		}
+	}
+	forEachAccess(nest, upd)
+}
+
+// markMayAlias flags every access through the named pointer as
+// unresolved, carrying the oracle's description for diagnostics.
+func markMayAlias(nest *poly.Nest, name, desc string) {
+	forEachAccess(nest, func(a *poly.Access) {
+		if a.Via != name {
+			return
+		}
+		a.MayAlias = true
+		if a.Note == "" {
+			a.Note = desc
+		}
+	})
+}
+
+// forEachAccess applies f to every access of the nest, in place.
+func forEachAccess(nest *poly.Nest, f func(*poly.Access)) {
+	for _, st := range nest.Stmts {
+		for i := range st.Writes {
+			f(&st.Writes[i])
+		}
+		for i := range st.Reads {
+			f(&st.Reads[i])
+		}
+	}
+}
+
+// dropConflictingRegionReductions demotes array reductions when two
+// accumulators resolve to one region with different operators: each
+// clause privatizes and combines its own accumulator slot, and two
+// same-region clauses only decompose the serial result when they agree
+// on one associative-commutative operator (same-op clauses commute and
+// stay). Without the demotion the tagged accesses would dissolve their
+// mutual dependences and miscompile the nest.
+func (d *detector) dropConflictingRegionReductions(sc *SCoP, renamed map[string]string) {
+	if len(renamed) == 0 || len(sc.Reductions) < 2 {
+		return
+	}
+	regionOf := func(v string) string {
+		if r, ok := renamed[v]; ok {
+			return r
+		}
+		return v
+	}
+	ops := map[string]token.Kind{}
+	conflict := map[string]bool{}
+	for _, r := range sc.Reductions {
+		if !r.IsArray {
+			continue
+		}
+		reg := regionOf(r.Var)
+		if op, seen := ops[reg]; seen && op != r.Op {
+			conflict[reg] = true
+		}
+		ops[reg] = r.Op
+	}
+	if len(conflict) == 0 {
+		return
+	}
+	kept := sc.Reductions[:0]
+	for _, r := range sc.Reductions {
+		if r.IsArray && conflict[regionOf(r.Var)] {
+			forEachAccess(sc.Nest, func(a *poly.Access) {
+				if a.Array == regionOf(r.Var) {
+					a.Reduction = false
+				}
+			})
+			continue
+		}
+		kept = append(kept, r)
+	}
+	sc.Reductions = kept
 }
 
 // isNestParam reports whether name is an integer scalar that is not
@@ -678,6 +904,33 @@ type bodyBuilder struct {
 	// guarded min/max on A[e]) found in the body; recognizeReductions
 	// promotes them to array reductions when the array qualifies.
 	arrayCands []arrayCand
+	// priv maps body-defined private scalars to their definition. A
+	// definition affine in the iterators/parameters is substituted
+	// into later subscripts (so y[i] = x[j] with j = i + k stays an
+	// affine access); a data-dependent one leaves the scalar opaque
+	// and its subscript uses become star reads the value-range
+	// analysis may later prove bounded.
+	priv map[string]privScalar
+	// privOrder lists priv keys in definition order; privClause is
+	// the subset declared outside the loop, which the pragma must
+	// list in its private(...) clause.
+	privOrder  []string
+	privClause []string
+	// ptrSyms records, per pointer name used as an access base in the
+	// body, its symbol — the alias resolution pass consults the
+	// oracle for each entry after the accesses are built.
+	ptrSyms map[string]*sema.Symbol
+	// ptrOrder lists ptrSyms keys in first-use order.
+	ptrOrder []string
+	// declInit records the initializer of each decl-form private, for
+	// the SubstPrivates export.
+	declInit map[string]ast.Expr
+}
+
+// privScalar is one recognized iteration-private scalar definition.
+type privScalar struct {
+	affine   poly.Affine
+	isAffine bool
 }
 
 // arrayCand is one candidate array-reduction update statement.
@@ -694,16 +947,34 @@ func (b *bodyBuilder) statement(s ast.Stmt, seq int) (*poly.Statement, bool) {
 	case *ast.ExprStmt:
 		// Guarded min/max on an array element in its ?: form
 		// (lo[b[i]] = x < lo[b[i]] ? x : lo[b[i]]): an array-reduction
-		// candidate, handled like the if-form below.
+		// candidate, handled like the if-form below. The same ?: form
+		// on a recognized private scalar is an iteration-local clamp.
 		if target, data, dir, ok := ast.MinMaxUpdateLV(x); ok {
 			if ix, okIx := target.(*ast.IndexExpr); okIx {
 				return st, b.minMaxArrayUpdate(st, seq, ix, data, dir)
 			}
+			if id, okID := target.(*ast.Ident); okID {
+				if done, okP := b.privMinMax(id, data, st); done {
+					return st, okP
+				}
+			}
+		}
+		if done, ok := b.privAssign(x.X, st, seq); done {
+			return st, ok
 		}
 		if done, ok := b.starUpdate(x.X, st, seq); done {
 			return st, ok
 		}
 		if !b.expr(x.X, st, true) {
+			return nil, false
+		}
+		return st, true
+	case *ast.DeclStmt:
+		// A body-local scalar declaration defines an iteration-private
+		// value (int j = d[i]; or int j = i + k;): each iteration
+		// re-executes the definition before any use, so the scalar
+		// carries no cross-iteration dependence.
+		if !b.privDecl(x, st) {
 			return nil, false
 		}
 		return st, true
@@ -716,6 +987,12 @@ func (b *bodyBuilder) statement(s ast.Stmt, seq int) (*poly.Statement, bool) {
 		// by recognizeReductions plus dependence analysis.
 		if target, data, dir, ok := ast.MinMaxUpdateLV(x); ok {
 			if m, okM := target.(*ast.Ident); okM {
+				// Clamping a private scalar (if (j < 0) j = 0;)
+				// refines the iteration's own value: no shared state
+				// is touched, so no scalar access is recorded.
+				if done, okP := b.privMinMax(m, data, st); done {
+					return st, okP
+				}
 				if !b.lhs(m, st, true) {
 					return nil, false
 				}
@@ -780,6 +1057,212 @@ func countAccesses(st *poly.Statement, name string) int {
 		}
 	}
 	return n
+}
+
+// privDecl consumes a body-local scalar declaration `int j = e;` as an
+// iteration-private definition. The declaration executes anew every
+// iteration, so the scalar is dead across iterations by construction;
+// the statement records only the reads of the initializer. The one
+// extra requirement is that every use of the name in the nest binds
+// this declaration — a shadowed outer variable of the same name would
+// confuse the name-keyed subscript analysis.
+func (b *bodyBuilder) privDecl(ds *ast.DeclStmt, st *poly.Statement) bool {
+	if len(ds.Decls) != 1 || ds.Decls[0].Init == nil {
+		b.d.rejectf(ds.Pos(), "SCoP body declaration must declare a single initialized scalar")
+		return false
+	}
+	vd := ds.Decls[0]
+	sym := b.declSym(vd)
+	if sym == nil || sym.IsArray() || sym.Type == nil ||
+		sym.Type.Kind != types.Int || sym.Type.IsPtr() {
+		b.d.rejectf(ds.Pos(), "declaration of %s in a SCoP body must be a plain int scalar", vd.Name)
+		return false
+	}
+	if b.iters[vd.Name] || !b.uniqueName(vd.Name, sym) {
+		b.d.rejectf(ds.Pos(), "declaration of %s shadows another variable used in the nest", vd.Name)
+		return false
+	}
+	if !b.expr(vd.Init, st, false) {
+		return false
+	}
+	b.definePriv(vd.Name, vd.Init, false)
+	if b.declInit == nil {
+		b.declInit = map[string]ast.Expr{}
+	}
+	b.declInit[vd.Name] = vd.Init
+	return true
+}
+
+// privAssign consumes a single-assignment definition `j = e;` of a
+// function-local int scalar as iteration-private: the nest must
+// contain exactly this one store of j, no use of j may precede it in
+// the body (a prior use would read the previous iteration's value, a
+// real dependence), the definition must not read j itself, and j must
+// be dead after the nest (no use elsewhere in the function). Each
+// iteration's j is then self-contained and the statement records only
+// the reads of e. done=false falls back to the scalar-write path.
+func (b *bodyBuilder) privAssign(e ast.Expr, st *poly.Statement, seq int) (done, ok bool) {
+	as, okAs := stripParens(e).(*ast.AssignExpr)
+	if !okAs || as.Op != token.ASSIGN {
+		return false, false
+	}
+	id, okID := stripParens(as.LHS).(*ast.Ident)
+	if !okID || b.iters[id.Name] {
+		return false, false
+	}
+	sym := b.d.info.Ref[id]
+	if sym == nil || sym.Kind != sema.SymLocal || sym.IsArray() ||
+		sym.Type == nil || sym.Type.Kind != types.Int || sym.Type.IsPtr() {
+		return false, false
+	}
+	if !b.uniqueName(id.Name, sym) || !b.privatizable(sym, seq) {
+		return false, false
+	}
+	for _, r := range ast.Idents(as.RHS) {
+		if b.d.info.Ref[r] == sym {
+			return false, false
+		}
+	}
+	if !b.expr(as.RHS, st, false) {
+		return true, false
+	}
+	b.definePriv(id.Name, as.RHS, true)
+	return true, true
+}
+
+// privMinMax consumes a guarded min/max update whose target is an
+// already-recognized private scalar: the clamp refines the iteration's
+// own value (j = max(j, 0)), reading only the data expression; nothing
+// another iteration could observe is touched, so no scalar access is
+// recorded. The scalar's affine definition — if any — no longer holds
+// after the clamp, so it becomes opaque and later subscript uses
+// degrade to star reads the value-range analysis may prove bounded.
+func (b *bodyBuilder) privMinMax(m *ast.Ident, data ast.Expr, st *poly.Statement) (done, ok bool) {
+	if _, isPriv := b.priv[m.Name]; !isPriv {
+		return false, false
+	}
+	b.priv[m.Name] = privScalar{}
+	if !b.expr(data, st, false) || !b.expr(data, st, false) {
+		return true, false
+	}
+	return true, true
+}
+
+// privatizable checks the single-store and no-prior-use conditions of
+// privAssign: the nest stores the scalar exactly once (this
+// assignment, no compound updates or ++/--), no body statement before
+// seq mentions it, and every use of the symbol in the function sits
+// inside the nest.
+func (b *bodyBuilder) privatizable(sym *sema.Symbol, seq int) bool {
+	stores := 0
+	for _, as := range ast.Assignments(b.sc.Outer) {
+		if lhs, okL := stripParens(as.LHS).(*ast.Ident); okL && b.d.info.Ref[lhs] == sym {
+			stores++
+		}
+	}
+	if stores != 1 {
+		return false
+	}
+	for k := 0; k < seq && k < len(b.sc.BodyStmts); k++ {
+		for _, prev := range ast.Idents(b.sc.BodyStmts[k]) {
+			if b.d.info.Ref[prev] == sym {
+				return false
+			}
+		}
+	}
+	inNest := 0
+	for _, id := range ast.Idents(b.sc.Outer) {
+		if b.d.info.Ref[id] == sym {
+			inNest++
+		}
+	}
+	inFn := 0
+	for _, id := range ast.Idents(b.d.fn.Body) {
+		if b.d.info.Ref[id] == sym {
+			inFn++
+		}
+	}
+	return inNest == inFn
+}
+
+// declSym finds the symbol a body-local declaration binds.
+func (b *bodyBuilder) declSym(vd *ast.VarDecl) *sema.Symbol {
+	for _, s := range b.d.info.FuncLocals[b.d.fn.Name] {
+		if s.Decl == vd {
+			return s
+		}
+	}
+	return nil
+}
+
+// uniqueName reports whether every identifier of the given name inside
+// the nest resolves to sym (no shadowing confusion).
+func (b *bodyBuilder) uniqueName(name string, sym *sema.Symbol) bool {
+	for _, id := range ast.Idents(b.sc.Outer) {
+		if id.Name == name && b.d.info.Ref[id] != sym {
+			return false
+		}
+	}
+	return true
+}
+
+// definePriv registers a private scalar and tries to keep its affine
+// definition for subscript substitution. clause marks scalars declared
+// outside the loop (the `j = e;` form): those must appear in the
+// pragma's private(...) clause, while body-local declarations are
+// automatically private.
+func (b *bodyBuilder) definePriv(name string, init ast.Expr, clause bool) {
+	p := privScalar{}
+	if a, err := b.affineSub(init); err == nil {
+		p = privScalar{affine: a, isAffine: true}
+	}
+	if _, seen := b.priv[name]; !seen {
+		b.privOrder = append(b.privOrder, name)
+		if clause {
+			b.privClause = append(b.privClause, name)
+		}
+	}
+	b.priv[name] = p
+}
+
+// affineSub converts a subscript (or initializer) to affine form,
+// treating affine private scalars as parameters and substituting their
+// definitions — so y[i] = x[j] with j = i + k analyzes as x[i + k].
+// Opaque private scalars classify as ClassOther, failing the
+// conversion so the caller degrades the access to a star read.
+func (b *bodyBuilder) affineSub(sub ast.Expr) (poly.Affine, error) {
+	cls := b.classify
+	if len(b.priv) > 0 {
+		cls = func(name string) poly.VarClass {
+			if p, okP := b.priv[name]; okP {
+				if p.isAffine {
+					return poly.ClassParam
+				}
+				return poly.ClassOther
+			}
+			return b.classify(name)
+		}
+	}
+	a, err := poly.FromExpr(sub, cls)
+	if err != nil {
+		return a, err
+	}
+	for _, v := range a.Vars() {
+		if p, okP := b.priv[v]; okP && p.isAffine {
+			c := a.CoefOf(v)
+			a = a.Sub(poly.Var(v).Scale(c)).Add(p.affine.Scale(c))
+		}
+	}
+	return a, nil
+}
+
+// notePtr records a pointer used as an access base for the alias
+// resolution pass.
+func (b *bodyBuilder) notePtr(name string, sym *sema.Symbol) {
+	if _, seen := b.ptrSyms[name]; !seen {
+		b.ptrOrder = append(b.ptrOrder, name)
+		b.ptrSyms[name] = sym
+	}
 }
 
 // starUpdate handles body statements whose store target is an array
@@ -863,7 +1346,7 @@ func (b *bodyBuilder) starUpdate(e ast.Expr, st *poly.Statement, seq int) (done,
 func (b *bodyBuilder) subsAffine(e *ast.IndexExpr) bool {
 	subs, _ := collectIndexChain(e)
 	for _, sub := range subs {
-		if _, err := poly.FromExpr(sub, b.classify); err != nil {
+		if _, err := b.affineSub(sub); err != nil {
 			return false
 		}
 	}
@@ -978,8 +1461,16 @@ func (b *bodyBuilder) indexAccess(e *ast.IndexExpr, st *poly.Statement, write bo
 		return false
 	}
 	acc := poly.Access{Array: id.Name, Write: write}
+	if sym := b.d.info.Ref[id]; sym != nil && !sym.IsArray() &&
+		sym.Type != nil && sym.Type.IsPtr() {
+		// Pointer base: mark the access for the alias resolution pass,
+		// which renames it to its points-to region (or flags it
+		// MayAlias when unresolved).
+		acc.Via = id.Name
+		b.notePtr(id.Name, sym)
+	}
 	for _, sub := range subs {
-		a, err := poly.FromExpr(sub, b.classify)
+		a, err := b.affineSub(sub)
 		if err != nil {
 			if !b.starOK && !(!write && b.gatherShape(subs)) {
 				b.d.rejectf(sub.Pos(), "non-affine subscript: %v", err)
@@ -1020,26 +1511,51 @@ func (b *bodyBuilder) indexAccess(e *ast.IndexExpr, st *poly.Statement, write bo
 }
 
 // gatherShape reports whether every subscript in the chain is either
-// affine or a one-level load of a named integer array (the idx[i] of
-// x[idx[i]]) — the data-dependent read form the value-range analysis
-// can try to prove bounded.
+// affine, a one-level load of a named integer array (the idx[i] of
+// x[idx[i]]), an opaque private scalar (the clamped j of x[j]), or a
+// ?:-clamp over one of those forms — the data-dependent read forms the
+// value-range analysis can try to prove bounded.
 func (b *bodyBuilder) gatherShape(subs []ast.Expr) bool {
 	for _, sub := range subs {
-		if _, err := poly.FromExpr(sub, b.classify); err == nil {
-			continue
-		}
-		ix, ok := ast.Unparen(sub).(*ast.IndexExpr)
-		if !ok {
-			return false
-		}
-		if _, ok := ast.Unparen(ix.X).(*ast.Ident); !ok {
-			return false
-		}
-		if _, err := poly.FromExpr(ix.Index, b.classify); err != nil {
+		if !b.gatherSub(sub) {
 			return false
 		}
 	}
 	return true
+}
+
+// gatherSub is gatherShape for one subscript.
+func (b *bodyBuilder) gatherSub(sub ast.Expr) bool {
+	if _, err := b.affineSub(sub); err == nil {
+		return true
+	}
+	switch x := ast.Unparen(sub).(type) {
+	case *ast.Ident:
+		_, isPriv := b.priv[x.Name]
+		return isPriv
+	case *ast.IndexExpr:
+		if _, ok := ast.Unparen(x.X).(*ast.Ident); !ok {
+			return false
+		}
+		_, err := poly.FromExpr(x.Index, b.classify)
+		return err == nil
+	case *ast.CondExpr:
+		// A min/max clamp written inline: every leaf of the ternary
+		// (condition operands and both arms) must itself be a gather
+		// subscript, e.g. x[d[i] < 0 ? 0 : (d[i] > 7 ? 7 : d[i])].
+		cond, ok := ast.Unparen(x.Cond).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch cond.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return false
+		}
+		return b.gatherSub(cond.X) && b.gatherSub(cond.Y) &&
+			b.gatherSub(x.Then) && b.gatherSub(x.Else)
+	}
+	return false
 }
 
 // indexArrayName names the index array of the first data-dependent
@@ -1094,7 +1610,12 @@ func (b *bodyBuilder) callArg(arg ast.Expr, st *poly.Statement) bool {
 	case *ast.Ident:
 		sym := b.d.info.Ref[x]
 		if sym != nil && (sym.IsArray() || (sym.Type != nil && sym.Type.IsPtr())) {
-			st.Reads = append(st.Reads, poly.Access{Array: x.Name})
+			acc := poly.Access{Array: x.Name}
+			if !sym.IsArray() && sym.Type != nil && sym.Type.IsPtr() {
+				acc.Via = x.Name
+				b.notePtr(x.Name, sym)
+			}
+			st.Reads = append(st.Reads, acc)
 		}
 		return true
 	default:

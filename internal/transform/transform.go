@@ -67,9 +67,19 @@ type LoopReport struct {
 	Reductions []string
 	// SerialReason explains, in one human-readable sentence, why the
 	// nest stayed serial (ParallelLevel == -1): a scalar write that is
-	// not a recognized reduction, a carried data dependence, or the
-	// minimum-trip profitability heuristic. Empty for parallel nests.
+	// not a recognized reduction, a carried data dependence, an
+	// unresolved pointer access, or the minimum-trip profitability
+	// heuristic. Empty for parallel nests.
 	SerialReason string
+	// AliasNotes records the points-to resolution the SCoP detector
+	// applied to the nest's pointer-based accesses (exact region, may
+	// set, or unknown), mirrored from scop.SCoP.AliasNotes for
+	// -emit report diagnostics.
+	AliasNotes []string
+	// PrivateScalars lists the iteration-private scalar definitions
+	// the detector recognized in the body; the ones defined by plain
+	// assignment appear in the pragma's private(...) clause.
+	PrivateScalars []string
 }
 
 // Report summarizes a Parallelize run.
@@ -85,6 +95,9 @@ func (r *Report) String() string {
 			l.Func, l.Depth, l.Deps, l.ParallelLevel, l.Skewed, l.Tiled, l.Pragma)
 		if l.SerialReason != "" {
 			fmt.Fprintf(&b, "%s: serial: %s\n", l.Func, l.SerialReason)
+		}
+		for _, n := range l.AliasNotes {
+			fmt.Fprintf(&b, "%s: alias: %s\n", l.Func, n)
 		}
 	}
 	return b.String()
@@ -104,7 +117,8 @@ func Parallelize(scops []*scop.SCoP, opts Options) (*Report, error) {
 }
 
 func transformOne(sc *scop.SCoP, opts Options) (LoopReport, error) {
-	lr := LoopReport{Func: sc.Func.Name, Depth: sc.Nest.Depth()}
+	lr := LoopReport{Func: sc.Func.Name, Depth: sc.Nest.Depth(),
+		AliasNotes: sc.AliasNotes, PrivateScalars: sc.PrivateScalars}
 	nest := sc.Nest
 	deps := poly.AnalyzeDeps(nest)
 	lr.Deps = len(deps)
@@ -132,6 +146,17 @@ func transformOne(sc *scop.SCoP, opts Options) (LoopReport, error) {
 	// impose nothing.
 	forced := unprovenStarRead(nest)
 	if forced != nil {
+		par = make([]bool, len(par))
+	}
+
+	// An access through a pointer the alias analysis could not resolve
+	// may touch any array: a write through it (or a read beside any
+	// array write) could conflict with every other iteration, so the
+	// nest is forced serial. Reduction tagging does not exempt such an
+	// access — privatizing an accumulator whose target region is
+	// unknown could split updates that alias another array in the nest.
+	aliased := mayAliasAccess(nest)
+	if aliased != nil {
 		par = make([]bool, len(par))
 	}
 
@@ -176,13 +201,42 @@ func transformOne(sc *scop.SCoP, opts Options) (LoopReport, error) {
 		lr.Reductions = append(lr.Reductions, r.ClauseOp()+":"+r.ClauseVar())
 	}
 	if parIdx < 0 {
-		lr.SerialReason = serialReason(nest, deps, forced, tripSuppressed, opts)
+		lr.SerialReason = serialReason(nest, deps, forced, aliased, tripSuppressed, opts)
 	}
 
 	newLoop, pragma := buildLoops(gen, parIdx, opts, sc)
 	lr.Pragma = pragma
 	replaceStmt(sc.Func.Body, sc.Outer, newLoop)
 	return lr, nil
+}
+
+// mayAliasAccess returns the first unresolved pointer access that
+// forces the nest serial: any MayAlias write, or a MayAlias read in a
+// nest that writes some array (reads cannot conflict with scalar
+// accumulators, so a reads-plus-scalar-reduction nest — a dot product
+// through pointer operands — stays parallel-eligible).
+func mayAliasAccess(nest *poly.Nest) *poly.Access {
+	hasArrayWrite := false
+	for _, st := range nest.Stmts {
+		for i := range st.Writes {
+			if !strings.HasPrefix(st.Writes[i].Array, "scalar:") {
+				hasArrayWrite = true
+			}
+		}
+	}
+	for _, st := range nest.Stmts {
+		for i := range st.Writes {
+			if st.Writes[i].MayAlias {
+				return &st.Writes[i]
+			}
+		}
+		for i := range st.Reads {
+			if st.Reads[i].MayAlias && hasArrayWrite {
+				return &st.Reads[i]
+			}
+		}
+	}
+	return nil
 }
 
 // unprovenStarRead returns the first non-reduction star read the
@@ -201,10 +255,26 @@ func unprovenStarRead(nest *poly.Nest) *poly.Access {
 }
 
 // serialReason explains why no loop level carries the OpenMP pragma.
-func serialReason(nest *poly.Nest, deps []*poly.Dep, forced *poly.Access, tripSuppressed bool, opts Options) string {
+func serialReason(nest *poly.Nest, deps []*poly.Dep, forced, aliased *poly.Access, tripSuppressed bool, opts Options) string {
+	// An unresolved pointer is the root cause when present: it forces
+	// serialization by itself, and any dependences the analysis also
+	// found are keyed to a pointer name that may alias anything — so
+	// the alias reason is reported before the dependence reasons.
+	if aliased != nil {
+		kind := "a read"
+		if aliased.Write {
+			kind = "a write"
+		}
+		note := aliased.Note
+		if note == "" {
+			note = aliased.Via + " may point anywhere"
+		}
+		return fmt.Sprintf("serialized by %s through unresolved pointer %s: %s (iterations could conflict through the hidden target region)",
+			kind, aliased.Via, note)
+	}
 	// A scalar write that did not qualify as a reduction serializes
 	// every level — the most common and most actionable cause, so it is
-	// reported first.
+	// reported next.
 	scalars := map[string]bool{}
 	arrays := map[string]bool{}
 	for _, d := range deps {
@@ -370,8 +440,9 @@ func astName(v string) string {
 // buildLoops regenerates the loop nest AST from the generated structure
 // and returns it together with the pragma text inserted (if any).
 func buildLoops(gen *poly.GenNest, parIdx int, opts Options, sc *scop.SCoP) (ast.Stmt, string) {
-	// Innermost body: the original statements.
-	var body ast.Stmt = &ast.BlockStmt{List: sc.BodyStmts}
+	// Innermost body: the original statements, with affine private
+	// scalar definitions forward-substituted into their uses.
+	var body ast.Stmt = &ast.BlockStmt{List: substPrivates(sc)}
 	pragma := ""
 	for k := len(gen.Loops) - 1; k >= 0; k-- {
 		l := gen.Loops[k]
@@ -392,7 +463,7 @@ func buildLoops(gen *poly.GenNest, parIdx int, opts Options, sc *scop.SCoP) (ast
 		}
 		var stmts []ast.Stmt
 		if k == parIdx {
-			pragma = ompPragma(gen, k, opts, sc.Reductions)
+			pragma = ompPragma(gen, k, opts, sc)
 			stmts = append(stmts, &ast.PragmaStmt{Text: pragma})
 		} else if k == len(gen.Loops)-1 && l.Vector && l.Parallel && k != parIdx {
 			// SICA-style vectorization hint on the innermost loop.
@@ -408,16 +479,82 @@ func buildLoops(gen *poly.GenNest, parIdx int, opts Options, sc *scop.SCoP) (ast
 	return body, pragma
 }
 
+// substPrivates forward-substitutes the SCoP's affine private scalar
+// definitions (`int j = i + k;`) into their uses and drops the
+// declarations, so a derived-subscript body collapses to the single
+// statement the kernel fuser recognizes (and the value-range analysis
+// proves directly, since the substituted subscript is affine in the
+// iterator). An affine initializer is pure integer arithmetic of
+// iterators, parameters and constants: re-evaluating it per use is
+// deterministic and cannot trap, so the rewrite is observation- and
+// trap-equivalent. Bodies without substitutable decls pass through
+// unchanged.
+func substPrivates(sc *scop.SCoP) []ast.Stmt {
+	if len(sc.SubstPrivates) == 0 {
+		return sc.BodyStmts
+	}
+	repl := map[string]ast.Expr{}
+	out := make([]ast.Stmt, 0, len(sc.BodyStmts))
+	for _, s := range sc.BodyStmts {
+		if len(repl) > 0 {
+			ast.RewriteExpr(s, func(e ast.Expr) ast.Expr {
+				if id, ok := e.(*ast.Ident); ok {
+					if r, ok2 := repl[id.Name]; ok2 {
+						return &ast.ParenExpr{X: cloneExpr(r)}
+					}
+				}
+				return e
+			})
+		}
+		if ds, ok := s.(*ast.DeclStmt); ok && len(ds.Decls) == 1 {
+			d := ds.Decls[0]
+			if _, ok2 := sc.SubstPrivates[d.Name]; ok2 && d.Init != nil && len(d.ArrayLens) == 0 {
+				// Record the live (already-substituted) initializer and
+				// drop the declaration.
+				repl[d.Name] = d.Init
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// cloneExpr deep-copies the expression forms an affine initializer can
+// contain, so each substituted use site owns its nodes. Other forms
+// cannot appear in an affine initializer; they are returned shared as a
+// harmless fallback (the transformed source is printed and re-parsed,
+// which deduplicates).
+func cloneExpr(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case *ast.Ident:
+		c := *x
+		return &c
+	case *ast.IntLit:
+		c := *x
+		return &c
+	case *ast.ParenExpr:
+		return &ast.ParenExpr{X: cloneExpr(x.X), LPos: x.LPos}
+	case *ast.BinaryExpr:
+		return &ast.BinaryExpr{X: cloneExpr(x.X), Op: x.Op, Y: cloneExpr(x.Y)}
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{Op: x.Op, OpPos: x.OpPos, X: cloneExpr(x.X)}
+	}
+	return e
+}
+
 // ompPragma builds the OpenMP directive for the parallel loop: the inner
-// iterators are listed private, like the lbv/ubv/t2 clause in the paper's
-// Listing 8, and recognized reduction accumulators get a
-// reduction(op:var) clause that the execution backends honor via
-// rt.Team.ParallelForReduce.
-func ompPragma(gen *poly.GenNest, k int, opts Options, reds []scop.Reduction) string {
+// iterators and the body's assignment-defined private scalars are listed
+// private, like the lbv/ubv/t2 clause in the paper's Listing 8, and
+// recognized reduction accumulators get a reduction(op:var) clause that
+// the execution backends honor via rt.Team.ParallelForReduce.
+func ompPragma(gen *poly.GenNest, k int, opts Options, sc *scop.SCoP) string {
+	reds := sc.Reductions
 	var privates []string
 	for i := k + 1; i < len(gen.Loops); i++ {
 		privates = append(privates, astName(gen.Loops[i].Iter))
 	}
+	privates = append(privates, sc.PrivateScalars...)
 	sort.Strings(privates)
 	s := "#pragma omp parallel for"
 	if len(privates) > 0 {

@@ -9,6 +9,7 @@ import (
 	"purec/internal/purity"
 	"purec/internal/scop"
 	"purec/internal/sema"
+	"purec/internal/vra"
 )
 
 func prep(t *testing.T, src string) (*sema.Info, []*scop.SCoP) {
@@ -25,7 +26,14 @@ func prep(t *testing.T, src string) (*sema.Info, []*scop.SCoP) {
 	if err := pres.Err(); err != nil {
 		t.Fatalf("purity: %v", err)
 	}
-	res := scop.Detect(info, pres)
+	// The real pipeline always hands the detector the value-range
+	// analysis' alias oracle; mirror that here so pointer-based fixtures
+	// resolve like they do under purecc.
+	var oracle scop.AliasOracle
+	if v := vra.Analyze(info); v.Alias != nil {
+		oracle = v.Alias
+	}
+	res := scop.DetectWith(info, pres, scop.Options{AllowPureCalls: true, Aliases: oracle})
 	if len(res.Errors) > 0 {
 		t.Fatalf("scop errors: %v", res.Errors)
 	}
@@ -43,7 +51,14 @@ pure float dot(pure float* a, pure float* b, int size) {
     return res;
 }
 
+void alloc() {
+    A = (float**)malloc(n * sizeof(float*));
+    Bt = (float**)malloc(n * sizeof(float*));
+    C = (float**)malloc(n * sizeof(float*));
+}
+
 int main(void) {
+    alloc();
     for (int i = 0; i < n; ++i)
         for (int j = 0; j < n; ++j)
             C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], n);

@@ -1,0 +1,151 @@
+package vra
+
+import (
+	"strings"
+	"testing"
+
+	"purec/internal/parser"
+	"purec/internal/sema"
+)
+
+func analyzeSrc(t *testing.T, src string) (*Result, *sema.Info) {
+	t.Helper()
+	file, err := parser.Parse("alias.pc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(info), info
+}
+
+func localSym(t *testing.T, info *sema.Info, fn, name string) *sema.Symbol {
+	t.Helper()
+	for _, s := range info.FuncLocals[fn] {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no local %s in %s", name, fn)
+	return nil
+}
+
+func globalSym(t *testing.T, info *sema.Info, name string) *sema.Symbol {
+	t.Helper()
+	for _, s := range info.Globals {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no global %s", name)
+	return nil
+}
+
+// TestAliasExactResolution covers the exact chain: &a[k], array decay,
+// pointer copies, pointer arithmetic, and single-store malloc globals.
+func TestAliasExactResolution(t *testing.T) {
+	src := `
+float a[32];
+float *g;
+void init() { g = (float*)malloc(64 * sizeof(float)); }
+int main() {
+    float *p = &a[0];
+    float *q = &a[4];
+    float *r = p + 2;
+    float *s = a;
+    init();
+    sink(p, q, r, s);
+    return 0;
+}
+pure float sink(pure float* w, pure float* x, pure float* y, pure float* z) {
+    return w[0] + x[0] + y[0] + z[0];
+}
+`
+	res, info := analyzeSrc(t, src)
+	al := res.Alias
+	if al == nil {
+		t.Fatal("no alias result")
+	}
+	cases := []struct {
+		name   string
+		region string
+		off    int64
+	}{
+		{"p", "a", 0}, {"q", "a", 4}, {"r", "a", 2}, {"s", "a", 0},
+	}
+	for _, c := range cases {
+		sym := localSym(t, info, "main", c.name)
+		reg, off, ok := al.ResolveExact(sym)
+		if !ok || reg != c.region || off != c.off {
+			t.Errorf("%s: got (%q, %d, %v), want (%q, %d)", c.name, reg, off, ok, c.region, c.off)
+		}
+	}
+	g := globalSym(t, info, "g")
+	reg, off, ok := al.ResolveExact(g)
+	if !ok || !strings.HasPrefix(reg, "malloc@") || off != 0 {
+		t.Errorf("g: got (%q, %d, %v), want malloc region", reg, off, ok)
+	}
+}
+
+// TestAliasUnresolved covers the conservative side: multi-store
+// pointers keep a may set, data-dependent ones are unknown.
+func TestAliasUnresolved(t *testing.T) {
+	src := `
+float a[8];
+float b[8];
+int flag;
+int main() {
+    float *p = &a[0];
+    if (flag) { p = &b[0]; }
+    float *q = &a[flag];
+    return (int)(p[0] + q[0]);
+}
+`
+	res, info := analyzeSrc(t, src)
+	al := res.Alias
+	p := localSym(t, info, "main", "p")
+	if _, _, ok := al.ResolveExact(p); ok {
+		t.Error("two-store p must not resolve exactly")
+	}
+	if set := al.MayPointTo(p); len(set) != 2 || set[0] != "a" || set[1] != "b" {
+		t.Errorf("p may set: %v, want [a b]", set)
+	}
+	q := localSym(t, info, "main", "q")
+	if _, _, ok := al.ResolveExact(q); ok {
+		t.Error("data-dependent q must not resolve exactly")
+	}
+	if d := al.Describe(q); !strings.Contains(d, "anything") {
+		t.Errorf("q describe: %q", d)
+	}
+}
+
+// TestAliasElision pins the proof consumer: a pointer initialized to a
+// declared array proves its accesses against the array's extent, minus
+// the offset.
+func TestAliasElision(t *testing.T) {
+	src := `
+float a[16];
+float out[8];
+int main() {
+    float *p = &a[8];
+    for (int i = 0; i < 8; i++)
+        out[i] = p[i];
+    return 0;
+}
+`
+	res, _ := analyzeSrc(t, src)
+	found := false
+	for e := range res.Proofs() {
+		if exprString(e) == "p[i]" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("p[i] with p = &a[8], i in [0,8) not proven against extent 16-8")
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("unexpected findings: %v", res.Findings)
+	}
+}

@@ -1,0 +1,182 @@
+package vra
+
+import (
+	"fmt"
+
+	"purec/internal/ast"
+	"purec/internal/sema"
+	"purec/internal/token"
+)
+
+// deadCode runs the liveness diagnostics per function: locals that are
+// declared but never used, and stores whose value is never read —
+// either because the variable has no reads at all, or because a later
+// store in the same straight-line block overwrites it first.
+// Address-taken variables are exempt (a pointer may read them), as are
+// globals and parameters.
+func (a *analyzer) deadCode() {
+	for _, fd := range a.info.File.Funcs() {
+		if fd.Body == nil {
+			continue
+		}
+		a.deadCodeFunc(fd)
+	}
+}
+
+type storeSite struct {
+	pos  token.Pos
+	expr string
+}
+
+func (a *analyzer) deadCodeFunc(fd *ast.FuncDecl) {
+	eligible := func(sym *sema.Symbol) bool {
+		return sym != nil && sym.Kind == sema.SymLocal && !sym.IsArray() &&
+			!a.addrTaken[sym]
+	}
+
+	// Reference census: every identifier occurrence is a use, except
+	// the target of a plain assignment (compound assigns and ++/--
+	// read the old value, so their targets stay uses).
+	reads := map[*sema.Symbol]int{}
+	stores := map[*sema.Symbol][]storeSite{}
+	storeTargets := map[*ast.Ident]bool{}
+	ast.Walk(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignExpr); ok && as.Op == token.ASSIGN {
+			if id, okI := ast.Unparen(as.LHS).(*ast.Ident); okI {
+				storeTargets[id] = true
+				if sym := a.info.Ref[id]; eligible(sym) {
+					stores[sym] = append(stores[sym], storeSite{
+						pos: as.Pos(), expr: ast.PrintExpr(as),
+					})
+				}
+			}
+		}
+		return true
+	})
+	ast.Walk(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !storeTargets[id] {
+			if sym := a.info.Ref[id]; sym != nil {
+				reads[sym]++
+			}
+		}
+		return true
+	})
+
+	for _, sym := range a.info.FuncLocals[fd.Name] {
+		if !eligible(sym) || sym.Decl == nil || reads[sym] > 0 {
+			continue
+		}
+		switch {
+		case len(stores[sym]) == 0:
+			a.res.Findings = append(a.res.Findings, Finding{
+				Kind: UnusedVar,
+				Pos:  sym.Decl.Pos(),
+				Expr: sym.Name,
+				Msg: fmt.Sprintf("%s is declared but never used (declared at %s)",
+					sym.Name, sym.Decl.Pos()),
+			})
+		default:
+			for _, st := range stores[sym] {
+				a.res.Findings = append(a.res.Findings, Finding{
+					Kind: DeadStore,
+					Pos:  st.pos,
+					Expr: st.expr,
+					Msg: fmt.Sprintf("value stored by %s is never read (%s has no reads in %s)",
+						st.expr, sym.Name, fd.Name),
+				})
+			}
+		}
+	}
+
+	// Straight-line overwrites: x = e1; x = e2; with no intervening
+	// read of x, no control flow and no calls makes e1's store dead
+	// even when x is live later.
+	overwritten := map[token.Pos]bool{}
+	ast.Walk(fd.Body, func(n ast.Node) bool {
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		pending := map[*sema.Symbol]storeSite{}
+		for _, st := range blk.List {
+			as := plainAssign(st)
+			if as == nil {
+				// Any other statement may read or branch: forget all.
+				pending = map[*sema.Symbol]storeSite{}
+				continue
+			}
+			id, _ := ast.Unparen(as.LHS).(*ast.Ident)
+			sym := a.info.Ref[id]
+			// Reads inside this statement kill the pending stores of
+			// what they read.
+			for _, rid := range ast.Idents(as.RHS) {
+				delete(pending, a.info.Ref[rid])
+			}
+			if !eligible(sym) || !effectFree(as.RHS) || hasCall(as.RHS) {
+				delete(pending, sym)
+				continue
+			}
+			if prev, okP := pending[sym]; okP && !overwritten[prev.pos] {
+				overwritten[prev.pos] = true
+				a.res.Findings = append(a.res.Findings, Finding{
+					Kind: DeadStore,
+					Pos:  prev.pos,
+					Expr: prev.expr,
+					Msg: fmt.Sprintf("value stored by %s is overwritten by %s before any read",
+						prev.expr, as2line(as)),
+				})
+			}
+			pending[sym] = storeSite{pos: as.Pos(), expr: ast.PrintExpr(as)}
+		}
+		return true
+	})
+}
+
+// plainAssign matches an expression statement that is exactly
+// `ident = rhs`.
+func plainAssign(st ast.Stmt) *ast.AssignExpr {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	as, ok := ast.Unparen(es.X).(*ast.AssignExpr)
+	if !ok || as.Op != token.ASSIGN {
+		return nil
+	}
+	if _, ok := ast.Unparen(as.LHS).(*ast.Ident); !ok {
+		return nil
+	}
+	return as
+}
+
+// effectFree reports whether evaluating e cannot write any variable.
+func effectFree(e ast.Expr) bool {
+	free := true
+	ast.Walk(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignExpr, *ast.PostfixExpr:
+			free = false
+		case *ast.UnaryExpr:
+			if x.Op == token.INC || x.Op == token.DEC {
+				free = false
+			}
+		}
+		return free
+	})
+	return free
+}
+
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Walk(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func as2line(as *ast.AssignExpr) string {
+	return fmt.Sprintf("%s at %s", ast.PrintExpr(as), as.Pos())
+}

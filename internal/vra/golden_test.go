@@ -6,9 +6,12 @@ import (
 	"strings"
 	"testing"
 
+	"purec/internal/ast"
 	"purec/internal/parser"
 	"purec/internal/sema"
 )
+
+func exprString(e ast.Expr) string { return ast.PrintExpr(e) }
 
 // analyzeFile runs the analysis over one corpus program.
 func analyzeFile(t *testing.T, name string) *Result {
@@ -60,6 +63,19 @@ func TestGoldenCorpus(t *testing.T) {
 			{DeadGuard, "s < 0 && s > 10 is always false"},
 			{DeadGuard, "i > 100 is always false"},
 		}},
+		{"dead_store.pc", []expect{
+			{DeadStore, "value stored by t = 1 is overwritten"},
+			{DeadStore, "value stored by u = 5 is never read"},
+		}},
+		{"unused_var.pc", []expect{
+			{UnusedVar, "unused is declared but never used"},
+		}},
+		{"entailment.pc", []expect{
+			{DeadGuard, "j <= i is always false (j = i + 1"},
+			{AlwaysTrue, "j > i is always true (j = i + 1"},
+		}},
+		{"clamp.pc", nil},
+		{"derived.pc", nil},
 		{"clean.pc", nil},
 	}
 	for _, tc := range cases {
@@ -107,6 +123,34 @@ func renderAll(res *Result) string {
 		return "  (none)\n"
 	}
 	return b.String()
+}
+
+// TestClampProofs pins the path-sensitive refinement: all three clamp
+// idioms (if-statement, ?:, else-branch) prove their x[j] access, so no
+// corpus finding fires and every x[j] check may be elided.
+func TestClampProofs(t *testing.T) {
+	res := analyzeFile(t, "clamp.pc")
+	proven := 0
+	for e := range res.Proofs() {
+		if s := exprString(e); s == "x[j]" {
+			proven++
+		}
+	}
+	if proven != 3 {
+		t.Errorf("want all 3 clamped x[j] accesses proven, got %d", proven)
+	}
+}
+
+// TestDerivedProofs pins the derived-iterator subscript: j = i + 5
+// inherits i's loop bounds and xx[j] proves in-bounds.
+func TestDerivedProofs(t *testing.T) {
+	res := analyzeFile(t, "derived.pc")
+	for e := range res.Proofs() {
+		if exprString(e) == "xx[j]" {
+			return
+		}
+	}
+	t.Error("xx[j] with j = i + 5 not proven")
 }
 
 // TestCleanProofs pins the prover side of the corpus: the clean gather

@@ -1,0 +1,199 @@
+package vra
+
+import (
+	"fmt"
+
+	"purec/internal/ast"
+	"purec/internal/sema"
+	"purec/internal/token"
+)
+
+// linRel is an affine relation between two scalars: the owning symbol
+// equals A*Base + B at the current program point. A relation with a nil
+// Base is never stored (a constant value lives in the interval env).
+type linRel struct {
+	Base *sema.Symbol
+	A, B int64
+}
+
+// linForm is an expression canonicalized to A*Base + B. Base == nil
+// means the expression is the constant B.
+type linForm struct {
+	Base *sema.Symbol
+	A, B int64
+}
+
+// linOf canonicalizes an int expression to an affine form over a single
+// scalar, following recorded relations so that after j = i + 1 the
+// expression j - 1 resolves to 1*i + 0.
+func (w *walker) linOf(e ast.Expr) (linForm, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.IntLit:
+		return linForm{B: x.Value}, true
+	case *ast.CharLit:
+		return linForm{B: x.Value}, true
+	case *ast.Ident:
+		sym := w.a.info.Ref[x]
+		if !isIntScalar(sym) {
+			return linForm{}, false
+		}
+		if r, ok := w.rel[sym]; ok {
+			return linForm{Base: r.Base, A: r.A, B: r.B}, true
+		}
+		return linForm{Base: sym, A: 1}, true
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB {
+			if f, ok := w.linOf(x.X); ok {
+				return linForm{Base: f.Base, A: -f.A, B: -f.B}, true
+			}
+		}
+		if x.Op == token.ADD {
+			return w.linOf(x.X)
+		}
+	case *ast.BinaryExpr:
+		fx, okX := w.linOf(x.X)
+		fy, okY := w.linOf(x.Y)
+		if !okX || !okY {
+			return linForm{}, false
+		}
+		switch x.Op {
+		case token.ADD:
+			return combineLin(fx, fy, 1)
+		case token.SUB:
+			return combineLin(fx, fy, -1)
+		case token.MUL:
+			if fx.Base == nil {
+				return linForm{Base: fy.Base, A: fx.B * fy.A, B: fx.B * fy.B}, true
+			}
+			if fy.Base == nil {
+				return linForm{Base: fx.Base, A: fy.B * fx.A, B: fy.B * fx.B}, true
+			}
+		}
+	}
+	return linForm{}, false
+}
+
+// combineLin adds fx + sign*fy when the result stays affine over at
+// most one base symbol.
+func combineLin(fx, fy linForm, sign int64) (linForm, bool) {
+	switch {
+	case fy.Base == nil:
+		return linForm{Base: fx.Base, A: fx.A, B: fx.B + sign*fy.B}, true
+	case fx.Base == nil:
+		return linForm{Base: fy.Base, A: sign * fy.A, B: fx.B + sign*fy.B}, true
+	case fx.Base == fy.Base:
+		a := fx.A + sign*fy.A
+		f := linForm{Base: fx.Base, A: a, B: fx.B + sign*fy.B}
+		if a == 0 {
+			f.Base = nil
+		}
+		return f, true
+	}
+	return linForm{}, false
+}
+
+// deriveRel records the relation established by `sym = rhs`, computed
+// against the pre-assignment relation state (lin), after the interval
+// env has been updated. It also drops every relation the assignment
+// kills.
+func (w *walker) deriveRel(sym *sema.Symbol, lin linForm, ok bool) {
+	if sym == nil || !isIntScalar(sym) {
+		return
+	}
+	if ok && lin.Base == sym && lin.A == 1 {
+		// Self-shift (j = j + c): existing relations survive translated.
+		w.shiftRel(sym, lin.B)
+		return
+	}
+	w.invalidateRel(sym)
+	if ok && lin.Base != nil && lin.Base != sym {
+		w.rel[sym] = linRel{Base: lin.Base, A: lin.A, B: lin.B}
+	}
+}
+
+// shiftRel translates the relation state for `sym += d`: sym's own
+// relation moves by d, and relations based on sym compensate.
+func (w *walker) shiftRel(sym *sema.Symbol, d int64) {
+	if r, ok := w.rel[sym]; ok {
+		r.B += d
+		w.rel[sym] = r
+	}
+	for k, r := range w.rel {
+		if r.Base == sym {
+			r.B -= r.A * d
+			w.rel[k] = r
+		}
+	}
+}
+
+// invalidateRel forgets sym's relation and every relation based on it.
+func (w *walker) invalidateRel(sym *sema.Symbol) {
+	delete(w.rel, sym)
+	for k, r := range w.rel {
+		if r.Base == sym {
+			delete(w.rel, k)
+		}
+	}
+}
+
+// relEntail decides a comparison exactly when both sides canonicalize
+// to affine forms over the same base with equal coefficients: then the
+// difference is a compile-time constant and the relation is settled
+// regardless of the base's runtime value.
+func (w *walker) relEntail(op token.Kind, x, y ast.Expr) (canTrue, canFalse, ok bool) {
+	fx, okX := w.linOf(x)
+	if !okX {
+		return true, true, false
+	}
+	fy, okY := w.linOf(y)
+	if !okY || fx.Base != fy.Base || fx.A != fy.A {
+		return true, true, false
+	}
+	d := fx.B - fy.B // x - y, a known constant
+	switch op {
+	case token.LSS:
+		return d < 0, d >= 0, true
+	case token.LEQ:
+		return d <= 0, d > 0, true
+	case token.GTR:
+		return d > 0, d <= 0, true
+	case token.GEQ:
+		return d >= 0, d < 0, true
+	case token.EQL:
+		return d == 0, d != 0, true
+	case token.NEQ:
+		return d != 0, d == 0, true
+	}
+	return true, true, false
+}
+
+// relFacts renders the relations feeding an expression, for derivations.
+func (w *walker) relFacts(e ast.Expr) []string {
+	var parts []string
+	seen := map[*sema.Symbol]bool{}
+	ast.Walk(e, func(n ast.Node) bool {
+		if id, okI := n.(*ast.Ident); okI {
+			sym := w.a.info.Ref[id]
+			if r, okR := w.rel[sym]; okR && !seen[sym] {
+				seen[sym] = true
+				parts = append(parts, fmt.Sprintf("%s = %s", sym.Name, renderRel(r)))
+			}
+		}
+		return true
+	})
+	return parts
+}
+
+func renderRel(r linRel) string {
+	s := r.Base.Name
+	if r.A != 1 {
+		s = fmt.Sprintf("%d*%s", r.A, s)
+	}
+	switch {
+	case r.B > 0:
+		s += fmt.Sprintf(" + %d", r.B)
+	case r.B < 0:
+		s += fmt.Sprintf(" - %d", -r.B)
+	}
+	return s
+}

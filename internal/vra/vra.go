@@ -27,6 +27,13 @@ const (
 	UninitScalar
 	// DeadGuard marks an if/while condition that can never be true.
 	DeadGuard
+	// AlwaysTrue marks an if condition that holds on every execution:
+	// the branch is unconditional and the else arm is dead.
+	AlwaysTrue
+	// DeadStore marks an assignment whose stored value is never read.
+	DeadStore
+	// UnusedVar marks a local variable that is declared but never used.
+	UnusedVar
 )
 
 var kindNames = [...]string{
@@ -34,6 +41,9 @@ var kindNames = [...]string{
 	PossibleOOB:  "possible out-of-bounds",
 	UninitScalar: "uninitialized read",
 	DeadGuard:    "dead guard",
+	AlwaysTrue:   "always-true branch",
+	DeadStore:    "dead store",
+	UnusedVar:    "unused variable",
 }
 
 // String returns the human-readable kind name.
@@ -59,8 +69,11 @@ func (f Finding) String() string {
 type Result struct {
 	// Findings lists the diagnostics in source order.
 	Findings []Finding
-	safe     map[ast.Expr]bool
-	notes    map[ast.Expr]string
+	// Alias is the flow-insensitive points-to result for guest
+	// pointers, keyed by pointer symbol.
+	Alias *AliasResult
+	safe  map[ast.Expr]bool
+	notes map[ast.Expr]string
 }
 
 // Proven reports whether the index expression was proven in-bounds for
@@ -103,9 +116,17 @@ type analyzer struct {
 	content map[*sema.Symbol]Interval
 	tracked map[*sema.Symbol]bool
 	escaped map[*sema.Symbol]bool
+	// addrTaken holds every symbol (scalars included) whose address is
+	// taken anywhere; such variables can be read or written through
+	// pointers, so dead-store reasoning must skip them.
+	addrTaken map[*sema.Symbol]bool
 	// fixedGlobal holds globals with no stores anywhere in the program:
 	// their value is the declared initializer (zero without one).
 	fixedGlobal map[*sema.Symbol]Interval
+
+	// alias is the flow-insensitive points-to result, computed once
+	// after fact collection (it is purely syntactic).
+	alias *AliasResult
 
 	declToSym      map[*ast.VarDecl]*sema.Symbol
 	uninitReported map[*sema.Symbol]bool
@@ -123,12 +144,14 @@ func Analyze(info *sema.Info) *Result {
 		content:        map[*sema.Symbol]Interval{},
 		tracked:        map[*sema.Symbol]bool{},
 		escaped:        map[*sema.Symbol]bool{},
+		addrTaken:      map[*sema.Symbol]bool{},
 		fixedGlobal:    map[*sema.Symbol]Interval{},
 		declToSym:      map[*ast.VarDecl]*sema.Symbol{},
 		uninitReported: map[*sema.Symbol]bool{},
 		changed:        map[*sema.Symbol]bool{},
 	}
 	a.collectFacts()
+	a.alias = a.analyzeAliases()
 	// Array contents feed other arrays' contents (idx2[i] = idx[i]), so
 	// the collect pass iterates to a fixpoint; anything still widening
 	// after a few rounds is poisoned to unbounded.
@@ -147,6 +170,8 @@ func Analyze(info *sema.Info) *Result {
 		}
 	}
 	a.walkAll(true)
+	a.deadCode()
+	a.res.Alias = a.alias
 	sort.SliceStable(a.res.Findings, func(i, j int) bool {
 		pi, pj := a.res.Findings[i].Pos, a.res.Findings[j].Pos
 		if pi.Line != pj.Line {
@@ -401,6 +426,9 @@ func (a *analyzer) scanExpr(e ast.Expr) {
 			// Address taken: everything under it escapes.
 			for _, id := range ast.Idents(x.X) {
 				a.markEscape(id)
+				if sym := a.info.Ref[id]; sym != nil {
+					a.addrTaken[sym] = true
+				}
 			}
 			return
 		}
@@ -510,6 +538,7 @@ func (a *analyzer) walkAll(prove bool) {
 			env:     map[*sema.Symbol]Interval{},
 			written: map[*sema.Symbol]bool{},
 			refine:  map[string]Interval{},
+			rel:     map[*sema.Symbol]linRel{},
 		}
 		w.stmt(fd.Body)
 	}
@@ -521,13 +550,17 @@ type walker struct {
 	env     map[*sema.Symbol]Interval
 	written map[*sema.Symbol]bool
 	refine  map[string]Interval
+	// rel holds affine relations between live scalars: rel[j] = {i,a,b}
+	// means j == a*i + b at this program point.
+	rel map[*sema.Symbol]linRel
 }
 
 func (w *walker) branch() *walker {
 	c := &walker{a: w.a, prove: w.prove,
 		env:     make(map[*sema.Symbol]Interval, len(w.env)),
 		written: make(map[*sema.Symbol]bool, len(w.written)),
-		refine:  make(map[string]Interval, len(w.refine))}
+		refine:  make(map[string]Interval, len(w.refine)),
+		rel:     make(map[*sema.Symbol]linRel, len(w.rel))}
 	for k, v := range w.env {
 		c.env[k] = v
 	}
@@ -536,6 +569,9 @@ func (w *walker) branch() *walker {
 	}
 	for k, v := range w.refine {
 		c.refine[k] = v
+	}
+	for k, v := range w.rel {
+		c.rel[k] = v
 	}
 	return c
 }
@@ -564,6 +600,13 @@ func (w *walker) merge(b1, b2 *walker) {
 	for k, v1 := range b1.refine {
 		if v2, ok := b2.refine[k]; ok {
 			w.refine[k] = v1.Union(v2)
+		}
+	}
+	// A relation survives a join only when both sides derived the same one.
+	w.rel = map[*sema.Symbol]linRel{}
+	for k, r1 := range b1.rel {
+		if r2, ok := b2.rel[k]; ok && r1 == r2 {
+			w.rel[k] = r1
 		}
 	}
 }
@@ -619,6 +662,7 @@ func (w *walker) havoc(n ast.Node, except *sema.Symbol) {
 		if isIntScalar(sym) {
 			w.env[sym] = Top()
 		}
+		w.invalidateRel(sym)
 		// written is deliberately left alone: a body-local read that
 		// precedes the body's own first assignment is still a read of an
 		// uninitialized scalar on the first iteration.
@@ -633,6 +677,11 @@ func (w *walker) havocGlobals() {
 	for sym := range w.env {
 		if sym.Kind == sema.SymGlobal {
 			w.env[sym] = Top()
+		}
+	}
+	for k, r := range w.rel {
+		if k.Kind == sema.SymGlobal || r.Base.Kind == sema.SymGlobal {
+			delete(w.rel, k)
 		}
 	}
 	w.clearRefines()
@@ -684,7 +733,9 @@ func (w *walker) stmt(s ast.Stmt) {
 			sym := w.a.declToSym[d]
 			if d.Init != nil {
 				iv := w.eval(d.Init)
+				lin, linOK := w.linOf(d.Init)
 				w.setScalar(sym, iv)
+				w.deriveRel(sym, lin, linOK)
 				continue
 			}
 			if isIntScalar(sym) {
@@ -734,6 +785,7 @@ func (w *walker) stmt(s ast.Stmt) {
 func (w *walker) ifStmt(x *ast.IfStmt) {
 	w.eval(x.Cond)
 	w.deadGuard(x.Cond)
+	w.alwaysTrueGuard(x.Cond)
 	then := w.branch()
 	then.applyCond(x.Cond, true)
 	then.stmt(x.Then)
@@ -761,8 +813,44 @@ func (w *walker) deadGuard(cond ast.Expr) {
 		Pos:  cond.Pos(),
 		Expr: ast.PrintExpr(cond),
 		Msg: fmt.Sprintf("condition %s is always false (%s)",
-			ast.PrintExpr(cond), w.contributors(cond)),
+			ast.PrintExpr(cond), w.guardDerivation(cond)),
 	})
+}
+
+// alwaysTrueGuard reports an if condition that holds on every
+// execution — the test is redundant and any else arm is dead. Loop
+// conditions are exempt: being true on entry is what loops are for.
+func (w *walker) alwaysTrueGuard(cond ast.Expr) {
+	if !w.prove {
+		return
+	}
+	if _, isConst := sema.ConstInt(cond); isConst {
+		return // if (1) is an intentional guard, not a bug
+	}
+	_, canFalse := w.condTruth(cond)
+	if canFalse {
+		return
+	}
+	w.a.res.Findings = append(w.a.res.Findings, Finding{
+		Kind: AlwaysTrue,
+		Pos:  cond.Pos(),
+		Expr: ast.PrintExpr(cond),
+		Msg: fmt.Sprintf("condition %s is always true (%s)",
+			ast.PrintExpr(cond), w.guardDerivation(cond)),
+	})
+}
+
+// guardDerivation renders the facts that settled a guard: the affine
+// relations first (the stronger fact), then the value ranges.
+func (w *walker) guardDerivation(cond ast.Expr) string {
+	parts := w.relFacts(cond)
+	if c := w.contributors(cond); c != "" {
+		parts = append(parts, c)
+	}
+	if len(parts) == 0 {
+		return "no facts"
+	}
+	return strings.Join(parts, ", ")
 }
 
 // forStmt analyzes a loop; canonical loops get a precise iterator
@@ -796,6 +884,7 @@ func (w *walker) forStmt(x *ast.ForStmt) {
 	// The lower bound is evaluated once on entry; the upper bound is
 	// re-evaluated every iteration, so it reads the havoced state.
 	lbIv := w.eval(lb)
+	entry := w.branch() // pre-loop state, for the zero-trip join below
 	w.havoc(x.Body, iter)
 	ubIv := w.eval(ub)
 	hi := ubIv
@@ -814,6 +903,17 @@ func (w *walker) forStmt(x *ast.ForStmt) {
 	}
 	w.env[iter] = lbIv.Union(exit)
 	w.clearRefines()
+	// A loop whose range may be empty never runs its body: join the
+	// pre-loop state back in so post-loop facts don't assume ≥ 1 trip.
+	op := token.LSS
+	if incl {
+		op = token.LEQ
+	}
+	if _, canFalse := relTruth(op, lbIv, ubIv); canFalse {
+		entry.env[iter] = lbIv
+		entry.written[iter] = true
+		w.merge(w.branch(), entry)
+	}
 }
 
 // canonical matches for (int i = LB; i </<= UB; i++).
@@ -917,6 +1017,11 @@ func (w *walker) condTruth(cond ast.Expr) (canTrue, canFalse bool) {
 		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
 			if !isIntExpr(w.a.info, x.X) || !isIntExpr(w.a.info, x.Y) {
 				return true, true
+			}
+			// Relational entailment first: after j = i + 1 the test
+			// j > i settles without knowing i's range at all.
+			if t, f, ok := w.relEntail(x.Op, x.X, x.Y); ok {
+				return t, f
 			}
 			a, b := w.eval(x.X), w.eval(x.Y)
 			return relTruth(x.Op, a, b)
@@ -1096,8 +1201,16 @@ func (w *walker) eval(e ast.Expr) Interval {
 		return w.assign(x)
 	case *ast.CondExpr:
 		w.eval(x.Cond)
-		t := w.eval(x.Then)
-		f := w.eval(x.Else)
+		// Each arm only evaluates under its polarity of the condition,
+		// so refine both: this is what proves the clamp idiom
+		// j < 0 ? 0 : j and its mirror.
+		tb := w.branch()
+		tb.applyCond(x.Cond, true)
+		t := tb.eval(x.Then)
+		fb := w.branch()
+		fb.applyCond(x.Cond, false)
+		f := fb.eval(x.Else)
+		w.merge(tb, fb)
 		return t.Union(f)
 	case *ast.CallExpr:
 		return w.call(x)
@@ -1196,6 +1309,7 @@ func (w *walker) incDec(target ast.Expr, op token.Kind) Interval {
 		if isIntScalar(sym) {
 			nv := w.lookup(sym).Add(delta)
 			w.setScalar(sym, nv)
+			w.shiftRel(sym, delta.Lo)
 			return nv
 		}
 		if sym != nil {
@@ -1222,14 +1336,34 @@ func (w *walker) assign(x *ast.AssignExpr) Interval {
 	case *ast.Ident:
 		sym := w.a.info.Ref[l]
 		nv := rhs
+		lin, linOK := w.linOf(x.RHS)
 		if x.Op != token.ASSIGN {
 			if bin, ok := x.Op.AssignBinOp(); ok {
 				nv = w.binop(bin, w.lookup(sym), rhs)
 			} else {
 				nv = Top()
 			}
+			// Fold the compound op into the affine form: only the
+			// additive ones stay affine.
+			switch {
+			case x.Op == token.ADDASSIGN && linOK:
+				self := linForm{Base: sym, A: 1}
+				if r, ok := w.rel[sym]; ok {
+					self = linForm{Base: r.Base, A: r.A, B: r.B}
+				}
+				lin, linOK = combineLin(self, lin, 1)
+			case x.Op == token.SUBASSIGN && linOK:
+				self := linForm{Base: sym, A: 1}
+				if r, ok := w.rel[sym]; ok {
+					self = linForm{Base: r.Base, A: r.A, B: r.B}
+				}
+				lin, linOK = combineLin(self, lin, -1)
+			default:
+				linOK = false
+			}
 		}
 		w.setScalar(sym, nv)
+		w.deriveRel(sym, lin, linOK)
 		return nv
 	case *ast.IndexExpr:
 		w.access(l, true)
@@ -1420,16 +1554,28 @@ func (w *walker) access(e *ast.IndexExpr, write bool) Interval {
 	}
 	// Pointer-style access: only the outermost level resolves here;
 	// deeper levels recurse through eval of the base expression.
-	w.eval(e.Index)
+	idxIv := w.eval(e.Index)
 	base := ast.Unparen(e.X)
 	if bid, ok := base.(*ast.Ident); ok {
 		bsym := w.a.info.Ref[bid]
 		if bsym != nil {
 			if ext, ok := w.a.extent[bsym]; ok {
-				if w.prove && w.checkSub(e, bid.Name, e.Index, w.eval(e.Index), ext) {
+				if w.prove && w.checkSub(e, bid.Name, e.Index, idxIv, ext) {
 					w.a.res.safe[e] = true
 				}
 				return w.loadValue(e, bsym)
+			}
+			// Alias-derived extent: a pointer resolved to a declared
+			// array by its own initializer (which dominates every use)
+			// inherits the array's bounds shifted by the offset.
+			if t, ok := w.a.alias.Resolve(bsym); ok && t.Array != nil &&
+				t.DeclInit && len(t.Array.Dims) == 1 {
+				//lint:rawmem t.Off is the points-to model's compile-time element offset, not a runtime mem.Pointer field
+				ext := int64(t.Array.Dims[0]) - t.Off
+				if w.prove && ext > 0 && w.checkSub(e, bid.Name, e.Index, idxIv, ext) {
+					w.a.res.safe[e] = true
+				}
+				return w.loadValue(e, t.Array)
 			}
 		}
 		return Top()
