@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	purebench [-fig all|2|3|...|11|m1|m2|r1|k1|a1|t1|b1] [-cores 1,2,4,8,16,32,64] [-reps 3]
+//	purebench [-fig all|2|3|...|11|m1|m2|r1|k1|a1|a2|t1|b1] [-cores 1,2,4,8,16,32,64] [-reps 3]
 //	          [-matmul-n 160] [-heat-n 160] [-heat-steps 30]
 //	          [-sat-pix 2000] [-sat-bands 12] [-sat-iters 48]
 //	          [-lama-rows 12000] [-lama-nnz 16] [-memo-classes 24]
 //	          [-reduce-n 400000] [-kern-n 65536] [-kern-reps 50]
 //	          [-hist-n 400000] [-hist-bins 16,256,4096,65536]
+//	          [-a2-n 400000] [-a2-bins 65536] [-a2-touched 256]
+//	          [-real-cores 1,2,4]
 //	          [-bce-n 96] [-bce-reps 20000] [-gather-m 2048] [-quick]
 //	          [-json dir] [-check dir]
 //
@@ -21,6 +23,12 @@
 // matmul with the fusion engine off and on); figure a1 is the
 // array-reduction scenario (hist[data[i]]++ with privatized per-worker
 // copies, swept over -hist-bins to expose the combine overhead);
+// figure a2 is the reduction-runtime knob A/B (the sparse-touch
+// histogram under every {-combine=linear|tree} x {dense,sparse
+// privates} pair — all bit-identical, so the curves isolate the
+// privatize-and-combine cost); figures r1 and a1 additionally carry
+// real-team rows: actual goroutine teams over -real-cores timed in
+// wall clock, no simulation;
 // figure t1 is the statement-engine A/B (closure trees vs linearized
 // tapes with fusion off, plus the fused build, over the element-wise
 // kernels and a deliberately non-canonical branchy body); figure b1
@@ -32,8 +40,8 @@
 // one column per simulated core count.
 //
 // -json writes each collected figure additionally as BENCH_<FIG>.json
-// into the given directory (k1/a1/r1/t1/b1 only — the figures with a
-// machine-readable export). -check instead compares the fresh numbers
+// into the given directory (k1/a1/a2/r1/t1/b1 only — the figures with
+// a machine-readable export). -check instead compares the fresh numbers
 // against committed BENCH_<FIG>.json baselines in the given directory
 // and exits non-zero on a large regression; both flags may be
 // combined.
@@ -51,8 +59,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, one of 2..11, or m1/m2/r1/k1/a1/t1/b1 (comma-separable)")
-	jsonDir := flag.String("json", "", "directory receiving BENCH_<FIG>.json exports (k1/a1/r1/t1/b1)")
+	fig := flag.String("fig", "all", "figure to regenerate: all, one of 2..11, or m1/m2/r1/k1/a1/a2/t1/b1 (comma-separable)")
+	jsonDir := flag.String("json", "", "directory receiving BENCH_<FIG>.json exports (k1/a1/a2/r1/t1/b1)")
 	checkDir := flag.String("check", "", "directory holding baseline BENCH_<FIG>.json files to compare against")
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,2,4,8,16,32,64)")
 	reps := flag.Int("reps", 0, "repetitions per measurement (default 3)")
@@ -71,6 +79,10 @@ func main() {
 	kernReps := flag.Int("kern-reps", 0, "sweeps per run of the kernel-fusion scenario (fig k1)")
 	histN := flag.Int("hist-n", 0, "element count of the array-reduction scenario (fig a1)")
 	histBins := flag.String("hist-bins", "", "comma-separated bin counts of the array-reduction scenario (fig a1)")
+	a2N := flag.Int("a2-n", 0, "element count of the sparse-touch histogram (fig a2)")
+	a2Bins := flag.Int("a2-bins", 0, "bin-space size of the sparse-touch histogram (fig a2)")
+	a2Touched := flag.Int("a2-touched", 0, "touched-window width of the sparse-touch histogram (fig a2)")
+	realCores := flag.String("real-cores", "", "comma-separated core counts of the real-team rows (default 1,2,4)")
 	bceN := flag.Int("bce-n", 0, "vector length of the launch-visibility rows (fig b1)")
 	bceReps := flag.Int("bce-reps", 0, "sweeps per run of the launch-visibility rows (fig b1)")
 	gatherM := flag.Int("gather-m", 0, "gathered-table length of the gather rows (fig b1)")
@@ -107,6 +119,9 @@ func main() {
 	setIf(&p.KernN, *kernN)
 	setIf(&p.KernReps, *kernReps)
 	setIf(&p.HistN, *histN)
+	setIf(&p.A2N, *a2N)
+	setIf(&p.A2Bins, *a2Bins)
+	setIf(&p.A2Touched, *a2Touched)
 	setIf(&p.BCEN, *bceN)
 	setIf(&p.BCEReps, *bceReps)
 	setIf(&p.GatherM, *gatherM)
@@ -121,13 +136,26 @@ func main() {
 		}
 		p.HistBins = bins
 	}
+	if *realCores != "" {
+		var cores []int
+		for _, part := range strings.Split(*realCores, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 {
+				fatalf("bad -real-cores value %q", part)
+			}
+			cores = append(cores, v)
+		}
+		p.RealCores = cores
+	}
 
 	want := map[string]bool{}
 	if *fig == "all" {
 		for i := 2; i <= 11; i++ {
 			want[strconv.Itoa(i)] = true
 		}
-		want["m1"], want["m2"], want["r1"], want["k1"], want["a1"], want["t1"], want["b1"] = true, true, true, true, true, true, true
+		for _, f := range []string{"m1", "m2", "r1", "k1", "a1", "a2", "t1", "b1"} {
+			want[f] = true
+		}
 	} else {
 		for _, part := range strings.Split(*fig, ",") {
 			want[strings.ToLower(strings.TrimSpace(part))] = true
@@ -246,6 +274,14 @@ func main() {
 			fatalf("histogram: %v", err)
 		}
 		fmt.Println(d.FigA1().Render())
+		handleJSON(d.JSON())
+	}
+	if want["a2"] {
+		d, err := bench.CollectA2(p)
+		if err != nil {
+			fatalf("a2: %v", err)
+		}
+		fmt.Println(d.FigA2().Render())
 		handleJSON(d.JSON())
 	}
 	if want["t1"] {

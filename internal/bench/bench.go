@@ -51,6 +51,17 @@ type Params struct {
 	// sweep exposes where combine overhead eats the parallel speedup.
 	HistN    int
 	HistBins []int
+	// A2N, A2Bins and A2Touched size the Fig A2 sparse-touch
+	// histogram: A2N elements land in an A2Touched-bin window of an
+	// A2Bins-cell accumulator, so dense privates pay O(A2Bins) per
+	// worker while block-sparse privates pay O(A2Touched).
+	A2N       int
+	A2Bins    int
+	A2Touched int
+	// RealCores is the core axis of the real-team (non-simulated)
+	// scaling points: actual goroutine teams timed in wall clock, so
+	// the list stays small and within a laptop's physical cores.
+	RealCores []int
 	// BCEN and BCEReps size the launch-visibility rows of Fig B1: a
 	// tiny vector swept many times, so the per-launch range checks the
 	// bounds proofs elide are a measurable share of each run.
@@ -84,6 +95,10 @@ func Default() Params {
 		KernReps:    50,
 		HistN:       400000,
 		HistBins:    []int{16, 256, 4096, 65536},
+		A2N:         400000,
+		A2Bins:      65536,
+		A2Touched:   256,
+		RealCores:   []int{1, 2, 4},
 		BCEN:        96,
 		BCEReps:     20000,
 		GatherM:     2048,
@@ -109,6 +124,10 @@ func Quick() Params {
 		KernReps:    3,
 		HistN:       20000,
 		HistBins:    []int{8, 64},
+		A2N:         20000,
+		A2Bins:      4096,
+		A2Touched:   64,
+		RealCores:   []int{1, 2},
 		BCEN:        32,
 		BCEReps:     200,
 		GatherM:     256,
@@ -117,10 +136,13 @@ func Quick() Params {
 	}
 }
 
-// Series is one curve of a figure: seconds per core count.
+// Series is one curve of a figure: seconds per core count. Real marks
+// curves measured on real goroutine teams in wall clock rather than on
+// simulated teams; the JSON export carries the distinction through.
 type Series struct {
 	Name  string
 	Times map[int]float64
+	Real  bool
 }
 
 // Figure is one regenerated paper figure.
@@ -204,6 +226,10 @@ type variant struct {
 	entry string
 	// native, when set, replaces the machine run (the MKL comparator).
 	native func(team *rt.Team)
+	// real runs on real goroutine teams (rt.NewTeam) timed in wall
+	// clock instead of simulated teams; sim accounting is zero there,
+	// so timeIt's adjustment is a no-op and the raw wall time reports.
+	real bool
 }
 
 // measure builds the variant once — through the content-addressed
@@ -213,11 +239,17 @@ type variant struct {
 // with each parallel region's real duration replaced by its simulated
 // parallel duration (DESIGN.md, substitution for the paper's 64-core
 // node). Each core count runs in its own Process of the shared Program.
+// Variants with real set run on real goroutine teams instead: the sim
+// adjustment is zero there, so the raw wall time reports.
 func measure(v variant, cores []int, reps int) (Series, error) {
-	s := Series{Name: v.name, Times: map[int]float64{}}
+	s := Series{Name: v.name, Times: map[int]float64{}, Real: v.real}
+	newTeam := rt.NewSimTeam
+	if v.real {
+		newTeam = rt.NewTeam
+	}
 	if v.native != nil {
 		for _, c := range cores {
-			team := rt.NewSimTeam(c)
+			team := newTeam(c)
 			secs, err := timeIt(reps, team, func() error {
 				v.native(team)
 				return nil
@@ -236,7 +268,7 @@ func measure(v variant, cores []int, reps int) (Series, error) {
 		return s, fmt.Errorf("%s: %v", v.name, err)
 	}
 	for _, c := range cores {
-		team := rt.NewSimTeam(c)
+		team := newTeam(c)
 		proc, err := prog.NewProcess(comp.ProcOptions{Team: team, Stdout: io.Discard})
 		if err != nil {
 			return s, fmt.Errorf("%s @%d cores: %v", v.name, c, err)

@@ -144,18 +144,24 @@ func TestCollectReductionQuick(t *testing.T) {
 		t.Fatal("missing sequential baselines")
 	}
 	f := d.FigR1()
-	if f.Kind != "speedup" || len(f.Series) != 2 {
+	// Two simulated curves plus the two real-team rows.
+	if f.Kind != "speedup" || len(f.Series) != 4 {
 		t.Fatalf("FigR1: %+v", f)
 	}
 	for _, s := range f.Series {
-		for _, c := range f.Cores {
+		cores := f.Cores
+		if s.Real {
+			cores = Quick().RealCores
+		}
+		for _, c := range cores {
 			if s.Times[c] <= 0 {
 				t.Fatalf("series %s cores %d: no speedup value", s.Name, c)
 			}
 		}
 	}
 	out := f.Render()
-	if !strings.Contains(out, "Fig R1") || !strings.Contains(out, "dot reduction (gcc)") {
+	if !strings.Contains(out, "Fig R1") || !strings.Contains(out, "dot reduction (gcc)") ||
+		!strings.Contains(out, "sum reduction real (gcc)") {
 		t.Fatalf("render:\n%s", out)
 	}
 }
@@ -220,9 +226,41 @@ func TestCollectHistogramQuick(t *testing.T) {
 		}
 	}
 	f := d.FigA1()
-	if f.Kind != "speedup" || len(f.Series) != len(p.HistBins) {
+	// One curve per bin count plus the real-team row.
+	if f.Kind != "speedup" || len(f.Series) != len(p.HistBins)+1 {
 		t.Fatalf("FigA1: %+v", f)
 	}
+	for _, s := range f.Series {
+		cores := f.Cores
+		if s.Real {
+			cores = p.RealCores
+		}
+		for _, c := range cores {
+			if s.Times[c] <= 0 {
+				t.Fatalf("series %s cores %d: no speedup value", s.Name, c)
+			}
+		}
+	}
+	out := f.Render()
+	if !strings.Contains(out, "Fig A1") || !strings.Contains(out, "hist[] reduction") ||
+		!strings.Contains(out, "reduction real") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestCollectA2Quick(t *testing.T) {
+	p := Quick()
+	d, err := CollectA2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq <= 0 {
+		t.Fatal("missing sequential baseline")
+	}
+	if len(d.Series) != 4 {
+		t.Fatalf("want 4 configurations, got %d", len(d.Series))
+	}
+	f := d.FigA2()
 	for _, s := range f.Series {
 		for _, c := range f.Cores {
 			if s.Times[c] <= 0 {
@@ -231,7 +269,38 @@ func TestCollectHistogramQuick(t *testing.T) {
 		}
 	}
 	out := f.Render()
-	if !strings.Contains(out, "Fig A1") || !strings.Contains(out, "hist[] reduction") {
-		t.Fatalf("render:\n%s", out)
+	for _, want := range []string{"Fig A2", "linear/dense", "tree/dense", "linear/sparse", "tree/sparse"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render lacks %q:\n%s", want, out)
+		}
+	}
+	jf := d.JSON()
+	if jf.Fig != "A2" {
+		t.Fatalf("JSON fig %q", jf.Fig)
+	}
+}
+
+func TestRealPointsExportSimFalse(t *testing.T) {
+	// The JSON export must mark real-team rows Sim:false at every core
+	// count — CheckBaseline exempts their wall-clock ratios on that
+	// flag.
+	d, err := CollectReduction(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf := d.JSON()
+	real, sim := 0, 0
+	for _, pt := range jf.Points {
+		if strings.Contains(pt.Workload, " real ") || strings.HasSuffix(pt.Workload, " real (gcc)") {
+			if pt.Sim {
+				t.Errorf("real point %q cores=%d exported Sim:true", pt.Workload, pt.Cores)
+			}
+			real++
+		} else if pt.Sim {
+			sim++
+		}
+	}
+	if real == 0 || sim == 0 {
+		t.Fatalf("expected both real (%d) and sim (%d) points", real, sim)
 	}
 }

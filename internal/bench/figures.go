@@ -331,19 +331,25 @@ func (d *MemoData) FigMemoSpeedup() *Figure {
 
 // ReduceData carries the reduction scenario (Fig. R1): the README
 // quickstart sum and the extracted dot kernel, each measured as a
-// sequential build and as a parallel-reduction build.
+// sequential build and as a parallel-reduction build, plus real-team
+// (wall-clock goroutine) scaling points of both kernels.
 type ReduceData struct {
-	P      Params
-	SumSeq float64
-	DotSeq float64
-	Sum    Series
-	Dot    Series
+	P       Params
+	SumSeq  float64
+	DotSeq  float64
+	Sum     Series
+	Dot     Series
+	SumReal Series
+	DotReal Series
 }
 
 // CollectReduction measures serial vs parallel-reduction builds of the
 // two kernels. The kernels are chosen so the new reduction runtime is
 // the only parallelism: the quickstart sum reduces at the top level of
 // run(), and the dot kernel calls the extracted pure dot exactly once.
+// The real-team rows rerun both kernels on actual goroutine teams over
+// P.RealCores — wall clock, no simulation — so the figure carries a
+// ground-truth scaling point next to the simulated curves.
 func CollectReduction(p Params) (*ReduceData, error) {
 	d := &ReduceData{P: p}
 	defs := apps.ReduceDefines(p.ReduceN)
@@ -360,15 +366,27 @@ func CollectReduction(p Params) (*ReduceData, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.Sum, err = measure(variant{name: "sum reduction (gcc)", src: apps.ReduceSumSrc, defs: defs,
+	sumVar := variant{name: "sum reduction (gcc)", src: apps.ReduceSumSrc, defs: defs,
 		entry: "run",
-		cfg:   core.Config{Parallelize: true, Backend: comp.BackendGCC}}, p.Cores, p.Reps)
+		cfg:   core.Config{Parallelize: true, Backend: comp.BackendGCC}}
+	dotVar := variant{name: "dot reduction (gcc)", src: apps.ReduceDotSrc, defs: defs,
+		init: "initvec", entry: "run",
+		cfg: core.Config{Parallelize: true, Backend: comp.BackendGCC}}
+	d.Sum, err = measure(sumVar, p.Cores, p.Reps)
 	if err != nil {
 		return nil, err
 	}
-	d.Dot, err = measure(variant{name: "dot reduction (gcc)", src: apps.ReduceDotSrc, defs: defs,
-		init: "initvec", entry: "run",
-		cfg: core.Config{Parallelize: true, Backend: comp.BackendGCC}}, p.Cores, p.Reps)
+	d.Dot, err = measure(dotVar, p.Cores, p.Reps)
+	if err != nil {
+		return nil, err
+	}
+	sumVar.name, sumVar.real = "sum reduction real (gcc)", true
+	d.SumReal, err = measure(sumVar, p.RealCores, p.Reps)
+	if err != nil {
+		return nil, err
+	}
+	dotVar.name, dotVar.real = "dot reduction real (gcc)", true
+	d.DotReal, err = measure(dotVar, p.RealCores, p.Reps)
 	if err != nil {
 		return nil, err
 	}
@@ -387,13 +405,14 @@ func (d *ReduceData) FigR1() *Figure {
 			"the quickstart loop (s += square(i)) compiles to #pragma omp parallel for reduction(+:s)",
 			"integer sums are bit-identical at every team size; float dot follows the fixed-combine-order determinism contract",
 			"speedup above the core count reflects the execution model: parallel chunks iterate natively while the sequential baseline pays the interpreted loop head per iteration (same effect as the other figures' 1-core points)",
+			"the real rows run actual goroutine teams in wall clock (no simulation); their axis stays within a laptop's physical cores",
 		},
 	}
 	for _, pair := range []struct {
 		s    Series
 		base float64
-	}{{d.Sum, d.SumSeq}, {d.Dot, d.DotSeq}} {
-		ns := Series{Name: pair.s.Name, Times: map[int]float64{}}
+	}{{d.Sum, d.SumSeq}, {d.Dot, d.DotSeq}, {d.SumReal, d.SumSeq}, {d.DotReal, d.DotSeq}} {
+		ns := Series{Name: pair.s.Name, Times: map[int]float64{}, Real: pair.s.Real}
 		for c, t := range pair.s.Times {
 			if t > 0 && pair.base > 0 {
 				ns.Times[c] = pair.base / t
@@ -414,6 +433,9 @@ type HistData struct {
 	// Par holds one privatized-reduction curve per bin count, in
 	// P.HistBins order.
 	Par []Series
+	// Real is the real-team (wall-clock goroutine) curve at the first
+	// bin count, over P.RealCores.
+	Real Series
 }
 
 // CollectHistogram measures the bin-count workload across the bin
@@ -444,6 +466,20 @@ func CollectHistogram(p Params) (*HistData, error) {
 		}
 		d.Par = append(d.Par, s)
 	}
+	// Ground-truth scaling: the first bin count rerun on actual
+	// goroutine teams in wall clock over the small real-core axis.
+	if len(p.HistBins) > 0 {
+		bins := p.HistBins[0]
+		var err error
+		d.Real, err = measure(variant{
+			name: fmt.Sprintf("hist[] reduction real (%d bins)", bins), src: apps.HistogramSrc,
+			defs: apps.HistogramDefines(p.HistN, bins),
+			init: "initdata", entry: "run", real: true,
+			cfg: core.Config{Parallelize: true, Backend: comp.BackendGCC}}, p.RealCores, p.Reps)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return d, nil
 }
 
@@ -470,8 +506,100 @@ func (d *HistData) FigA1() *Figure {
 		}
 		f.Series = append(f.Series, ns)
 	}
+	if len(d.P.HistBins) > 0 && d.Real.Times != nil {
+		base := d.Seq[d.P.HistBins[0]]
+		ns := Series{Name: d.Real.Name, Times: map[int]float64{}, Real: true}
+		for c, t := range d.Real.Times {
+			if t > 0 && base > 0 {
+				ns.Times[c] = base / t
+			}
+		}
+		f.Series = append(f.Series, ns)
+		f.Notes = append(f.Notes, "the real row runs actual goroutine teams in wall clock (no simulation)")
+	}
 	for _, bins := range sortedCores(append([]int{}, d.P.HistBins...)) {
 		f.Notes = append(f.Notes, fmt.Sprintf("sequential baseline at %d bins: %.4f s", bins, d.Seq[bins]))
+	}
+	return f
+}
+
+// A2Data carries the reduction-runtime knob A/B (Fig A2): the
+// sparse-touch histogram measured under every {combine topology,
+// private layout} pair.
+type A2Data struct {
+	P   Params
+	Seq float64
+	// Series holds one curve per configuration, in the fixed order
+	// linear/dense, tree/dense, linear/sparse, tree/sparse.
+	Series []Series
+}
+
+// CollectA2 measures the sparse-touch histogram (A2N elements in an
+// A2Touched-bin window of an A2Bins-cell accumulator) across the four
+// reduction-runtime configurations. All four produce bit-identical
+// results — the knobs move work, not semantics — so the curves isolate
+// exactly the privatize-and-combine cost: dense privates pay
+// O(A2Bins) per worker to allocate, identity-fill and combine where
+// sparse privates pay O(A2Touched), and the tree topology cuts the
+// combine critical path from workers to log2(workers) levels.
+func CollectA2(p Params) (*A2Data, error) {
+	d := &A2Data{P: p}
+	defs := apps.SparseHistDefines(p.A2N, p.A2Bins, p.A2Touched)
+	var err error
+	d.Seq, err = measureSeq(variant{
+		name: "sparse-hist seq", src: apps.SparseHistSrc, defs: defs,
+		init: "initdata", entry: "run",
+		cfg: core.Config{Backend: comp.BackendGCC}}, p.Reps)
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		name    string
+		combine rt.Combine
+		sparse  bool
+	}{
+		{"linear/dense", rt.CombineLinear, false},
+		{"tree/dense", rt.CombineTree, false},
+		{"linear/sparse", rt.CombineLinear, true},
+		{"tree/sparse", rt.CombineTree, true},
+	}
+	for _, c := range configs {
+		s, err := measure(variant{
+			name: c.name, src: apps.SparseHistSrc, defs: defs,
+			init: "initdata", entry: "run",
+			cfg: core.Config{Parallelize: true, Backend: comp.BackendGCC,
+				Combine: c.combine, SparsePrivates: c.sparse}}, p.Cores, p.Reps)
+		if err != nil {
+			return nil, err
+		}
+		d.Series = append(d.Series, s)
+	}
+	return d, nil
+}
+
+// FigA2 renders the knob A/B speedups, every configuration normalized
+// to the one sequential baseline.
+func (d *A2Data) FigA2() *Figure {
+	f := &Figure{
+		ID: "Fig A2",
+		Title: fmt.Sprintf("reduction runtime knobs on a sparse-touch histogram (N=%d, %d bins, %d touched)",
+			d.P.A2N, d.P.A2Bins, d.P.A2Touched),
+		Kind: "speedup", Cores: sortedCores(d.P.Cores),
+		Notes: []string{
+			fmt.Sprintf("sequential baseline: %.4f s", d.Seq),
+			"all four configurations are bit-identical (integer accumulator; the knobs move work, not semantics)",
+			"dense privates pay O(bins) per worker to allocate, identity-fill and combine; block-sparse privates pay O(touched)",
+			"-combine=tree replaces the worker-ordered combine chain with log-depth pairwise merges: the critical path drops from workers to log2(workers) levels",
+		},
+	}
+	for _, s := range d.Series {
+		ns := Series{Name: s.Name, Times: map[int]float64{}}
+		for c, t := range s.Times {
+			if t > 0 && d.Seq > 0 {
+				ns.Times[c] = d.Seq / t
+			}
+		}
+		f.Series = append(f.Series, ns)
 	}
 	return f
 }

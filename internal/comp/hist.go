@@ -200,6 +200,11 @@ func (fc *funcCompiler) arrayReductionFor(site *ast.Ident, op token.Kind) (r red
 		switch op {
 		case token.ADD:
 			identity, fold = 0, func(a, b int64) int64 { return a + b }
+		case token.SUB:
+			// Negation onto "+": the body subtracts into the
+			// identity-valued private, so partials add (see
+			// parseOmpReductions).
+			identity, fold = 0, func(a, b int64) int64 { return a + b }
 		case token.MUL:
 			identity, fold = 1, func(a, b int64) int64 { return a * b }
 		case token.AND:
@@ -227,6 +232,19 @@ func (fc *funcCompiler) arrayReductionFor(site *ast.Ident, op token.Kind) (r red
 		default:
 			return reduction{}, true, false
 		}
+		if fc.prog.sparsePrivates {
+			return reduction{
+				setIdentity: func(we *env) {
+					privateSparse(we, idx, name, func(n int, label string) *mem.Segment {
+						return mem.NewSparseIntSegment(n, identity, label)
+					})
+				},
+				combine: func(dst, src *env) {
+					dp, sp := accPair(dst, src, idx, name)
+					foldSegsInt(dp.Seg, sp.Seg, fold)
+				},
+			}, true, true
+		}
 		return reduction{
 			setIdentity: func(we *env) {
 				seg := privateCopy(we, idx, mem.CellInt, name)
@@ -248,6 +266,8 @@ func (fc *funcCompiler) arrayReductionFor(site *ast.Ident, op token.Kind) (r red
 		var fold func(a, b float64) float64
 		switch op {
 		case token.ADD:
+			identity, fold = 0, func(a, b float64) float64 { return a + b }
+		case token.SUB:
 			identity, fold = 0, func(a, b float64) float64 { return a + b }
 		case token.MUL:
 			identity, fold = 1, func(a, b float64) float64 { return a * b }
@@ -279,6 +299,19 @@ func (fc *funcCompiler) arrayReductionFor(site *ast.Ident, op token.Kind) (r red
 		if elem.CSize == 4 {
 			inner := fold
 			fold = func(a, b float64) float64 { return float64(float32(inner(a, b))) }
+		}
+		if fc.prog.sparsePrivates {
+			return reduction{
+				setIdentity: func(we *env) {
+					privateSparse(we, idx, name, func(n int, label string) *mem.Segment {
+						return mem.NewSparseFloatSegment(n, identity, label)
+					})
+				},
+				combine: func(dst, src *env) {
+					dp, sp := accPair(dst, src, idx, name)
+					foldSegsFloat(dp.Seg, sp.Seg, fold)
+				},
+			}, true, true
 		}
 		return reduction{
 			setIdentity: func(we *env) {
@@ -315,6 +348,89 @@ func privateCopy(we *env, idx int, kind mem.CellKind, name string) *mem.Segment 
 	//lint:rawmem repointing the slot at an equal-length private segment; p.Off was validated when p was built
 	we.P[idx] = mem.Pointer{Seg: seg, Off: p.Off}
 	return seg
+}
+
+// privateSparse replaces the worker's pointer slot with a block-sparse
+// private segment (Options.SparsePrivates): untouched blocks are never
+// allocated or identity-filled — the fill happens at a block's
+// first-touch store inside mem — so a worker touching k cells pays
+// O(k), not O(len), in allocation, fill and combine.
+func privateSparse(we *env, idx int, name string, newSeg func(n int, label string) *mem.Segment) {
+	p := we.P[idx]
+	if p.IsNull() || p.Seg.Freed() {
+		rtPanic("array reduction accumulator %s is not allocated", name)
+	}
+	seg := newSeg(p.Seg.Len(), p.Seg.Name+" (reduction private)")
+	// Keep the slot's element offset, exactly like privateCopy.
+	//lint:rawmem repointing the slot at an equal-length private segment; p.Off was validated when p was built
+	we.P[idx] = mem.Pointer{Seg: seg, Off: p.Off}
+}
+
+// accPair validates the accumulator slot pair of a sparse-private
+// combine (the dense paths use combineSlicesInt/Float).
+func accPair(dst, src *env, idx int, name string) (dp, sp mem.Pointer) {
+	dp, sp = dst.P[idx], src.P[idx]
+	if dp.IsNull() || sp.IsNull() || dp.Seg.Len() != sp.Seg.Len() {
+		rtPanic("array reduction accumulator %s changed under the loop", name)
+	}
+	return dp, sp
+}
+
+// foldSegsInt folds the source accumulator segment into the
+// destination element-wise. Sparse sources contribute only their dirty
+// blocks: every untouched cell still holds the fold's identity, and
+// fold(a, identity) == a for every supported operator, so skipping
+// them is exact. The destination is the caller's dense array (linear
+// combine, or the tree's root fold) or a sibling private — sparse when
+// the source is — during tree merges; block bases align because both
+// segments share the accumulator's length.
+func foldSegsInt(d, s *mem.Segment, fold func(a, b int64) int64) {
+	switch {
+	case !s.IsSparse() && !d.IsSparse():
+		di, si := d.I, s.I
+		for i := range di {
+			di[i] = fold(di[i], si[i]) //lint:rawmem equal-length accumulator pair validated by accPair
+		}
+	case s.IsSparse() && !d.IsSparse():
+		di := d.I
+		s.DirtyIntBlocks(func(base int, cells []int64) {
+			for i, v := range cells {
+				di[base+i] = fold(di[base+i], v) //lint:rawmem dirty block lies inside the equal-length dense accumulator
+			}
+		})
+	default: // sparse source into sparse destination
+		s.DirtyIntBlocks(func(base int, cells []int64) {
+			dc := d.SparseIntCells(base)
+			for i, v := range cells {
+				dc[i] = fold(dc[i], v)
+			}
+		})
+	}
+}
+
+// foldSegsFloat is foldSegsInt for float accumulators.
+func foldSegsFloat(d, s *mem.Segment, fold func(a, b float64) float64) {
+	switch {
+	case !s.IsSparse() && !d.IsSparse():
+		df, sf := d.F, s.F
+		for i := range df {
+			df[i] = fold(df[i], sf[i]) //lint:rawmem equal-length accumulator pair validated by accPair
+		}
+	case s.IsSparse() && !d.IsSparse():
+		df := d.F
+		s.DirtyFloatBlocks(func(base int, cells []float64) {
+			for i, v := range cells {
+				df[base+i] = fold(df[base+i], v) //lint:rawmem dirty block lies inside the equal-length dense accumulator
+			}
+		})
+	default:
+		s.DirtyFloatBlocks(func(base int, cells []float64) {
+			dc := d.SparseFloatCells(base)
+			for i, v := range cells {
+				dc[i] = fold(dc[i], v)
+			}
+		})
+	}
 }
 
 // combineSlicesInt fetches the parent and private integer cells of the
@@ -501,7 +617,6 @@ func emitHistInt(base ptrFn, idxAcc kAccess, op token.Kind, rhs intFn) kernRun {
 		if p.IsNull() {
 			rtPanic("null pointer operand in fused loop")
 		}
-		dst := p.Seg.I
 		off := int64(p.Off)
 		n := int(hi - lo + 1)
 		v := int64(1)
@@ -509,6 +624,35 @@ func emitHistInt(base ptrFn, idxAcc kAccess, op token.Kind, rhs intFn) kernRun {
 			v = rhs(e)
 		}
 		ix, ss := is.i, is.stride
+		if p.Seg.IsSparse() {
+			// Sparse private copy (Options.SparsePrivates): walk through
+			// the per-cell accessors, which materialize and identity-fill
+			// blocks on first touch and bounds-check like the dense
+			// slice accesses below.
+			seg := p.Seg
+			var f func(a int64) int64
+			switch op {
+			case token.ADD:
+				f = func(a int64) int64 { return a + v }
+			case token.SUB:
+				f = func(a int64) int64 { return a - v }
+			case token.MUL:
+				f = func(a int64) int64 { return a * v }
+			case token.AND:
+				f = func(a int64) int64 { return a & v }
+			case token.OR:
+				f = func(a int64) int64 { return a | v }
+			case token.XOR:
+				f = func(a int64) int64 { return a ^ v }
+			}
+			for t, si := 0, 0; t < n; t, si = t+1, si+ss {
+				//lint:rawmem histCell traps offset overflow; the accessor's bounds check traps the rest
+				q := mem.Pointer{Seg: seg, Off: histCell(off, ix[si])}
+				q.StoreInt(f(q.LoadInt()))
+			}
+			return
+		}
+		dst := p.Seg.I
 		switch op {
 		case token.ADD:
 			for t, si := 0, 0; t < n; t, si = t+1, si+ss {
@@ -551,7 +695,6 @@ func emitHistFloat(base ptrFn, idxAcc kAccess, op token.Kind, rhs fltFn, f32 boo
 		if p.IsNull() {
 			rtPanic("null pointer operand in fused loop")
 		}
-		dst := p.Seg.F
 		off := int64(p.Off)
 		n := int(hi - lo + 1)
 		v := 1.0
@@ -559,6 +702,30 @@ func emitHistFloat(base ptrFn, idxAcc kAccess, op token.Kind, rhs fltFn, f32 boo
 			v = rhs(e)
 		}
 		ix, ss := is.i, is.stride
+		if p.Seg.IsSparse() {
+			// Sparse private copy: per-cell accessors with first-touch
+			// materialization (see emitHistInt).
+			seg := p.Seg
+			for t, si := 0, 0; t < n; t, si = t+1, si+ss {
+				//lint:rawmem histCell traps offset overflow; the accessor's bounds check traps the rest
+				q := mem.Pointer{Seg: seg, Off: histCell(off, ix[si])}
+				var nv float64
+				switch op {
+				case token.ADD:
+					nv = q.LoadFloat() + v
+				case token.SUB:
+					nv = q.LoadFloat() - v
+				default:
+					nv = q.LoadFloat() * v
+				}
+				if f32 {
+					nv = float64(float32(nv))
+				}
+				q.StoreFloat(nv)
+			}
+			return
+		}
+		dst := p.Seg.F
 		for t, si := 0, 0; t < n; t, si = t+1, si+ss {
 			c := histCell(off, ix[si])
 			var nv float64

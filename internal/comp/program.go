@@ -6,6 +6,7 @@ import (
 	"purec/internal/ast"
 	"purec/internal/memo"
 	"purec/internal/purity"
+	"purec/internal/rt"
 	"purec/internal/sema"
 )
 
@@ -34,6 +35,11 @@ type Program struct {
 	proofs       map[ast.Expr]bool
 	noBCE        bool
 	elidedChecks int
+	// Reduction knobs (Options.Combine, Options.SparsePrivates): combine
+	// topology passed to the rt reduce entry points and block-sparse
+	// private-copy allocation.
+	combine        rt.Combine
+	sparsePrivates bool
 	// Tape-backend size counters (EngineTape only), for the purecc
 	// "tape:" report line: total instruction words, pooled constants and
 	// temp registers across all function tapes.
@@ -55,15 +61,17 @@ type Program struct {
 // them to NewProcess instead.
 func CompileProgram(info *sema.Info, opts Options) (*Program, error) {
 	p := &Program{
-		info:        info,
-		backend:     opts.Backend,
-		engine:      opts.Engine,
-		vectorize:   opts.Vectorize,
-		noFuse:      opts.NoFuse,
-		proofs:      opts.Proofs,
-		noBCE:       opts.NoBCE,
-		funcs:       map[string]*cfunc{},
-		globalSlots: map[*sema.Symbol]slot{},
+		info:           info,
+		backend:        opts.Backend,
+		engine:         opts.Engine,
+		vectorize:      opts.Vectorize,
+		noFuse:         opts.NoFuse,
+		proofs:         opts.Proofs,
+		noBCE:          opts.NoBCE,
+		combine:        opts.Combine,
+		sparsePrivates: opts.SparsePrivates,
+		funcs:          map[string]*cfunc{},
+		globalSlots:    map[*sema.Symbol]slot{},
 	}
 	if err := p.layoutGlobals(); err != nil {
 		return nil, err

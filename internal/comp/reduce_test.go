@@ -30,6 +30,28 @@ func runWithTeam(t *testing.T, src string, team *rt.Team) int64 {
 	return got
 }
 
+// runSerialOracle executes main under the interp oracle alone.
+func runSerialOracle(t *testing.T, src string) int64 {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	in, err := interp.New(info, nil)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	got, err := in.RunMain()
+	if err != nil {
+		t.Fatalf("interp run: %v", err)
+	}
+	return got
+}
+
 func TestReductionPragmaEveryOp(t *testing.T) {
 	cases := []struct {
 		op   string
@@ -309,9 +331,29 @@ int main(void) {
 }
 
 func TestReductionUnsupportedOperatorRunsSerial(t *testing.T) {
-	// reduction(-:s) is valid OpenMP but outside purec's parallelizable
-	// operator set: the loop must run serially and still produce the
-	// exact result (never silently drop the accumulator updates).
+	// reduction(/:s) is valid OpenMP syntax but outside purec's
+	// parallelizable operator set: the loop must run serially and still
+	// produce the exact result (never silently drop the accumulator
+	// updates).
+	src := `
+int main(void) {
+    int s = 1000000;
+#pragma omp parallel for reduction(/:s)
+    for (int i = 1; i <= 3; i++)
+        s /= 2;
+    return s;
+}`
+	for _, team := range reduceTeams() {
+		if got := runWithTeam(t, src, team); got != 125000 {
+			t.Errorf("%d workers (sim=%v): got %d want 125000", team.Size(), team.Simulated(), got)
+		}
+	}
+}
+
+func TestReductionSubCompoundParallelizes(t *testing.T) {
+	// reduction(-:s) reduces by negation onto "+": zero-seeded privates
+	// accumulate the subtractions and the partials fold back with
+	// addition. Integer results are exact at every team size.
 	src := `
 int main(void) {
     int s = 1000;
@@ -323,6 +365,75 @@ int main(void) {
 	for _, team := range reduceTeams() {
 		if got := runWithTeam(t, src, team); got != 1000-55 {
 			t.Errorf("%d workers (sim=%v): got %d want %d", team.Size(), team.Simulated(), got, 1000-55)
+		}
+	}
+}
+
+func TestReductionSubPlainFormParallelizes(t *testing.T) {
+	// The plain-assignment form s = s - e binds a "-" clause exactly
+	// like the compound form.
+	src := `
+int main(void) {
+    int s = 500;
+#pragma omp parallel for reduction(-:s)
+    for (int i = 0; i < 100; i++)
+        s = s - i;
+    return s;
+}`
+	for _, team := range reduceTeams() {
+		if got := runWithTeam(t, src, team); got != 500-4950 {
+			t.Errorf("%d workers (sim=%v): got %d want %d", team.Size(), team.Simulated(), got, 500-4950)
+		}
+	}
+}
+
+func TestReductionSubFloatOracleExact(t *testing.T) {
+	// Float "-" reductions: the serial oracle and the inline/1-worker
+	// compiled runs share the sequential accumulation order, so they
+	// agree bit-exactly (scaled into an int return).
+	src := `
+int main(void) {
+    double s = 1000.0;
+#pragma omp parallel for reduction(-:s)
+    for (int i = 1; i <= 50; i++)
+        s -= i * 0.5;
+    return (int)(s * 4.0);
+}`
+	want := int64((1000.0 - 0.5*(50*51/2)) * 4.0)
+	if got := runBoth(t, src); got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func TestReductionSubArrayParallelizes(t *testing.T) {
+	// hist[a[i]] -= e binds a reduction(-:hist[]) clause; the fused
+	// gather-update kernel already handles the SUB update, so the
+	// parallel result is exact at every team size and engine.
+	src := `
+int main(void) {
+    int hist[8];
+    int data[64];
+    for (int i = 0; i < 8; i++) hist[i] = 100;
+    for (int i = 0; i < 64; i++) data[i] = (i * 5) % 8;
+#pragma omp parallel for reduction(-:hist[])
+    for (int i = 0; i < 64; i++)
+        hist[data[i]] -= 2;
+    int s = 0;
+    for (int i = 0; i < 8; i++) s = s + hist[i] * (i + 1);
+    return s;
+}`
+	for _, eng := range []Engine{EngineClosure, EngineTape} {
+		for _, team := range reduceTeams() {
+			m := compile(t, src, Options{Team: team, Engine: eng})
+			got, err := m.RunMain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runSerialOracle(t, src)
+			if got != want {
+				t.Errorf("engine=%v %d workers (sim=%v): got %d want %d",
+					eng, team.Size(), team.Simulated(), got, want)
+			}
 		}
 	}
 }
@@ -456,13 +567,45 @@ func TestReductionUnsupportedOpAcceptedByBothBackendAndOracle(t *testing.T) {
 	src := `
 int main(void) {
     int s = 0;
-#pragma omp parallel for reduction(-:nosuch)
+#pragma omp parallel for reduction(/:nosuch)
     for (int i = 0; i < 10; i++)
         s = s + i;
     return s;
 }`
 	if got := runBoth(t, src); got != 45 {
 		t.Fatalf("got %d want 45", got)
+	}
+}
+
+func TestReductionSubMissingAccumulatorRejectedByBoth(t *testing.T) {
+	// "-" is now in the parallelized set, so a "-" clause naming no
+	// matching update is a malformed pragma for compiler and oracle
+	// alike.
+	src := `
+int main(void) {
+    int s = 0;
+#pragma omp parallel for reduction(-:nosuch)
+    for (int i = 0; i < 10; i++)
+        s = s + i;
+    return s;
+}`
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(info, Options{}); err == nil {
+		t.Fatal("reduction(-:nosuch) must fail compilation")
+	}
+	in, err := interp.New(info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RunMain(); err == nil {
+		t.Fatal("oracle must also reject reduction(-:nosuch)")
 	}
 }
 

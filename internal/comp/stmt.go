@@ -544,15 +544,21 @@ type redClause struct {
 // maps the operator symbols to tokens; min/max clauses map to the
 // comparison markers LSS/GTR, and a [] suffix on the variable selects
 // the array-reduction form. supported is false when any clause uses
-// an operator outside the parallelizable set {+,*,&,|,^,min,max}
-// (e.g. "-") — the loop must then run serially, which is always
-// correct, instead of losing the accumulator updates.
+// an operator outside the parallelizable set {+,-,*,&,|,^,min,max}
+// (e.g. "/") — the loop must then run serially, which is always
+// correct, instead of losing the accumulator updates. "-" reduces by
+// negation onto "+": the loop body applies the subtractions, so each
+// private partial is the negated sum of its chunk and the partials
+// fold back with addition (OpenMP gives "-" the same identity and
+// combiner as "+").
 func parseOmpReductions(pragma string) (reds []redClause, supported bool) {
 	for _, c := range rt.ParseOmpReductions(pragma) {
 		var op token.Kind
 		switch c.Op {
 		case "+":
 			op = token.ADD
+		case "-":
+			op = token.SUB
 		case "*":
 			op = token.MUL
 		case "&":
@@ -615,7 +621,17 @@ func (fc *funcCompiler) resolveReduction(body ast.Stmt, c redClause) (r reductio
 	var site *ast.Ident
 	for _, as := range ast.Assignments(body) {
 		bin, okOp := as.Op.AssignBinOp()
-		if !okOp || bin != c.op {
+		matches := okOp && bin == c.op
+		if !matches && c.op == token.SUB && as.Op == token.ASSIGN {
+			// Plain form of a "-" clause: s = s - e (only the
+			// left-anchored form is a reduction — s = e - s is not).
+			if b, okB := stripParens(as.RHS).(*ast.BinaryExpr); okB && b.Op == token.SUB {
+				if x, okX := stripParens(b.X).(*ast.Ident); okX && x.Name == c.name {
+					matches = true
+				}
+			}
+		}
+		if !matches {
 			continue
 		}
 		id, okID := as.LHS.(*ast.Ident)
@@ -653,6 +669,10 @@ func (fc *funcCompiler) resolveReduction(body ast.Stmt, c redClause) (r reductio
 		switch c.op {
 		case token.ADD:
 			identity, fold = 0, func(a, b int64) int64 { return a + b }
+		case token.SUB:
+			// Negation onto "+": the body subtracts into a zero-seeded
+			// private, so each partial is −(chunk sum) and partials add.
+			identity, fold = 0, func(a, b int64) int64 { return a + b }
 		case token.MUL:
 			identity, fold = 1, func(a, b int64) int64 { return a * b }
 		case token.AND:
@@ -673,6 +693,8 @@ func (fc *funcCompiler) resolveReduction(body ast.Stmt, c redClause) (r reductio
 		var fold func(a, b float64) float64
 		switch c.op {
 		case token.ADD:
+			identity, fold = 0, func(a, b float64) float64 { return a + b }
+		case token.SUB:
 			identity, fold = 0, func(a, b float64) float64 { return a + b }
 		case token.MUL:
 			identity, fold = 1, func(a, b float64) float64 { return a * b }
@@ -817,7 +839,7 @@ func (fc *funcCompiler) resolveMinMax(body ast.Stmt, c redClause) (r reduction, 
 // floats — and the ICC fused-kernel vectorization of canonical
 // reduction loops in pure functions still applies there.
 //
-// Clauses with operators outside the parallelizable set (e.g. "-"),
+// Clauses with operators outside the parallelizable set (e.g. "/"),
 // min/max clauses whose loop body lacks the guarded-update pattern,
 // and accumulators that cannot be privatized (globals) compile to
 // serial execution of the loop — always correct, never silently
@@ -937,15 +959,29 @@ func (fc *funcCompiler) parallelReduceFor(x *ast.ForStmt, pragma string) stmtFn 
 				r.combine(e, we)
 			}
 		}
+		// Under the tree topology the runtime also merges partials into
+		// partials; the clause combines apply pairwise to the worker
+		// clones, and the surviving clone folds into the caller through
+		// combineFn exactly once.
+		opts := rt.ReduceOptions{Combine: fc.prog.combine}
+		if opts.Combine == rt.CombineTree {
+			opts.Merge = func(dst, src any) any {
+				d, s := dst.(*env), src.(*env)
+				for _, r := range reds {
+					r.combine(d, s)
+				}
+				return d
+			}
+		}
 		if hasArray {
 			// Array reductions allocate O(len) private copies: the
 			// lazy-allocating runtime entry point skips workers that
 			// never receive a chunk and charges the element-wise
 			// combine pass on the simulated critical path.
-			e.team.ParallelForReduceArray(cl.lower(e), cl.upper(e), sched, chunk,
+			e.team.ParallelForReduceArrayOpts(cl.lower(e), cl.upper(e), sched, chunk, opts,
 				init, bodyFn, combineFn)
 		} else {
-			e.team.ParallelForReduce(cl.lower(e), cl.upper(e), sched, chunk,
+			e.team.ParallelForReduceOpts(cl.lower(e), cl.upper(e), sched, chunk, opts,
 				init, bodyFn, combineFn)
 		}
 		return ctrlNext

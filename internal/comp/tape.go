@@ -554,30 +554,29 @@ func (tp *tape) exec(e *env) ctrl {
 		case tStGIdxFR:
 			p := e.p.gP[in.b]
 			p.Seg.F[p.Off+int(I[in.c]*in.aux)] = float64(float32(F[in.a]))
+		// Frame pointer slots can aim at block-sparse reduction privates
+		// (Options.SparsePrivates), so the int/float indexed ops go
+		// through the Pointer accessors, whose sparse branch handles
+		// first-touch materialization; pointer-cell segments are never
+		// sparse and keep the raw form.
 		case tLdIdx:
-			p := P[in.b]
-			I[in.a] = p.Seg.I[p.Off+int(I[in.c]*in.aux)]
+			I[in.a] = P[in.b].Add(I[in.c] * in.aux).LoadInt()
 		case tLdIdxF:
-			p := P[in.b]
-			F[in.a] = p.Seg.F[p.Off+int(I[in.c]*in.aux)]
+			F[in.a] = P[in.b].Add(I[in.c] * in.aux).LoadFloat()
 		case tLdIdxP:
 			p := P[in.b]
 			P[in.a] = p.Seg.P[p.Off+int(I[in.c]*in.aux)]
 		case tLdIdxFR:
-			p := P[in.b]
-			F[in.a] = float64(float32(p.Seg.F[p.Off+int(I[in.c]*in.aux)]))
+			F[in.a] = float64(float32(P[in.b].Add(I[in.c] * in.aux).LoadFloat()))
 		case tStIdx:
-			p := P[in.b]
-			p.Seg.I[p.Off+int(I[in.c]*in.aux)] = I[in.a]
+			P[in.b].Add(I[in.c] * in.aux).StoreInt(I[in.a])
 		case tStIdxF:
-			p := P[in.b]
-			p.Seg.F[p.Off+int(I[in.c]*in.aux)] = F[in.a]
+			P[in.b].Add(I[in.c] * in.aux).StoreFloat(F[in.a])
 		case tStIdxP:
 			p := P[in.b]
 			p.Seg.P[p.Off+int(I[in.c]*in.aux)] = P[in.a]
 		case tStIdxFR:
-			p := P[in.b]
-			p.Seg.F[p.Off+int(I[in.c]*in.aux)] = float64(float32(F[in.a]))
+			P[in.b].Add(I[in.c] * in.aux).StoreFloat(float64(float32(F[in.a])))
 
 		case tJmp:
 			pc += int(in.a)

@@ -21,8 +21,9 @@ func cacheKey(src string, cfg Config) CacheKey {
 	h := sha256.New()
 	w := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
 	w("src:%d:%s;", len(src), src)
-	w("mode:%d;file:%s;par:%t;backend:%d;engine:%d;vec:%t;nofuse:%t;nobce:%t;noalias:%t;",
-		cfg.Mode, cfg.FileName, cfg.Parallelize, cfg.Backend, cfg.Engine, cfg.Vectorize, cfg.NoFuse, cfg.NoBCE, cfg.NoAlias)
+	w("mode:%d;file:%s;par:%t;backend:%d;engine:%d;vec:%t;nofuse:%t;nobce:%t;noalias:%t;combine:%d;sparsepriv:%t;",
+		cfg.Mode, cfg.FileName, cfg.Parallelize, cfg.Backend, cfg.Engine, cfg.Vectorize, cfg.NoFuse, cfg.NoBCE, cfg.NoAlias,
+		cfg.Combine, cfg.SparsePrivates)
 	w("memo:%t;memocap:%d;memoshards:%d;",
 		cfg.Memoize, cfg.MemoCapacity, cfg.MemoShards)
 	t := cfg.Transform

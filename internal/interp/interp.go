@@ -295,9 +295,11 @@ func (in *Interp) checkReductionPragma(pr *ast.PragmaStmt, f *ast.ForStmt) {
 // reductionPragmaError returns the validation failure message, or ""
 // when the pragma is fine (including pragmas the compiler ignores).
 // The validated operator set is exactly the set the compiler
-// parallelizes — clauses with other operators (-, /, max, ...) compile
-// to serial execution there and are accepted here, so the oracle and
-// the backend always agree on which programs run.
+// parallelizes — clauses with other operators (/, %, ...) compile to
+// serial execution there and are accepted here, so the oracle and the
+// backend always agree on which programs run. The "-" clause accepts
+// both the compound (s -= e) and plain (s = s - e) spellings,
+// mirroring the compiler's resolver.
 func reductionPragmaError(info *sema.Info, pr *ast.PragmaStmt, f *ast.ForStmt) string {
 	if !strings.Contains(pr.Text, "omp") || !strings.Contains(pr.Text, "parallel") ||
 		!strings.Contains(pr.Text, "for") {
@@ -327,7 +329,7 @@ func reductionPragmaError(info *sema.Info, pr *ast.PragmaStmt, f *ast.ForStmt) s
 			continue
 		}
 		switch c.Op {
-		case "+", "*", "&", "|", "^":
+		case "+", "-", "*", "&", "|", "^":
 			// the parallelized set: validate below
 		case "min", "max":
 			// min/max clauses bind a plain assignment inside a guarded
@@ -341,8 +343,18 @@ func reductionPragmaError(info *sema.Info, pr *ast.PragmaStmt, f *ast.ForStmt) s
 		}
 		found := false
 		for _, as := range ast.Assignments(f.Body) {
-			bin, ok := as.Op.AssignBinOp()
-			if !ok || bin.String() != c.Op {
+			matches := false
+			if bin, ok := as.Op.AssignBinOp(); ok && bin.String() == c.Op {
+				matches = true
+			} else if c.Op == "-" && as.Op == token.ASSIGN {
+				// Plain form of the "-" clause: s = s - e.
+				if bin, ok := ast.Unparen(as.RHS).(*ast.BinaryExpr); ok && bin.Op == token.SUB {
+					if x, ok := ast.Unparen(bin.X).(*ast.Ident); ok && x.Name == c.Var {
+						matches = true
+					}
+				}
+			}
+			if !matches {
 				continue
 			}
 			id, ok := as.LHS.(*ast.Ident)
@@ -380,6 +392,8 @@ func arrayClauseError(info *sema.Info, op, name string, f *ast.ForStmt, inner ma
 	switch op {
 	case "+":
 		want = token.ADD
+	case "-":
+		want = token.SUB
 	case "*":
 		want = token.MUL
 	case "&":

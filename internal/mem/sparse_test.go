@@ -1,0 +1,143 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparseLoadReturnsIdentityWithoutMaterializing(t *testing.T) {
+	s := NewSparseIntSegment(1000, 7, "h")
+	if !s.IsSparse() || s.Len() != 1000 {
+		t.Fatalf("sparse=%v len=%d", s.IsSparse(), s.Len())
+	}
+	p := Pointer{Seg: s}
+	for _, off := range []int64{0, 255, 256, 999} {
+		if got := p.Add(off).LoadInt(); got != 7 {
+			t.Fatalf("untouched cell %d = %d, want identity 7", off, got)
+		}
+	}
+	dirty := 0
+	s.DirtyIntBlocks(func(int, []int64) { dirty++ })
+	if dirty != 0 {
+		t.Fatalf("loads materialized %d blocks, want 0", dirty)
+	}
+}
+
+func TestSparseFirstTouchIdentityFill(t *testing.T) {
+	s := NewSparseIntSegment(1000, 3, "h")
+	p := Pointer{Seg: s, Off: 300}
+	p.StoreInt(42)
+	if got := p.LoadInt(); got != 42 {
+		t.Fatalf("stored cell = %d, want 42", got)
+	}
+	// Neighbours in the same block read the identity (filled at
+	// materialization), neighbours outside it stay unmaterialized.
+	if got := (Pointer{Seg: s, Off: 301}).LoadInt(); got != 3 {
+		t.Fatalf("same-block neighbour = %d, want identity 3", got)
+	}
+	var bases []int
+	s.DirtyIntBlocks(func(base int, cells []int64) {
+		bases = append(bases, base)
+		if len(cells) != SparseBlockCells {
+			t.Fatalf("block %d has %d cells, want %d", base, len(cells), SparseBlockCells)
+		}
+	})
+	if len(bases) != 1 || bases[0] != 256 {
+		t.Fatalf("dirty blocks %v, want [256]", bases)
+	}
+}
+
+func TestSparseFloatIdentityAndTailBlock(t *testing.T) {
+	// 300 cells: block 0 holds 256, the tail block 44.
+	s := NewSparseFloatSegment(300, -1.5, "f")
+	p := Pointer{Seg: s, Off: 299}
+	p.StoreFloat(2.25)
+	if got := p.LoadFloat(); got != 2.25 {
+		t.Fatalf("stored cell = %g", got)
+	}
+	if got := (Pointer{Seg: s, Off: 260}).LoadFloat(); got != -1.5 {
+		t.Fatalf("tail-block neighbour = %g, want identity -1.5", got)
+	}
+	s.DirtyFloatBlocks(func(base int, cells []float64) {
+		if base != 256 || len(cells) != 44 {
+			t.Fatalf("tail block base=%d len=%d, want 256/44", base, len(cells))
+		}
+	})
+}
+
+func TestSparseDirtyBlocksAscending(t *testing.T) {
+	s := NewSparseIntSegment(4*SparseBlockCells, 0, "h")
+	// Touch blocks out of order; iteration must come back ascending.
+	for _, off := range []int{900, 10, 600} {
+		(Pointer{Seg: s, Off: off}).StoreInt(1)
+	}
+	var bases []int
+	s.DirtyIntBlocks(func(base int, _ []int64) { bases = append(bases, base) })
+	want := []int{0, 512, 768}
+	if len(bases) != len(want) {
+		t.Fatalf("dirty bases %v, want %v", bases, want)
+	}
+	for i := range want {
+		if bases[i] != want[i] {
+			t.Fatalf("dirty bases %v, want %v", bases, want)
+		}
+	}
+}
+
+func TestSparseCellsMaterializeOnDemand(t *testing.T) {
+	s := NewSparseIntSegment(600, 9, "h")
+	cells := s.SparseIntCells(256)
+	if len(cells) != SparseBlockCells {
+		t.Fatalf("cells len %d", len(cells))
+	}
+	for i, v := range cells {
+		if v != 9 {
+			t.Fatalf("cell %d = %d, want identity 9", i, v)
+		}
+	}
+	cells[0] = 11
+	if got := (Pointer{Seg: s, Off: 256}).LoadInt(); got != 11 {
+		t.Fatalf("SparseIntCells is not the live block: %d", got)
+	}
+	// A second call returns the same block, not a fresh fill.
+	if again := s.SparseIntCells(256); &again[0] != &cells[0] {
+		t.Fatal("SparseIntCells re-materialized an existing block")
+	}
+}
+
+func TestSparseOutOfBoundsPanics(t *testing.T) {
+	s := NewSparseIntSegment(100, 0, "h")
+	for _, off := range []int{-1, 100, 1 << 40} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil || !strings.Contains(r.(string), "out of bounds") {
+					t.Fatalf("off %d: want bounds panic, got %v", off, r)
+				}
+			}()
+			(Pointer{Seg: s, Off: off}).LoadInt()
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("store off %d: want bounds panic", off)
+				}
+			}()
+			(Pointer{Seg: s, Off: off}).StoreInt(1)
+		}()
+	}
+}
+
+func TestSparseBulkRangeRejected(t *testing.T) {
+	// Bulk range views would bypass the block indirection; sparse
+	// segments refuse them so fused kernels fall back to the accessor
+	// path.
+	s := NewSparseIntSegment(100, 0, "h")
+	if _, err := s.IntRange(0, 99); err == nil {
+		t.Fatal("IntRange over a sparse segment must error")
+	}
+	f := NewSparseFloatSegment(100, 0, "f")
+	if _, err := f.FloatRange(0, 99); err == nil {
+		t.Fatal("FloatRange over a sparse segment must error")
+	}
+}

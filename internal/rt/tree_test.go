@@ -1,0 +1,256 @@
+package rt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseCombine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Combine
+		bad  bool
+	}{
+		{"", CombineLinear, false},
+		{"linear", CombineLinear, false},
+		{"tree", CombineTree, false},
+		{"pairwise", 0, true},
+		{"TREE", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseCombine(c.in)
+		if c.bad {
+			if err == nil {
+				t.Fatalf("ParseCombine(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Fatalf("ParseCombine(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if CombineLinear.String() != "linear" || CombineTree.String() != "tree" {
+		t.Fatalf("String(): %q/%q", CombineLinear, CombineTree)
+	}
+}
+
+func reduceSumOpts(team *Team, lo, hi int64, sched Schedule, chunk int, o ReduceOptions) int64 {
+	var out int64
+	team.ParallelForReduceOpts(lo, hi, sched, chunk, o,
+		func(int) any { return int64(0) },
+		func(_ int, clo, chi int64, acc any) any {
+			s := acc.(int64)
+			for i := clo; i <= chi; i++ {
+				s += i
+			}
+			return s
+		},
+		func(_ int, acc any) { out += acc.(int64) })
+	return out
+}
+
+func mergeInt(dst, src any) any { return dst.(int64) + src.(int64) }
+
+func TestTreeCombineEverySchedule(t *testing.T) {
+	want := int64(500500) // sum 1..1000
+	o := ReduceOptions{Combine: CombineTree, Merge: mergeInt}
+	cases := []struct {
+		sched Schedule
+		chunk int
+	}{
+		{Static, 0}, {Static, 7}, {Dynamic, 1}, {Dynamic, 13}, {Guided, 1}, {Guided, 4},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 2, 3, 8} {
+			if got := reduceSumOpts(NewTeam(workers), 1, 1000, c.sched, c.chunk, o); got != want {
+				t.Fatalf("real tree %v,%d @%d workers: sum=%d want %d", c.sched, c.chunk, workers, got, want)
+			}
+			if got := reduceSumOpts(NewSimTeam(workers), 1, 1000, c.sched, c.chunk, o); got != want {
+				t.Fatalf("sim tree %v,%d @%d workers: sum=%d want %d", c.sched, c.chunk, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestTreeCombineBracketing pins the documented merge order: at stride
+// s = 1, 2, 4, ... accumulator w (w ≡ 0 mod 2s) absorbs accumulator
+// w+s. Accumulators build a parenthesized string, so the final value IS
+// the bracketing — and it must come out identical on real and
+// simulated teams.
+func TestTreeCombineBracketing(t *testing.T) {
+	// 6 workers, static, one span each: used set {0..5}.
+	// stride 1: (0+1) (2+3) (4+5); stride 2: 0 absorbs 2, 4 keeps
+	// (no partner); stride 4: 0 absorbs 4.
+	want := "(((w0+w1)+(w2+w3))+(w4+w5))"
+	for _, sim := range []bool{false, true} {
+		team := NewTeam(6)
+		if sim {
+			team = NewSimTeam(6)
+		}
+		var out string
+		team.ParallelForReduceOpts(0, 5, Static, 0,
+			ReduceOptions{Combine: CombineTree, Merge: func(dst, src any) any {
+				return "(" + dst.(string) + "+" + src.(string) + ")"
+			}},
+			func(w int) any { return fmt.Sprintf("w%d", w) },
+			func(_ int, _, _ int64, acc any) any { return acc },
+			func(w int, acc any) {
+				if w != 0 {
+					t.Fatalf("root fold reported worker %d, want 0", w)
+				}
+				out = acc.(string)
+			})
+		if out != want {
+			t.Fatalf("sim=%v: bracketing %s, want %s", sim, out, want)
+		}
+	}
+}
+
+// TestTreeCombineHoleBracketing covers the gap case: lazily allocated
+// array-reduction accumulators leave holes at workers that never
+// received a chunk, and the survivor below a hole moves up unmerged.
+// 3 workers on a 2-iteration dynamic loop in sim mode assign chunks
+// round-robin to workers 0 and 1, so worker 2 never allocates: stride
+// 1 merges (0+1), stride 2 finds no partner.
+func TestTreeCombineHoleBracketing(t *testing.T) {
+	var out string
+	NewSimTeam(3).ParallelForReduceArrayOpts(0, 1, Dynamic, 1,
+		ReduceOptions{Combine: CombineTree, Merge: func(dst, src any) any {
+			return "(" + dst.(string) + "+" + src.(string) + ")"
+		}},
+		func(w int) any { return fmt.Sprintf("w%d", w) },
+		func(_ int, _, _ int64, acc any) any { return acc },
+		func(_ int, acc any) { out = acc.(string) })
+	if out != "(w0+w1)" {
+		t.Fatalf("bracketing with hole: %s, want (w0+w1)", out)
+	}
+}
+
+func TestTreeCombineRequiresMerge(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "Merge") {
+			t.Fatalf("want Merge-required panic, got %v", r)
+		}
+	}()
+	reduceSumOpts(NewTeam(4), 0, 9, Static, 0, ReduceOptions{Combine: CombineTree})
+}
+
+// TestTreeVsLinearIntsIdentical is the integer half of the topology
+// contract: ints are bit-identical across topologies, schedules and
+// real/sim teams.
+func TestTreeVsLinearIntsIdentical(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 8, 12} {
+		for _, c := range []struct {
+			sched Schedule
+			chunk int
+		}{{Static, 0}, {Dynamic, 3}, {Guided, 2}} {
+			want := int64(12497500) // sum 0..4999
+			for _, sim := range []bool{false, true} {
+				mk := func() *Team {
+					if sim {
+						return NewSimTeam(workers)
+					}
+					return NewTeam(workers)
+				}
+				lin := reduceSumOpts(mk(), 0, 4999, c.sched, c.chunk, ReduceOptions{})
+				tree := reduceSumOpts(mk(), 0, 4999, c.sched, c.chunk,
+					ReduceOptions{Combine: CombineTree, Merge: mergeInt})
+				if lin != want || tree != want {
+					t.Fatalf("@%d workers %v,%d sim=%v: linear=%d tree=%d want %d",
+						workers, c.sched, c.chunk, sim, lin, tree, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTreeVsLinearFloatsMayDiffer is the float half: each topology is
+// bit-deterministic within itself, but tree and linear bracket float
+// folds differently and may legally disagree. The values are chosen so
+// rounding forces a disagreement — proof the test would catch a
+// topology that silently ignored the knob.
+func TestTreeVsLinearFloatsMayDiffer(t *testing.T) {
+	// Worker w's accumulator is vals[w] (4 workers, static, one
+	// iteration each).
+	vals := []float64{1e16, 1, -1e16, 1}
+	run := func(team *Team, o ReduceOptions) float64 {
+		var out float64
+		team.ParallelForReduceOpts(0, 3, Static, 1, o,
+			func(int) any { return float64(0) },
+			func(_ int, clo, chi int64, acc any) any {
+				s := acc.(float64)
+				for i := clo; i <= chi; i++ {
+					s += vals[i]
+				}
+				return s
+			},
+			func(_ int, acc any) { out += acc.(float64) })
+		return out
+	}
+	mergeF := func(dst, src any) any { return dst.(float64) + src.(float64) }
+	for _, sim := range []bool{false, true} {
+		mk := func() *Team {
+			if sim {
+				return NewSimTeam(4)
+			}
+			return NewTeam(4)
+		}
+		// linear: ((1e16 + 1) + -1e16) + 1 = 1 (the +1 is absorbed
+		// into 1e16's rounding); tree: (1e16+1) + (-1e16+1) = 0.
+		lin := run(mk(), ReduceOptions{})
+		tree := run(mk(), ReduceOptions{Combine: CombineTree, Merge: mergeF})
+		if lin != 1 || tree != 0 {
+			t.Fatalf("sim=%v: linear=%g tree=%g, want 1 and 0", sim, lin, tree)
+		}
+		// Within a topology the result is reproducible run to run.
+		for rep := 0; rep < 5; rep++ {
+			if g := run(mk(), ReduceOptions{}); g != lin {
+				t.Fatalf("sim=%v linear rep %d: %g != %g", sim, rep, g, lin)
+			}
+			if g := run(mk(), ReduceOptions{Combine: CombineTree, Merge: mergeF}); g != tree {
+				t.Fatalf("sim=%v tree rep %d: %g != %g", sim, rep, g, tree)
+			}
+		}
+	}
+}
+
+// TestTreeCombineSimChargesCriticalPath checks the sim cost model: a
+// level's concurrent merges charge their maximum, so 8 workers' 7
+// merges charge 3 levels, not 7 merges, on the virtual clock.
+func TestTreeCombineSimChargesCriticalPath(t *testing.T) {
+	const d = 5 * time.Millisecond
+	team := NewSimTeam(8)
+	team.ParallelForReduceOpts(0, 7, Static, 1,
+		ReduceOptions{Combine: CombineTree, Merge: func(dst, src any) any {
+			time.Sleep(d)
+			return dst.(int) + src.(int)
+		}},
+		func(int) any { return 1 },
+		func(_ int, _, _ int64, acc any) any { return acc },
+		func(int, any) {})
+	_, virt := team.TakeSim()
+	// 3 levels of ~5ms each on the critical path; the linear chain
+	// would be 7 merges (~35ms). Generous slack on both sides.
+	if virt < 14*time.Millisecond {
+		t.Fatalf("tree combine undercharged: virt=%v, want >= 3 levels (~15ms)", virt)
+	}
+	if virt > 30*time.Millisecond {
+		t.Fatalf("tree combine charged like a linear chain: virt=%v, want ~3 levels (~15ms)", virt)
+	}
+}
+
+func TestTreeCombineMergePanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "boom") {
+			t.Fatalf("want merge panic to propagate, got %v", r)
+		}
+	}()
+	NewTeam(8).ParallelForReduceOpts(0, 7, Static, 1,
+		ReduceOptions{Combine: CombineTree, Merge: func(dst, src any) any { panic("boom") }},
+		func(int) any { return 0 },
+		func(_ int, _, _ int64, acc any) any { return acc },
+		func(int, any) {})
+}

@@ -477,16 +477,20 @@ func (d *detector) buildBody(sc *SCoP, body []ast.Stmt) bool {
 // canonical reductions to their underlying binary operator.
 var reductionOps = map[token.Kind]token.Kind{
 	token.ADDASSIGN: token.ADD,
+	token.SUBASSIGN: token.SUB,
 	token.MULASSIGN: token.MUL,
 	token.ANDASSIGN: token.AND,
 	token.ORASSIGN:  token.OR,
 	token.XORASSIGN: token.XOR,
 }
 
-// binReductionOps is the same associative-commutative subset keyed by
-// the underlying binary operator.
+// binReductionOps is the same parallelizable subset keyed by the
+// underlying binary operator. SUB qualifies by negation onto "+": the
+// body's subtractions land in zero-seeded privates, whose partials
+// fold back with addition (the OpenMP "-" clause semantics).
 var binReductionOps = map[token.Kind]bool{
 	token.ADD: true,
+	token.SUB: true,
 	token.MUL: true,
 	token.AND: true,
 	token.OR:  true,
@@ -537,6 +541,35 @@ func (d *detector) recognizeReductions(sc *SCoP, body []ast.Stmt) {
 		if !ok {
 			continue
 		}
+		if as.Op == token.ASSIGN {
+			// Plain left-anchored subtraction s = s - e: the "-" clause's
+			// spelled-out form. Only SUB gets plain-form recognition —
+			// its compound form is the one op= spelling whose operands
+			// don't commute, so the plain spelling is common in real
+			// code; the accumulator must appear exactly twice in the
+			// statement (LHS and the subtraction's left operand) and
+			// nowhere else in the nest.
+			id, okID := as.LHS.(*ast.Ident)
+			bin, okBin := stripParens(as.RHS).(*ast.BinaryExpr)
+			if !okID || !okBin || bin.Op != token.SUB {
+				continue
+			}
+			x, okX := stripParens(bin.X).(*ast.Ident)
+			if !okX || x.Name != id.Name {
+				continue
+			}
+			own := 0
+			for _, sid := range ast.Idents(s) {
+				if sid.Name == id.Name {
+					own++
+				}
+			}
+			if own != 2 || uses[id.Name] != 2 {
+				continue
+			}
+			d.tagReduction(sc, k, id, token.SUB)
+			continue
+		}
 		op, ok := reductionOps[as.Op]
 		if !ok {
 			continue
@@ -557,7 +590,7 @@ func (d *detector) recognizeReductions(sc *SCoP, body []ast.Stmt) {
 // tagReduction validates the accumulator symbol, tags its scalar
 // accesses in body statement k as reduction accesses (removing them
 // from the parallelism decision) and records the clause. Float
-// accumulators support +, * and the min/max comparison markers.
+// accumulators support +, -, * and the min/max comparison markers.
 func (d *detector) tagReduction(sc *SCoP, k int, id *ast.Ident, op token.Kind) {
 	sym := d.info.Ref[id]
 	if sym == nil || sym.Kind == sema.SymGlobal || sym.IsArray() ||
@@ -568,7 +601,7 @@ func (d *detector) tagReduction(sc *SCoP, k int, id *ast.Ident, op token.Kind) {
 	case types.Int:
 		// every recognized op applies
 	case types.Float:
-		if op != token.ADD && op != token.MUL && op != token.LSS && op != token.GTR {
+		if op != token.ADD && op != token.SUB && op != token.MUL && op != token.LSS && op != token.GTR {
 			return
 		}
 	default:
@@ -673,7 +706,7 @@ func (d *detector) recognizeArrayReductions(sc *SCoP, body []ast.Stmt, cands []a
 		case types.Int:
 			// every recognized op applies
 		case types.Float:
-			if op != token.ADD && op != token.MUL && op != token.LSS && op != token.GTR {
+			if op != token.ADD && op != token.SUB && op != token.MUL && op != token.LSS && op != token.GTR {
 				continue
 			}
 		default:

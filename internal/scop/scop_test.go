@@ -309,6 +309,8 @@ func TestReductionRecognizedForEveryOp(t *testing.T) {
 		op   string
 	}{
 		{"s += f(i)", "+"},
+		{"s -= f(i)", "-"},
+		{"s = s - f(i)", "-"},
 		{"s *= f(i)", "*"},
 		{"s &= f(i)", "&"},
 		{"s |= f(i)", "|"},
@@ -348,7 +350,7 @@ func TestReductionNotRecognized(t *testing.T) {
 		{"accumulator read elsewhere", "s += f(i); t = s + 1", "int s = 0; int t = 0;"},
 		{"accumulator in own rhs", "s += s + f(i)", "int s = 0;"},
 		{"plain assignment", "s = s + f(i)", "int s = 0;"},
-		{"subtraction (non-commutative form)", "s -= f(i)", "int s = 0;"},
+		{"plain subtraction, right-anchored", "s = f(i) - s", "int s = 0;"},
 		{"two updates of one accumulator", "s += f(i); s += 1", "int s = 0;"},
 	}
 	for _, c := range cases {
