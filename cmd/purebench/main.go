@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	purebench [-fig all|2|3|...|11|m1|m2|r1|k1|a1|a2|t1|b1] [-cores 1,2,4,8,16,32,64] [-reps 3]
+//	purebench [-fig all|2|3|...|11|m1|m2|r1|k1|a1|a2|t1|b1|s1] [-cores 1,2,4,8,16,32,64] [-reps 3]
 //	          [-matmul-n 160] [-heat-n 160] [-heat-steps 30]
 //	          [-sat-pix 2000] [-sat-bands 12] [-sat-iters 48]
 //	          [-lama-rows 12000] [-lama-nnz 16] [-memo-classes 24]
@@ -34,13 +34,17 @@
 // kernels and a deliberately non-canonical branchy body); figure b1
 // is the bounds-check-elimination A/B (checked vs proven builds of the
 // element-wise kernels and a gather, plus the proven-vs-opaque gather
-// parallelization scenario). All extend the paper's evaluation.
+// parallelization scenario); figure s1 is the serving-throughput
+// scenario behind cmd/purecd (one compiled program hammered by
+// concurrent clients, pooled reset-and-reuse Processes vs a fresh
+// Process per run — wall-clock real concurrency, not simulated
+// time). All extend the paper's evaluation.
 //
 // Each figure prints as an aligned table: one row per program variant,
 // one column per simulated core count.
 //
 // -json writes each collected figure additionally as BENCH_<FIG>.json
-// into the given directory (k1/a1/a2/r1/t1/b1 only — the figures with
+// into the given directory (k1/a1/a2/r1/t1/b1/s1 only — the figures with
 // a machine-readable export). -check instead compares the fresh numbers
 // against committed BENCH_<FIG>.json baselines in the given directory
 // and exits non-zero on a large regression; both flags may be
@@ -59,8 +63,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, one of 2..11, or m1/m2/r1/k1/a1/a2/t1/b1 (comma-separable)")
-	jsonDir := flag.String("json", "", "directory receiving BENCH_<FIG>.json exports (k1/a1/a2/r1/t1/b1)")
+	fig := flag.String("fig", "all", "figure to regenerate: all, one of 2..11, or m1/m2/r1/k1/a1/a2/t1/b1/s1 (comma-separable)")
+	jsonDir := flag.String("json", "", "directory receiving BENCH_<FIG>.json exports (k1/a1/a2/r1/t1/b1/s1)")
 	checkDir := flag.String("check", "", "directory holding baseline BENCH_<FIG>.json files to compare against")
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,2,4,8,16,32,64)")
 	reps := flag.Int("reps", 0, "repetitions per measurement (default 3)")
@@ -153,7 +157,7 @@ func main() {
 		for i := 2; i <= 11; i++ {
 			want[strconv.Itoa(i)] = true
 		}
-		for _, f := range []string{"m1", "m2", "r1", "k1", "a1", "a2", "t1", "b1"} {
+		for _, f := range []string{"m1", "m2", "r1", "k1", "a1", "a2", "t1", "b1", "s1"} {
 			want[f] = true
 		}
 	} else {
@@ -298,6 +302,14 @@ func main() {
 			fatalf("bce: %v", err)
 		}
 		fmt.Println(d.FigB1())
+		handleJSON(d.JSON())
+	}
+	if want["s1"] {
+		d, err := bench.CollectServe(p)
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+		fmt.Println(d.FigS1())
 		handleJSON(d.JSON())
 	}
 	for _, m := range regressions {

@@ -247,18 +247,22 @@ func main() {
 		fatalf("unknown -emit stage %q", *emit)
 	}
 
-	// Every run executes in a fresh Process of the one immutable
+	// Every run executes in its own Process of the one immutable
 	// Program: the compiler chain runs once however many times the
-	// program executes.
+	// program executes. With -runs N the runs draw from a size-1
+	// Process pool, so run 2..N reset-and-reuse run 1's heap and
+	// global arenas instead of reallocating them.
+	pool := prog.NewPool(comp.PoolOptions{
+		Size:    1,
+		NewTeam: func() *rt.Team { return rt.NewTeam(*cores) },
+	})
 	var ret int64
 	for r := 0; r < *runs; r++ {
-		proc, perr := prog.NewProcess(comp.ProcOptions{
-			Team:   rt.NewTeam(*cores),
-			Stdout: os.Stdout,
-		})
+		proc, perr := pool.Get()
 		if perr != nil {
 			fatalf("process: %v", perr)
 		}
+		proc.SetStdout(os.Stdout)
 		start := time.Now()
 		var err error
 		ret, err = proc.RunMain()
@@ -266,10 +270,15 @@ func main() {
 		if err != nil {
 			fatalf("run: %v", err)
 		}
+		pool.Put(proc)
 		if *timed {
 			fmt.Fprintf(os.Stderr, "main returned %d in %s (%d cores, %s backend)\n",
 				ret, dur, *cores, *backend)
 		}
+	}
+	if *runs > 1 {
+		s := pool.Stats()
+		fmt.Fprintf(os.Stderr, "pool: %d runs, %d process reuses\n", s.Gets, s.Reuses)
 	}
 	if *memoize {
 		s := prog.MemoStats()

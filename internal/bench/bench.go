@@ -71,8 +71,17 @@ type Params struct {
 	// y[i] = x[idx[i]] (the output length and sweep count reuse
 	// KernN/KernReps).
 	GatherM int
-	Cores   []int
-	Reps    int
+	// S1Runs, S1Clients, S1Sizes and S1Reps shape the Fig S1 serving
+	// scenario: S1Runs executions per measured point, spread over each
+	// client count of S1Clients, of the axpy kernel at each vector
+	// length of S1Sizes (S1Reps sweeps per run). Wall-clock real
+	// concurrency, not simulated time.
+	S1Runs    int
+	S1Clients []int
+	S1Sizes   []int
+	S1Reps    int
+	Cores     []int
+	Reps      int
 }
 
 // Default returns laptop-scaled parameters preserving the paper's
@@ -102,6 +111,10 @@ func Default() Params {
 		BCEN:        96,
 		BCEReps:     20000,
 		GatherM:     2048,
+		S1Runs:      60,
+		S1Clients:   []int{1, 2, 4, 8},
+		S1Sizes:     []int{1024, 8192, 65536},
+		S1Reps:      2,
 		Cores:       []int{1, 2, 4, 8, 16, 32, 64},
 		Reps:        3,
 	}
@@ -131,6 +144,10 @@ func Quick() Params {
 		BCEN:        32,
 		BCEReps:     200,
 		GatherM:     256,
+		S1Runs:      120,
+		S1Clients:   []int{1, 2},
+		S1Sizes:     []int{256, 2048, 8192},
+		S1Reps:      2,
 		Cores:       []int{1, 2, 4},
 		Reps:        1,
 	}

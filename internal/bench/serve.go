@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"purec/internal/apps"
+	"purec/internal/comp"
+	"purec/internal/core"
+	"purec/internal/rt"
+)
+
+// Fig S1 is the serving-throughput figure behind cmd/purecd: one
+// compiled Program (the axpy kernel at several sizes) hammered by
+// concurrent clients, with each run's Process either drawn from a
+// ProcessPool (reset-don't-reallocate, the daemon's warm path) or
+// allocated fresh (the daemon's -no-pool baseline). The metric is
+// runs per second of wall clock, so — unlike the simulated-time
+// scaling figures — S1 is a real-concurrency measurement: client
+// goroutines genuinely contend for pool slots and the allocator.
+
+// serveReps is the measurement-window count per S1 point; each point
+// reports its best window.
+const serveReps = 3
+
+// ServePoint is one (size, clients, variant) throughput measurement.
+type ServePoint struct {
+	N       int     // vector length of the axpy workload
+	Clients int     // concurrent client goroutines
+	Pooled  bool    // pooled Processes vs fresh-per-run
+	RPS     float64 // runs per second of wall clock
+	Reuses  uint64  // pool reuse count (pooled points)
+}
+
+// ServeData is the collected Fig S1 material.
+type ServeData struct {
+	P      Params
+	Points []ServePoint
+}
+
+// CollectServe measures serving throughput: for every workload size and
+// client count, S1Runs executions of the shared compiled Program are
+// spread over the clients, once drawing Processes from a shared pool
+// and once allocating each fresh.
+func CollectServe(p Params) (*ServeData, error) {
+	d := &ServeData{P: p}
+	for _, n := range p.S1Sizes {
+		cfg := core.Config{
+			FileName:    fmt.Sprintf("axpy_%d.c", n),
+			Defines:     apps.KernDefines(n, p.S1Reps),
+			Parallelize: true,
+		}
+		prog, _, _, err := core.BuildProgram(apps.AxpySrc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("axpy N=%d: %v", n, err)
+		}
+		for _, clients := range p.S1Clients {
+			// Best of serveReps windows, mirroring timeIt's minimum-time
+			// policy: a slow outlier window says nothing about the code
+			// under test, and the baseline check needs stable ratios.
+			var fresh, pooled float64
+			var reuses uint64
+			for r := 0; r < serveReps; r++ {
+				rps, _, err := serveThroughput(prog, clients, p.S1Runs, nil)
+				if err != nil {
+					return nil, fmt.Errorf("axpy N=%d fresh @%d clients: %v", n, clients, err)
+				}
+				if rps > fresh {
+					fresh = rps
+				}
+			}
+			pool := prog.NewPool(comp.PoolOptions{
+				Size:    clients,
+				NewTeam: func() *rt.Team { return rt.NewTeam(1) },
+			})
+			// Warm the pool (one Process per client) so the measured
+			// window is the daemon's steady state, not its first requests.
+			if err := warmPool(pool, clients); err != nil {
+				return nil, fmt.Errorf("axpy N=%d warm @%d clients: %v", n, clients, err)
+			}
+			for r := 0; r < serveReps; r++ {
+				rps, ru, err := serveThroughput(prog, clients, p.S1Runs, pool)
+				if err != nil {
+					return nil, fmt.Errorf("axpy N=%d pooled @%d clients: %v", n, clients, err)
+				}
+				if rps > pooled {
+					pooled = rps
+				}
+				reuses += ru
+			}
+			d.Points = append(d.Points,
+				ServePoint{N: n, Clients: clients, Pooled: false, RPS: fresh},
+				ServePoint{N: n, Clients: clients, Pooled: true, RPS: pooled, Reuses: reuses})
+		}
+	}
+	return d, nil
+}
+
+// warmPool cycles n Processes through the pool so it holds n idle ones.
+func warmPool(pool *comp.ProcessPool, n int) error {
+	procs := make([]*comp.Process, 0, n)
+	for i := 0; i < n; i++ {
+		proc, err := pool.Get()
+		if err != nil {
+			return err
+		}
+		procs = append(procs, proc)
+	}
+	for _, proc := range procs {
+		pool.Put(proc)
+	}
+	return nil
+}
+
+// serveThroughput runs the program `runs` times spread over `clients`
+// goroutines and returns runs per wall-clock second. With a pool each
+// run draws from it; otherwise each run allocates a fresh Process.
+func serveThroughput(prog *comp.Program, clients, runs int, pool *comp.ProcessPool) (rps float64, reuses uint64, err error) {
+	if clients < 1 {
+		clients = 1
+	}
+	var startReuses uint64
+	if pool != nil {
+		startReuses = pool.Stats().Reuses
+	}
+	work := make(chan struct{}, runs)
+	for i := 0; i < runs; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				var proc *comp.Process
+				var perr error
+				if pool != nil {
+					proc, perr = pool.Get()
+					if perr == nil {
+						proc.SetStdout(io.Discard)
+					}
+				} else {
+					proc, perr = prog.NewProcess(comp.ProcOptions{
+						Team: rt.NewTeam(1), Stdout: io.Discard,
+					})
+				}
+				if perr == nil {
+					_, perr = proc.RunMain()
+				}
+				if pool != nil && proc != nil {
+					pool.Put(proc)
+				}
+				if perr != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = perr
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	if pool != nil {
+		reuses = pool.Stats().Reuses - startReuses
+	}
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	return float64(runs) / secs, reuses, nil
+}
+
+// FigS1 renders the serving-throughput table: one row per
+// (size, variant), one column per client count, cells in runs/sec.
+func (d *ServeData) FigS1() string {
+	var b strings.Builder
+	add := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+	add("Fig S1 — serving throughput: pooled vs fresh Processes (axpy, %d runs/point, REPS=%d)\n",
+		d.P.S1Runs, d.P.S1Reps)
+	add("[runs per second of wall clock]\n")
+	add("%-26s", "clients")
+	for _, c := range d.P.S1Clients {
+		add("%10d", c)
+	}
+	add("\n")
+	for _, n := range d.P.S1Sizes {
+		for _, pooled := range []bool{false, true} {
+			name := fmt.Sprintf("axpy N=%d/", n)
+			if pooled {
+				name += "pooled"
+			} else {
+				name += "fresh"
+			}
+			add("%-26s", name)
+			for _, c := range d.P.S1Clients {
+				if pt, ok := d.point(n, c, pooled); ok {
+					add("%10.1f", pt.RPS)
+				} else {
+					add("%10s", "-")
+				}
+			}
+			add("\n")
+		}
+	}
+	add("note: pooled rows reuse reset Processes (arena-backed heaps and globals);\n")
+	add("note: fresh rows allocate every Process anew — purecd's -no-pool baseline.\n")
+	return b.String()
+}
+
+// point finds a collected measurement.
+func (d *ServeData) point(n, clients int, pooled bool) (ServePoint, bool) {
+	for _, pt := range d.Points {
+		if pt.N == n && pt.Clients == clients && pt.Pooled == pooled {
+			return pt, true
+		}
+	}
+	return ServePoint{}, false
+}
+
+// JSON exports Fig S1. Pooled points carry the ratio metric
+// (pooled RPS / fresh RPS at the same size and client count); all
+// points are wall-clock concurrency measurements, so multi-client
+// points are presence-checked only by CheckBaseline (Sim=false), while
+// the single-client pooled-vs-fresh ratio is compared.
+func (d *ServeData) JSON() *JSONFigure {
+	jf := &JSONFigure{Fig: "S1",
+		Title: fmt.Sprintf("serving throughput: pooled vs fresh Processes (axpy, %d runs/point, REPS=%d)",
+			d.P.S1Runs, d.P.S1Reps)}
+	for _, pt := range d.Points {
+		name := fmt.Sprintf("axpy N=%d/", pt.N)
+		variant := "fresh"
+		if pt.Pooled {
+			variant = "pooled"
+		}
+		p := JSONPoint{
+			Workload: name + variant,
+			Cores:    pt.Clients,
+			Seconds:  1 / pt.RPS,
+			Sim:      false,
+		}
+		if pt.Pooled {
+			if fresh, ok := d.point(pt.N, pt.Clients, false); ok && fresh.RPS > 0 {
+				p.Speedup = pt.RPS / fresh.RPS
+			}
+		}
+		jf.Points = append(jf.Points, p)
+	}
+	return jf
+}

@@ -1,0 +1,194 @@
+package comp
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"purec/internal/rt"
+)
+
+// poolWorkload allocates heap storage through a global pointer, fills
+// globals, and prints — so reuse bugs in any of the three reset paths
+// (heap, globals, stdout plumbing) would surface as output drift.
+const poolWorkload = `
+int *buf;
+int gsum;
+
+int main(void) {
+    buf = (int*)malloc(32 * sizeof(int));
+    gsum = 0;
+    for (int i = 0; i < 32; i++) {
+        buf[i] = i * i;
+        gsum += buf[i];
+    }
+    printf("gsum=%d buf7=%d\n", gsum, buf[7]);
+    return gsum % 251;
+}
+`
+
+// TestPoolReuseIsObservableAndIdentical: a size-1 pool serves repeated
+// runs by resetting one Process; every run's return value and stdout
+// must be byte-identical to the first (which ran on a fresh Process),
+// and the counters must show the reuse actually happened.
+func TestPoolReuseIsObservableAndIdentical(t *testing.T) {
+	prog := compileProgram(t, poolWorkload, Options{})
+	pool := prog.NewPool(PoolOptions{Size: 1})
+
+	var wantRet int64
+	var wantOut string
+	for run := 0; run < 5; run++ {
+		proc, err := pool.Get()
+		if err != nil {
+			t.Fatalf("get #%d: %v", run, err)
+		}
+		var out bytes.Buffer
+		proc.SetStdout(&out)
+		ret, err := proc.RunMain()
+		if err != nil {
+			t.Fatalf("run #%d: %v", run, err)
+		}
+		pool.Put(proc)
+		if run == 0 {
+			wantRet, wantOut = ret, out.String()
+			if wantOut == "" {
+				t.Fatal("workload produced no output")
+			}
+			continue
+		}
+		if ret != wantRet || out.String() != wantOut {
+			t.Fatalf("run #%d diverged: ret %d (want %d), out %q (want %q)",
+				run, ret, wantRet, out.String(), wantOut)
+		}
+	}
+
+	s := pool.Stats()
+	if s.Gets != 5 || s.Fresh != 1 || s.Reuses != 4 || s.Discarded != 0 {
+		t.Fatalf("stats = %+v, want 5 gets / 1 fresh / 4 reuses / 0 discarded", s)
+	}
+}
+
+// TestPoolReuseRecyclesArenaStorage: the second run of a pooled Process
+// must be served from recycled backing storage, not fresh allocations —
+// the reset-don't-reallocate contract the daemon's warm path depends
+// on.
+func TestPoolReuseRecyclesArenaStorage(t *testing.T) {
+	prog := compileProgram(t, poolWorkload, Options{})
+	pool := prog.NewPool(PoolOptions{Size: 1})
+
+	proc, err := pool.Get()
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	proc.SetStdout(io.Discard)
+	if _, err := proc.RunMain(); err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	pool.Put(proc)
+
+	proc, err = pool.Get()
+	if err != nil {
+		t.Fatalf("get 2: %v", err)
+	}
+	proc.SetStdout(io.Discard)
+	if _, err := proc.RunMain(); err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	st := proc.ArenaStats()
+	if st.Recycled == 0 {
+		t.Fatalf("arena stats %+v: reset parked no storage", st)
+	}
+	if st.Reused == 0 {
+		t.Fatalf("arena stats %+v: second run reused no parked storage", st)
+	}
+	pool.Put(proc)
+}
+
+// TestPoolResetPoisonsPreviousRun: a pointer that escaped a previous
+// run of a pooled Process must trap — not silently read recycled
+// memory — after the Process is reset for its next run. This is the
+// free() poisoning contract extended across pool reuse: arena reuse
+// recycles backing slices, never Segment identities.
+func TestPoolResetPoisonsPreviousRun(t *testing.T) {
+	prog := compileProgram(t, poolWorkload, Options{})
+	pool := prog.NewPool(PoolOptions{Size: 1})
+
+	proc, err := pool.Get()
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	proc.SetStdout(io.Discard)
+	if _, err := proc.RunMain(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	stale, err := proc.GlobalPtr("buf")
+	if err != nil {
+		t.Fatalf("global buf: %v", err)
+	}
+	if stale.IsNull() || stale.Seg.Freed() {
+		t.Fatal("expected a live heap pointer after the run")
+	}
+	pool.Put(proc)
+
+	again, err := pool.Get()
+	if err != nil {
+		t.Fatalf("get 2: %v", err)
+	}
+	if again != proc {
+		t.Fatal("expected the pooled Process back (size-1 pool)")
+	}
+	if !stale.Seg.Freed() {
+		t.Fatal("previous run's heap segment not poisoned by reset")
+	}
+	if _, err := stale.Seg.IntRange(0, 8); err == nil ||
+		!strings.Contains(err.Error(), "use of freed segment") {
+		t.Fatalf("stale range access = %v, want use-of-freed trap", err)
+	}
+	// The reset Process itself must still run cleanly on the recycled
+	// storage.
+	var out bytes.Buffer
+	again.SetStdout(&out)
+	if _, err := again.RunMain(); err != nil {
+		t.Fatalf("run after reset: %v", err)
+	}
+	if !strings.Contains(out.String(), "gsum=") {
+		t.Fatalf("unexpected output %q", out.String())
+	}
+	pool.Put(again)
+}
+
+// TestPoolPutBounds: Put retains at most Size idle Processes and
+// rejects Processes of other Programs.
+func TestPoolPutBounds(t *testing.T) {
+	prog := compileProgram(t, poolWorkload, Options{})
+	other := compileProgram(t, `int main(void) { return 0; }`, Options{})
+	pool := prog.NewPool(PoolOptions{Size: 1})
+
+	a, err := pool.Get()
+	if err != nil {
+		t.Fatalf("get a: %v", err)
+	}
+	b, err := pool.Get()
+	if err != nil {
+		t.Fatalf("get b: %v", err)
+	}
+	pool.Put(a)
+	pool.Put(b) // over the size bound: discarded
+	if s := pool.Stats(); s.Discarded != 1 {
+		t.Fatalf("stats = %+v, want 1 discarded", s)
+	}
+
+	alien, err := other.NewProcess(ProcOptions{Team: rt.NewTeam(1)})
+	if err != nil {
+		t.Fatalf("alien process: %v", err)
+	}
+	pool.Put(alien) // wrong program: rejected outright
+	got, err := pool.Get()
+	if err != nil {
+		t.Fatalf("get after put: %v", err)
+	}
+	if got == alien {
+		t.Fatal("pool handed out a Process of a different Program")
+	}
+}

@@ -74,10 +74,20 @@ func (p *Process) nextRand() int64 {
 // NewProcess creates a fresh run of the program with globals in the C
 // program's initial state.
 func (p *Program) NewProcess(opts ProcOptions) (*Process, error) {
+	return p.newProcess(opts, nil)
+}
+
+// newProcess is NewProcess with an optional arena attached before the
+// first allocation, so the global array segments of the very first
+// ResetGlobals are already tracked for recycling (the pool's path).
+func (p *Program) newProcess(opts ProcOptions, arena *mem.Arena) (*Process, error) {
 	pr := &Process{
 		prog:   p,
 		stdout: opts.Stdout,
 		team:   opts.Team,
+	}
+	if arena != nil {
+		pr.heap.SetArena(arena)
 	}
 	if pr.stdout == nil {
 		pr.stdout = os.Stdout
@@ -104,6 +114,45 @@ func (p *Process) Program() *Program { return p.prog }
 
 // SetTeam replaces the worker team (between runs).
 func (p *Process) SetTeam(t *rt.Team) { p.team = t }
+
+// Team returns the worker team the process runs parallel regions on.
+func (p *Process) Team() *rt.Team { return p.team }
+
+// SetStdout redirects printf output (between runs).
+func (p *Process) SetStdout(w io.Writer) {
+	if w == nil {
+		w = os.Stdout
+	}
+	p.stdout = w
+}
+
+// ArenaStats snapshots the storage-reuse counters of a pooled Process
+// (zero for a Process without an arena).
+func (p *Process) ArenaStats() mem.ArenaStats {
+	if a := p.heap.Arena(); a != nil {
+		return a.Stats()
+	}
+	return mem.ArenaStats{}
+}
+
+// Reset returns the Process to the C program's initial state for its
+// next pooled run without reallocating what the previous run already
+// paid for: every segment of the finished run is poisoned — stale
+// pointers keep trapping exactly as after free() — and its backing
+// storage is recycled through the arena, globals and constant
+// initializers are re-established, the heap counters, the rand stream
+// and any stale simulated-time accounting are cleared. The worker team
+// is kept. On a Process without an arena, Reset degrades to
+// ResetGlobals plus the rand/team reset (fresh allocations, same
+// observable state).
+func (p *Process) Reset() error {
+	p.heap.ReleaseLive()
+	p.randState.Store(0)
+	if p.team != nil {
+		p.team.TakeSim()
+	}
+	return p.ResetGlobals()
+}
 
 // Heap returns allocation statistics.
 func (p *Process) Heap() mem.HeapStats { return p.heap.Stats() }
@@ -151,7 +200,7 @@ func (p *Process) ResetGlobals() error {
 			if err != nil {
 				return fmt.Errorf("global %s: %v", g.Name, err)
 			}
-			p.gP[sl.idx] = mem.Pointer{Seg: mem.NewSegment(kind, cells, "global "+g.Name)}
+			p.gP[sl.idx] = mem.Pointer{Seg: p.heap.NewSegment(kind, cells, "global "+g.Name)}
 			continue
 		}
 		if g.Decl != nil && g.Decl.Init != nil {
@@ -271,7 +320,7 @@ func (p *Process) newEnv(cf *cfunc) *env {
 		p: p, team: p.team,
 	}
 	for _, a := range cf.arrays {
-		e.P[a.slot] = mem.Pointer{Seg: mem.NewSegment(a.kind, a.cells, a.name)}
+		e.P[a.slot] = mem.Pointer{Seg: p.heap.NewSegment(a.kind, a.cells, a.name)}
 	}
 	return e
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,6 +16,30 @@ import (
 // Stdout, cache controls) is excluded, so builds that differ only in
 // how they will be run share one Program.
 type CacheKey [sha256.Size]byte
+
+// String returns the hex form of the key — the on-disk entry name and
+// the program identity the daemon reports.
+func (k CacheKey) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseCacheKey parses the hex form back into a key.
+func ParseCacheKey(s string) (CacheKey, error) {
+	var key CacheKey
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(key) {
+		return key, fmt.Errorf("bad cache key %q", s)
+	}
+	copy(key[:], b)
+	return key, nil
+}
+
+// Key computes the content address of a (source, Config) build — the
+// identity under which the caches store it and the daemon quotas it.
+func Key(src string, cfg Config) CacheKey {
+	if cfg.FileName == "" {
+		cfg.FileName = "program.c"
+	}
+	return cacheKey(src, cfg)
+}
 
 // cacheKey computes the content address of a build.
 func cacheKey(src string, cfg Config) CacheKey {
@@ -47,6 +72,26 @@ func cacheKey(src string, cfg Config) CacheKey {
 	return key
 }
 
+// BuildSource reports where a build came from.
+type BuildSource int
+
+// Build sources, cheapest-first.
+const (
+	// SourceMemory: the in-memory cache already held the Program
+	// (including joining an in-flight singleflight build of it).
+	SourceMemory BuildSource = iota
+	// SourceDisk: the Program was restored from the persistent disk
+	// cache — the pipeline front end did not run.
+	SourceDisk
+	// SourceCompiled: the full pipeline ran.
+	SourceCompiled
+)
+
+var buildSourceNames = [...]string{"memory", "disk", "compiled"}
+
+// String returns the source name ("memory", "disk", "compiled").
+func (s BuildSource) String() string { return buildSourceNames[s] }
+
 // cacheEntry is one in-flight or finished build. The sync.Once gives
 // the cache singleflight behaviour: concurrent builders of the same key
 // run the pipeline once and share the result.
@@ -55,6 +100,10 @@ type cacheEntry struct {
 	prog *comp.Program
 	art  *Artifact
 	err  error
+	// src records how the singleflight body obtained the Program
+	// (SourceDisk or SourceCompiled); callers that joined the entry
+	// after its insertion report SourceMemory instead.
+	src BuildSource
 	// done is set after the singleflight build finishes; eviction skips
 	// entries that are still building so a capacity squeeze can never
 	// drop an in-flight pipeline run.
@@ -75,6 +124,10 @@ type ProgramCache struct {
 	order   []CacheKey
 	hits    uint64
 	misses  uint64
+	// disk is the optional persistent layer (WithDisk): in-memory misses
+	// consult it before running the pipeline, and finished builds are
+	// written through to it.
+	disk *DiskCache
 }
 
 // DefaultCache is the cache Build and BuildProgram use when Config.Cache
@@ -90,11 +143,41 @@ func NewProgramCache(max int) *ProgramCache {
 	return &ProgramCache{max: max, entries: map[CacheKey]*cacheEntry{}}
 }
 
+// WithDisk layers a persistent disk cache under the in-memory cache:
+// misses consult it before running the pipeline front end, and finished
+// builds are written through. Returns c for chaining.
+func (c *ProgramCache) WithDisk(d *DiskCache) *ProgramCache {
+	c.mu.Lock()
+	c.disk = d
+	c.mu.Unlock()
+	return c
+}
+
+// Disk returns the layered disk cache (nil without one).
+func (c *ProgramCache) Disk() *DiskCache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disk
+}
+
 // build returns the cached program for (src, cfg), running the pipeline
 // at most once per key.
 func (c *ProgramCache) build(src string, cfg Config) (*comp.Program, *Artifact, bool, error) {
+	prog, art, source, err := c.BuildDetail(src, cfg)
+	return prog, art, source == SourceMemory, err
+}
+
+// BuildDetail is build with the cache layer that served the request
+// made explicit: SourceMemory (in-memory hit, including joining an
+// in-flight build), SourceDisk (restored from the persistent cache,
+// front end skipped) or SourceCompiled (full pipeline).
+func (c *ProgramCache) BuildDetail(src string, cfg Config) (*comp.Program, *Artifact, BuildSource, error) {
+	if cfg.FileName == "" {
+		cfg.FileName = "program.c"
+	}
 	key := cacheKey(src, cfg)
 	c.mu.Lock()
+	disk := c.disk
 	e, hit := c.entries[key]
 	if hit {
 		c.hits++
@@ -108,11 +191,28 @@ func (c *ProgramCache) build(src string, cfg Config) (*comp.Program, *Artifact, 
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		defer e.done.Store(true)
+		if disk != nil {
+			if art, ok := disk.Load(src, key, cfg); ok {
+				if prog, err := art.Compile(cfg); err == nil {
+					e.art, e.prog, e.src = art, prog, SourceDisk
+					return
+				}
+				// The entry revalidated but did not compile (a toolchain
+				// whose Compile rejects what this one stored): fall back
+				// to the full build, which overwrites the entry.
+			}
+		}
+		e.src = SourceCompiled
 		e.art, e.err = Front(src, cfg)
 		if e.err == nil {
 			e.prog, e.err = e.art.Compile(cfg)
 		}
-		e.done.Store(true)
+		if e.err == nil && disk != nil {
+			// Write-through is best-effort: a full disk never blocks
+			// serving the build.
+			_ = disk.Store(key, cfg, e.art)
+		}
 	})
 	if e.err != nil {
 		// Failed builds are not worth a cache slot: drop the entry so
@@ -128,9 +228,12 @@ func (c *ProgramCache) build(src string, cfg Config) (*comp.Program, *Artifact, 
 			}
 		}
 		c.mu.Unlock()
-		return nil, nil, false, e.err
+		return nil, nil, SourceCompiled, e.err
 	}
-	return e.prog, e.art, hit, nil
+	if hit {
+		return e.prog, e.art, SourceMemory, nil
+	}
+	return e.prog, e.art, e.src, nil
 }
 
 // promote moves key to the most-recently-used end of the order (caller

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"purec/internal/parser"
+	"purec/internal/purity"
+	"purec/internal/sema"
+	"purec/internal/vra"
+)
+
+// The persistent program cache stores validated build products on disk,
+// keyed by the same content hash as the in-memory ProgramCache. An
+// entry holds the lowered, polyhedrally transformed source of a
+// finished build plus the front end's verdicts (pure set, SCoP count,
+// rejections) and an integrity checksum. Loading an entry restores an
+// executable Artifact without re-entering the pipeline front end
+// (preprocess, parse, purity, SCoP detection, polyhedral transform):
+// only the cheap revalidation the chain runs on its own output anyway —
+// parse + semantic check + value-range analysis of the already-lowered
+// source — and the closure compile run again, because compiled
+// Programs are Go closures and cannot be serialized. Corrupt entries
+// (truncated files, bit flips, version skew) are detected by the
+// checksum, rejected, deleted and rebuilt from source — never executed.
+//
+// Writes are torn-write-safe for concurrent daemons sharing one cache
+// directory: each entry is written to an O_EXCL temp file and
+// atomically renamed into place, so a reader sees either the old
+// complete entry, the new complete entry, or nothing.
+
+// diskEntryVersion is bumped whenever the entry layout or the restore
+// contract changes; entries of other versions are rejected as corrupt.
+const diskEntryVersion = 1
+
+// diskEntry is the JSON form of one on-disk cache entry.
+type diskEntry struct {
+	Version     int      `json:"version"`
+	Key         string   `json:"key"`
+	FileName    string   `json:"file_name"`
+	Transformed string   `json:"transformed"`
+	Final       string   `json:"final"`
+	Pure        []string `json:"pure,omitempty"`
+	SCoPs       int      `json:"scops"`
+	Rejections  []string `json:"rejections,omitempty"`
+	// Sum is the hex SHA-256 of the canonical payload; Load rejects
+	// entries whose recomputed sum differs (bit flip, truncation that
+	// still parses, hand edits).
+	Sum string `json:"sum"`
+}
+
+// sum computes the canonical integrity checksum of the entry payload.
+func (e *diskEntry) sum() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d;key:%s;file:%d:%s;", e.Version, e.Key, len(e.FileName), e.FileName)
+	fmt.Fprintf(h, "trans:%d:%s;final:%d:%s;", len(e.Transformed), e.Transformed, len(e.Final), e.Final)
+	fmt.Fprintf(h, "pure:%d:%s;scops:%d;rej:%d:%s;",
+		len(e.Pure), strings.Join(e.Pure, ","), e.SCoPs, len(e.Rejections), strings.Join(e.Rejections, "\x00"))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DiskStats counts the disk cache's traffic. Corrupt counts entries the
+// integrity or revalidation checks rejected (each is deleted and the
+// build falls back to the full pipeline).
+type DiskStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Stores  uint64 `json:"stores"`
+	Corrupt uint64 `json:"corrupt"`
+	Evicted uint64 `json:"evicted"`
+}
+
+// DiskCache is the persistent, shareable half of the program cache: a
+// directory of checksummed build products keyed by content hash.
+// Multiple daemons may point at one directory; entries are written
+// atomically and validated on every load, so a reader can never observe
+// (or execute) a torn or corrupted artifact.
+type DiskCache struct {
+	dir string
+	max int
+
+	mu sync.Mutex
+	// inflight guards keys a loader is currently reading: capacity
+	// eviction skips them, so an eviction racing a load can never pull
+	// the file out from under the reader.
+	inflight map[CacheKey]int
+	stats    DiskStats
+}
+
+// NewDiskCache opens (creating if needed) the cache directory, keeping
+// at most maxEntries finished entries (0 or less means unlimited).
+func NewDiskCache(dir string, maxEntries int) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk cache: %v", err)
+	}
+	return &DiskCache{dir: dir, max: maxEntries, inflight: map[CacheKey]int{}}, nil
+}
+
+// Dir returns the cache directory.
+func (d *DiskCache) Dir() string { return d.dir }
+
+// Stats snapshots the traffic counters.
+func (d *DiskCache) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Len returns the number of entry files currently in the directory.
+func (d *DiskCache) Len() int {
+	names, _ := filepath.Glob(filepath.Join(d.dir, "*.json"))
+	return len(names)
+}
+
+// path returns the entry file of a key.
+func (d *DiskCache) path(key CacheKey) string {
+	return filepath.Join(d.dir, key.String()+".json")
+}
+
+func (d *DiskCache) beginLoad(key CacheKey) {
+	d.mu.Lock()
+	d.inflight[key]++
+	d.mu.Unlock()
+}
+
+func (d *DiskCache) endLoad(key CacheKey) {
+	d.mu.Lock()
+	if d.inflight[key]--; d.inflight[key] <= 0 {
+		delete(d.inflight, key)
+	}
+	d.mu.Unlock()
+}
+
+func (d *DiskCache) count(field *uint64) {
+	d.mu.Lock()
+	*field++
+	d.mu.Unlock()
+}
+
+// Load restores the Artifact of a previously stored build. It returns
+// ok=false on a plain miss and on any integrity failure; corrupt
+// entries are deleted so the rebuilt artifact can replace them. The
+// returned Artifact carries src as Stages.Original; the intermediate
+// front-end snapshots (Stripped/Expanded/Marked) and the transform
+// Report are not persisted — the daemon's execution path needs neither.
+func (d *DiskCache) Load(src string, key CacheKey, cfg Config) (*Artifact, bool) {
+	d.beginLoad(key)
+	defer d.endLoad(key)
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		d.count(&d.stats.Misses)
+		return nil, false
+	}
+	e := &diskEntry{}
+	if err := json.Unmarshal(data, e); err != nil {
+		d.reject(key, "undecodable entry")
+		return nil, false
+	}
+	if e.Version != diskEntryVersion || e.Key != key.String() || e.Sum != e.sum() {
+		d.reject(key, "integrity check failed")
+		return nil, false
+	}
+	art, err := restoreArtifact(src, e)
+	if err != nil {
+		// The payload checksummed clean but no longer revalidates (e.g.
+		// an entry written by a build of a different toolchain state).
+		// Treat exactly like corruption: reject, delete, rebuild.
+		d.reject(key, "revalidation failed")
+		return nil, false
+	}
+	d.count(&d.stats.Hits)
+	return art, true
+}
+
+// reject deletes a failed entry and counts it as corrupt (plus a miss,
+// so hit-rate arithmetic stays honest).
+func (d *DiskCache) reject(key CacheKey, _ string) {
+	os.Remove(d.path(key))
+	d.mu.Lock()
+	d.stats.Corrupt++
+	d.stats.Misses++
+	d.mu.Unlock()
+}
+
+// Store persists a finished build product. The write is atomic
+// (O_EXCL temp file + rename); concurrent daemons storing the same key
+// race benignly — last rename wins, every intermediate state is a
+// complete entry.
+func (d *DiskCache) Store(key CacheKey, cfg Config, art *Artifact) error {
+	name := cfg.FileName
+	if name == "" {
+		name = "program.c"
+	}
+	e := &diskEntry{
+		Version:     diskEntryVersion,
+		Key:         key.String(),
+		FileName:    name,
+		Transformed: art.Stages.Transformed,
+		Final:       art.Stages.Final,
+		Pure:        append([]string(nil), art.Pure...),
+		SCoPs:       art.SCoPs,
+		Rejections:  append([]string(nil), art.Rejections...),
+	}
+	sort.Strings(e.Pure)
+	e.Sum = e.sum()
+	data, err := json.MarshalIndent(e, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	d.count(&d.stats.Stores)
+	d.evictOver()
+	return nil
+}
+
+// evictOver drops the oldest finished entries until the directory fits
+// the capacity. Keys with a load in flight are skipped — the reader
+// holds no file lock, so deleting under it could turn a valid hit into
+// a spurious miss; if only in-flight entries remain the cache
+// temporarily exceeds its capacity instead.
+func (d *DiskCache) evictOver() {
+	if d.max <= 0 {
+		return
+	}
+	names, err := filepath.Glob(filepath.Join(d.dir, "*.json"))
+	if err != nil || len(names) <= d.max {
+		return
+	}
+	type entry struct {
+		path string
+		mod  int64
+	}
+	var entries []entry
+	for _, n := range names {
+		fi, err := os.Stat(n)
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{n, fi.ModTime().UnixNano()})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mod < entries[j].mod })
+	over := len(entries) - d.max
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range entries {
+		if over <= 0 {
+			return
+		}
+		base := strings.TrimSuffix(filepath.Base(e.path), ".json")
+		if key, err := ParseCacheKey(base); err == nil && d.inflight[key] > 0 {
+			continue
+		}
+		if os.Remove(e.path) == nil {
+			d.stats.Evicted++
+			over--
+		}
+	}
+}
+
+// restoreArtifact revalidates a disk entry into an executable Artifact
+// without the pipeline front end: the stored source is already lowered
+// and transformed, so only the chain's own restart-on-generated-file
+// steps run — parse, semantic check, value-range analysis and the
+// memoizable-set computation. Exactly what core.Front does after
+// PC-PosPro, and nothing before it.
+func restoreArtifact(src string, e *diskEntry) (*Artifact, error) {
+	art := &Artifact{
+		Pure:       append([]string(nil), e.Pure...),
+		SCoPs:      e.SCoPs,
+		Rejections: append([]string(nil), e.Rejections...),
+	}
+	art.Stages.Original = src
+	art.Stages.Transformed = e.Transformed
+	art.Stages.Final = e.Final
+	file, err := parser.Parse(e.FileName, e.Transformed)
+	if err != nil {
+		return nil, fmt.Errorf("stored source does not reparse: %v", err)
+	}
+	info, err := sema.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("stored source does not re-check: %v", err)
+	}
+	art.Info = info
+	// The analysis runs on the final model only: the bounds proofs the
+	// Compile step consumes are keyed to these nodes. The user-source
+	// findings of -analyze are a front-end concern and are not restored.
+	art.VRA = vra.Analyze(info)
+	for name := range purity.Memoizable(info) {
+		art.Memoizable = append(art.Memoizable, name)
+	}
+	return art, nil
+}

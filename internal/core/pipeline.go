@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"purec/internal/ast"
 	"purec/internal/comp"
@@ -197,9 +198,20 @@ type Result struct {
 	CacheHit bool
 }
 
+// frontRuns counts pipeline front-end entries. Disk-cache restores and
+// in-memory hits bypass Front entirely, so the delta of FrontRuns
+// across a build is the test- and stats-visible proof that the compile
+// chain was (or was not) re-entered.
+var frontRuns atomic.Uint64
+
+// FrontRuns returns the number of times the pipeline front end has run
+// in this process.
+func FrontRuns() uint64 { return frontRuns.Load() }
+
 // Front runs the pipeline front end (PC-PrePro → GCC-E → PC-CC → polycc
 // → PC-PosPro) on src, stopping before the executable compile.
 func Front(src string, cfg Config) (*Artifact, error) {
+	frontRuns.Add(1)
 	if cfg.FileName == "" {
 		cfg.FileName = "program.c"
 	}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"purec/internal/comp"
+	"purec/internal/interp"
+	"purec/internal/rt"
+	"purec/internal/transform"
+)
+
+// poolOracleSrc exercises every piece of per-run state a pooled Process
+// must reset: the guest PRNG (srand/rand), heap storage reached through
+// a global pointer (malloc), an integer array reduction, an integer
+// scalar reduction, a memoizable pure call, an element-wise float
+// kernel, and printf output. Integer reductions are bit-identical under
+// any bracketing, and the float array is element-wise, so every
+// schedule, team size and engine must reproduce the serial interp
+// oracle exactly — run after run after run on the same reused Process.
+const poolOracleSrc = `
+int hist[32];
+float fvec[256];
+int *data;
+int total;
+
+pure int mix(int x) {
+    int r = 0;
+    for (int i = 0; i < 20; i++)
+        r += (x * 7 + i) % 13;
+    return r;
+}
+
+int main(void) {
+    srand(42);
+    data = (int*)malloc(256 * sizeof(int));
+    for (int i = 0; i < 256; i++)
+        data[i] = rand() % 32;
+    for (int i = 0; i < 32; i++)
+        hist[i] = 0;
+    for (int i = 0; i < 256; i++)
+        hist[data[i]]++;
+    for (int i = 0; i < 256; i++)
+        fvec[i] = sqrt((float)data[i]) * 0.5f;
+    total = 0;
+    for (int i = 0; i < 32; i++)
+        total += mix(hist[i]);
+    printf("total=%d h0=%d h31=%d\n", total, hist[0], hist[31]);
+    return total % 101;
+}
+`
+
+// poolOracleState is the complete observable outcome of one run.
+type poolOracleState struct {
+	ret   int64
+	out   string
+	hist  string
+	fvec  string
+	total int64
+}
+
+func snapIntVec(load func(i int64) int64, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d,", load(int64(i)))
+	}
+	return b.String()
+}
+
+func snapFloatVec(load func(i int64) float64, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%x,", math.Float64bits(load(int64(i))))
+	}
+	return b.String()
+}
+
+// poolOracleWant runs the serial tree-walking interpreter and snapshots
+// the full observable state.
+func poolOracleWant(t *testing.T) poolOracleState {
+	t.Helper()
+	art, err := Front(poolOracleSrc, Config{FileName: "t.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	in, err := interp.New(art.Info, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := in.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := in.GlobalPtr("hist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := in.GlobalPtr("fvec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := in.GlobalValue("total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return poolOracleState{
+		ret:   ret,
+		out:   out.String(),
+		hist:  snapIntVec(func(i int64) int64 { return hp.Add(i).LoadInt() }, 32),
+		fvec:  snapFloatVec(func(i int64) float64 { return fp.Add(i).LoadFloat() }, 256),
+		total: tv.AsInt(),
+	}
+}
+
+// snapProcess snapshots a finished machine run.
+func snapProcess(proc *comp.Process, ret int64, out string) (poolOracleState, error) {
+	hp, err := proc.GlobalPtr("hist")
+	if err != nil {
+		return poolOracleState{}, err
+	}
+	fp, err := proc.GlobalPtr("fvec")
+	if err != nil {
+		return poolOracleState{}, err
+	}
+	tot, err := proc.GlobalInt("total")
+	if err != nil {
+		return poolOracleState{}, err
+	}
+	return poolOracleState{
+		ret:   ret,
+		out:   out,
+		hist:  snapIntVec(func(i int64) int64 { return hp.Add(i).LoadInt() }, 32),
+		fvec:  snapFloatVec(func(i int64) float64 { return fp.Add(i).LoadFloat() }, 256),
+		total: tot,
+	}, nil
+}
+
+// TestPoolReuseOracle12Goroutines is the daemon's determinism gate: 12
+// goroutines hammer one compiled Program through a shared ProcessPool —
+// every configuration of {schedule} × {closure, tape} × {gcc, icc} plus
+// a memoizing build — with team sizes cycling through real and
+// simulated teams, and every single run (reused Process or fresh) must
+// reproduce the serial interp oracle bit for bit: return value, stdout
+// bytes, the integer histogram, the float vector and the scalar total.
+// A reset that leaked PRNG state, heap contents, globals or memo state
+// between runs fails here. Run under -race in CI.
+func TestPoolReuseOracle12Goroutines(t *testing.T) {
+	want := poolOracleWant(t)
+	if want.out == "" {
+		t.Fatal("oracle produced no output")
+	}
+
+	type variant struct {
+		name string
+		cfg  Config
+	}
+	var variants []variant
+	for _, sched := range []string{"", "static,3", "dynamic,1", "guided,2"} {
+		variants = append(variants, variant{
+			name: "closure/gcc/" + sched,
+			cfg: Config{FileName: "t.c", Parallelize: true,
+				Transform: transform.Options{Schedule: sched}},
+		})
+	}
+	variants = append(variants,
+		variant{"tape/gcc/", Config{FileName: "t.c", Parallelize: true, Engine: comp.EngineTape}},
+		variant{"closure/icc/", Config{FileName: "t.c", Parallelize: true, Backend: comp.BackendICC}},
+		variant{"closure/gcc/memo", Config{FileName: "t.c", Parallelize: true, Memoize: true}},
+	)
+
+	teamSizes := []int{1, 2, 3, 5, 8}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			prog, _, _, err := BuildProgram(poolOracleSrc, v.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The team factory cycles sizes and alternates real and
+			// simulated teams across the pool's fresh Processes.
+			var teamSeq atomic.Int64
+			pool := prog.NewPool(comp.PoolOptions{
+				Size: 4,
+				NewTeam: func() *rt.Team {
+					i := teamSeq.Add(1) - 1
+					size := teamSizes[i%int64(len(teamSizes))]
+					if i%2 == 1 {
+						return rt.NewSimTeam(size)
+					}
+					return rt.NewTeam(size)
+				},
+			})
+
+			const goroutines = 12
+			const runsEach = 3
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines*runsEach)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for r := 0; r < runsEach; r++ {
+						proc, err := pool.Get()
+						if err != nil {
+							errs <- fmt.Errorf("g%d r%d get: %v", g, r, err)
+							return
+						}
+						var out bytes.Buffer
+						proc.SetStdout(&out)
+						ret, err := proc.RunMain()
+						if err != nil {
+							errs <- fmt.Errorf("g%d r%d run: %v", g, r, err)
+							return
+						}
+						got, err := snapProcess(proc, ret, out.String())
+						pool.Put(proc)
+						if err != nil {
+							errs <- fmt.Errorf("g%d r%d snapshot: %v", g, r, err)
+							return
+						}
+						if got != want {
+							errs <- fmt.Errorf("g%d r%d diverged from oracle: ret %d/%d out %q/%q total %d/%d hist eq=%v fvec eq=%v",
+								g, r, got.ret, want.ret, got.out, want.out,
+								got.total, want.total, got.hist == want.hist, got.fvec == want.fvec)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+
+			s := pool.Stats()
+			if s.Gets != goroutines*runsEach {
+				t.Errorf("pool gets = %d, want %d", s.Gets, goroutines*runsEach)
+			}
+			if s.Reuses == 0 {
+				t.Error("pool reuse never happened — the test exercised only fresh Processes")
+			}
+			if v.cfg.Memoize {
+				if ms := prog.MemoStats(); ms.Hits == 0 {
+					t.Errorf("memoizing build recorded no memo hits across pooled runs: %+v", ms)
+				}
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ package mem
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -401,9 +402,61 @@ func (p Pointer) StorePtr(v Pointer) { p.Seg.P[p.Off] = v }
 // The counters are atomic so allocations from inside parallel regions
 // account safely; segment creation itself is lock-free (each malloc
 // returns a fresh segment).
+//
+// A heap may additionally carry an Arena (SetArena): segments then
+// allocate their backing storage through the arena's free lists and are
+// tracked in a live set, so ReleaseLive can poison the whole previous
+// run and recycle its storage in one sweep — the reset-don't-reallocate
+// path of pooled Processes. Without an arena (the default) nothing is
+// tracked and allocation behaves exactly as before.
 type Heap struct {
 	allocs atomic.Int64
 	frees  atomic.Int64
+
+	arena *Arena
+	mu    sync.Mutex
+	live  []*Segment
+}
+
+// SetArena attaches an arena to the heap. Call it before the first
+// allocation of the first run; segments allocated earlier are not
+// tracked and will be garbage collected rather than recycled.
+func (h *Heap) SetArena(a *Arena) { h.arena = a }
+
+// Arena returns the attached arena (nil without one).
+func (h *Heap) Arena() *Arena { return h.arena }
+
+// NewSegment allocates a non-heap segment (a global or local array)
+// with the same storage-reuse and tracking treatment as Malloc, but
+// without counting toward the malloc statistics. Without an arena it is
+// exactly the package-level NewSegment.
+func (h *Heap) NewSegment(k CellKind, n int, name string) *Segment {
+	if h.arena == nil {
+		return NewSegment(k, n, name)
+	}
+	s := h.arena.NewSegment(k, n, name)
+	h.mu.Lock()
+	h.live = append(h.live, s)
+	h.mu.Unlock()
+	return s
+}
+
+// ReleaseLive poisons every tracked segment of the finished run and
+// recycles its backing storage into the arena. Stale pointers into the
+// run keep trapping (the segments are in the freed state, slices
+// dropped); the storage itself feeds the next run's allocations. A
+// no-op without an arena.
+func (h *Heap) ReleaseLive() {
+	if h.arena == nil {
+		return
+	}
+	h.mu.Lock()
+	live := h.live
+	h.live = nil
+	h.mu.Unlock()
+	for _, s := range live {
+		h.arena.Release(s)
+	}
 }
 
 // HeapStats is a snapshot of the allocation counters.
@@ -426,7 +479,7 @@ func (h *Heap) Reset() {
 // Malloc allocates a segment of n cells of kind k.
 func (h *Heap) Malloc(k CellKind, n int, name string) Pointer {
 	h.allocs.Add(1)
-	return Pointer{Seg: NewSegment(k, n, name)}
+	return Pointer{Seg: h.NewSegment(k, n, name)}
 }
 
 // Free releases the segment referenced by p. Double frees and frees of

@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"purec/internal/comp"
+	"purec/internal/core"
+	"purec/internal/rt"
+)
+
+const serveSrc = `
+int *buf;
+
+int main(void) {
+    buf = (int*)malloc(64 * sizeof(int));
+    int s = 0;
+    for (int i = 0; i < 64; i++) {
+        buf[i] = i * i;
+        s += buf[i];
+    }
+    printf("sum=%d\n", s);
+    return s % 117;
+}
+`
+
+// post sends a /run request and returns the response.
+func post(t *testing.T, ts *httptest.Server, req RunRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestRunColdThenMemoryThenDiskHit walks the three cache layers: the
+// first request compiles, the second hits the in-memory cache, and a
+// restarted daemon (fresh Server, same cache directory) serves from
+// disk — provably without re-entering the pipeline front end. Output
+// must be byte-identical across all three.
+func TestRunColdThenMemoryThenDiskHit(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Options{CacheDir: dir})
+
+	req := RunRequest{Source: serveSrc}
+	resp := post(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	if got := resp.Header.Get("X-Purecd-Build"); got != "compiled" {
+		t.Fatalf("cold X-Purecd-Build = %q, want compiled", got)
+	}
+	coldOut := readBody(t, resp)
+
+	resp = post(t, ts, req)
+	if got := resp.Header.Get("X-Purecd-Build"); got != "memory" {
+		t.Fatalf("warm X-Purecd-Build = %q, want memory", got)
+	}
+	if got := resp.Header.Get("X-Purecd-Pool"); got != "reused" {
+		t.Fatalf("warm X-Purecd-Pool = %q, want reused", got)
+	}
+	if out := readBody(t, resp); out != coldOut {
+		t.Fatalf("warm output %q differs from cold %q", out, coldOut)
+	}
+
+	// Restart: a new Server over the same directory.
+	_, ts2 := newTestServer(t, Options{CacheDir: dir})
+	frontBefore := core.FrontRuns()
+	resp = post(t, ts2, req)
+	if got := resp.Header.Get("X-Purecd-Build"); got != "disk" {
+		t.Fatalf("restart X-Purecd-Build = %q, want disk", got)
+	}
+	if delta := core.FrontRuns() - frontBefore; delta != 0 {
+		t.Fatalf("front end ran %d times serving the disk hit, want 0", delta)
+	}
+	if out := readBody(t, resp); out != coldOut {
+		t.Fatalf("restart output %q differs from cold %q", out, coldOut)
+	}
+}
+
+// TestConcurrentIdenticalRequestsCompileOnce: many concurrent POSTs of
+// the same source must singleflight into exactly one front-end run.
+func TestConcurrentIdenticalRequestsCompileOnce(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxConcurrent: 8, QueueDepth: 64})
+	src := `int main(void) { printf("once\n"); return 0; }`
+
+	frontBefore := core.FrontRuns()
+	const clients = 12
+	var wg sync.WaitGroup
+	outs := make([]string, clients)
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(RunRequest{Source: src})
+			resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			outs[i], codes[i] = string(data), resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	if delta := core.FrontRuns() - frontBefore; delta != 1 {
+		t.Fatalf("front end ran %d times for %d identical requests, want exactly 1", delta, clients)
+	}
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK || outs[i] != "once\n" {
+			t.Fatalf("client %d: status %d body %q", i, codes[i], outs[i])
+		}
+	}
+}
+
+// TestGuestTrapReturnsStructuredError: a guest that traps (use after
+// free) must produce a structured JSON error response — not crash the
+// daemon, which must keep serving.
+func TestGuestTrapReturnsStructuredError(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	trap := `
+int main(void) {
+    int *p = (int*)malloc(4 * sizeof(int));
+    free(p);
+    return p[0];
+}
+`
+	resp := post(t, ts, RunRequest{Source: trap})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("trap status = %d, want 422", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("trap content type = %q, want JSON", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(readBody(t, resp)), &e); err != nil {
+		t.Fatalf("trap body not JSON: %v", err)
+	}
+	if !strings.HasPrefix(e.Error, "run:") || e.Error == "run:" {
+		t.Fatalf("trap error %q does not describe a run fault", e.Error)
+	}
+
+	// The daemon survives and keeps serving.
+	resp = post(t, ts, RunRequest{Source: `int main(void) { printf("alive\n"); return 0; }`})
+	if resp.StatusCode != http.StatusOK || readBody(t, resp) != "alive\n" {
+		t.Fatal("daemon did not keep serving after a guest trap")
+	}
+}
+
+// TestBuildErrorReturnsStructuredError: source the front end rejects is
+// a clean 422, not a daemon fault.
+func TestBuildErrorReturnsStructuredError(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := post(t, ts, RunRequest{Source: `int main(void) { return 0`})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	if body := readBody(t, resp); !strings.Contains(body, "error") {
+		t.Fatalf("body %q carries no error", body)
+	}
+}
+
+// TestAdmissionSaturationRejectsAndDrains: with one run slot, no queue
+// and a long-running guest, concurrent extra requests must be rejected
+// (429 for the per-program quota, 503 for the full queue) while the
+// in-flight run completes — and afterwards the daemon serves normally
+// again.
+func TestAdmissionSaturationRejectsAndDrains(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		MaxConcurrent:   1,
+		QueueDepth:      1,
+		QueueTimeout:    50 * time.Millisecond,
+		PerProgramLimit: 1,
+	})
+	// A guest slow enough to hold its slot while the others arrive.
+	slow := `
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 20000000; i++)
+        s += i % 7;
+    printf("s=%d\n", s);
+    return 0;
+}
+`
+	// Distinct fast sources dodge the per-program quota and contend on
+	// the global gate instead.
+	fastFor := func(i int) string {
+		return fmt.Sprintf(`int main(void) { printf("f%d\n"); return 0; }`, i)
+	}
+
+	const extra = 6
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	statuses := map[int]int{}
+	launch := func(src string) {
+		defer wg.Done()
+		body, _ := json.Marshal(RunRequest{Source: src})
+		resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		mu.Lock()
+		statuses[resp.StatusCode]++
+		mu.Unlock()
+	}
+
+	wg.Add(1)
+	go launch(slow)
+	time.Sleep(20 * time.Millisecond) // let the slow run take the slot
+	// Same program again: per-program quota, expect 429.
+	wg.Add(1)
+	go launch(slow)
+	// Distinct programs: queue of depth 1 with a short timeout, expect
+	// 503s among them.
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go launch(fastFor(i))
+	}
+	wg.Wait()
+
+	if statuses[http.StatusTooManyRequests] == 0 {
+		t.Fatalf("no 429 under per-program saturation: %v", statuses)
+	}
+	if statuses[http.StatusServiceUnavailable] == 0 {
+		t.Fatalf("no 503 under queue saturation: %v", statuses)
+	}
+	if statuses[http.StatusOK] == 0 {
+		t.Fatalf("nothing completed during saturation: %v", statuses)
+	}
+
+	// Saturation over: the daemon drains and serves cleanly again.
+	resp := post(t, ts, RunRequest{Source: `int main(void) { printf("after\n"); return 0; }`})
+	if resp.StatusCode != http.StatusOK || readBody(t, resp) != "after\n" {
+		t.Fatal("daemon did not drain back to normal service")
+	}
+}
+
+// TestStdoutMatchesPurecc: the daemon's response body must be
+// byte-for-byte the stdout a direct purecc-style run produces.
+func TestStdoutMatchesPurecc(t *testing.T) {
+	src := `
+float v[8];
+
+int main(void) {
+    srand(7);
+    for (int i = 0; i < 8; i++)
+        v[i] = (float)(rand() % 100) * 0.25f;
+    for (int i = 0; i < 8; i++)
+        printf("v[%d]=%f\n", i, v[i]);
+    printf("done %d\n", rand() % 1000);
+    return 0;
+}
+`
+	// Reference: the compiler chain run directly, as cmd/purecc does.
+	var want bytes.Buffer
+	prog, _, _, err := core.BuildProgram(src, core.Config{FileName: "request.c", Parallelize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := prog.NewProcess(comp.ProcOptions{Team: rt.NewTeam(1), Stdout: &want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Options{})
+	for run := 0; run < 3; run++ { // cold, then pooled reuses
+		resp := post(t, ts, RunRequest{Source: src})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d status %d", run, resp.StatusCode)
+		}
+		if got := readBody(t, resp); got != want.String() {
+			t.Fatalf("run %d body %q, want %q", run, got, want.String())
+		}
+	}
+}
+
+// TestRunOptionsValidated: bad options are 400s, and option variants
+// produce distinct cache keys (a sequential build is not served the
+// parallel Program).
+func TestRunOptionsValidated(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	for _, req := range []RunRequest{
+		{Source: ""},
+		{Source: "int main(void){return 0;}", Options: RunOptions{Backend: "clang"}},
+		{Source: "int main(void){return 0;}", Options: RunOptions{Engine: "jit"}},
+		{Source: "int main(void){return 0;}", Options: RunOptions{Cores: -1}},
+	} {
+		resp := post(t, ts, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%+v: status %d, want 400", req.Options, resp.StatusCode)
+		}
+		readBody(t, resp)
+	}
+
+	src := `int main(void) { printf("ok\n"); return 0; }`
+	for _, opts := range []RunOptions{
+		{},
+		{Sequential: true},
+		{Engine: "tape"},
+		{Backend: "icc", Cores: 2, Schedule: "dynamic,1"},
+	} {
+		resp := post(t, ts, RunRequest{Source: src, Options: opts})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%+v: status %d: %s", opts, resp.StatusCode, readBody(t, resp))
+		}
+		if got := readBody(t, resp); got != "ok\n" {
+			t.Fatalf("%+v: body %q", opts, got)
+		}
+	}
+	// Four distinct configurations -> four distinct cached Programs.
+	if n := s.Cache().Len(); n != 4 {
+		t.Fatalf("cache holds %d programs, want 4 distinct configs", n)
+	}
+}
+
+// TestStatsEndpoint: /stats reports request counters, cache hit rates
+// and pool reuse after traffic.
+func TestStatsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Options{CacheDir: dir})
+	req := RunRequest{Source: serveSrc}
+	for i := 0; i < 3; i++ {
+		readBody(t, post(t, ts, req))
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(readBody(t, resp)), &st); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if st.Requests.Total != 3 || st.Requests.OK != 3 {
+		t.Fatalf("request counters %+v, want 3 total / 3 ok", st.Requests)
+	}
+	if st.ProgramCache.Hits != 2 || st.ProgramCache.Misses != 1 {
+		t.Fatalf("cache counters %+v, want 2 hits / 1 miss", st.ProgramCache)
+	}
+	if st.DiskCache == nil || st.DiskCache.Stores != 1 {
+		t.Fatalf("disk cache stats %+v, want 1 store", st.DiskCache)
+	}
+	if st.Pool.Reuses != 2 || st.Pool.Fresh != 1 {
+		t.Fatalf("pool stats %+v, want 2 reuses / 1 fresh", st.Pool)
+	}
+	if st.Latency.Count != 3 || st.Latency.MaxMs <= 0 {
+		t.Fatalf("latency stats %+v", st.Latency)
+	}
+
+	// The handler serializes the same snapshot the API exposes.
+	if s.StatsSnapshot().Requests.Total != 3 {
+		t.Fatal("StatsSnapshot disagrees with /stats")
+	}
+}
